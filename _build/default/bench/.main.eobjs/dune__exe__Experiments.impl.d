@@ -1,0 +1,1 @@
+bench/experiments.ml: Acc Accrt Bench_def Codegen Float Fmt Gpusim Jacobi List Minic Openarc_core Registry Str_util String Suite

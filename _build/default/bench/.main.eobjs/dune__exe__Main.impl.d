@@ -1,0 +1,1 @@
+bench/main.ml: Accrt Analyze Array Bechamel Benchmark Codegen Experiments Fmt Hashtbl List Measure Minic Openarc_core Staged Suite Sys Test Time Toolkit

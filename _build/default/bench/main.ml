@@ -1,0 +1,92 @@
+(** Benchmark driver: regenerates every table and figure of the paper
+    (Table I-III, Figures 1, 3, 4, plus the design ablations), then runs a
+    Bechamel micro-benchmark suite over the compiler pipeline stages.
+
+    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|micro|all]]
+    With no argument everything runs. *)
+
+let ppf = Fmt.stdout
+
+(* -------- Bechamel micro-benchmarks: one per experiment's machinery ---- *)
+
+let jacobi_src = Suite.Jacobi.bench.Suite.Bench_def.source
+
+let micro_tests () =
+  let open Bechamel in
+  let parse () = ignore (Minic.Parser.parse_string jacobi_src) in
+  let translate =
+    let prog = Minic.Parser.parse_string jacobi_src in
+    let env = Minic.Typecheck.check prog in
+    fun () -> ignore (Codegen.Translate.translate env prog)
+  in
+  let instrument =
+    let prog = Minic.Parser.parse_string jacobi_src in
+    let env = Minic.Typecheck.check prog in
+    let tp = Codegen.Translate.translate env prog in
+    fun () -> ignore (Codegen.Checkgen.instrument tp)
+  in
+  let execute =
+    let prog = Minic.Parser.parse_string jacobi_src in
+    let env = Minic.Typecheck.check prog in
+    let tp = Codegen.Translate.translate env prog in
+    fun () -> ignore (Accrt.Interp.run ~coherence:false tp)
+  in
+  let verify =
+    let prog = Minic.Parser.parse_string jacobi_src in
+    fun () -> ignore (Openarc_core.Kernel_verify.verify prog)
+  in
+  [ Test.make ~name:"fig1-baseline-run" (Staged.stage execute);
+    Test.make ~name:"table2-fig3-kernel-verification" (Staged.stage verify);
+    Test.make ~name:"table3-fig4-instrumentation" (Staged.stage instrument);
+    Test.make ~name:"pipeline-parse" (Staged.stage parse);
+    Test.make ~name:"pipeline-translate" (Staged.stage translate) ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"openarc" ~fmt:"%s %s" (micro_tests ()))
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  Fmt.pf ppf "@.Bechamel micro-benchmarks (ns per run):@.";
+  Hashtbl.iter
+    (fun _name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) -> Fmt.pf ppf "  %-55s %12.0f@." test t
+          | Some [] | None -> Fmt.pf ppf "  %-55s %12s@." test "n/a")
+        tbl)
+    results
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match cmd with
+  | "table1" -> Experiments.run_table1 ppf
+  | "fig1" -> Experiments.run_fig1 ppf
+  | "table2" -> Experiments.run_table2 ppf
+  | "fig3" -> Experiments.run_fig3 ppf
+  | "table3" -> Experiments.run_table3 ppf
+  | "fig4" -> Experiments.run_fig4 ppf
+  | "ablation" -> Experiments.run_ablation ppf
+  | "granularity" -> Experiments.run_granularity ppf
+  | "sweep" -> Experiments.run_sweep ppf
+  | "micro" -> run_micro ()
+  | "all" ->
+      Experiments.run_all ppf;
+      run_micro ()
+  | other ->
+      Fmt.epr
+        "unknown experiment '%s' (expected \
+         table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|micro|all)@."
+        other;
+      exit 1);
+  Fmt.pf ppf "@."

@@ -1,0 +1,305 @@
+(** The [openarc] command-line driver.
+
+    Subcommands mirror the workflows of the paper:
+    - [compile]  : translate and show the generated CUDA-style program
+    - [run]      : execute on the simulated GPU, with optional coherence
+                   profiling (memory-transfer verification, §III-B)
+    - [verify]   : kernel verification against the sequential reference
+                   (§III-A), with OpenARC-style [verificationOptions]
+    - [optimize] : the interactive optimization loop of Figure 2, driven by
+                   a scripted programmer
+    - [benchmarks]: list the bundled benchmark suite
+
+    A [FILE] argument of the form [bench:NAME[:opt]] loads a bundled
+    benchmark instead of a file. *)
+
+open Cmdliner
+
+let load_source path =
+  if String.length path > 6 && String.sub path 0 6 = "bench:" then begin
+    let rest = String.sub path 6 (String.length path - 6) in
+    let name, variant =
+      match String.index_opt rest ':' with
+      | Some i ->
+          (String.sub rest 0 i,
+           String.sub rest (i + 1) (String.length rest - i - 1))
+      | None -> (rest, "source")
+    in
+    match Suite.Registry.find name with
+    | None -> Fmt.failwith "unknown benchmark '%s'" name
+    | Some b ->
+        if variant = "opt" || variant = "optimized" then
+          b.Suite.Bench_def.optimized
+        else b.Suite.Bench_def.source
+  end
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    src
+  end
+
+let file_arg =
+  Arg.(required
+       & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"Mini-C/OpenACC source file, or bench:NAME")
+
+let fault_arg =
+  Arg.(value & flag
+       & info [ "fault-injection" ]
+           ~doc:"Disable automatic privatization/reduction recognition and \
+                 strip private/reduction clauses (Table II configuration)")
+
+let opts_of_fault fault =
+  if fault then Codegen.Options.fault_injection else Codegen.Options.default
+
+let prepare ~fault src =
+  let prog = Minic.Parser.parse_string ~file:"<input>" src in
+  let prog =
+    if fault then Openarc_core.Faults.strip_parallelism_clauses prog else prog
+  in
+  (prog, Openarc_core.Compiler.compile_program ~opts:(opts_of_fault fault) prog)
+
+let handle f =
+  try f (); 0 with
+  | Minic.Loc.Error _ | Acc.Validate.Invalid _ | Accrt.Value.Runtime_error _
+  | Gpusim.Device.Device_error _ | Failure _ as e ->
+      Fmt.epr "%s@." (Printexc.to_string e);
+      1
+
+(* ----------------------------- compile ----------------------------- *)
+
+let compile_cmd =
+  let emit_cuda =
+    Arg.(value & flag
+         & info [ "emit-cuda" ] ~doc:"Print the CUDA-style translation")
+  in
+  let instrument =
+    Arg.(value & flag
+         & info [ "instrument" ]
+             ~doc:"Insert the coherence runtime checks before printing")
+  in
+  let run file fault emit_cuda instrument =
+    handle (fun () ->
+        let _, c = prepare ~fault (load_source file) in
+        let tp = c.Openarc_core.Compiler.tprog in
+        let tp =
+          if instrument then Codegen.Checkgen.instrument tp else tp
+        in
+        if emit_cuda || instrument then
+          Fmt.pr "%a@." Codegen.Cuda.pp tp
+        else begin
+          Fmt.pr "translated %d kernel(s):@."
+            (Array.length tp.Codegen.Tprog.kernels);
+          Array.iter
+            (fun k ->
+              Fmt.pr "  %-20s arrays(read=%s write=%s) %s%s@."
+                k.Codegen.Tprog.k_name
+                (Analysis.Varset.to_string k.Codegen.Tprog.k_arrays_read)
+                (Analysis.Varset.to_string k.Codegen.Tprog.k_arrays_written)
+                (if k.Codegen.Tprog.k_has_private_data then "[private] "
+                 else "")
+                (if k.Codegen.Tprog.k_has_reduction then "[reduction]" else ""))
+            tp.Codegen.Tprog.kernels
+        end)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Translate an OpenACC program")
+    Term.(const run $ file_arg $ fault_arg $ emit_cuda $ instrument)
+
+(* ------------------------------- run ------------------------------- *)
+
+let run_cmd =
+  let instrument =
+    Arg.(value & flag
+         & info [ "instrument" ]
+             ~doc:"Profile with the coherence runtime and print the \
+                   missing/incorrect/redundant-transfer reports (§III-B)")
+  in
+  let trace =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome-trace JSON timeline of the simulated \
+                   execution (open in chrome://tracing or Perfetto)")
+  in
+  let fine =
+    Arg.(value & flag
+         & info [ "fine-grained" ]
+             ~doc:"Track coherence per element range instead of per whole \
+                   array (the granularity alternative of the paper's \
+                   SIII-B discussion)")
+  in
+  let run file fault instrument trace fine =
+    handle (fun () ->
+        let _, c = prepare ~fault (load_source file) in
+        let tp = c.Openarc_core.Compiler.tprog in
+        let tp =
+          if instrument then Codegen.Checkgen.instrument tp else tp
+        in
+        let granularity =
+          if fine then Accrt.Coherence.Fine else Accrt.Coherence.Coarse
+        in
+        let o =
+          Accrt.Interp.run ~coherence:instrument ~granularity
+            ~trace:(trace <> None) tp
+        in
+        (match trace with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Gpusim.Timeline.to_chrome_json
+                 o.Accrt.Interp.device.Gpusim.Device.timeline);
+            close_out oc;
+            Fmt.pr "timeline (%d events) written to %s@."
+              (Gpusim.Timeline.count
+                 o.Accrt.Interp.device.Gpusim.Device.timeline)
+              path
+        | None -> ());
+        Fmt.pr "%a@." Gpusim.Metrics.pp (Accrt.Interp.metrics o);
+        if instrument then begin
+          let reports = Accrt.Interp.reports o in
+          Fmt.pr "@.%d report(s), grouped:@." (List.length reports);
+          List.iter (Fmt.pr "  %s@.") (Accrt.Coherence.summarize reports);
+          Fmt.pr "@.suggestions:@.";
+          List.iter
+            (fun s -> Fmt.pr "  %a@." Openarc_core.Suggest.pp s)
+            (Openarc_core.Suggest.analyze o)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program on the simulated accelerator")
+    Term.(const run $ file_arg $ fault_arg $ instrument $ trace $ fine)
+
+(* ------------------------------ verify ----------------------------- *)
+
+let verify_cmd =
+  let options =
+    Arg.(value
+         & opt (some string) None
+         & info [ "options" ]
+             ~docv:"SPEC"
+             ~doc:"OpenARC-style verification options, e.g. \
+                   'complement=0,kernels=main_kernel0' or \
+                   'errorMargin=1e-6,minValueToCheck=1e-32'")
+  in
+  let show_transformed =
+    Arg.(value
+         & opt (some string) None
+         & info [ "show-transformed" ]
+             ~docv:"KERNEL"
+             ~doc:"Print the memory-transfer-demoted source for KERNEL \
+                   (the paper's Listing 2) instead of verifying")
+  in
+  let run file fault options show_transformed =
+    handle (fun () ->
+        let prog, c = prepare ~fault (load_source file) in
+        match show_transformed with
+        | Some kname ->
+            Fmt.pr "%s@."
+              (Openarc_core.Demotion.to_string c.Openarc_core.Compiler.tprog
+                 kname)
+        | None ->
+            let config =
+              match options with
+              | Some s -> Openarc_core.Vconfig.of_string s
+              | None ->
+                  (* fall back to the OPENARC_VERIFICATION environment
+                     variable, as OpenARC does *)
+                  Openarc_core.Vconfig.from_env ()
+            in
+            let v =
+              Openarc_core.Kernel_verify.verify ~opts:(opts_of_fault fault)
+                ~config prog
+            in
+            List.iter
+              (fun r -> Fmt.pr "%a@." Openarc_core.Kernel_verify.pp_report r)
+              v.Openarc_core.Kernel_verify.reports;
+            let bad =
+              List.length (Openarc_core.Kernel_verify.detected_errors v)
+            in
+            Fmt.pr "@.%d kernel(s) with detected errors@." bad)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify translated kernels against the sequential reference")
+    Term.(const run $ file_arg $ fault_arg $ options $ show_transformed)
+
+(* ----------------------------- optimize ---------------------------- *)
+
+let optimize_cmd =
+  let outputs =
+    Arg.(required
+         & opt (some string) None
+         & info [ "outputs" ] ~docv:"VARS"
+             ~doc:"Comma-separated host variables that define observable \
+                   correctness")
+  in
+  let max_iterations =
+    Arg.(value & opt int 12 & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap")
+  in
+  let conservative =
+    Arg.(value & flag
+         & info [ "conservative" ]
+             ~doc:"Apply only suggestions backed by certain evidence \
+                   (skip may-dead-based ones)")
+  in
+  let show_final =
+    Arg.(value & flag
+         & info [ "show-final" ] ~doc:"Print the optimized program")
+  in
+  let run file outputs max_iterations conservative show_final =
+    handle (fun () ->
+        let prog = Minic.Parser.parse_string ~file:"<input>"
+            (load_source file) in
+        let outputs = String.split_on_char ',' outputs in
+        let policy =
+          if conservative then Openarc_core.Session.Conservative
+          else Openarc_core.Session.Follow_all
+        in
+        let r =
+          Openarc_core.Session.optimize ~policy ~max_iterations ~outputs
+            prog
+        in
+        List.iter (fun l -> Fmt.pr "%s@." l) r.Openarc_core.Session.log;
+        Fmt.pr "@.%d iteration(s), %d incorrect, converged: %b@."
+          r.Openarc_core.Session.iterations
+          r.Openarc_core.Session.incorrect_iterations
+          r.Openarc_core.Session.converged;
+        let n0, b0 = Openarc_core.Session.transfer_stats prog in
+        let n1, b1 =
+          Openarc_core.Session.transfer_stats r.Openarc_core.Session.final
+        in
+        Fmt.pr "transfers: %d (%d bytes) -> %d (%d bytes)@." n0 b0 n1 b1;
+        if show_final then
+          Fmt.pr "@.%s@."
+            (Minic.Pretty.program_to_string r.Openarc_core.Session.final))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Run the interactive memory-transfer optimization loop")
+    Term.(const run $ file_arg $ outputs $ max_iterations $ conservative
+          $ show_final)
+
+(* ---------------------------- benchmarks --------------------------- *)
+
+let benchmarks_cmd =
+  let run () =
+    List.iter
+      (fun (b : Suite.Bench_def.t) ->
+        Fmt.pr "%-10s %2d kernel(s)  %s@." b.Suite.Bench_def.name
+          b.Suite.Bench_def.expected_kernels b.Suite.Bench_def.description)
+      Suite.Registry.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the bundled OpenACC benchmark suite")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "OpenARC reproduction: OpenACC debugging and optimization" in
+  let info = Cmd.info "openarc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; run_cmd; verify_cmd; optimize_cmd; benchmarks_cmd ]))

@@ -1,0 +1,1 @@
+examples/benchmark_tour.ml: Accrt Codegen Fmt Gpusim List Minic Openarc_core String Suite

@@ -1,0 +1,1 @@
+examples/kernel_debugging.ml: Codegen Fmt List Minic Openarc_core Suite

@@ -1,0 +1,1 @@
+examples/memory_optimization.ml: Accrt Fmt List Minic Openarc_core Suite

@@ -1,0 +1,1 @@
+examples/profiling_and_libraries.ml: Accrt Array Codegen Fmt Gpusim List Openarc_core String

@@ -1,0 +1,1 @@
+examples/profiling_and_libraries.mli:

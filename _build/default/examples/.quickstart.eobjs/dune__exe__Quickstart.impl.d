@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accrt Analysis Array Codegen Fmt Gpusim List Openarc_core String

@@ -1,0 +1,93 @@
+(* Kernel debugging walkthrough (§III-A of the paper).
+
+   A programmer ports a stencil + reduction to OpenACC but forgets the
+   private and reduction clauses, and the compiler's automatic recognition
+   is off (the situation Table II injects).  Kernel verification compares
+   every translated kernel against the sequential reference at kernel
+   granularity and pinpoints the broken one; after the fix the program
+   verifies cleanly.
+
+     dune exec examples/kernel_debugging.exe
+*)
+
+let buggy =
+  {|
+int main() {
+  int n = 256;
+  float img[n];
+  float smooth[n];
+  float t;
+  float total = 0.0;
+  for (int i = 0; i < n; i++) {
+    img[i] = float((i * 31) % 97) * 0.01;
+  }
+  /* BUG: t should be private; without privatization this is a race */
+  #pragma acc kernels loop gang worker
+  for (int i = 1; i < n - 1; i++) {
+    t = (img[i - 1] + img[i] + img[i + 1]) / 3.0;
+    smooth[i] = t;
+  }
+  /* BUG: total should be a reduction; without it this is a race */
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < n; i++) {
+    total = total + smooth[i];
+  }
+  return 0;
+}
+|}
+
+let fixed =
+  Suite.Str_util.replace
+    ~needle:"#pragma acc kernels loop gang worker\n  for (int i = 1;"
+    ~with_:"#pragma acc kernels loop gang worker private(t)\n  for (int i = 1;"
+    (Suite.Str_util.replace
+       ~needle:"#pragma acc kernels loop gang worker\n  for (int i = 0;"
+       ~with_:
+         "#pragma acc kernels loop gang worker reduction(+:total)\n  for \
+          (int i = 0;"
+       buggy)
+
+let verify label src =
+  Fmt.pr "=== %s ===@." label;
+  let v =
+    Openarc_core.Kernel_verify.verify ~opts:Codegen.Options.fault_injection
+      (Minic.Parser.parse_string src)
+  in
+  List.iter
+    (fun r -> Fmt.pr "%a@." Openarc_core.Kernel_verify.pp_report r)
+    v.Openarc_core.Kernel_verify.reports;
+  Fmt.pr "@."
+
+let () =
+  (* The tool is configured as in the paper: automatic privatization and
+     reduction recognition disabled, so the missing clauses matter. *)
+  verify "buggy port (clauses missing)" buggy;
+  Fmt.pr
+    "Note: the smoothing kernel's race is LATENT — the backend caches t \
+     in a register, so outputs are correct and, as in the paper, the \
+     verifier stays silent about it. The reduction race is ACTIVE and \
+     caught.@.@.";
+
+  verify "fixed port (private + reduction clauses)" fixed;
+
+  (* Selective verification, as with OpenARC's verificationOptions. *)
+  let config =
+    Openarc_core.Vconfig.of_string "complement=0,kernels=main_kernel1"
+  in
+  let v =
+    Openarc_core.Kernel_verify.verify ~opts:Codegen.Options.fault_injection
+      ~config
+      (Minic.Parser.parse_string buggy)
+  in
+  Fmt.pr "=== verificationOptions=complement=0,kernels=main_kernel1 ===@.";
+  List.iter
+    (fun r -> Fmt.pr "%a@." Openarc_core.Kernel_verify.pp_report r)
+    v.Openarc_core.Kernel_verify.reports;
+
+  (* The memory-transfer-demotion pass the verifier relies on (Listing 2). *)
+  let c =
+    Openarc_core.Compiler.compile ~opts:Codegen.Options.fault_injection buggy
+  in
+  Fmt.pr "@.=== demoted source for main_kernel0 (paper Listing 2) ===@.%s@."
+    (Openarc_core.Demotion.to_string c.Openarc_core.Compiler.tprog
+       "main_kernel0")

@@ -1,0 +1,1 @@
+lib/acc/edit.ml: List Minic Option Query

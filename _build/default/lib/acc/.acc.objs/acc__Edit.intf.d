@@ -1,0 +1,1 @@
+lib/acc/edit.mli: Minic

@@ -1,0 +1,1 @@
+lib/acc/query.ml: List Minic

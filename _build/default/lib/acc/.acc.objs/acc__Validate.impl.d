@@ -1,0 +1,1 @@
+lib/acc/validate.ml: Fmt Hashtbl List Loc Minic Option Pretty Printexc Query

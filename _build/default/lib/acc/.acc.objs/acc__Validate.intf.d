@@ -1,0 +1,1 @@
+lib/acc/validate.mli: Minic

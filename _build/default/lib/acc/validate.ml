@@ -1,0 +1,158 @@
+(** OpenACC V1.0 directive validation: clause legality per construct,
+    well-formedness of nesting, and data-clause sanity.
+
+    OpenARC accepts the full OpenACC V1.0 feature set; this module rejects
+    programs outside it before translation, with located error messages. *)
+
+open Minic
+open Minic.Ast
+
+let clause_name = function
+  | Cdata (k, _) -> Pretty.data_kind_str k
+  | Cprivate _ -> "private"
+  | Cfirstprivate _ -> "firstprivate"
+  | Creduction _ -> "reduction"
+  | Cgang _ -> "gang"
+  | Cworker _ -> "worker"
+  | Cvector _ -> "vector"
+  | Cnum_gangs _ -> "num_gangs"
+  | Cnum_workers _ -> "num_workers"
+  | Cvector_length _ -> "vector_length"
+  | Casync _ -> "async"
+  | Cif _ -> "if"
+  | Ccollapse _ -> "collapse"
+  | Cseq -> "seq"
+  | Cindependent -> "independent"
+  | Chost _ -> "host"
+  | Cdevice _ -> "device"
+  | Cuse_device _ -> "use_device"
+
+(* Clause legality table, following the OpenACC 1.0 spec (§2). *)
+let allowed_on construct clause =
+  let data_ok = match clause with Cdata _ -> true | _ -> false in
+  match construct with
+  | Acc_parallel | Acc_kernels -> (
+      data_ok
+      ||
+      match clause with
+      | Casync _ | Cif _ | Cnum_gangs _ | Cnum_workers _ | Cvector_length _
+      | Cprivate _ | Cfirstprivate _ | Creduction _ -> true
+      | _ -> false)
+  | Acc_parallel_loop | Acc_kernels_loop -> (
+      data_ok
+      ||
+      match clause with
+      | Casync _ | Cif _ | Cnum_gangs _ | Cnum_workers _ | Cvector_length _
+      | Cprivate _ | Cfirstprivate _ | Creduction _ | Cgang _ | Cworker _
+      | Cvector _ | Ccollapse _ | Cseq | Cindependent -> true
+      | _ -> false)
+  | Acc_loop -> (
+      match clause with
+      | Cgang _ | Cworker _ | Cvector _ | Ccollapse _ | Cseq | Cindependent
+      | Cprivate _ | Creduction _ -> true
+      | _ -> false)
+  | Acc_data -> data_ok || (match clause with Cif _ -> true | _ -> false)
+  | Acc_host_data -> ( match clause with Cuse_device _ -> true | _ -> false)
+  | Acc_update -> (
+      match clause with
+      | Chost _ | Cdevice _ | Casync _ | Cif _ -> true
+      | _ -> false)
+  | Acc_declare -> data_ok
+  | Acc_wait _ | Acc_cache _ -> false
+
+let construct_name d = Pretty.construct_str d
+
+exception Invalid of Loc.t * string
+
+let invalid loc fmt = Fmt.kstr (fun m -> raise (Invalid (loc, m))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Invalid (loc, m) -> Some (Fmt.str "OpenACC error at %a: %s" Loc.pp loc m)
+    | _ -> None)
+
+let check_directive d =
+  List.iter
+    (fun cl ->
+      if not (allowed_on d.dir cl) then
+        invalid d.dloc "clause '%s' is not allowed on '%s'" (clause_name cl)
+          (construct_name d.dir))
+    d.clauses;
+  (* A variable may appear in at most one data clause of a directive. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (_, sub) ->
+      if Hashtbl.mem seen sub.sub_var then
+        invalid d.dloc "variable '%s' appears in multiple data clauses"
+          sub.sub_var;
+      Hashtbl.add seen sub.sub_var ())
+    (Query.data_clauses d);
+  (* update requires at least one host/device clause. *)
+  (match d.dir with
+  | Acc_update ->
+      if Query.update_host_subs d = [] && Query.update_device_subs d = [] then
+        invalid d.dloc "update directive needs a host() or device() clause"
+  | _ -> ());
+  (* Subarray bounds must be both present or both absent (parser enforces),
+     and private vars must not also be in a data clause. *)
+  let data_vars = Query.data_vars d in
+  List.iter
+    (fun v ->
+      if List.mem v data_vars then
+        invalid d.dloc "variable '%s' is both private and in a data clause" v)
+    (Query.private_vars d)
+
+(* Structural rules on the statement tree. *)
+let rec check_stmt ~in_compute s =
+  match s.skind with
+  | Sacc (d, body) -> (
+      check_directive d;
+      (match d.dir with
+      | Acc_parallel | Acc_kernels | Acc_parallel_loop | Acc_kernels_loop ->
+          if in_compute then
+            invalid d.dloc "compute regions may not nest";
+          (match body with
+          | Some _ -> ()
+          | None ->
+              invalid d.dloc "'%s' requires a following statement"
+                (construct_name d.dir))
+      | Acc_data | Acc_host_data ->
+          if in_compute then
+            invalid d.dloc "'%s' may not appear inside a compute region"
+              (construct_name d.dir)
+      | Acc_loop ->
+          if not in_compute then
+            invalid d.dloc
+              "orphaned 'loop' directive outside any compute region";
+          (match body with
+          | Some { skind = Sfor _; _ } -> ()
+          | _ -> invalid d.dloc "'loop' must be followed by a for loop")
+      | Acc_update | Acc_wait _ ->
+          if in_compute then
+            invalid d.dloc "'%s' may not appear inside a compute region"
+              (construct_name d.dir)
+      | Acc_declare | Acc_cache _ -> ());
+      let in_compute = in_compute || Query.is_compute d.dir in
+      (* loop directives must be attached to a for statement *)
+      (match (d.dir, body) with
+      | (Acc_parallel_loop | Acc_kernels_loop), Some { skind = Sfor _; _ } -> ()
+      | (Acc_parallel_loop | Acc_kernels_loop), Some _ ->
+          invalid d.dloc "'%s' must be followed by a for loop"
+            (construct_name d.dir)
+      | _ -> ());
+      Option.iter (check_stmt ~in_compute) body)
+  | Sif (_, b1, b2) ->
+      List.iter (check_stmt ~in_compute) b1;
+      List.iter (check_stmt ~in_compute) b2
+  | Swhile (_, b) -> List.iter (check_stmt ~in_compute) b
+  | Sfor (_, _, _, b) -> List.iter (check_stmt ~in_compute) b
+  | Sblock b -> List.iter (check_stmt ~in_compute) b
+  | Sskip | Sexpr _ | Sassign _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue ->
+      ()
+
+(** Validate every directive in [prog]; raises {!Invalid} on the first
+    violation. *)
+let check_program prog =
+  List.iter
+    (fun f -> List.iter (check_stmt ~in_compute:false) f.f_body)
+    (functions prog)

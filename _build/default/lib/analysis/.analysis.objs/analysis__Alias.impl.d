@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Ast List Map Minic String Typecheck Varset

@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Map Minic String Varset

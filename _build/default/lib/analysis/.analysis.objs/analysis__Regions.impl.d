@@ -1,0 +1,1 @@
+lib/analysis/regions.ml: Alias Hashtbl List Minic Option Varset

@@ -1,0 +1,1 @@
+lib/analysis/regions.mli: Alias Hashtbl Minic Varset

@@ -1,0 +1,1 @@
+lib/analysis/varset.ml: Fmt Set String

@@ -1,0 +1,83 @@
+(** Generic iterative dataflow solver over {!Graph} CFGs with {!Varset}
+    facts.
+
+    The paper's Algorithm 1 (may-dead / must-dead / may-live) and Algorithm 2
+    (last-write), as well as the first-read/first-write placement analyses,
+    are all instances of this solver with different directions, meets and
+    transfer functions. *)
+
+type direction = Forward | Backward
+
+type meet = Union | Intersect
+
+type spec = {
+  direction : direction;
+  meet : meet;
+  boundary : Varset.t;  (** fact at entry (forward) / exit nodes (backward) *)
+  universe : Varset.t;  (** top element, used to initialize Intersect meets *)
+  transfer : int -> Varset.t -> Varset.t;  (** node -> IN fact -> OUT fact *)
+}
+
+type result = { input : Varset.t array; output : Varset.t array }
+
+(* For a backward analysis we conceptually flip the graph: "IN" below is the
+   fact flowing into the transfer function, i.e. the fact at the node's
+   successors side for backward problems. Callers read [input.(n)] as the
+   fact the transfer consumed and [output.(n)] as the fact it produced. *)
+let solve g spec =
+  let n = Graph.size g in
+  let sources, sinks, order =
+    match spec.direction with
+    | Forward ->
+        (Graph.preds g, Graph.succs g, Graph.reverse_postorder g ~entry:0)
+    | Backward ->
+        ( Graph.succs g,
+          Graph.preds g,
+          List.rev (Graph.reverse_postorder g ~entry:0) )
+  in
+  let init = match spec.meet with Union -> Varset.empty | Intersect -> spec.universe in
+  let input = Array.make n init and output = Array.make n init in
+  (* Boundary nodes: no sources (preds for forward, succs for backward). *)
+  for i = 0 to n - 1 do
+    if sources i = [] then input.(i) <- spec.boundary
+  done;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > n + 8 then
+      (* n+8 sweeps suffice for these monotone bit-vector problems;
+         guard against a non-monotone transfer looping forever. *)
+      invalid_arg "Dataflow.solve: fixpoint not reached (non-monotone transfer?)";
+    List.iter
+      (fun node ->
+        let in_fact =
+          match sources node with
+          | [] -> spec.boundary
+          | srcs ->
+              let facts = List.map (fun s -> output.(s)) srcs in
+              let combine =
+                match spec.meet with
+                | Union -> Varset.union
+                | Intersect -> Varset.inter
+              in
+              List.fold_left combine (List.hd facts) (List.tl facts)
+        in
+        let out_fact = spec.transfer node in_fact in
+        if
+          (not (Varset.equal in_fact input.(node)))
+          || not (Varset.equal out_fact output.(node))
+        then begin
+          input.(node) <- in_fact;
+          output.(node) <- out_fact;
+          changed := true
+        end)
+      order;
+    ignore sinks
+  done;
+  { input; output }
+
+(** Standard gen/kill transfer: [out = (inp - kill) + gen]. *)
+let gen_kill ~gen ~kill = fun node inp ->
+  Varset.union (gen node) (Varset.diff inp (kill node))

@@ -1,0 +1,33 @@
+(** Generic iterative dataflow solver over {!Graph} CFGs with {!Varset}
+    facts.  The paper's Algorithm 1 (may-dead/may-live), Algorithm 2
+    (last-write) and the first-access placement analyses are instances with
+    different directions, meets and transfer functions. *)
+
+type direction = Forward | Backward
+type meet = Union | Intersect
+
+type spec = {
+  direction : direction;
+  meet : meet;
+  boundary : Varset.t;  (** fact at entry (forward) / exit nodes (backward) *)
+  universe : Varset.t;  (** top element, used to initialize Intersect meets *)
+  transfer : int -> Varset.t -> Varset.t;  (** node -> IN fact -> OUT fact *)
+}
+
+type result = {
+  input : Varset.t array;
+      (** per node, the fact the transfer consumed: the meet over
+          predecessors (forward) or successors (backward) — for a backward
+          problem this is the paper's OUT set *)
+  output : Varset.t array;  (** the fact the transfer produced *)
+}
+
+(** Worklist solve to fixpoint.
+    @raise Invalid_argument if a non-monotone transfer prevents
+    convergence. *)
+val solve : Graph.t -> spec -> result
+
+(** Standard gen/kill transfer: [out = (inp - kill) + gen]. *)
+val gen_kill :
+  gen:(int -> Varset.t) -> kill:(int -> Varset.t) -> int -> Varset.t ->
+  Varset.t

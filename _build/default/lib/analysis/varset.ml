@@ -1,0 +1,12 @@
+(** Sets of variable names — the fact domain of every dataflow analysis in
+    this compiler (Algorithms 1 and 2 of the paper, first/last-access
+    analyses, liveness). *)
+
+include Set.Make (String)
+
+let of_seq_list l = of_list l
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) (elements s)
+
+let to_string s = Fmt.str "%a" pp s

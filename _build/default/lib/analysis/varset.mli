@@ -1,0 +1,9 @@
+(** Sets of variable names — the fact domain of every dataflow analysis in
+    this compiler (the paper's Algorithms 1 and 2, first/last-access,
+    liveness). *)
+
+include Set.S with type elt = string
+
+val of_seq_list : string list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

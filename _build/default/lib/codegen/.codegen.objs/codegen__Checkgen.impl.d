@@ -1,0 +1,1 @@
+lib/codegen/checkgen.ml: Analysis Array Deadness Firstaccess Graph Hashtbl Lastwrite List Minic Option Tcfg Tprog Varset

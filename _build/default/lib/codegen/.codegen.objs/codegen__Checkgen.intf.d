@@ -1,0 +1,1 @@
+lib/codegen/checkgen.mli: Tprog

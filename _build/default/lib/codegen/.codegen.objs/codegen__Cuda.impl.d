@@ -1,0 +1,1 @@
+lib/codegen/cuda.ml: Analysis Array Ast Fmt List Minic Pretty String Tprog Typecheck

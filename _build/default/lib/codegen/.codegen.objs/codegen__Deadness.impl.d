@@ -1,0 +1,1 @@
+lib/codegen/deadness.ml: Alias Analysis Array Dataflow Graph Minic Tcfg Tprog Varset

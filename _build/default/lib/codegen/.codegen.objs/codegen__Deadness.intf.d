@@ -1,0 +1,1 @@
+lib/codegen/deadness.mli: Analysis Tcfg Tprog Varset

@@ -1,0 +1,1 @@
+lib/codegen/firstaccess.ml: Analysis Array Dataflow Graph Minic Tcfg Tprog Varset

@@ -1,0 +1,1 @@
+lib/codegen/firstaccess.mli: Analysis Tcfg Tprog Varset

@@ -1,0 +1,1 @@
+lib/codegen/inline.ml: Acc Fmt List Loc Minic Option

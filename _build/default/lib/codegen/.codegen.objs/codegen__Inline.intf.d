@@ -1,0 +1,1 @@
+lib/codegen/inline.mli: Minic

@@ -1,0 +1,1 @@
+lib/codegen/lastwrite.ml: Analysis Array Dataflow Graph Tcfg Tprog Varset

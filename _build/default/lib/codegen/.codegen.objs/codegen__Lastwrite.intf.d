@@ -1,0 +1,1 @@
+lib/codegen/lastwrite.mli: Analysis Tcfg Tprog Varset

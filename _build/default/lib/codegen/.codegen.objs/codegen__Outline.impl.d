@@ -1,0 +1,1 @@
+lib/codegen/outline.ml: Acc Analysis Fmt Hashtbl List Loc Minic Option Options Regions Tprog Varset

@@ -1,0 +1,1 @@
+lib/codegen/outline.mli: Analysis Minic Options Tprog

@@ -1,0 +1,1 @@
+lib/codegen/tcfg.ml: Alias Analysis Array Ast Graph Hashtbl List Minic Option Regions Tprog Varset

@@ -1,0 +1,1 @@
+lib/codegen/tprog.ml: Alias Analysis Array Ast List Loc Minic Typecheck Varset

@@ -1,0 +1,1 @@
+lib/codegen/tprog.mli: Alias Analysis Ast Loc Minic Typecheck Varset

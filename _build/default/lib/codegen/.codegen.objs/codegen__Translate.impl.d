@@ -1,0 +1,1 @@
+lib/codegen/translate.ml: Acc Alias Analysis Array Ast Fmt Inline List Minic Option Options Outline Parser Pretty Tprog Typecheck Varset

@@ -1,0 +1,1 @@
+lib/codegen/translate.mli: Minic Options Tprog

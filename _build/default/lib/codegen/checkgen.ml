@@ -1,0 +1,236 @@
+(** Coherence-check insertion (§III-B).
+
+    Decorates a translated program with the runtime calls of the paper's
+    memory-transfer verification scheme:
+
+    - [check_read]/[check_write] for GPU data at kernel boundaries only;
+    - [check_read]/[check_write] for CPU data at first-access points since
+      program entry or the latest kernel call;
+    - [reset_status] after last host writes whose GPU copy is (may-)dead, and
+      after kernel launches whose written arrays are (may-)dead on the CPU;
+    - loop hoisting: CPU checks move out of kernel-free loops; GPU checks
+      move out of loops that neither touch the array on the host nor
+      upload it — the optimization that lets the JACOBI deferred-copy
+      redundancy be detected (Listing 3 of the paper).
+
+    [Naive] mode instead instruments every tracked access — the baseline of
+    the check-placement ablation. *)
+
+open Analysis
+open Tprog
+
+type mode = Optimized | Naive
+
+type loop_info = {
+  li_launch : bool;
+  li_host : Varset.t;  (** arrays accessed by host code inside the loop *)
+  li_h2d : Varset.t;  (** arrays uploaded inside the loop *)
+}
+
+let empty_li = { li_launch = false; li_host = Varset.empty; li_h2d = Varset.empty }
+
+let union_li a b =
+  { li_launch = a.li_launch || b.li_launch;
+    li_host = Varset.union a.li_host b.li_host;
+    li_h2d = Varset.union a.li_h2d b.li_h2d }
+
+(* Per-loop summaries, keyed by the loop tstmt's tid. *)
+let loop_infos (tp : Tprog.t) =
+  let tbl = Hashtbl.create 32 in
+  let alias = tp.alias in
+  let rec summarize stmts =
+    List.fold_left (fun acc s -> union_li acc (of_stmt s)) empty_li stmts
+  and of_stmt s =
+    match s.tkind with
+    | Thost st ->
+        let r, w = Tcfg.stmt_arrays ~alias ~through_aliases:true st in
+        { empty_li with li_host = Varset.union r w }
+    | Tlaunch _ -> { empty_li with li_launch = true }
+    | Txfer x when x.x_dir = H2D ->
+        { empty_li with li_h2d = Varset.singleton x.x_var }
+    | Txfer _ | Talloc _ | Tfree _ | Twait _ | Tcheck _ -> empty_li
+    | Tif (c, b1, b2) ->
+        let r, w =
+          Tcfg.stmt_arrays ~alias ~through_aliases:true
+            (Minic.Ast.mk_stmt (Minic.Ast.Sexpr c))
+        in
+        union_li
+          { empty_li with li_host = Varset.union r w }
+          (union_li (summarize b1) (summarize b2))
+    | Tblock b -> summarize b
+    | Twhile (c, b) ->
+        let r, w =
+          Tcfg.stmt_arrays ~alias ~through_aliases:true
+            (Minic.Ast.mk_stmt (Minic.Ast.Sexpr c))
+        in
+        let li = union_li { empty_li with li_host = Varset.union r w }
+                   (summarize b) in
+        Hashtbl.replace tbl s.tid li;
+        li
+    | Tfor (init, cond, step, b) ->
+        let frag st_opt =
+          match st_opt with
+          | None -> empty_li
+          | Some st ->
+              let r, w = Tcfg.stmt_arrays ~alias ~through_aliases:true st in
+              { empty_li with li_host = Varset.union r w }
+        in
+        let cond_li =
+          match cond with
+          | None -> empty_li
+          | Some c ->
+              let r, w =
+                Tcfg.stmt_arrays ~alias ~through_aliases:true
+                  (Minic.Ast.mk_stmt (Minic.Ast.Sexpr c))
+              in
+              { empty_li with li_host = Varset.union r w }
+        in
+        let li =
+          union_li (frag init)
+            (union_li cond_li (union_li (frag step) (summarize b)))
+        in
+        Hashtbl.replace tbl s.tid li;
+        li
+  in
+  ignore (summarize tp.body);
+  tbl
+
+let status_of_deadness = function
+  | Deadness.Must_dead -> Some Not_stale
+  | Deadness.May_dead -> Some May_stale
+  | Deadness.Live -> None
+
+(** Instrument [tp] with coherence checks. *)
+let instrument ?(mode = Optimized) (tp : Tprog.t) =
+  let cfg = Tcfg.build tp in
+  (* Placement uses the full (alias-aware) access sets; deadness uses the
+     compiler's imperfect view that cannot see through ambiguous pointers. *)
+  let sets = Tcfg.access_sets tp cfg ~through_aliases:true in
+  let sets_blind = Tcfg.access_sets tp cfg ~through_aliases:false in
+  let dead_gpu = Deadness.compute tp cfg sets_blind Gpu in
+  let dead_cpu = Deadness.compute tp cfg sets_blind Cpu in
+  let last_cpu = Lastwrite.compute tp cfg sets Cpu in
+  let first = Firstaccess.compute tp cfg sets in
+  let infos = loop_infos tp in
+
+  let pre : (int, check list) Hashtbl.t = Hashtbl.create 64 in
+  let post : (int, check list) Hashtbl.t = Hashtbl.create 64 in
+  let add tbl tid c =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl tid) in
+    if not (List.mem c cur) then Hashtbl.replace tbl tid (cur @ [ c ])
+  in
+
+  (* Hoist a check anchored at [tid] outward through its enclosing loops
+     while [ok loop_tid] holds; returns the final anchor. *)
+  let hoist ~loops ~ok tid =
+    let rec go anchor = function
+      | [] -> anchor
+      | l :: rest -> if ok l then go l rest else anchor
+    in
+    go tid loops
+  in
+  let cpu_loop_ok l =
+    match Hashtbl.find_opt infos l with
+    | Some li -> not li.li_launch
+    | None -> false
+  in
+  let gpu_loop_ok v l =
+    match Hashtbl.find_opt infos l with
+    | Some li ->
+        (not (Varset.mem v li.li_host)) && not (Varset.mem v li.li_h2d)
+    | None -> false
+  in
+
+  let n = Graph.size cfg.Tcfg.graph in
+  for i = 0 to n - 1 do
+    let owner = cfg.Tcfg.owner.(i) in
+    if owner >= 0 then begin
+      let loops =
+        Option.value ~default:[] (Hashtbl.find_opt cfg.Tcfg.loops_of i)
+      in
+      (match Tcfg.payload cfg i with
+      | Tcfg.Nstmt { tkind = Tlaunch (k, _); tid; _ } ->
+          let kern = tp.kernels.(k) in
+          (* GPU checks at the kernel boundary, hoisted when legal. *)
+          Varset.iter
+            (fun v ->
+              let anchor =
+                match mode with
+                | Optimized -> hoist ~loops ~ok:(gpu_loop_ok v) tid
+                | Naive -> tid
+              in
+              add pre anchor (Check_read (v, Gpu)))
+            (Varset.inter kern.k_arrays_read tp.tracked);
+          Varset.iter
+            (fun v ->
+              let anchor =
+                match mode with
+                | Optimized -> hoist ~loops ~ok:(gpu_loop_ok v) tid
+                | Naive -> tid
+              in
+              add pre anchor (Check_write (v, Gpu)))
+            (Varset.inter kern.k_arrays_written tp.tracked);
+          (* CPU copies of kernel-written arrays that are dead afterwards. *)
+          Varset.iter
+            (fun v ->
+              match status_of_deadness (Deadness.status_after dead_cpu i v) with
+              | Some st -> add post tid (Reset_status (v, Cpu, st))
+              | None -> ())
+            (Varset.inter kern.k_arrays_written tp.tracked)
+      | _ ->
+          (* Host accesses. *)
+          let reads, writes =
+            match mode with
+            | Optimized -> (first.Firstaccess.first_read.(i),
+                            first.Firstaccess.first_write.(i))
+            | Naive -> (sets.Tcfg.name_read.(i), sets.Tcfg.name_write.(i))
+          in
+          Varset.iter
+            (fun v ->
+              let anchor =
+                match mode with
+                | Optimized -> hoist ~loops ~ok:cpu_loop_ok owner
+                | Naive -> owner
+              in
+              add pre anchor (Check_read (v, Cpu)))
+            reads;
+          Varset.iter
+            (fun v ->
+              let anchor =
+                match mode with
+                | Optimized -> hoist ~loops ~ok:cpu_loop_ok owner
+                | Naive -> owner
+              in
+              add pre anchor (Check_write (v, Cpu)))
+            writes;
+          (* reset_status after a last host write whose GPU copy is dead. *)
+          Varset.iter
+            (fun v ->
+              if Lastwrite.is_last_write last_cpu i v then
+                match
+                  status_of_deadness (Deadness.status_after dead_gpu i v)
+                with
+                | Some st -> add post owner (Reset_status (v, Gpu, st))
+                | None -> ())
+            sets.Tcfg.host_write.(i))
+    end
+  done;
+
+  let body =
+    Tprog.expand_tstmts
+      (fun s ->
+        let mk_checks cs =
+          List.map
+            (fun c -> Tprog.mk ~loc:s.tloc ~sid:s.tsid (Tcheck c))
+            cs
+        in
+        let pre_cs =
+          Option.value ~default:[] (Hashtbl.find_opt pre s.tid) |> mk_checks
+        in
+        let post_cs =
+          Option.value ~default:[] (Hashtbl.find_opt post s.tid) |> mk_checks
+        in
+        pre_cs @ [ s ] @ post_cs)
+      tp.body
+  in
+  { tp with body }

@@ -1,0 +1,8 @@
+(** CUDA-flavoured rendering of a translated program, in the style of
+    OpenARC's source-to-source output: [__global__] kernels with their
+    scalar classifications as comments, [cudaMalloc]/[memcpyin]/[memcpyout]
+    host calls carrying their site labels, and the inserted [HI_check_*]
+    coherence runtime calls.  Documentation output, not compiler input. *)
+
+val pp : Format.formatter -> Tprog.t -> unit
+val to_string : Tprog.t -> string

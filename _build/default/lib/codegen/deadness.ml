@@ -1,0 +1,91 @@
+(** Algorithm 1 of the paper: may-dead / must-dead / may-live analysis of a
+    device's copies of the tracked arrays.
+
+    For device [D], a copy of array [v] is:
+    - {e may-live} after node [n] if some following path reads it (on [D])
+      before writing it;
+    - {e may-dead} if every following path writes it first — only *may*,
+      because at whole-array granularity the write can be partial;
+    - {e must-dead} if it is never accessed again.
+
+    Unlike the paper's Algorithm 1 we take [KILL] = (empty): the analysis
+    asks only about device [D]'s own *future computation accesses*.  The
+    runtime consumes deadness through [reset_status], whose not-stale mark
+    declares future transfers into the copy redundant; if remote-writes
+    could erase liveness (the paper's KILL), a needed transfer that
+    re-delivers the value just before a host read would itself be flagged
+    redundant.  With KILL empty the reset is sound at array granularity.
+
+    Unresolved pointer aliasing degrades results two ways, mirroring the
+    paper's discussion (§IV-C): accesses that the compiler only sees through
+    an ambiguous pointer are invisible to the analysis (handled in
+    {!Tcfg.access_sets}), and must-dead facts about arrays reachable from an
+    ambiguous pointer are weakened to may-dead. *)
+
+open Analysis
+open Tprog
+
+type dstatus = Live | May_dead | Must_dead
+
+type t = {
+  live_out : Varset.t array;  (** paper's OUT_Live per node *)
+  dead_out : Varset.t array;  (** paper's OUT_Dead per node *)
+  weakened : Varset.t;  (** arrays whose must-dead facts are unreliable *)
+}
+
+let compute (tp : Tprog.t) (cfg : Tcfg.t) (sets : Tcfg.sets) device =
+  (* Transfers are excluded from DEF/USE: the copies they perform are the
+     objects of the optimization, not evidence of the value being used. Only
+     genuine computation accesses (host statements; kernels) count. *)
+  let use, def =
+    match device with
+    | Cpu -> (sets.Tcfg.host_read, sets.Tcfg.host_write)
+    | Gpu -> (sets.Tcfg.kern_read, sets.Tcfg.kern_write)
+  in
+  let kill = Array.make (Graph.size cfg.Tcfg.graph) Varset.empty in
+  let g = cfg.Tcfg.graph in
+  (* IN_Live(n) = OUT_Live(n) - KILL(n) - DEF(n) + USE(n) *)
+  let live =
+    Dataflow.solve g
+      { direction = Dataflow.Backward; meet = Dataflow.Union;
+        boundary = Varset.empty; universe = tp.tracked;
+        transfer =
+          (fun n out ->
+            Varset.union use.(n)
+              (Varset.diff (Varset.diff out kill.(n)) def.(n))) }
+  in
+  (* IN_Dead(n) = OUT_Dead(n) - KILL(n) + DEF(n) - USE(n) *)
+  let dead =
+    Dataflow.solve g
+      { direction = Dataflow.Backward; meet = Dataflow.Intersect;
+        boundary = Varset.empty; universe = tp.tracked;
+        transfer =
+          (fun n out ->
+            Varset.diff (Varset.union def.(n) (Varset.diff out kill.(n)))
+              use.(n)) }
+  in
+  let weakened =
+    Varset.fold
+      (fun ptr acc -> Varset.union acc (Alias.resolve tp.alias ptr))
+      (Varset.filter (Alias.is_ambiguous tp.alias)
+         (Varset.of_list
+            (Minic.Typecheck.Smap.fold (fun v _ l -> v :: l)
+               (Minic.Typecheck.function_vars tp.env "main") [])))
+      Varset.empty
+  in
+  (* For a Backward solve, [input.(n)] is the meet over successors: the
+     paper's OUT(n). *)
+  { live_out = live.Dataflow.input; dead_out = dead.Dataflow.input; weakened }
+
+(** Deadness status of device copy [v] at the program point {e after} node
+    [n]. *)
+let status_after t n v =
+  if Varset.mem v t.live_out.(n) then Live
+  else if Varset.mem v t.dead_out.(n) then May_dead
+  else if Varset.mem v t.weakened then May_dead
+  else Must_dead
+
+let status_name = function
+  | Live -> "live"
+  | May_dead -> "may-dead"
+  | Must_dead -> "must-dead"

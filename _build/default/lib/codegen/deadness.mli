@@ -1,0 +1,20 @@
+(** The paper's Algorithm 1: may-dead / must-dead / may-live analysis of a
+    device's copies of the tracked arrays (see the implementation header
+    for the KILL-set deviation and the aliasing-induced weakening). *)
+
+open Analysis
+
+type dstatus = Live | May_dead | Must_dead
+
+type t = {
+  live_out : Varset.t array;  (** paper's OUT_Live per CFG node *)
+  dead_out : Varset.t array;  (** paper's OUT_Dead per CFG node *)
+  weakened : Varset.t;  (** arrays whose must-dead facts are unreliable *)
+}
+
+val compute : Tprog.t -> Tcfg.t -> Tcfg.sets -> Tprog.device -> t
+
+(** Status of device copy [v] at the point {e after} node [n]. *)
+val status_after : t -> int -> string -> dstatus
+
+val status_name : dstatus -> string

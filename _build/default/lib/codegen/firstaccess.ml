@@ -1,0 +1,49 @@
+(** First-read / first-write placement analysis (§III-B).
+
+    A host access of array [v] at node [n] needs a coherence check only if it
+    can be the first access of its kind since program entry or since the most
+    recent GPU kernel call (kernels are the only events that change CPU-side
+    staleness).  Forward, all-path "seen" analysis with kernel nodes
+    resetting the fact; an access is "first" when not seen on {e all}
+    incoming paths. *)
+
+open Analysis
+open Tprog
+
+type t = {
+  first_read : Varset.t array;
+  first_write : Varset.t array;
+}
+
+let compute (tp : Tprog.t) (cfg : Tcfg.t) (sets : Tcfg.sets) =
+  let g = cfg.Tcfg.graph in
+  let solve_seen access =
+    Dataflow.solve g
+      { direction = Dataflow.Forward; meet = Dataflow.Intersect;
+        boundary = Varset.empty;
+        universe =
+          Varset.union tp.tracked
+            (Varset.of_list
+               (Minic.Typecheck.Smap.fold
+                  (fun v _ l -> v :: l)
+                  (Minic.Typecheck.function_vars tp.env "main") []));
+        transfer =
+          (fun n inp ->
+            if sets.Tcfg.is_kernel.(n) then Varset.empty
+            else Varset.union inp access.(n)) }
+  in
+  (* Placement is computed over accessed *names* (pointers included): the
+     runtime resolves a name to its dynamic root, so a check on a pointer is
+     precise even where static alias analysis is not. *)
+  let seen_read = solve_seen sets.Tcfg.name_read in
+  let seen_write = solve_seen sets.Tcfg.name_write in
+  let n = Graph.size g in
+  let first_read = Array.make n Varset.empty in
+  let first_write = Array.make n Varset.empty in
+  for i = 0 to n - 1 do
+    first_read.(i) <-
+      Varset.diff sets.Tcfg.name_read.(i) seen_read.Dataflow.input.(i);
+    first_write.(i) <-
+      Varset.diff sets.Tcfg.name_write.(i) seen_write.Dataflow.input.(i)
+  done;
+  { first_read; first_write }

@@ -1,0 +1,46 @@
+(** Algorithm 2 of the paper: last-write analysis.
+
+    A host write of array [v] at node [n] is a *last write* if no following
+    path writes [v] again before the program exit or the next GPU kernel
+    call.  These are the points where the compiler places [reset_status]
+    calls for dead remote copies.  Backward all-path analysis; kernel nodes
+    reset the fact (segments end at kernel boundaries). *)
+
+open Analysis
+open Tprog
+
+type t = {
+  last : Varset.t array;  (** per node: arrays whose write here is last *)
+}
+
+let compute (tp : Tprog.t) (cfg : Tcfg.t) (sets : Tcfg.sets) device =
+  let def, kill =
+    match device with
+    | Cpu -> (sets.Tcfg.host_write, sets.Tcfg.kern_write)
+    | Gpu -> (sets.Tcfg.kern_write, sets.Tcfg.host_write)
+  in
+  let g = cfg.Tcfg.graph in
+  (* IN_Write(n) = OUT_Write(n) + DEF(n) - KILL(n); kernel nodes start a new
+     segment. *)
+  let res =
+    Dataflow.solve g
+      { direction = Dataflow.Backward; meet = Dataflow.Intersect;
+        boundary = Varset.empty; universe = tp.tracked;
+        transfer =
+          (fun n out ->
+            let out = if sets.Tcfg.is_kernel.(n) then Varset.empty else out in
+            Varset.diff (Varset.union def.(n) out) kill.(n)) }
+  in
+  let n = Graph.size g in
+  let last = Array.make n Varset.empty in
+  for i = 0 to n - 1 do
+    (* LAST_Write(n) = IN_Write(n) - OUT_Write(n), restricted to DEF(n).
+       input.(i) is the meet over successors (paper's OUT). *)
+    let out_fact =
+      if sets.Tcfg.is_kernel.(i) then Varset.empty else res.Dataflow.input.(i)
+    in
+    last.(i) <- Varset.inter def.(i) (Varset.diff res.Dataflow.output.(i) out_fact)
+  done;
+  { last }
+
+let is_last_write t n v = Varset.mem v t.last.(n)

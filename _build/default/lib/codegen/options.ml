@@ -1,0 +1,23 @@
+(** Compiler configuration switches.
+
+    [auto_privatize] / [auto_reduction] model OpenARC's automatic
+    privatization and reduction-variable recognition; the paper's Table II
+    experiment disables both (and strips the explicit clauses) to inject the
+    race conditions that kernel verification must catch.
+    [register_promote] models the backend caching a thread's intermediate
+    scalar values in registers — the mechanism that makes missing
+    privatization a *latent* rather than active error (§IV-B). *)
+
+type t = {
+  auto_privatize : bool;
+  auto_reduction : bool;
+  register_promote : bool;
+}
+
+let default =
+  { auto_privatize = true; auto_reduction = true; register_promote = true }
+
+(** Table II fault-injection configuration: no automatic recovery of the
+    stripped private/reduction clauses. *)
+let fault_injection =
+  { default with auto_privatize = false; auto_reduction = false }

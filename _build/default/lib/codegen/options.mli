@@ -1,0 +1,15 @@
+(** Compiler configuration switches: automatic privatization and reduction
+    recognition (disabled together for Table II's fault injection) and the
+    backend register-promotion model that turns missing privatization into a
+    latent rather than active error (§IV-B). *)
+
+type t = {
+  auto_privatize : bool;
+  auto_reduction : bool;
+  register_promote : bool;
+}
+
+val default : t
+
+(** Table II configuration: no automatic recovery of stripped clauses. *)
+val fault_injection : t

@@ -1,0 +1,239 @@
+(** Control-flow graph over translated programs, with per-node, per-device
+    access sets — the substrate of the paper's dataflow analyses.
+
+    Break/continue inside translated host loops are not given CFG edges (the
+    analyses treat loops structurally); this matches the structured benchmark
+    code OpenARC targets and errs conservatively elsewhere. *)
+
+open Minic
+open Analysis
+open Tprog
+
+type node_kind =
+  | Nentry
+  | Nexit
+  | Nstmt of tstmt  (** leaf translated statement *)
+  | Ncond of Ast.expr  (** if/while/for condition *)
+  | Nhost_frag of Ast.stmt  (** loop init/step fragment *)
+
+type t = {
+  graph : Graph.t;
+  mutable payload : node_kind array;
+  mutable owner : int array;
+      (** tid of the tstmt a node belongs to (the anchor for inserting
+          checks); -1 for entry/exit *)
+  entry : int;
+  exit_ : int;
+  of_tid : (int, int) Hashtbl.t;  (** tstmt tid -> node id *)
+  (* enclosing loop tstmt-tid chains, innermost first, per node *)
+  loops_of : (int, int list) Hashtbl.t;
+}
+
+let payload t n = t.payload.(n)
+
+let node t kind ~owner ~loops =
+  let id = Graph.add_node t.graph in
+  if id >= Array.length t.payload then begin
+    let p = Array.make (max 16 (2 * Array.length t.payload)) Nentry in
+    Array.blit t.payload 0 p 0 (Array.length t.payload);
+    t.payload <- p;
+    let o = Array.make (Array.length p) (-1) in
+    Array.blit t.owner 0 o 0 (Array.length t.owner);
+    t.owner <- o
+  end;
+  t.payload.(id) <- kind;
+  t.owner.(id) <- owner;
+  Hashtbl.replace t.loops_of id loops;
+  (match kind with
+  | Nstmt s -> Hashtbl.replace t.of_tid s.tid id
+  | Nentry | Nexit | Ncond _ | Nhost_frag _ -> ());
+  id
+
+let connect t preds n = List.iter (fun p -> Graph.add_edge t.graph p n) preds
+
+(* Returns the set of exit predecessors after the statement. [loops] is the
+   chain of enclosing loop header nodes. *)
+let rec build_stmt t ~loops preds s =
+  match s.tkind with
+  | Thost _ | Talloc _ | Tfree _ | Txfer _ | Tlaunch _ | Twait _ | Tcheck _ ->
+      let n = node t (Nstmt s) ~owner:s.tid ~loops in
+      connect t preds n;
+      [ n ]
+  | Tblock b -> build_seq t ~loops preds b
+  | Tif (c, b1, b2) ->
+      let nc = node t (Ncond c) ~owner:s.tid ~loops in
+      connect t preds nc;
+      let p1 = build_seq t ~loops [ nc ] b1 in
+      let p2 = build_seq t ~loops [ nc ] b2 in
+      let p2 = if b2 = [] then [ nc ] else p2 in
+      p1 @ p2
+  | Twhile (c, b) ->
+      let nc = node t (Ncond c) ~owner:s.tid ~loops in
+      connect t preds nc;
+      let body_exit = build_seq t ~loops:(s.tid :: loops) [ nc ] b in
+      connect t body_exit nc;
+      [ nc ]
+  | Tfor (init, cond, step, b) ->
+      let preds =
+        match init with
+        | None -> preds
+        | Some i ->
+            let ni = node t (Nhost_frag i) ~owner:s.tid ~loops in
+            connect t preds ni;
+            [ ni ]
+      in
+      let nc =
+        node t (Ncond (Option.value cond ~default:(Ast.Eint 1))) ~owner:s.tid
+          ~loops
+      in
+      connect t preds nc;
+      let inner_loops = s.tid :: loops in
+      let body_exit = build_seq t ~loops:inner_loops [ nc ] b in
+      let back =
+        match step with
+        | None -> body_exit
+        | Some st ->
+            let ns = node t (Nhost_frag st) ~owner:s.tid ~loops:inner_loops in
+            connect t body_exit ns;
+            [ ns ]
+      in
+      connect t back nc;
+      [ nc ]
+
+and build_seq t ~loops preds stmts =
+  List.fold_left (fun preds s -> build_stmt t ~loops preds s) preds stmts
+
+let build (tp : Tprog.t) =
+  let graph = Graph.create () in
+  let t =
+    { graph; payload = Array.make 16 Nentry; owner = Array.make 16 (-1);
+      entry = 0; exit_ = 0; of_tid = Hashtbl.create 64;
+      loops_of = Hashtbl.create 64 }
+  in
+  let entry = node t Nentry ~owner:(-1) ~loops:[] in
+  assert (entry = 0);
+  let body_exit = build_seq t ~loops:[] [ entry ] tp.body in
+  let exit_ = node t Nexit ~owner:(-1) ~loops:[] in
+  connect t body_exit exit_;
+  { t with entry; exit_ }
+
+(** {1 Per-node, per-device access sets} *)
+
+type sets = {
+  cpu_use : Varset.t array;
+  cpu_def : Varset.t array;
+  gpu_use : Varset.t array;
+  gpu_def : Varset.t array;
+  host_read : Varset.t array;
+      (** cpu_use by genuine host statements (transfers excluded) *)
+  host_write : Varset.t array;
+      (** cpu_def by genuine host statements (transfers excluded): the
+          events that make the GPU copy stale *)
+  kern_read : Varset.t array;
+      (** gpu_use by kernels (transfers excluded) *)
+  kern_write : Varset.t array;
+      (** gpu_def by kernels (transfers excluded): the events that make the
+          CPU copy stale *)
+  name_read : Varset.t array;
+      (** host-accessed array/pointer *names* (unresolved); runtime checks
+          placed on names resolve to the dynamic root, which is what lets the
+          tool stay precise where static alias analysis cannot *)
+  name_write : Varset.t array;
+  is_kernel : bool array;  (** node is a kernel launch *)
+}
+
+(* Arrays touched by a host expression / statement, resolved through
+   [alias]. With [through_aliases = false], accesses made via ambiguous
+   pointers are dropped — modelling the compiler that cannot see through
+   unresolved aliases (the source of Table III's incorrect suggestions). *)
+let stmt_accesses ~alias ~through_aliases s =
+  let acc = Regions.of_stmt ~alias s in
+  let strip set =
+    if through_aliases then set
+    else
+      (* Remove roots whose only access may come via an ambiguous pointer:
+         conservatively drop roots reachable from ambiguous pointers. *)
+      Varset.fold
+        (fun amb set ->
+          Varset.diff set (Alias.resolve alias amb))
+        acc.Regions.ambiguous set
+  in
+  (strip acc.Regions.arrays_read, strip acc.Regions.arrays_written,
+   acc.Regions.raw_read, acc.Regions.raw_written)
+
+let stmt_arrays ~alias ~through_aliases s =
+  let r, w, _, _ = stmt_accesses ~alias ~through_aliases s in
+  (r, w)
+
+let expr_arrays ~alias ~through_aliases e =
+  stmt_arrays ~alias ~through_aliases (Ast.mk_stmt (Ast.Sexpr e))
+
+(** Compute access sets for every CFG node.  [tracked] limits the domain. *)
+let access_sets (tp : Tprog.t) (cfg : t) ~through_aliases =
+  let n = Graph.size cfg.graph in
+  let s =
+    { cpu_use = Array.make n Varset.empty;
+      cpu_def = Array.make n Varset.empty;
+      gpu_use = Array.make n Varset.empty;
+      gpu_def = Array.make n Varset.empty;
+      host_read = Array.make n Varset.empty;
+      host_write = Array.make n Varset.empty;
+      kern_read = Array.make n Varset.empty;
+      kern_write = Array.make n Varset.empty;
+      name_read = Array.make n Varset.empty;
+      name_write = Array.make n Varset.empty;
+      is_kernel = Array.make n false }
+  in
+  let restrict set = Varset.inter set tp.tracked in
+  let alias = tp.alias in
+  (* A name is relevant when it may denote a tracked root. *)
+  let restrict_names set =
+    Varset.filter
+      (fun v ->
+        not (Varset.is_empty
+               (Varset.inter (Alias.resolve alias v) tp.tracked)))
+      set
+  in
+  let host i (r, w, rr, rw) =
+    s.cpu_use.(i) <- restrict r;
+    s.cpu_def.(i) <- restrict w;
+    s.host_read.(i) <- restrict r;
+    s.host_write.(i) <- restrict w;
+    s.name_read.(i) <- restrict_names rr;
+    s.name_write.(i) <- restrict_names rw
+  in
+  for i = 0 to n - 1 do
+    match cfg.payload.(i) with
+    | Nentry | Nexit -> ()
+    | Ncond e ->
+        host i
+          (stmt_accesses ~alias ~through_aliases
+             (Ast.mk_stmt (Ast.Sexpr e)))
+    | Nhost_frag st -> host i (stmt_accesses ~alias ~through_aliases st)
+    | Nstmt ts -> (
+        match ts.tkind with
+        | Thost st -> host i (stmt_accesses ~alias ~through_aliases st)
+        | Tlaunch (k, _) ->
+            let kern = tp.kernels.(k) in
+            s.gpu_use.(i) <- restrict kern.k_arrays_read;
+            s.gpu_def.(i) <- restrict kern.k_arrays_written;
+            s.kern_read.(i) <- s.gpu_use.(i);
+            s.kern_write.(i) <- s.gpu_def.(i);
+            s.is_kernel.(i) <- true
+        | Txfer x -> (
+            match x.x_dir with
+            | H2D ->
+                s.cpu_use.(i) <- restrict (Varset.singleton x.x_var);
+                s.gpu_def.(i) <- restrict (Varset.singleton x.x_var)
+            | D2H ->
+                s.gpu_use.(i) <- restrict (Varset.singleton x.x_var);
+                s.cpu_def.(i) <- restrict (Varset.singleton x.x_var))
+        | Talloc _ | Tfree _ | Twait _ | Tcheck _ | Tif _ | Twhile _
+        | Tfor _ | Tblock _ -> ())
+  done;
+  s
+
+(** Kernel-launch (Tlaunch) nodes. *)
+let kernel_nodes cfg sets =
+  List.filter (fun i -> sets.is_kernel.(i))
+    (Array.to_list (Graph.nodes cfg.graph))

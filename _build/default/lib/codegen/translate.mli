@@ -1,0 +1,15 @@
+(** OpenARC translation: lower an OpenACC-annotated Mini-C program to a
+    {!Tprog.t}.  Data semantics follow OpenACC V1.0; arrays accessed by a
+    compute region with no covering data clause fall back to the *default
+    scheme* — copy in before the launch, copy back after — the naive
+    baseline of the paper's Figure 1.  Directive-containing callees are
+    inlined first. *)
+
+(** Translate a validated, type-checked program (its [main]). *)
+val translate :
+  ?opts:Options.t -> Minic.Typecheck.env -> Minic.Ast.program -> Tprog.t
+
+(** Parse + validate + type check + translate a source string. *)
+val compile_string : ?opts:Options.t -> ?file:string -> string -> Tprog.t
+
+val compile_file : ?opts:Options.t -> string -> Tprog.t

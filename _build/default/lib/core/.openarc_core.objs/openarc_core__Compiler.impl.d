@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Acc Accrt Codegen Kernel_verify Minic Session

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Accrt Codegen Gpusim Kernel_verify Minic Session Vconfig

@@ -1,0 +1,1 @@
+lib/core/demotion.ml: Acc Analysis Codegen List Minic

@@ -1,0 +1,1 @@
+lib/core/demotion.mli: Codegen Minic

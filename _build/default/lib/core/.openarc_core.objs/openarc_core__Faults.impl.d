@@ -1,0 +1,1 @@
+lib/core/faults.ml: Array Codegen Kernel_verify List Minic

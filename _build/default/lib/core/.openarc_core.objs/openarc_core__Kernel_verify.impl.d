@@ -1,0 +1,1 @@
+lib/core/kernel_verify.ml: Acc Accrt Analysis Array Codegen Float Fmt Gpusim Hashtbl List Minic Option Vconfig

@@ -1,0 +1,1 @@
+lib/core/kernel_verify.mli: Codegen Format Gpusim Minic Vconfig

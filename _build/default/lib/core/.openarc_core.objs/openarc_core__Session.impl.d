@@ -1,0 +1,1 @@
+lib/core/session.ml: Acc Accrt Codegen Float Fmt Gpusim Hashtbl List Minic Printexc Suggest

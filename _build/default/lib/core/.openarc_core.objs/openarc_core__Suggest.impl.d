@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Accrt Codegen Fmt Hashtbl List Minic Option String

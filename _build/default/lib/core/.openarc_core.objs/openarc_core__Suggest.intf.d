@@ -1,0 +1,1 @@
+lib/core/suggest.mli: Accrt Codegen Format Minic

@@ -1,0 +1,1 @@
+lib/core/vconfig.ml: Gpusim List String Sys

@@ -1,0 +1,1 @@
+lib/core/vconfig.mli: Gpusim

@@ -1,0 +1,49 @@
+(** Facade over the whole OpenARC pipeline: parse → validate → type check →
+    translate → (optionally instrument) → run.  This is the public
+    entry point the examples and the CLI use. *)
+
+type compiled = {
+  program : Minic.Ast.program;
+  env : Minic.Typecheck.env;
+  tprog : Codegen.Tprog.t;  (** uninstrumented translation *)
+}
+
+(** Compile a source string end to end. *)
+let compile ?(opts = Codegen.Options.default) ?file src =
+  let program = Minic.Parser.parse_string ?file src in
+  Acc.Validate.check_program program;
+  let env = Minic.Typecheck.check program in
+  let tprog = Codegen.Translate.translate ~opts env program in
+  { program; env; tprog }
+
+let compile_file ?opts path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  compile ?opts ~file:path src
+
+let compile_program ?(opts = Codegen.Options.default) program =
+  Acc.Validate.check_program program;
+  let env = Minic.Typecheck.check program in
+  let tprog = Codegen.Translate.translate ~opts env program in
+  { program; env; tprog }
+
+(** Execute the translated program on the simulated device. *)
+let run ?seed ?cm c = Accrt.Interp.run ~coherence:false ?seed ?cm c.tprog
+
+(** Execute with coherence instrumentation and collect transfer reports. *)
+let run_instrumented ?mode ?seed ?cm c =
+  let tp = Codegen.Checkgen.instrument ?mode c.tprog in
+  Accrt.Interp.run ~coherence:true ?seed ?cm tp
+
+(** Sequential reference execution of the unmodified source. *)
+let run_reference c = Accrt.Eval.run_reference c.program
+
+(** Kernel verification (§III-A) of the compiled program. *)
+let verify ?opts ?config c =
+  Kernel_verify.verify ?opts ?config ~env:(Some c.env) c.program
+
+(** Interactive memory-transfer optimization (§III-B / Figure 2). *)
+let optimize ?policy ?max_iterations ~outputs c =
+  Session.optimize ?policy ?max_iterations ~outputs c.program

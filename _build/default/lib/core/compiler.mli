@@ -1,0 +1,38 @@
+(** Facade over the whole OpenARC pipeline: parse, validate, type check,
+    translate, (optionally instrument), run, verify, optimize.  This is the
+    entry point the examples and the CLI use. *)
+
+type compiled = {
+  program : Minic.Ast.program;
+  env : Minic.Typecheck.env;
+  tprog : Codegen.Tprog.t;  (** uninstrumented translation *)
+}
+
+(** Compile a source string end to end.
+    @raise Minic.Loc.Error on lexical/syntax/type errors
+    @raise Acc.Validate.Invalid on OpenACC misuse *)
+val compile : ?opts:Codegen.Options.t -> ?file:string -> string -> compiled
+
+val compile_file : ?opts:Codegen.Options.t -> string -> compiled
+val compile_program : ?opts:Codegen.Options.t -> Minic.Ast.program -> compiled
+
+(** Execute the translated program on the simulated device. *)
+val run :
+  ?seed:int -> ?cm:Gpusim.Costmodel.t -> compiled -> Accrt.Interp.outcome
+
+(** Execute with coherence instrumentation and collect transfer reports. *)
+val run_instrumented :
+  ?mode:Codegen.Checkgen.mode -> ?seed:int -> ?cm:Gpusim.Costmodel.t ->
+  compiled -> Accrt.Interp.outcome
+
+(** Sequential reference execution of the unmodified source. *)
+val run_reference : compiled -> Accrt.Eval.ctx
+
+(** Kernel verification (§III-A). *)
+val verify :
+  ?opts:Codegen.Options.t -> ?config:Vconfig.t -> compiled -> Kernel_verify.t
+
+(** Interactive memory-transfer optimization (§III-B / Figure 2). *)
+val optimize :
+  ?policy:Session.policy -> ?max_iterations:int -> outputs:string list ->
+  compiled -> Session.result

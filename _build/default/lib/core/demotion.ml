@@ -1,0 +1,74 @@
+(** Memory-transfer demotion (§III-A), as a source-to-source pass.
+
+    Produces the Listing-2 form of the input program for a chosen target
+    kernel: data clauses of enclosing [data] regions are demoted onto the
+    target compute region (read-only data in [copyin], written data in
+    [copy]), the region goes asynchronous with a [wait] inserted before the
+    point where result comparison happens, and every directive unrelated to
+    the target is stripped so all other regions execute sequentially on the
+    CPU.
+
+    The execution engine of {!Kernel_verify} implements the same semantics
+    directly; this pass exists so that a user (and the CLI's
+    [--show-transformed]) can inspect the transformed program, as OpenARC
+    displays it. *)
+
+open Minic.Ast
+open Codegen.Tprog
+
+let queue = 1
+
+(** [apply tp kernel_name] returns the demoted source program for the kernel
+    named [kernel_name] of translated program [tp]. *)
+let apply (tp : Codegen.Tprog.t) kernel_name =
+  let k =
+    match Codegen.Tprog.find_kernel tp kernel_name with
+    | Some k -> k
+    | None -> invalid_arg ("Demotion.apply: unknown kernel " ^ kernel_name)
+  in
+  let read_only =
+    Analysis.Varset.diff k.k_arrays_read k.k_arrays_written
+  in
+  let demoted_clauses =
+    let copyin =
+      List.map Acc.Edit.sub (Analysis.Varset.elements read_only)
+    in
+    let copy =
+      List.map Acc.Edit.sub (Analysis.Varset.elements k.k_arrays_written)
+    in
+    (if copy = [] then [] else [ Cdata (Dk_copy, copy) ])
+    @ (if copyin = [] then [] else [ Cdata (Dk_copyin, copyin) ])
+    @ [ Casync (Some (Eint queue)) ]
+  in
+  let strip_data_clauses clauses =
+    List.filter (function Cdata _ -> false | _ -> true) clauses
+  in
+  Acc.Edit.expand_program
+    (fun s ->
+      match s.skind with
+      | Sacc (d, body) when s.sid = k.k_sid && Acc.Query.is_compute d.dir ->
+          (* The target region: demote clauses, go async, wait + compare. *)
+          let d' =
+            { d with clauses = strip_data_clauses d.clauses @ demoted_clauses }
+          in
+          let wait =
+            mk_stmt ~loc:d.dloc
+              (Sacc ({ dir = Acc_wait (Some (Eint queue)); clauses = [];
+                       dloc = d.dloc }, None))
+          in
+          [ { s with skind = Sacc (d', body) }; wait ]
+      | Sacc (d, body) when Acc.Query.is_compute d.dir ->
+          (* Unrelated compute region: strip, run sequentially on the CPU. *)
+          (match body with Some b -> [ b ] | None -> [])
+      | Sacc ({ dir = Acc_data | Acc_host_data; _ }, body) ->
+          (* Enclosing data regions disappear (their clauses were demoted). *)
+          (match body with Some b -> [ b ] | None -> [])
+      | Sacc ({ dir = Acc_update | Acc_wait _ | Acc_declare | Acc_cache _;
+                _ }, _) when s.sid <> k.k_sid ->
+          []
+      | _ -> [ s ])
+    tp.source
+
+(** Render the demoted program, as the CLI shows it to the user. *)
+let to_string tp kernel_name =
+  Minic.Pretty.program_to_string (apply tp kernel_name)

@@ -1,0 +1,11 @@
+(** Memory-transfer demotion (§III-A) as a source-to-source pass: produces
+    the paper's Listing-2 form of a program for a chosen target kernel —
+    data clauses demoted onto the target region (read-only data in
+    [copyin], written data in [copy]), the region made asynchronous with a
+    [wait] before the comparison point, every unrelated directive stripped
+    so other regions run sequentially. *)
+
+(** @raise Invalid_argument on an unknown kernel name. *)
+val apply : Codegen.Tprog.t -> string -> Minic.Ast.program
+
+val to_string : Codegen.Tprog.t -> string -> string

@@ -1,0 +1,21 @@
+(** Fault injection for the Table II experiment: strip private/reduction
+    clauses, disable automatic recognition, verify, and classify the
+    injected races. *)
+
+val strip_parallelism_clauses : Minic.Ast.program -> Minic.Ast.program
+
+type census = {
+  kernels : int;
+  with_private : int;  (** Table II: kernels containing private data *)
+  with_reduction : int;
+  active_errors : int;  (** kernels whose race corrupts outputs *)
+  latent_errors : int;  (** raced kernels whose outputs stay correct *)
+  active_detected : int;
+  latent_detected : int;  (** expected: 0 *)
+}
+
+val empty : census
+val add : census -> census -> census
+
+(** Run the Table II experiment on one program. *)
+val census_of_program : ?config:Vconfig.t -> Minic.Ast.program -> census

@@ -1,0 +1,41 @@
+(** GPU-kernel verification (§III-A).
+
+    Every selected kernel is verified at each dynamic occurrence: it runs on
+    the simulated GPU against inputs produced by the sequential reference
+    (memory-transfer demotion), its outputs land in temporaries, the
+    original sequential code runs, and the results are compared under the
+    configured error margin.  Sequential results always win, so errors never
+    propagate between kernels. *)
+
+type mismatch = {
+  m_what : string;  (** array or scalar name *)
+  m_count : int;  (** elements beyond the margin (1 for scalars) *)
+  m_max_diff : float;
+  m_first_indices : int list;
+}
+
+type kernel_report = {
+  kr_kernel : Codegen.Tprog.kernel;
+  kr_occurrences : int;  (** dynamic launches verified *)
+  kr_mismatches : mismatch list;
+  kr_assertion_failures : string list;
+}
+
+type t = {
+  reports : kernel_report list;
+  metrics : Gpusim.Metrics.t;  (** Figure 3's cost breakdown *)
+  sequential_ops : int;  (** pure-reference op count, for normalization *)
+}
+
+val kernel_ok : kernel_report -> bool
+val detected_errors : t -> kernel_report list
+
+(** Verify [prog]; [opts] controls translation (use
+    {!Codegen.Options.fault_injection} for the Table II experiment);
+    [env] may pass a pre-computed type environment. *)
+val verify :
+  ?opts:Codegen.Options.t -> ?config:Vconfig.t ->
+  ?env:Minic.Typecheck.env option -> ?cm:Gpusim.Costmodel.t ->
+  Minic.Ast.program -> t
+
+val pp_report : Format.formatter -> kernel_report -> unit

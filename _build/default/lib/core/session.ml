@@ -1,0 +1,304 @@
+(** The interactive memory-transfer optimization loop of Figure 2.
+
+    A *scripted programmer* stands in for the human user: at each iteration
+    the program is compiled with coherence instrumentation, profiled, the
+    tool's suggestions are applied as directive edits, and the loop repeats
+    until a profiled run is clean.  As in the paper (§IV-C), suggestions
+    based on may-dead facts can be wrong when the compiler could not resolve
+    pointer aliasing; the next iteration's verification detects the damage
+    (missing/incorrect-transfer errors, or an output mismatch against the
+    sequential reference), the edit is reverted and that site is left alone —
+    an "incorrect iteration" in Table III's terms. *)
+
+open Minic.Ast
+
+type policy =
+  | Follow_all  (** apply certain and may-based suggestions (paper's user) *)
+  | Conservative  (** apply only certain suggestions *)
+
+type result = {
+  final : program;  (** program after optimization *)
+  iterations : int;  (** total verification iterations (Table III) *)
+  incorrect_iterations : int;  (** iterations spoiled by wrong suggestions *)
+  converged : bool;
+  log : string list;  (** per-iteration summaries *)
+}
+
+(* Compare designated outputs of a candidate run against the sequential
+   reference; small relative tolerance absorbs the GPU's tree-order
+   reductions. *)
+let outputs_match ~outputs ~reference (o : Accrt.Interp.outcome) =
+  let margin = 1e-6 in
+  List.for_all
+    (fun name ->
+      match
+        (Accrt.Value.lookup reference name,
+         Accrt.Value.lookup o.Accrt.Interp.ctx.Accrt.Eval.env name)
+      with
+      | Some (Accrt.Value.Array { buf = Some b1; _ }),
+        Some (Accrt.Value.Array { buf = Some b2; _ }) ->
+          let _, bad = Gpusim.Buf.compare ~margin ~reference:b1 b2 in
+          bad = 0
+      | Some (Accrt.Value.Scalar c1), Some (Accrt.Value.Scalar c2) ->
+          let x = Accrt.Value.to_float c1.Accrt.Value.v in
+          let y = Accrt.Value.to_float c2.Accrt.Value.v in
+          Float.abs (x -. y) <= margin *. Float.max 1.0 (Float.abs x)
+      | _ -> false)
+    outputs
+
+(* Source span (first/last sid) covering all compute regions: the statements
+   a new data region must enclose. *)
+let compute_span prog =
+  let sids =
+    List.filter_map
+      (fun (sid, _, d) -> if Acc.Query.is_compute d.dir then Some sid else None)
+      (Acc.Query.directives_of prog)
+  in
+  match sids with
+  | [] -> None
+  | s :: rest -> Some (List.fold_left min s rest, List.fold_left max s rest)
+
+let rec apply_action prog (a : Suggest.action) =
+  match a with
+  | Suggest.Remove_update_var { sid; var; host } ->
+      let prog =
+        Acc.Edit.map_directive prog ~sid ~f:(fun d ->
+            { d with clauses = Acc.Edit.remove_update_var d.clauses ~host var })
+      in
+      (* Drop the directive entirely if it has no clauses left. *)
+      let empty = ref false in
+      List.iter
+        (fun (s, _, d) ->
+          if s = sid && d.dir = Acc_update && d.clauses = [] then empty := true)
+        (Acc.Query.directives_of prog);
+      if !empty then Acc.Edit.remove_stmt prog ~sid else prog
+  | Suggest.Defer_update { sid; var; host } ->
+      let loop = Acc.Edit.enclosing_loop prog ~sid in
+      let prog' =
+        apply_action prog (Suggest.Remove_update_var { sid; var; host })
+      in
+      (match loop with
+      | Some l ->
+          let upd = Acc.Edit.mk_update ~host [ var ] in
+          if host then Acc.Edit.insert_after prog' ~sid:l.sid [ upd ]
+          else Acc.Edit.insert_before prog' ~sid:l.sid [ upd ]
+      | None -> prog')
+  | Suggest.Weaken_clause { sid; var; side } ->
+      Acc.Edit.weaken_clause prog ~sid ~var ~side
+  | Suggest.Add_data_region { vars } ->
+      if Acc.Edit.has_data_region prog then prog
+      else (
+        match compute_span prog with
+        | None -> prog
+        | Some (first_sid, last_sid) ->
+            Acc.Edit.wrap_span prog ~first_sid ~last_sid
+              ~directive:
+                (Acc.Edit.mk_data_directive
+                   (List.map (fun (v, k, _) -> (v, k)) vars)))
+  | Suggest.Add_update { before_sid; var; host } -> (
+      if before_sid < 0 then prog
+      else
+        (* If the stale access lies outside every data region that manages
+           [var], an update there would reference freed device memory; the
+           right edit is to strengthen the region's clause instead. *)
+        match Acc.Edit.regions_with_var prog ~var with
+        | [] ->
+            Acc.Edit.insert_before prog ~sid:before_sid
+              [ Acc.Edit.mk_update ~host [ var ] ]
+        | regions ->
+            if List.exists (fun (_, _, sids) -> List.mem before_sid sids)
+                 regions
+            then
+              Acc.Edit.insert_before prog ~sid:before_sid
+                [ Acc.Edit.mk_update ~host [ var ] ]
+            else
+              let sid, _, _ = List.hd regions in
+              Acc.Edit.strengthen_clause prog ~sid ~var
+                ~side:(if host then `Out else `In))
+  | Suggest.Report_incorrect _ -> prog
+
+(** Run the interactive optimization loop on [prog].
+
+    [outputs] are the names checked against the sequential reference after
+    each round of edits (the kernel-verification safety net of §IV-C).
+
+    Wrong suggestions are detected one iteration late, exactly as in the
+    paper: a may-dead-based removal of a transfer the program actually
+    needed surfaces as a missing/incorrect-transfer error (and an output
+    mismatch) in the next profiled run; the scripted programmer re-inserts
+    the transfer, freezes further removal suggestions for that variable, and
+    the detour is recorded as an incorrect iteration. *)
+let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
+  (* Work on the inlined program so report sites and directive edits refer
+     to the same statements. *)
+  let prog =
+    if Codegen.Inline.needs_expansion prog then Codegen.Inline.expand prog
+    else prog
+  in
+  Acc.Validate.check_program prog;
+  ignore (Minic.Typecheck.check prog);
+  let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
+  (* vars whose (uncertain) transfer removal was applied, per direction *)
+  let removed : (string * bool, unit) Hashtbl.t = Hashtbl.create 8 in
+  let frozen_vars : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let log = ref [] in
+  let say fmt = Fmt.kstr (fun m -> log := m :: !log) fmt in
+
+  let removal_of (s : Suggest.suggestion) =
+    match s.Suggest.s_action with
+    | Suggest.Remove_update_var { var; host; _ }
+    | Suggest.Defer_update { var; host; _ } -> Some (var, host)
+    | Suggest.Weaken_clause { var; side; _ } -> Some (var, side = `Out)
+    | Suggest.Add_data_region _ | Suggest.Add_update _
+    | Suggest.Report_incorrect _ -> None
+  in
+  (* Region clauses backed only by may-dead evidence suppress transfers
+     too: record them so a later missing-transfer error is attributed. *)
+  let region_removals (s : Suggest.suggestion) =
+    match s.Suggest.s_action with
+    | Suggest.Add_data_region { vars } ->
+        List.concat_map
+          (fun (v, kind, certain) ->
+            if certain then []
+            else
+              (match kind with
+              | Minic.Ast.Dk_create -> [ (v, true); (v, false) ]
+              | Minic.Ast.Dk_copyin -> [ (v, true) ]
+              | Minic.Ast.Dk_copyout -> [ (v, false) ]
+              | _ -> []))
+          vars
+    | _ -> []
+  in
+
+  let rec loop prog history iterations incorrect =
+    if iterations >= max_iterations then
+      { final = prog; iterations; incorrect_iterations = incorrect;
+        converged = false; log = List.rev !log }
+    else begin
+      let iterations = iterations + 1 in
+      let outcome_or_err =
+        try
+          let env = Minic.Typecheck.check prog in
+          let tp = Codegen.Translate.translate env prog in
+          let tp = Codegen.Checkgen.instrument tp in
+          Ok (Accrt.Interp.run ~coherence:true tp)
+        with e -> Error (Printexc.to_string e)
+      in
+      match outcome_or_err with
+      | Error msg -> (
+          say "iteration %d: program failed to run (%s)" iterations msg;
+          match history with
+          | (prev, applied) :: rest ->
+              say "iteration %d: reverting previous edits" iterations;
+              List.iter
+                (fun sg ->
+                  match removal_of sg with
+                  | Some (v, _) when not sg.Suggest.s_certain ->
+                      Hashtbl.replace frozen_vars v ()
+                  | _ -> ())
+                applied;
+              loop prev rest iterations (incorrect + 1)
+          | [] ->
+              { final = prog; iterations; incorrect_iterations = incorrect;
+                converged = false; log = List.rev !log })
+      | Ok outcome ->
+          let correct = outputs_match ~outputs ~reference outcome in
+          let suggestions =
+            Suggest.actionable (Suggest.analyze outcome)
+            |> List.filter (fun (sg : Suggest.suggestion) ->
+                   (match policy with
+                   | Follow_all -> true
+                   | Conservative -> sg.Suggest.s_certain)
+                   &&
+                   match removal_of sg with
+                   | Some (v, _) ->
+                       sg.Suggest.s_certain
+                       || not (Hashtbl.mem frozen_vars v)
+                   | None -> true)
+          in
+          (* An Add_update for a variable whose transfer we removed earlier
+             means that removal was a wrong suggestion. *)
+          let readds =
+            List.filter
+              (fun (sg : Suggest.suggestion) ->
+                match sg.Suggest.s_action with
+                | Suggest.Add_update { var; host; _ } ->
+                    Hashtbl.mem removed (var, host)
+                    || Hashtbl.mem removed (var, not host)
+                | _ -> false)
+              suggestions
+          in
+          let incorrect =
+            List.fold_left
+              (fun acc (sg : Suggest.suggestion) ->
+                let v = sg.Suggest.s_var in
+                if Hashtbl.mem frozen_vars v then acc
+                else begin
+                  Hashtbl.replace frozen_vars v ();
+                  say
+                    "iteration %d: earlier removal of %s's transfer was a \
+                     wrong suggestion (verification reported errors); \
+                     restoring it"
+                    iterations v;
+                  acc + 1
+                end)
+              incorrect readds
+          in
+          if suggestions = [] then begin
+            if not correct then begin
+              (* Broken with nothing left to apply: fall back to revert. *)
+              match history with
+              | (prev, _) :: rest ->
+                  say
+                    "iteration %d: outputs diverge from the reference; \
+                     reverting previous edits"
+                    iterations;
+                  loop prev rest iterations (incorrect + 1)
+              | [] ->
+                  { final = prog; iterations;
+                    incorrect_iterations = incorrect; converged = false;
+                    log = List.rev !log }
+            end
+            else begin
+              say "iteration %d: no further suggestions — converged"
+                iterations;
+              { final = prog; iterations; incorrect_iterations = incorrect;
+                converged = true; log = List.rev !log }
+            end
+          end
+          else begin
+            List.iter
+              (fun sg -> say "iteration %d: %a" iterations Suggest.pp sg)
+              suggestions;
+            List.iter
+              (fun sg ->
+                (match removal_of sg with
+                | Some key when not sg.Suggest.s_certain ->
+                    Hashtbl.replace removed key ()
+                | _ -> ());
+                List.iter
+                  (fun key -> Hashtbl.replace removed key ())
+                  (region_removals sg))
+              suggestions;
+            let prog' =
+              List.fold_left
+                (fun p (sg : Suggest.suggestion) ->
+                  apply_action p sg.Suggest.s_action)
+                prog suggestions
+            in
+            loop prog' ((prog, suggestions) :: history) iterations incorrect
+          end
+    end
+  in
+  loop prog [] 0 0
+
+(** Dynamic transfer statistics of a program: (transfer count, bytes moved).
+    Used to quantify leftover (uncaught) redundancy against the manually
+    optimized version. *)
+let transfer_stats prog =
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  let o = Accrt.Interp.run ~coherence:false tp in
+  let m = Accrt.Interp.metrics o in
+  (m.Gpusim.Metrics.transfers_h2d + m.Gpusim.Metrics.transfers_d2h,
+   Gpusim.Metrics.total_bytes m)

@@ -1,0 +1,35 @@
+(** The interactive memory-transfer optimization loop of Figure 2, driven
+    by a scripted programmer: profile with coherence instrumentation, apply
+    the tool's suggestions as directive edits, repeat until a profiled run
+    is clean.  Wrong (may-dead-based) suggestions are detected one iteration
+    later, repaired, and counted — Table III's "incorrect iterations". *)
+
+type policy =
+  | Follow_all  (** apply certain and may-based suggestions (paper's user) *)
+  | Conservative  (** apply only certain suggestions *)
+
+type result = {
+  final : Minic.Ast.program;  (** program after optimization *)
+  iterations : int;  (** total verification iterations (Table III) *)
+  incorrect_iterations : int;
+  converged : bool;
+  log : string list;  (** per-iteration summaries *)
+}
+
+(** Do a candidate run's designated outputs match the sequential reference
+    (within a small tolerance absorbing tree-order reductions)? *)
+val outputs_match :
+  outputs:string list -> reference:Accrt.Value.t -> Accrt.Interp.outcome ->
+  bool
+
+(** Apply one suggestion as a source edit. *)
+val apply_action : Minic.Ast.program -> Suggest.action -> Minic.Ast.program
+
+(** Run the loop on [prog]; [outputs] are the names checked against the
+    sequential reference after each edit round (the §IV-C safety net). *)
+val optimize :
+  ?policy:policy -> ?max_iterations:int -> outputs:string list ->
+  Minic.Ast.program -> result
+
+(** Dynamic transfer statistics of a program: (transfer count, bytes). *)
+val transfer_stats : Minic.Ast.program -> int * int

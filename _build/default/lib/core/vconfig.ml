@@ -1,0 +1,94 @@
+(** Kernel-verification configuration (§III-A, §III-C).
+
+    Mirrors OpenARC's [verificationOptions]: the user selects which kernels
+    to verify (optionally complementing the selection), bounds the accepted
+    floating-point error, skips comparisons of tiny values
+    ([minValueToCheck]), and can register application-knowledge hooks —
+    per-variable value bounds that suppress false positives, and debug
+    assertions run after each kernel (checksums etc.). *)
+
+type assertion = {
+  a_name : string;
+  a_check : Gpusim.Buf.t -> bool;  (** applied to a GPU-produced array *)
+  a_var : string;
+}
+
+type bound = {
+  b_var : string;
+  b_min : float;
+  b_max : float;  (** differences within [b_min, b_max] are acceptable *)
+}
+
+type t = {
+  kernels : string list;  (** empty = all kernels *)
+  complement : bool;
+      (** when true, verify every kernel {e except} those listed — the
+          paper's [complement=0/1] option *)
+  error_margin : float;  (** relative error tolerance of result comparison *)
+  min_value : float;  (** paper's [minValueToCheck] *)
+  bounds : bound list;  (** §III-C application-knowledge value bounds *)
+  assertions : assertion list;  (** §III-C debug-assertion API *)
+}
+
+let default =
+  { kernels = []; complement = false; error_margin = 1e-9; min_value = 0.0;
+    bounds = []; assertions = [] }
+
+(** Does the configuration select kernel [name]? *)
+let selects t name =
+  match (t.kernels, t.complement) with
+  | [], false -> true
+  | [], true -> true
+  | ks, false -> List.mem name ks
+  | ks, true -> not (List.mem name ks)
+
+let bound_for t var = List.find_opt (fun b -> b.b_var = var) t.bounds
+
+(** Parse a "verificationOptions=complement=0,kernels=main_kernel0"
+    style string, as the paper's examples show. *)
+let of_string s =
+  let t = ref default in
+  let s =
+    match String.index_opt s '=' with
+    | Some i when String.sub s 0 i = "verificationOptions" ->
+        String.sub s (i + 1) (String.length s - i - 1)
+    | _ -> s
+  in
+  (* Split on commas, but "kernels=" consumes the rest (kernel names are
+     themselves comma-separated). *)
+  let rec consume parts =
+    match parts with
+    | [] -> ()
+    | p :: rest -> (
+        match String.index_opt p '=' with
+        | None -> consume rest
+        | Some i ->
+            let key = String.sub p 0 i in
+            let value = String.sub p (i + 1) (String.length p - i - 1) in
+            (match key with
+            | "complement" -> t := { !t with complement = value <> "0" }
+            | "kernels" ->
+                t := { !t with kernels = (!t).kernels @ [ value ] };
+                (* remaining bare parts are more kernel names *)
+                List.iter
+                  (fun k ->
+                    if not (String.contains k '=') then
+                      t := { !t with kernels = (!t).kernels @ [ k ] })
+                  rest
+            | "errorMargin" ->
+                t := { !t with error_margin = float_of_string value }
+            | "minValueToCheck" ->
+                t := { !t with min_value = float_of_string value }
+            | _ -> ());
+            consume rest)
+  in
+  consume (String.split_on_char ',' s);
+  !t
+
+(** Read the configuration from the [OPENARC_VERIFICATION] environment
+    variable, the paper's "or using environment variables" interface.
+    Returns {!default} when unset. *)
+let from_env ?(var = "OPENARC_VERIFICATION") () =
+  match Sys.getenv_opt var with
+  | None | Some "" -> default
+  | Some s -> of_string s

@@ -1,0 +1,40 @@
+(** Kernel-verification configuration (§III-A, §III-C): OpenARC's
+    [verificationOptions] — kernel selection (with complement), error
+    margin, [minValueToCheck] — plus the application-knowledge hooks of
+    §III-C (per-variable value bounds and debug assertions). *)
+
+type assertion = {
+  a_name : string;
+  a_check : Gpusim.Buf.t -> bool;  (** applied to a GPU-produced array *)
+  a_var : string;
+}
+
+type bound = {
+  b_var : string;
+  b_min : float;
+  b_max : float;  (** differences within the bound are acceptable *)
+}
+
+type t = {
+  kernels : string list;  (** empty = all kernels *)
+  complement : bool;  (** verify every kernel {e except} those listed *)
+  error_margin : float;  (** relative error tolerance *)
+  min_value : float;  (** paper's [minValueToCheck] *)
+  bounds : bound list;
+  assertions : assertion list;
+}
+
+val default : t
+
+(** Does the configuration select kernel [name]? *)
+val selects : t -> string -> bool
+
+val bound_for : t -> string -> bound option
+
+(** Parse "verificationOptions=complement=0,kernels=main_kernel0" style
+    strings (also accepts the spec without the prefix). *)
+val of_string : string -> t
+
+(** Read the configuration from the [OPENARC_VERIFICATION] environment
+    variable; {!default} when unset. *)
+val from_env : ?var:string -> unit -> t

@@ -1,0 +1,1 @@
+lib/gpusim/buf.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/gpusim/device.ml: Array Buf Costmodel Float Fmt Hashtbl List Metrics Option Timeline

@@ -1,0 +1,1 @@
+lib/gpusim/timeline.ml: Buffer Fmt Hashtbl List Option String

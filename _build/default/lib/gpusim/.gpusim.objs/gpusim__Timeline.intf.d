@@ -1,0 +1,1 @@
+lib/gpusim/timeline.mli: Format

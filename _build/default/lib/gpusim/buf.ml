@@ -1,0 +1,93 @@
+(** Typed flat buffers shared by the host and the simulated device.
+
+    A Mini-C array variable maps to one buffer; coherence is tracked at this
+    whole-buffer granularity, as in the paper (§III-B: "entire array or memory
+    region allocated by a malloc call"). *)
+
+type t = Fbuf of float array | Ibuf of int array
+
+let length = function Fbuf a -> Array.length a | Ibuf a -> Array.length a
+
+(** Size in simulated bytes (double = 8, int = 4, as on the paper's testbed). *)
+let bytes = function
+  | Fbuf a -> 8 * Array.length a
+  | Ibuf a -> 4 * Array.length a
+
+let create_float n = Fbuf (Array.make n 0.0)
+let create_int n = Ibuf (Array.make n 0)
+
+let copy = function Fbuf a -> Fbuf (Array.copy a) | Ibuf a -> Ibuf (Array.copy a)
+
+(** Copy all of [src] into [dst]; both must have the same shape. *)
+let blit ~src ~dst =
+  match (src, dst) with
+  | Fbuf s, Fbuf d when Array.length s = Array.length d ->
+      Array.blit s 0 d 0 (Array.length s)
+  | Ibuf s, Ibuf d when Array.length s = Array.length d ->
+      Array.blit s 0 d 0 (Array.length s)
+  | _ -> invalid_arg "Buf.blit: shape mismatch"
+
+(** Copy the element range [lo, lo+len) of [src] into the same range of
+    [dst]. Used for subarray transfers like [update host(a\[0:n\])]. *)
+let blit_range ~src ~dst ~lo ~len =
+  match (src, dst) with
+  | Fbuf s, Fbuf d -> Array.blit s lo d lo len
+  | Ibuf s, Ibuf d -> Array.blit s lo d lo len
+  | _ -> invalid_arg "Buf.blit_range: shape mismatch"
+
+let get_float b i =
+  match b with Fbuf a -> a.(i) | Ibuf a -> float_of_int a.(i)
+
+let get_int b i =
+  match b with Ibuf a -> a.(i) | Fbuf a -> int_of_float a.(i)
+
+let set_float b i v =
+  match b with Fbuf a -> a.(i) <- v | Ibuf a -> a.(i) <- int_of_float v
+
+let set_int b i v =
+  match b with Ibuf a -> a.(i) <- v | Fbuf a -> a.(i) <- float_of_int v
+
+let fill_float b v =
+  match b with
+  | Fbuf a -> Array.fill a 0 (Array.length a) v
+  | Ibuf a -> Array.fill a 0 (Array.length a) (int_of_float v)
+
+(** Maximum absolute elementwise difference; buffers must share shape. *)
+let max_abs_diff b1 b2 =
+  match (b1, b2) with
+  | Fbuf a, Fbuf b when Array.length a = Array.length b ->
+      let m = ref 0.0 in
+      Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+      !m
+  | Ibuf a, Ibuf b when Array.length a = Array.length b ->
+      let m = ref 0 in
+      Array.iteri (fun i x -> m := max !m (abs (x - b.(i)))) a;
+      float_of_int !m
+  | _ -> invalid_arg "Buf.max_abs_diff: shape mismatch"
+
+(** Elementwise comparison under a relative-or-absolute error margin,
+    optionally skipping reference elements below [min_value] (the paper's
+    [minValueToCheck] configuration).  Returns the indices (up to [limit]) and
+    count of elements whose difference exceeds the margin. *)
+let compare ?(min_value = 0.0) ?(limit = 5) ~margin ~reference other =
+  let bad = ref [] and nbad = ref 0 in
+  let n = length reference in
+  if length other <> n then invalid_arg "Buf.compare: shape mismatch";
+  for i = 0 to n - 1 do
+    let r = get_float reference i and o = get_float other i in
+    if Float.abs r >= min_value then begin
+      let diff = Float.abs (r -. o) in
+      let tol = margin *. Float.max 1.0 (Float.abs r) in
+      if diff > tol then begin
+        incr nbad;
+        if List.length !bad < limit then bad := i :: !bad
+      end
+    end
+  done;
+  (List.rev !bad, !nbad)
+
+let equal b1 b2 =
+  match (b1, b2) with
+  | Fbuf a, Fbuf b -> a = b
+  | Ibuf a, Ibuf b -> a = b
+  | (Fbuf _ | Ibuf _), _ -> false

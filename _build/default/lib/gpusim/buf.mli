@@ -1,0 +1,42 @@
+(** Typed flat buffers shared by the host and the simulated device.
+
+    A Mini-C array variable maps to one buffer; coherence is tracked at this
+    whole-buffer granularity by default, as in the paper (§III-B). *)
+
+type t = Fbuf of float array | Ibuf of int array
+
+val length : t -> int
+
+(** Size in simulated bytes (double = 8, int = 4). *)
+val bytes : t -> int
+
+val create_float : int -> t
+val create_int : int -> t
+val copy : t -> t
+
+(** Copy all of [src] into [dst]; both must have the same shape.
+    @raise Invalid_argument on shape mismatch. *)
+val blit : src:t -> dst:t -> unit
+
+(** Copy the element range [lo, lo+len) of [src] into the same range of
+    [dst] (subarray transfers like [update host(a[0:n])]). *)
+val blit_range : src:t -> dst:t -> lo:int -> len:int -> unit
+
+val get_float : t -> int -> float
+val get_int : t -> int -> int
+val set_float : t -> int -> float -> unit
+val set_int : t -> int -> int -> unit
+val fill_float : t -> float -> unit
+
+(** Maximum absolute elementwise difference; buffers must share shape. *)
+val max_abs_diff : t -> t -> float
+
+(** Elementwise comparison under a relative-or-absolute error margin,
+    optionally skipping reference elements below [min_value] (the paper's
+    [minValueToCheck]).  Returns up to [limit] offending indices and the
+    total count of elements beyond the margin. *)
+val compare :
+  ?min_value:float -> ?limit:int -> margin:float -> reference:t -> t ->
+  int list * int
+
+val equal : t -> t -> bool

@@ -1,0 +1,183 @@
+(** The simulated GPU device: memory space, async streams, transfer engine.
+
+    Data movement is performed functionally at submission time; asynchrony is
+    modeled in the *timing* domain only (streams with completion times, the
+    host blocking at [wait]).  This is sound for programs whose generated
+    code synchronizes before dependent host accesses — which is exactly what
+    the OpenARC code generator guarantees. *)
+
+type stream = { mutable avail : float  (** completion time of queued work *) }
+
+type t = {
+  cm : Costmodel.t;
+  metrics : Metrics.t;
+  timeline : Timeline.t;
+  mem : (string, Buf.t) Hashtbl.t;
+  streams : (int, stream) Hashtbl.t;
+  mutable rng : int;  (** LCG state for deterministic PCIe jitter *)
+  mutable allocated_bytes : int;
+  mutable peak_bytes : int;
+}
+
+let create ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false) () =
+  { cm; metrics = Metrics.create (); timeline = Timeline.create ~enabled:trace ();
+    mem = Hashtbl.create 32;
+    streams = Hashtbl.create 4; rng = seed; allocated_bytes = 0;
+    peak_bytes = 0 }
+
+(* Deterministic noise in [-1, 1]. *)
+let noise dev =
+  dev.rng <- ((dev.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  (float_of_int (dev.rng mod 20001) /. 10000.) -. 1.0
+
+let stream dev q =
+  match Hashtbl.find_opt dev.streams q with
+  | Some s -> s
+  | None ->
+      let s = { avail = 0.0 } in
+      Hashtbl.add dev.streams q s;
+      s
+
+exception Device_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Device_error m)) fmt
+
+let is_allocated dev name = Hashtbl.mem dev.mem name
+
+let buffer dev name =
+  match Hashtbl.find_opt dev.mem name with
+  | Some b -> b
+  | None -> fail "device buffer '%s' is not allocated" name
+
+(** Allocate a device buffer shaped like [like] (contents zeroed). *)
+let alloc dev name ~like =
+  if is_allocated dev name then fail "device buffer '%s' already allocated" name;
+  let b =
+    match like with
+    | Buf.Fbuf a -> Buf.create_float (Array.length a)
+    | Buf.Ibuf a -> Buf.create_int (Array.length a)
+  in
+  let bytes = Buf.bytes b in
+  Hashtbl.add dev.mem name b;
+  dev.allocated_bytes <- dev.allocated_bytes + bytes;
+  dev.peak_bytes <- max dev.peak_bytes dev.allocated_bytes;
+  let duration = Costmodel.alloc_time dev.cm ~bytes in
+  Timeline.record dev.timeline ~kind:(Timeline.Ev_alloc name)
+    ~label:(Fmt.str "cudaMalloc(%s, %dB)" name bytes)
+    ~start:dev.metrics.Metrics.host_clock ~duration ();
+  Metrics.charge dev.metrics Metrics.Gpu_alloc duration
+
+let free dev name =
+  match Hashtbl.find_opt dev.mem name with
+  | None -> fail "freeing unallocated device buffer '%s'" name
+  | Some b ->
+      let bytes = Buf.bytes b in
+      Hashtbl.remove dev.mem name;
+      dev.allocated_bytes <- dev.allocated_bytes - bytes;
+      let duration = Costmodel.free_time dev.cm ~bytes in
+      Timeline.record dev.timeline ~kind:(Timeline.Ev_free name)
+        ~label:(Fmt.str "cudaFree(%s)" name)
+        ~start:dev.metrics.Metrics.host_clock ~duration ();
+      Metrics.charge dev.metrics Metrics.Gpu_free duration
+
+let free_all dev =
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) dev.mem [] in
+  List.iter (free dev) names
+
+(* Charge the timing of a transfer/kernel: synchronous ops block the host;
+   async ops enqueue on a stream and cost the host only a submit.
+   Returns the event's start time for the timeline. *)
+let charge_async dev ~async ~category ~duration =
+  match async with
+  | None ->
+      let start = dev.metrics.Metrics.host_clock in
+      Metrics.charge dev.metrics category duration;
+      start
+  | Some q ->
+      let s = stream dev q in
+      let start = Float.max dev.metrics.Metrics.host_clock s.avail in
+      s.avail <- start +. duration;
+      (* submission overhead on the host *)
+      Metrics.charge dev.metrics category (dev.cm.Costmodel.kernel_launch /. 5.);
+      start
+
+let transfer_bytes ~range buf =
+  match range with
+  | None -> Buf.bytes buf
+  | Some (_, len) -> len * (Buf.bytes buf / max 1 (Buf.length buf))
+
+(** Host-to-device copy of [host] into the device buffer [name].
+    [range = Some (lo, len)] restricts to a subarray. *)
+let upload dev name ~host ?range ?async ?label () =
+  let dbuf = buffer dev name in
+  (match range with
+  | None -> Buf.blit ~src:host ~dst:dbuf
+  | Some (lo, len) -> Buf.blit_range ~src:host ~dst:dbuf ~lo ~len);
+  let bytes = transfer_bytes ~range host in
+  Metrics.record_h2d dev.metrics bytes;
+  let duration = Costmodel.transfer_time dev.cm ~bytes ~noise:(noise dev) in
+  let start = charge_async dev ~async ~category:Metrics.Mem_transfer ~duration in
+  Timeline.record dev.timeline ?stream:async
+    ~kind:(Timeline.Ev_transfer { var = name; h2d = true; bytes })
+    ~label:(Option.value label ~default:(Fmt.str "memcpyin(%s)" name))
+    ~start ~duration ()
+
+(** Device-to-host copy of the device buffer [name] into [host]. *)
+let download dev name ~host ?range ?async ?label () =
+  let dbuf = buffer dev name in
+  (match range with
+  | None -> Buf.blit ~src:dbuf ~dst:host
+  | Some (lo, len) -> Buf.blit_range ~src:dbuf ~dst:host ~lo ~len);
+  let bytes = transfer_bytes ~range dbuf in
+  Metrics.record_d2h dev.metrics bytes;
+  let duration = Costmodel.transfer_time dev.cm ~bytes ~noise:(noise dev) in
+  let start = charge_async dev ~async ~category:Metrics.Mem_transfer ~duration in
+  Timeline.record dev.timeline ?stream:async
+    ~kind:(Timeline.Ev_transfer { var = name; h2d = false; bytes })
+    ~label:(Option.value label ~default:(Fmt.str "memcpyout(%s)" name))
+    ~start ~duration ()
+
+(** Account for a kernel execution of [iterations] x [ops_per_iter]. The
+    functional execution is done by the runtime interpreter; this charges
+    simulated time. *)
+let launch dev ~iterations ~ops_per_iter ?width ?async ?(label = "kernel")
+    () =
+  dev.metrics.Metrics.kernel_launches <-
+    dev.metrics.Metrics.kernel_launches + 1;
+  let duration =
+    Costmodel.kernel_time ?width dev.cm ~iterations ~ops_per_iter
+  in
+  (* Small run-to-run variance, as on real devices; this is what makes very
+     light instrumentation occasionally measure as a negative overhead
+     (paper Figure 4). *)
+  let duration = duration *. (1.0 +. (0.06 *. noise dev)) in
+  let start =
+    match async with
+    | None ->
+        let start = dev.metrics.Metrics.host_clock in
+        Metrics.charge dev.metrics Metrics.Async_wait duration;
+        start
+    | Some _ -> charge_async dev ~async ~category:Metrics.Cpu_time ~duration
+  in
+  Timeline.record dev.timeline ?stream:async
+    ~kind:(Timeline.Ev_kernel { name = label; iterations })
+    ~label:(Fmt.str "%s<<<%d>>>" label iterations)
+    ~start ~duration ()
+
+(** Block the host until stream [q] (or all streams when [None]) drains. *)
+let wait dev q =
+  let streams =
+    match q with
+    | Some q -> [ stream dev q ]
+    | None -> Hashtbl.fold (fun _ s acc -> s :: acc) dev.streams []
+  in
+  let target =
+    List.fold_left (fun acc s -> Float.max acc s.avail)
+      dev.metrics.Metrics.host_clock streams
+  in
+  let dt = target -. dev.metrics.Metrics.host_clock in
+  if dt > 0.0 then begin
+    Timeline.record dev.timeline ~kind:Timeline.Ev_wait ~label:"wait"
+      ~start:dev.metrics.Metrics.host_clock ~duration:dt ();
+    Metrics.charge dev.metrics Metrics.Async_wait dt
+  end

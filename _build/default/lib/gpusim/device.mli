@@ -1,0 +1,56 @@
+(** The simulated GPU device: memory space, async streams, transfer engine,
+    and cost accounting.
+
+    Data movement happens functionally at submission time; asynchrony is
+    modeled in the timing domain (streams with completion times, the host
+    blocking at {!wait}).  All timing flows into {!Metrics} and, when
+    tracing is enabled, the {!Timeline}. *)
+
+type stream = { mutable avail : float }
+
+type t = {
+  cm : Costmodel.t;
+  metrics : Metrics.t;
+  timeline : Timeline.t;
+  mem : (string, Buf.t) Hashtbl.t;
+  streams : (int, stream) Hashtbl.t;
+  mutable rng : int;
+  mutable allocated_bytes : int;
+  mutable peak_bytes : int;
+}
+
+exception Device_error of string
+
+val create : ?cm:Costmodel.t -> ?seed:int -> ?trace:bool -> unit -> t
+
+val is_allocated : t -> string -> bool
+
+(** @raise Device_error when the buffer is not allocated. *)
+val buffer : t -> string -> Buf.t
+
+(** Allocate a device buffer shaped like [like] (zeroed).
+    @raise Device_error on double allocation. *)
+val alloc : t -> string -> like:Buf.t -> unit
+
+val free : t -> string -> unit
+val free_all : t -> unit
+
+(** Host-to-device copy into buffer [name]; [range = (lo, len)] restricts to
+    a subarray; [async] enqueues on a stream (timing only); [label] is the
+    timeline attribution. *)
+val upload :
+  t -> string -> host:Buf.t -> ?range:int * int -> ?async:int ->
+  ?label:string -> unit -> unit
+
+val download :
+  t -> string -> host:Buf.t -> ?range:int * int -> ?async:int ->
+  ?label:string -> unit -> unit
+
+(** Account for a kernel execution (the functional work is done by the
+    runtime's kernel executor).  [width] caps parallel lanes. *)
+val launch :
+  t -> iterations:int -> ops_per_iter:int -> ?width:int -> ?async:int ->
+  ?label:string -> unit -> unit
+
+(** Block the host until stream [q] (or all streams when [None]) drains. *)
+val wait : t -> int option -> unit

@@ -1,0 +1,81 @@
+(** Simulated-time and traffic accounting.
+
+    Every simulator action charges time to one of the categories below; the
+    categories are exactly the stacked components of the paper's Figure 3,
+    plus kernel-execution time (which, being asynchronous, surfaces as
+    [Async_wait] when the host blocks on it). *)
+
+type category =
+  | Cpu_time  (** host computation *)
+  | Mem_transfer  (** CPU <-> GPU transfers the host waited on *)
+  | Gpu_alloc
+  | Gpu_free
+  | Async_wait  (** host blocked on asynchronous GPU work *)
+  | Result_comp  (** kernel-verification output comparison *)
+  | Check_overhead  (** coherence runtime checks *)
+
+let all_categories =
+  [ Cpu_time; Mem_transfer; Gpu_alloc; Gpu_free; Async_wait; Result_comp;
+    Check_overhead ]
+
+let category_name = function
+  | Cpu_time -> "CPU Time"
+  | Mem_transfer -> "Mem Transfer"
+  | Gpu_alloc -> "GPU Mem Alloc"
+  | Gpu_free -> "GPU Mem Free"
+  | Async_wait -> "Async-Wait"
+  | Result_comp -> "Result-Comp"
+  | Check_overhead -> "Check-Overhead"
+
+type t = {
+  mutable times : (category * float) list;
+  mutable bytes_h2d : int;
+  mutable bytes_d2h : int;
+  mutable transfers_h2d : int;
+  mutable transfers_d2h : int;
+  mutable kernel_launches : int;
+  mutable checks : int;
+  mutable host_clock : float;  (** simulated wall clock of the host thread *)
+}
+
+let create () =
+  { times = List.map (fun c -> (c, 0.0)) all_categories;
+    bytes_h2d = 0; bytes_d2h = 0; transfers_h2d = 0; transfers_d2h = 0;
+    kernel_launches = 0; checks = 0; host_clock = 0.0 }
+
+let reset m =
+  m.times <- List.map (fun c -> (c, 0.0)) all_categories;
+  m.bytes_h2d <- 0; m.bytes_d2h <- 0;
+  m.transfers_h2d <- 0; m.transfers_d2h <- 0;
+  m.kernel_launches <- 0; m.checks <- 0;
+  m.host_clock <- 0.0
+
+(** Charge [dt] seconds of host time to [cat] and advance the host clock. *)
+let charge m cat dt =
+  m.times <-
+    List.map (fun (c, t) -> if c = cat then (c, t +. dt) else (c, t)) m.times;
+  m.host_clock <- m.host_clock +. dt
+
+let time_of m cat = List.assoc cat m.times
+
+let total_time m = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 m.times
+
+let total_bytes m = m.bytes_h2d + m.bytes_d2h
+
+let record_h2d m bytes =
+  m.bytes_h2d <- m.bytes_h2d + bytes;
+  m.transfers_h2d <- m.transfers_h2d + 1
+
+let record_d2h m bytes =
+  m.bytes_d2h <- m.bytes_d2h + bytes;
+  m.transfers_d2h <- m.transfers_d2h + 1
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>total %.6f s (%d B h2d in %d xfers, %d B d2h in %d xfers, %d launches, %d checks)"
+    (total_time m) m.bytes_h2d m.transfers_h2d m.bytes_d2h m.transfers_d2h
+    m.kernel_launches m.checks;
+  List.iter
+    (fun (c, t) ->
+      if t > 0.0 then Fmt.pf ppf "@,  %-14s %.6f s" (category_name c) t)
+    m.times;
+  Fmt.pf ppf "@]"

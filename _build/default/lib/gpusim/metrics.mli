@@ -1,0 +1,39 @@
+(** Simulated-time and traffic accounting.  The categories are exactly the
+    stacked components of the paper's Figure 3, plus the coherence-check
+    overhead of Figure 4. *)
+
+type category =
+  | Cpu_time  (** host computation *)
+  | Mem_transfer  (** CPU <-> GPU transfers the host waited on *)
+  | Gpu_alloc
+  | Gpu_free
+  | Async_wait  (** host blocked on asynchronous GPU work *)
+  | Result_comp  (** kernel-verification output comparison *)
+  | Check_overhead  (** coherence runtime checks *)
+
+val all_categories : category list
+val category_name : category -> string
+
+type t = {
+  mutable times : (category * float) list;
+  mutable bytes_h2d : int;
+  mutable bytes_d2h : int;
+  mutable transfers_h2d : int;
+  mutable transfers_d2h : int;
+  mutable kernel_launches : int;
+  mutable checks : int;
+  mutable host_clock : float;  (** simulated wall clock of the host thread *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Charge [dt] seconds of host time to a category and advance the clock. *)
+val charge : t -> category -> float -> unit
+
+val time_of : t -> category -> float
+val total_time : t -> float
+val total_bytes : t -> int
+val record_h2d : t -> int -> unit
+val record_d2h : t -> int -> unit
+val pp : Format.formatter -> t -> unit

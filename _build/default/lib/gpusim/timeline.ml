@@ -1,0 +1,107 @@
+(** Execution timeline: a record of every device-visible event with its
+    simulated start time and duration.
+
+    This is the traceability artifact the paper's Table I contrasts with
+    low-level profilers: because events carry the *source-level* label of
+    the operation that caused them (the transfer site, the kernel name),
+    a user can attribute simulated time back to input directives.  The
+    timeline exports Chrome-trace JSON (load in chrome://tracing or
+    https://ui.perfetto.dev). *)
+
+type kind =
+  | Ev_transfer of { var : string; h2d : bool; bytes : int }
+  | Ev_kernel of { name : string; iterations : int }
+  | Ev_alloc of string
+  | Ev_free of string
+  | Ev_wait
+  | Ev_check
+
+type event = {
+  ev_kind : kind;
+  ev_label : string;  (** source-level attribution *)
+  ev_start : float;  (** simulated seconds *)
+  ev_duration : float;
+  ev_stream : int option;  (** async queue, if any *)
+}
+
+type t = { mutable events : event list (* reversed *); mutable enabled : bool }
+
+let create ?(enabled = true) () = { events = []; enabled }
+
+let record t ?stream ~kind ~label ~start ~duration () =
+  if t.enabled then
+    t.events <-
+      { ev_kind = kind; ev_label = label; ev_start = start;
+        ev_duration = duration; ev_stream = stream }
+      :: t.events
+
+let events t = List.rev t.events
+
+let count t = List.length t.events
+
+let kind_name = function
+  | Ev_transfer { h2d = true; _ } -> "transfer-h2d"
+  | Ev_transfer { h2d = false; _ } -> "transfer-d2h"
+  | Ev_kernel _ -> "kernel"
+  | Ev_alloc _ -> "alloc"
+  | Ev_free _ -> "free"
+  | Ev_wait -> "wait"
+  | Ev_check -> "check"
+
+(** Total simulated time per event kind. *)
+let summary t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = kind_name e.ev_kind in
+      Hashtbl.replace tbl k
+        (e.ev_duration +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+    (events t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+(* JSON string escaping for labels. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Chrome-trace ("trace event format") JSON. Track 0 is the host thread;
+    async streams get their own tracks. *)
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      let tid = match e.ev_stream with None -> 0 | Some q -> q + 1 in
+      Buffer.add_string buf
+        (Fmt.str
+           "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": \
+            %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}"
+           (escape e.ev_label)
+           (kind_name e.ev_kind)
+           (e.ev_start *. 1e6) (e.ev_duration *. 1e6) tid))
+    (events t);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "%10.3f us %-12s %-8s %s@." (e.ev_start *. 1e6)
+        (kind_name e.ev_kind)
+        (match e.ev_stream with
+        | None -> "sync"
+        | Some q -> Fmt.str "stream%d" q)
+        e.ev_label)
+    (events t)

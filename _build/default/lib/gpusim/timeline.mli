@@ -1,0 +1,40 @@
+(** Execution timeline: every device-visible event with its simulated start
+    time, duration and *source-level* attribution (transfer site labels,
+    kernel names) — the traceability artifact the paper's Table I contrasts
+    with low-level profilers.  Exports Chrome-trace JSON. *)
+
+type kind =
+  | Ev_transfer of { var : string; h2d : bool; bytes : int }
+  | Ev_kernel of { name : string; iterations : int }
+  | Ev_alloc of string
+  | Ev_free of string
+  | Ev_wait
+  | Ev_check
+
+type event = {
+  ev_kind : kind;
+  ev_label : string;
+  ev_start : float;  (** simulated seconds *)
+  ev_duration : float;
+  ev_stream : int option;
+}
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+val record :
+  t -> ?stream:int -> kind:kind -> label:string -> start:float ->
+  duration:float -> unit -> unit
+
+val events : t -> event list
+val count : t -> int
+val kind_name : kind -> string
+
+(** Total simulated time per event kind, sorted by kind name. *)
+val summary : t -> (string * float) list
+
+(** Chrome "trace event format" JSON (chrome://tracing, Perfetto). *)
+val to_chrome_json : t -> string
+
+val pp : Format.formatter -> t -> unit

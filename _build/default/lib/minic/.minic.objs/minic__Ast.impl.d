@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Float List Loc Option

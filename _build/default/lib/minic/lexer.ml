@@ -1,0 +1,196 @@
+(** Hand-written lexer for Mini-C.
+
+    Produces the full token list for a source string in one pass.  [#pragma]
+    lines are turned into a single {!Token.PRAGMA} token carrying the raw
+    directive text; backslash line continuations inside a pragma are joined. *)
+
+type lexed = { tok : Token.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc_of st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Skip spaces and comments; stops before '#' so pragmas are tokenized. *)
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_trivia st
+  | '/' when peek2 st = '/' ->
+      while (not (eof st)) && peek st <> '\n' do advance st done;
+      skip_trivia st
+  | '/' when peek2 st = '*' ->
+      let start = loc_of st in
+      advance st; advance st;
+      let rec close () =
+        if eof st then Loc.error start "unterminated comment"
+        else if peek st = '*' && peek2 st = '/' then begin advance st; advance st end
+        else begin advance st; close () end
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let loc = loc_of st in
+  while is_digit (peek st) do advance st done;
+  let is_float = ref false in
+  if peek st = '.' && is_digit (peek2 st) then begin
+    is_float := true;
+    advance st;
+    while is_digit (peek st) do advance st done
+  end;
+  if peek st = 'e' || peek st = 'E' then begin
+    is_float := true;
+    advance st;
+    if peek st = '+' || peek st = '-' then advance st;
+    if not (is_digit (peek st)) then Loc.error (loc_of st) "malformed exponent";
+    while is_digit (peek st) do advance st done
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  let tok =
+    if !is_float then Token.FLOAT_LIT (float_of_string text)
+    else Token.INT_LIT (int_of_string text)
+  in
+  { tok; loc }
+
+let keyword_of = function
+  | "int" -> Some Token.KW_INT
+  | "float" -> Some Token.KW_FLOAT
+  | "double" -> Some Token.KW_DOUBLE
+  | "void" -> Some Token.KW_VOID
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | _ -> None
+
+let lex_ident st =
+  let start = st.pos in
+  let loc = loc_of st in
+  while is_alnum (peek st) do advance st done;
+  let text = String.sub st.src start (st.pos - start) in
+  let tok =
+    match keyword_of text with Some kw -> kw | None -> Token.IDENT text
+  in
+  { tok; loc }
+
+(* Read a '#...' line: expect "# pragma <text>", join '\' continuations. *)
+let lex_pragma st =
+  let loc = loc_of st in
+  advance st (* '#' *);
+  let buf = Buffer.create 64 in
+  let rec read_line () =
+    match peek st with
+    | '\n' | '\000' -> ()
+    | '\\' when peek2 st = '\n' ->
+        advance st; advance st;
+        Buffer.add_char buf ' ';
+        read_line ()
+    | '\\' when peek2 st = '\r' ->
+        advance st; advance st;
+        if peek st = '\n' then advance st;
+        Buffer.add_char buf ' ';
+        read_line ()
+    | c ->
+        advance st;
+        Buffer.add_char buf c;
+        read_line ()
+  in
+  read_line ();
+  let text = String.trim (Buffer.contents buf) in
+  let text =
+    if String.length text >= 6 && String.sub text 0 6 = "pragma" then
+      String.trim (String.sub text 6 (String.length text - 6))
+    else Loc.error loc "expected 'pragma' after '#'"
+  in
+  { tok = Token.PRAGMA text; loc }
+
+let lex_operator st =
+  let loc = loc_of st in
+  let two tok = advance st; advance st; { tok; loc } in
+  let one tok = advance st; { tok; loc } in
+  match (peek st, peek2 st) with
+  | '+', '+' -> two Token.PLUSPLUS
+  | '+', '=' -> two Token.PLUSEQ
+  | '-', '-' -> two Token.MINUSMINUS
+  | '-', '=' -> two Token.MINUSEQ
+  | '*', '=' -> two Token.STAREQ
+  | '/', '=' -> two Token.SLASHEQ
+  | '<', '=' -> two Token.LE
+  | '>', '=' -> two Token.GE
+  | '=', '=' -> two Token.EQEQ
+  | '!', '=' -> two Token.NE
+  | '&', '&' -> two Token.AMPAMP
+  | '|', '|' -> two Token.BARBAR
+  | '+', _ -> one Token.PLUS
+  | '-', _ -> one Token.MINUS
+  | '*', _ -> one Token.STAR
+  | '/', _ -> one Token.SLASH
+  | '%', _ -> one Token.PERCENT
+  | '<', _ -> one Token.LT
+  | '>', _ -> one Token.GT
+  | '=', _ -> one Token.ASSIGN
+  | '!', _ -> one Token.BANG
+  | '(', _ -> one Token.LPAREN
+  | ')', _ -> one Token.RPAREN
+  | '{', _ -> one Token.LBRACE
+  | '}', _ -> one Token.RBRACE
+  | '[', _ -> one Token.LBRACKET
+  | ']', _ -> one Token.RBRACKET
+  | ',', _ -> one Token.COMMA
+  | ';', _ -> one Token.SEMI
+  | '?', _ -> one Token.QUESTION
+  | ':', _ -> one Token.COLON
+  | c, _ -> Loc.error loc "unexpected character %C" c
+
+let next st =
+  skip_trivia st;
+  if eof st then { tok = Token.EOF; loc = loc_of st }
+  else
+    let c = peek st in
+    if c = '#' then lex_pragma st
+    else if is_digit c then lex_number st
+    else if is_alpha c then lex_ident st
+    else lex_operator st
+
+(** Tokenize an entire source string. The result always ends with [EOF]. *)
+let tokenize ~file src =
+  let st = make ~file src in
+  let rec loop acc =
+    let t = next st in
+    match t.tok with Token.EOF -> List.rev (t :: acc) | _ -> loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,16 @@
+(** Hand-written lexer for Mini-C.  [#pragma] lines become single
+    {!Token.PRAGMA} tokens carrying the raw directive text (backslash
+    continuations joined). *)
+
+type lexed = { tok : Token.t; loc : Loc.t }
+
+type state
+
+val make : file:string -> string -> state
+
+(** Next token (EOF repeats at end of input).
+    @raise Loc.Error on lexical errors. *)
+val next : state -> lexed
+
+(** Tokenize an entire source string; always ends with [EOF]. *)
+val tokenize : file:string -> string -> lexed list

@@ -1,0 +1,21 @@
+(** Source locations and located errors for the Mini-C front end. *)
+
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string l = Fmt.str "%a" pp l
+
+(** Raised by the lexer, parser and type checker on malformed input. *)
+exception Error of t * string
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error (loc, msg) -> Some (Fmt.str "Mini-C error at %a: %s" pp loc msg)
+    | _ -> None)

@@ -1,0 +1,14 @@
+(** Source locations and located errors for the Mini-C front end. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Raised by the lexer, parser and type checker on malformed input. *)
+exception Error of t * string
+
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for Mini-C and its OpenACC pragmas.
+    All entry points raise {!Loc.Error} on malformed input. *)
+
+(** Parse the text following [#pragma] (e.g. ["acc kernels loop gang"]). *)
+val parse_directive : loc:Loc.t -> string -> Ast.directive
+
+(** Does this directive introduce a structured statement body? *)
+val directive_has_body : Ast.directive -> bool
+
+(** Parse a full Mini-C translation unit. *)
+val parse_string : ?file:string -> string -> Ast.program
+
+val parse_file : string -> Ast.program
+
+(** Parse a single expression (tests and the CLI). *)
+val expr_of_string : string -> Ast.expr

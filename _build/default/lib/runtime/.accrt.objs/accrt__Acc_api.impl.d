@@ -1,0 +1,1 @@
+lib/runtime/acc_api.ml: Gpusim Hashtbl List Sys Value

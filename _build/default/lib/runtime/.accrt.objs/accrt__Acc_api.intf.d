@@ -1,0 +1,1 @@
+lib/runtime/acc_api.mli: Gpusim Value

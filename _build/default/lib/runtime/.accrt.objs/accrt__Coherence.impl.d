@@ -1,0 +1,1 @@
+lib/runtime/coherence.ml: Codegen Fmt Hashtbl Intervals List

@@ -1,0 +1,1 @@
+lib/runtime/coherence.mli: Codegen Format Hashtbl Intervals

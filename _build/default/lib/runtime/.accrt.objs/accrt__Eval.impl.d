@@ -1,0 +1,1 @@
+lib/runtime/eval.ml: Array Float Fun Gpusim Hashtbl List Minic Option String Value

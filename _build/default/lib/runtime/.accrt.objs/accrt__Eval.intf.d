@@ -1,0 +1,1 @@
+lib/runtime/eval.mli: Minic Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Acc_api Array Codegen Coherence Eval Fmt Gpusim Hashtbl Kernel_exec List Minic Option Value

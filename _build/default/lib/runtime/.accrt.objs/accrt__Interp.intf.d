@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Codegen Coherence Eval Gpusim Hashtbl Value

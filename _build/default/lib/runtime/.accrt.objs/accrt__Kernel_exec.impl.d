@@ -1,0 +1,1 @@
+lib/runtime/kernel_exec.ml: Analysis Codegen Eval Float Gpusim Hashtbl List Minic Option Value

@@ -1,0 +1,1 @@
+lib/runtime/kernel_exec.mli: Codegen Eval Gpusim Minic Value

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Fmt Fun Gpusim Hashtbl List Printexc

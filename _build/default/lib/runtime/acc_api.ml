@@ -1,0 +1,109 @@
+(** The OpenACC V1.0 runtime library routines.
+
+    Directive-based models have three components (§II-A of the paper):
+    directives, library routines, and environment variables.  This module
+    provides the routines as Mini-C builtins — programs call
+    [acc_async_wait(1)], [acc_get_num_devices(acc_device_nvidia)], etc. —
+    backed by the simulated device, plus the [ACC_DEVICE_TYPE] /
+    [ACC_DEVICE_NUM] environment variables. *)
+
+open Value
+
+(* Device type encodings, following the OpenACC 1.0 header. *)
+let acc_device_none = 0
+let acc_device_default = 1
+let acc_device_host = 2
+let acc_device_not_host = 3
+let acc_device_nvidia = 4
+
+type state = {
+  device : Gpusim.Device.t;
+  mutable device_type : int;
+  mutable device_num : int;
+  mutable initialized : bool;
+}
+
+let create device =
+  let device_type =
+    match Sys.getenv_opt "ACC_DEVICE_TYPE" with
+    | Some "host" -> acc_device_host
+    | Some ("nvidia" | "NVIDIA") -> acc_device_nvidia
+    | _ -> acc_device_default
+  in
+  let device_num =
+    match Sys.getenv_opt "ACC_DEVICE_NUM" with
+    | Some s -> ( try int_of_string s with _ -> 0)
+    | None -> 0
+  in
+  { device; device_type; device_num; initialized = false }
+
+(** Is a stream's queued work complete at the current simulated time? *)
+let async_done st q =
+  match Hashtbl.find_opt st.device.Gpusim.Device.streams q with
+  | None -> true
+  | Some s ->
+      s.Gpusim.Device.avail
+      <= st.device.Gpusim.Device.metrics.Gpusim.Metrics.host_clock
+
+let all_async_done st =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc
+      && s.Gpusim.Device.avail
+         <= st.device.Gpusim.Device.metrics.Gpusim.Metrics.host_clock)
+    st.device.Gpusim.Device.streams true
+
+(** The routine table: name -> (arity, implementation).  Every routine
+    returns an [int] scalar (void routines return 0), so they are usable in
+    both expression and statement position. *)
+let routines st : (string * (int * (scalar list -> scalar))) list =
+  let int1 f = (1, fun args -> Int (f (to_int (List.nth args 0)))) in
+  let int0 f = (0, fun _ -> Int (f ())) in
+  [ ("acc_get_num_devices",
+     int1 (fun t -> if t = acc_device_host then 1 else 1));
+    ("acc_set_device_type",
+     int1 (fun t -> st.device_type <- t; 0));
+    ("acc_get_device_type", int0 (fun () -> st.device_type));
+    ("acc_set_device_num",
+     (2, fun args ->
+        st.device_num <- to_int (List.nth args 0);
+        Int 0));
+    ("acc_get_device_num", int1 (fun _ -> st.device_num));
+    ("acc_async_test", int1 (fun q -> if async_done st q then 1 else 0));
+    ("acc_async_test_all",
+     int0 (fun () -> if all_async_done st then 1 else 0));
+    ("acc_async_wait",
+     int1 (fun q -> Gpusim.Device.wait st.device (Some q); 0));
+    ("acc_async_wait_all",
+     int0 (fun () -> Gpusim.Device.wait st.device None; 0));
+    ("acc_init", int1 (fun _ -> st.initialized <- true; 0));
+    ("acc_shutdown", int1 (fun _ -> st.initialized <- false; 0));
+    ("acc_on_device",
+     int1 (fun t ->
+         (* Host code asking: only true for the host device type. *)
+         if t = acc_device_host then 1 else 0)) ]
+
+(** Typechecker registrations: (name, arity) with int arguments/results. *)
+let signatures =
+  [ ("acc_get_num_devices", 1); ("acc_set_device_type", 1);
+    ("acc_get_device_type", 0); ("acc_set_device_num", 2);
+    ("acc_get_device_num", 1); ("acc_async_test", 1);
+    ("acc_async_test_all", 0); ("acc_async_wait", 1);
+    ("acc_async_wait_all", 0); ("acc_init", 1); ("acc_shutdown", 1);
+    ("acc_on_device", 1) ]
+
+(** Named device-type constants usable as Mini-C globals. *)
+let constants =
+  [ ("acc_device_none", acc_device_none);
+    ("acc_device_default", acc_device_default);
+    ("acc_device_host", acc_device_host);
+    ("acc_device_not_host", acc_device_not_host);
+    ("acc_device_nvidia", acc_device_nvidia) ]
+
+(** An evaluator hook serving the routine calls (see {!Eval.ctx}). *)
+let hook st name args =
+  match List.assoc_opt name (routines st) with
+  | Some (arity, f) when List.length args = arity -> Some (f args)
+  | Some (arity, _) ->
+      Value.error "%s expects %d argument(s)" name arity
+  | None -> None

@@ -1,0 +1,33 @@
+(** The OpenACC V1.0 runtime library routines ([acc_init],
+    [acc_get_num_devices], [acc_async_test], ...), callable from Mini-C and
+    backed by the simulated device; honours the [ACC_DEVICE_TYPE] and
+    [ACC_DEVICE_NUM] environment variables. *)
+
+val acc_device_none : int
+val acc_device_default : int
+val acc_device_host : int
+val acc_device_not_host : int
+val acc_device_nvidia : int
+
+type state = {
+  device : Gpusim.Device.t;
+  mutable device_type : int;
+  mutable device_num : int;
+  mutable initialized : bool;
+}
+
+val create : Gpusim.Device.t -> state
+
+(** Is stream [q]'s queued work complete at the current simulated time? *)
+val async_done : state -> int -> bool
+
+val all_async_done : state -> bool
+
+(** (name, arity) of every routine, for registration purposes. *)
+val signatures : (string * int) list
+
+(** Named device-type constants. *)
+val constants : (string * int) list
+
+(** The evaluator hook serving routine calls (see {!Eval.ctx}). *)
+val hook : state -> string -> Value.scalar list -> Value.scalar option

@@ -1,0 +1,88 @@
+(** Runtime coherence tracking (§III-B).
+
+    Each tracked array carries one status per device in
+    {notstale, maystale, stale}, at whole-buffer granularity by default (as
+    in the paper) or per element range in {!Fine} mode.  The inserted
+    runtime calls drive the state machine and emit the
+    missing / may-missing / incorrect / redundant / may-redundant reports
+    the interactive optimization loop consumes. *)
+
+type kind = Missing | May_missing | Incorrect | Redundant | May_redundant
+
+val kind_name : kind -> string
+
+type report = {
+  r_kind : kind;
+  r_var : string;
+  r_site : Codegen.Tprog.site option;
+      (** transfer site, when the event is a transfer *)
+  r_sid : int;  (** source statement the event traces back to (-1 unknown) *)
+  r_dev : Codegen.Tprog.device option;
+      (** device whose copy was stale (missing reports) *)
+  r_desc : string;
+  r_loops : (string * int) list;
+      (** enclosing host loops, outermost first (the "enclosing loop index"
+          of the paper's Listing 4) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+type granularity = Coarse | Fine
+
+type dev_state = {
+  mutable status : Codegen.Tprog.status;
+  mutable stale_iv : Intervals.t;
+  mutable may_iv : Intervals.t;
+}
+
+type var_state = { cpu : dev_state; gpu : dev_state; mutable len : int }
+
+type t = {
+  granularity : granularity;
+  states : (string, var_state) Hashtbl.t;
+  mutable reports : report list;
+  mutable loop_stack : (string * int) list;
+  mutable checks_executed : int;
+  mutable interval_ops : int;  (** fine-mode tracking work *)
+}
+
+val create : ?granularity:granularity -> unit -> t
+
+(** Record the element count of a variable (ranges whole-array events in
+    fine mode). *)
+val register_len : t -> string -> int -> unit
+
+val get : t -> string -> Codegen.Tprog.device -> Codegen.Tprog.status
+val set : t -> string -> Codegen.Tprog.device -> Codegen.Tprog.status -> unit
+
+(** {1 Loop context} (for report attribution) *)
+
+val enter_loop : t -> string -> unit
+val next_iteration : t -> unit
+val exit_loop : t -> unit
+
+(** {1 The inserted runtime calls} *)
+
+val check_read :
+  ?sid:int -> ?range:int * int -> t -> string -> Codegen.Tprog.device -> unit
+
+val check_write :
+  ?sid:int -> ?range:int * int -> t -> string -> Codegen.Tprog.device -> unit
+
+val reset_status :
+  t -> string -> Codegen.Tprog.device -> Codegen.Tprog.status -> unit
+
+(** A transfer of [v] along [dir] is happening; detects incorrect/redundant/
+    may-redundant transfers and refreshes the target state. *)
+val on_transfer :
+  ?range:int * int -> t -> string -> Codegen.Tprog.xdir ->
+  site:Codegen.Tprog.site -> unit
+
+val on_free : t -> string -> unit
+
+val reports : t -> report list
+val reports_of_kind : t -> kind -> report list
+
+(** Group reports per (site, kind, variable) with occurrence counts — the
+    digest form for interactive display. *)
+val summarize : report list -> string list

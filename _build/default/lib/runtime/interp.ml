@@ -1,0 +1,202 @@
+(** Interpreter for translated programs: executes host code natively, drives
+    the {!Gpusim} device for data movement and kernels, and (when enabled)
+    the {!Coherence} runtime for the paper's memory-transfer verification. *)
+
+open Minic.Ast
+open Codegen.Tprog
+
+type outcome = {
+  ctx : Eval.ctx;  (** final host state *)
+  device : Gpusim.Device.t;
+  coherence : Coherence.t;
+  tprog : Codegen.Tprog.t;
+  site_execs : (int, int) Hashtbl.t;  (** transfer-site id -> executions *)
+  sites :
+    (int, Codegen.Tprog.site * string * Codegen.Tprog.xdir) Hashtbl.t;
+      (** executed transfer sites with their variable and direction *)
+}
+
+let reports o = Coherence.reports o.coherence
+let metrics o = o.device.Gpusim.Device.metrics
+
+(** Final contents of host array [name] (by root). *)
+let host_array o name = Value.array_buf o.ctx.Eval.env name
+
+let host_scalar o name = Value.get_scalar o.ctx.Eval.env name
+
+exception Stop
+
+let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
+    (tp : Codegen.Tprog.t) =
+  let device = Gpusim.Device.create ?cm ~seed ~trace () in
+  let metrics = device.Gpusim.Device.metrics in
+  let coh = Coherence.create ?granularity () in
+  let site_execs = Hashtbl.create 32 in
+  let sites = Hashtbl.create 32 in
+  let env = Value.create () in
+  let ctx = Eval.make tp.source env in
+  (* Attach the OpenACC runtime-library routines to the device. *)
+  let api = Acc_api.create device in
+  ctx.Eval.call_hook <- Some (Acc_api.hook api);
+  Eval.init_globals ctx;
+
+  let cmodel = device.Gpusim.Device.cm in
+  let last_ops = ref ctx.Eval.ops in
+  (* Charge accumulated host interpretation work as CPU time. *)
+  let charge_host () =
+    let delta = ctx.Eval.ops - !last_ops in
+    if delta > 0 then
+      Gpusim.Metrics.charge metrics Gpusim.Metrics.Cpu_time
+        (Gpusim.Costmodel.cpu_time cmodel ~ops:delta);
+    last_ops := ctx.Eval.ops
+  in
+  let eval_int e = Value.to_int (Eval.eval ctx e) in
+  let eval_async = Option.map eval_int in
+
+  let loop_label init tid =
+    match init with
+    | Some { skind = Sdecl (_, v, _); _ } | Some { skind = Sassign (Lvar v, _); _ }
+      -> v
+    | Some _ | None -> Fmt.str "loop%d" tid
+  in
+
+  let rec exec_t (s : tstmt) =
+    match s.tkind with
+    | Thost st ->
+        Eval.exec ctx st;
+        charge_host ()
+    | Tblock b -> Value.scoped env (fun () -> exec_ts b)
+    | Tif (c, b1, b2) ->
+        let cond = Value.truthy (Eval.eval ctx c) in
+        charge_host ();
+        if cond then Value.scoped env (fun () -> exec_ts b1)
+        else Value.scoped env (fun () -> exec_ts b2)
+    | Twhile (c, b) ->
+        Coherence.enter_loop coh (Fmt.str "while%d" s.tid);
+        (try
+           while
+             let v = Value.truthy (Eval.eval ctx c) in
+             charge_host ();
+             v
+           do
+             Coherence.next_iteration coh;
+             try Value.scoped env (fun () -> exec_ts b)
+             with Eval.Continue_exc -> ()
+           done
+         with Eval.Break_exc -> ());
+        Coherence.exit_loop coh
+    | Tfor (init, cond, step, b) ->
+        Value.scoped env (fun () ->
+            Option.iter (Eval.exec ctx) init;
+            charge_host ();
+            Coherence.enter_loop coh (loop_label init s.tid);
+            let continue_ () =
+              match cond with
+              | Some c ->
+                  let v = Value.truthy (Eval.eval ctx c) in
+                  charge_host ();
+                  v
+              | None -> true
+            in
+            (try
+               while continue_ () do
+                 Coherence.next_iteration coh;
+                 (try Value.scoped env (fun () -> exec_ts b)
+                  with Eval.Continue_exc -> ());
+                 Option.iter (Eval.exec ctx) step;
+                 charge_host ()
+               done
+             with Eval.Break_exc -> ());
+            Coherence.exit_loop coh)
+    | Talloc (v, _site) ->
+        (* present-or-create: keep an existing buffer resident *)
+        if not (Gpusim.Device.is_allocated device v) then begin
+          let host = Value.array_buf env v in
+          Gpusim.Device.alloc device v ~like:host
+        end
+    | Tfree (v, _site) ->
+        Gpusim.Device.free device v;
+        if coherence then Coherence.on_free coh v
+    | Txfer x ->
+        let range =
+          match (x.x_lo, x.x_len) with
+          | Some lo, Some len -> Some (eval_int lo, eval_int len)
+          | _ -> None
+        in
+        charge_host ();
+        let async = eval_async x.x_async in
+        Hashtbl.replace site_execs x.x_site.site_id
+          (1 + Option.value ~default:0
+                 (Hashtbl.find_opt site_execs x.x_site.site_id));
+        Hashtbl.replace sites x.x_site.site_id (x.x_site, x.x_var, x.x_dir);
+        let host = Value.array_buf env x.x_var in
+        if coherence then begin
+          Coherence.register_len coh x.x_var (Gpusim.Buf.length host);
+          Coherence.on_transfer ?range coh x.x_var x.x_dir ~site:x.x_site
+        end;
+        let label = x.x_site.site_label in
+        (match x.x_dir with
+        | H2D ->
+            Gpusim.Device.upload device x.x_var ~host ?range ?async ~label ()
+        | D2H ->
+            Gpusim.Device.download device x.x_var ~host ?range ?async ~label
+              ())
+    | Tlaunch (kid, async) ->
+        let k = tp.kernels.(kid) in
+        let async = eval_async async in
+        let r = Kernel_exec.run ctx device k in
+        let width =
+          let g, w, v = k.k_dims in
+          match List.filter_map (Option.map eval_int) [ g; w; v ] with
+          | [] -> None
+          | dims -> Some (List.fold_left ( * ) 1 dims)
+        in
+        Gpusim.Device.launch device ~iterations:r.Kernel_exec.iterations
+          ~ops_per_iter:k.k_ops_per_iter ?width ?async ~label:k.k_name ()
+    | Twait e ->
+        let q = eval_async e in
+        charge_host ();
+        Gpusim.Device.wait device q
+    | Tcheck c ->
+        if coherence then begin
+          (* Host checks are placed on accessed names; resolve a pointer to
+             the root it currently designates. *)
+          let resolve v =
+            match Value.lookup env v with
+            | Some (Value.Array slot) ->
+                (match slot.Value.buf with
+                | Some b ->
+                    Coherence.register_len coh slot.Value.root
+                      (Gpusim.Buf.length b)
+                | None -> ());
+                slot.Value.root
+            | Some (Value.Scalar _) | None -> v
+          in
+          (match c with
+          | Check_read (v, dev) ->
+              Coherence.check_read ~sid:s.tsid coh (resolve v) dev
+          | Check_write (v, dev) ->
+              Coherence.check_write ~sid:s.tsid coh (resolve v) dev
+          | Reset_status (v, dev, st) -> Coherence.reset_status coh v dev st);
+          metrics.Gpusim.Metrics.checks <- metrics.Gpusim.Metrics.checks + 1;
+          Gpusim.Metrics.charge metrics Gpusim.Metrics.Check_overhead
+            cmodel.Gpusim.Costmodel.check_cost
+        end
+  and exec_ts b = List.iter exec_t b in
+
+  (try exec_ts tp.body with
+  | Eval.Return_exc _ | Stop -> ());
+  charge_host ();
+  (* Drain outstanding async work and release device memory. *)
+  Gpusim.Device.wait device None;
+  Gpusim.Device.free_all device;
+  { ctx; device; coherence = coh; tprog = tp; site_execs; sites }
+
+(** Convenience: compile and run a source string (uninstrumented unless
+    [instrument] is set). *)
+let run_string ?opts ?(instrument = false) ?mode ?granularity ?coherence
+    ?seed ?cm src =
+  let tp = Codegen.Translate.compile_string ?opts src in
+  let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
+  let coherence = Option.value coherence ~default:instrument in
+  run ~coherence ?granularity ?seed ?cm tp

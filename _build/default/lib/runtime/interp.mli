@@ -1,0 +1,40 @@
+(** Interpreter for translated programs: executes host code natively,
+    drives the {!Gpusim} device for data movement and kernels, and (when
+    enabled) the {!Coherence} runtime for the paper's memory-transfer
+    verification. *)
+
+type outcome = {
+  ctx : Eval.ctx;  (** final host state *)
+  device : Gpusim.Device.t;
+  coherence : Coherence.t;
+  tprog : Codegen.Tprog.t;
+  site_execs : (int, int) Hashtbl.t;  (** transfer-site id -> executions *)
+  sites :
+    (int, Codegen.Tprog.site * string * Codegen.Tprog.xdir) Hashtbl.t;
+      (** executed transfer sites with their variable and direction *)
+}
+
+val reports : outcome -> Coherence.report list
+val metrics : outcome -> Gpusim.Metrics.t
+
+(** Final contents of host array [name] (by root).
+    @raise Value.Runtime_error when absent. *)
+val host_array : outcome -> string -> Gpusim.Buf.t
+
+val host_scalar : outcome -> string -> Value.scalar
+
+exception Stop
+
+(** Execute a translated program.  [coherence] enables the §III-B runtime
+    (meaningful on instrumented programs); [granularity] picks whole-array
+    (default, as the paper) or interval tracking; [trace] records the
+    execution timeline; [seed] drives the deterministic jitter streams. *)
+val run :
+  ?coherence:bool -> ?granularity:Coherence.granularity -> ?seed:int ->
+  ?trace:bool -> ?cm:Gpusim.Costmodel.t -> Codegen.Tprog.t -> outcome
+
+(** Compile and run a source string (instrumented when [instrument]). *)
+val run_string :
+  ?opts:Codegen.Options.t -> ?instrument:bool -> ?mode:Codegen.Checkgen.mode ->
+  ?granularity:Coherence.granularity -> ?coherence:bool -> ?seed:int ->
+  ?cm:Gpusim.Costmodel.t -> string -> outcome

@@ -1,0 +1,79 @@
+(** Sets of disjoint half-open integer intervals [lo, hi).
+
+    The substrate of the fine-grained coherence mode: per-device staleness
+    is tracked as the set of element ranges whose value is outdated, instead
+    of one status for the whole buffer.  The paper (§III-B) discusses this
+    granularity trade-off — finer tracking catches partial-transfer bugs the
+    coarse scheme cannot, at higher tracking cost — and we implement both.
+
+    Invariant: intervals are sorted, non-empty, non-overlapping and
+    non-adjacent (maximally coalesced). *)
+
+type t = (int * int) list
+
+let empty : t = []
+
+let is_empty (t : t) = t = []
+
+let of_range lo hi : t = if hi > lo then [ (lo, hi) ] else []
+
+(** Normalize an arbitrary interval list into the canonical form. *)
+let normalize l : t =
+  let l = List.filter (fun (lo, hi) -> hi > lo) l in
+  let l = List.sort compare l in
+  let rec merge = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 ->
+        merge ((a1, max b1 b2) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge l
+
+let add (t : t) ~lo ~hi : t = normalize ((lo, hi) :: t)
+
+(** Remove [lo, hi) from the set. *)
+let subtract (t : t) ~lo ~hi : t =
+  if hi <= lo then t
+  else
+    List.concat_map
+      (fun (a, b) ->
+        if hi <= a || b <= lo then [ (a, b) ]
+        else
+          (if a < lo then [ (a, lo) ] else [])
+          @ if hi < b then [ (hi, b) ] else [])
+      t
+
+let union (a : t) (b : t) : t = normalize (a @ b)
+
+(** Does [lo, hi) intersect the set? *)
+let intersects (t : t) ~lo ~hi =
+  hi > lo && List.exists (fun (a, b) -> a < hi && b > lo) t
+
+(** The portion of the set inside [lo, hi). *)
+let clip (t : t) ~lo ~hi : t =
+  List.filter_map
+    (fun (a, b) ->
+      let a = max a lo and b = min b hi in
+      if b > a then Some (a, b) else None)
+    t
+
+let mem (t : t) i = intersects t ~lo:i ~hi:(i + 1)
+
+(** Total number of elements covered. *)
+let measure (t : t) = List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 t
+
+(** Number of disjoint intervals (the tracking-cost driver). *)
+let pieces (t : t) = List.length t
+
+let equal (a : t) (b : t) = a = b
+
+(** Is [lo, hi) entirely covered? *)
+let covers (t : t) ~lo ~hi =
+  hi <= lo || measure (clip t ~lo ~hi) = hi - lo
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, b) -> Fmt.pf ppf "[%d,%d)" a b))
+    t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,33 @@
+(** Sets of disjoint half-open integer intervals [lo, hi) — the substrate of
+    the fine-grained coherence mode (the granularity alternative the paper
+    weighs in §III-B).
+
+    Canonical form invariant: sorted, non-empty, non-overlapping,
+    maximally coalesced. *)
+
+type t = (int * int) list
+
+val empty : t
+val is_empty : t -> bool
+val of_range : int -> int -> t
+val normalize : (int * int) list -> t
+val add : t -> lo:int -> hi:int -> t
+val subtract : t -> lo:int -> hi:int -> t
+val union : t -> t -> t
+val intersects : t -> lo:int -> hi:int -> bool
+
+(** The portion of the set inside [lo, hi). *)
+val clip : t -> lo:int -> hi:int -> t
+
+val mem : t -> int -> bool
+
+(** Total number of elements covered. *)
+val measure : t -> int
+
+(** Number of disjoint intervals (the tracking-cost driver). *)
+val pieces : t -> int
+
+val equal : t -> t -> bool
+val covers : t -> lo:int -> hi:int -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

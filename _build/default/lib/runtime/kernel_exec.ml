@@ -1,0 +1,287 @@
+(** GPU-kernel execution on the simulated device.
+
+    Iterations of the parallel loop play the role of GPU threads.  They run
+    sequentially but with the memory semantics parallel execution would have:
+
+    - arrays are shared and live in device memory;
+    - private/firstprivate scalars (and loop induction variables) are fresh
+      per iteration, initialized from the kernel-entry host value;
+    - reduction scalars accumulate into per-thread partials that are combined
+      in pairwise tree order, so float results differ from the sequential
+      reference in the last bits — the CPU/GPU precision mismatch that
+      motivates the paper's configurable error margin;
+    - an {e active} raced scalar is re-initialized from the kernel-entry
+      value at every iteration: every "thread" reads the stale initial value
+      and the last writer wins — the canonical GPU race outcome;
+    - a {e latent} raced scalar is register-promoted by the backend and
+      behaves like a private one; only its final (dead) writeback races, so
+      outputs never differ (§IV-B's undetectable latent errors). *)
+
+open Minic.Ast
+open Codegen.Tprog
+open Value
+
+type result = { iterations : int; ops : int }
+
+let identity op init_value =
+  match (op, init_value) with
+  | Rsum, Int _ -> Int 0
+  | Rsum, Flt _ -> Flt 0.0
+  | Rprod, Int _ -> Int 1
+  | Rprod, Flt _ -> Flt 1.0
+  | Rmax, Int _ -> Int min_int
+  | Rmax, Flt _ -> Flt Float.neg_infinity
+  | Rmin, Int _ -> Int max_int
+  | Rmin, Flt _ -> Flt Float.infinity
+  | Rland, _ -> Int 1
+  | Rlor, _ -> Int 0
+
+let combine op a b =
+  match op with
+  | Rsum -> Eval.arith Add a b
+  | Rprod -> Eval.arith Mul a b
+  | Rmax -> (
+      match (a, b) with
+      | Int x, Int y -> Int (max x y)
+      | _ -> Flt (Float.max (to_float a) (to_float b)))
+  | Rmin -> (
+      match (a, b) with
+      | Int x, Int y -> Int (min x y)
+      | _ -> Flt (Float.min (to_float a) (to_float b)))
+  | Rland -> Int (if truthy a && truthy b then 1 else 0)
+  | Rlor -> Int (if truthy a || truthy b then 1 else 0)
+
+(* Pairwise (tree-order) combination of the per-thread partials. *)
+let rec tree_reduce op = function
+  | [] -> None
+  | [ x ] -> Some x
+  | l ->
+      let rec pair = function
+        | a :: b :: rest -> combine op a b :: pair rest
+        | rest -> rest
+      in
+      tree_reduce op (pair l)
+
+(* All names appearing in a statement list. *)
+let names_of_block block =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec expr = function
+    | Eint _ | Efloat _ -> ()
+    | Evar v -> add v
+    | Eindex (a, i) -> expr a; expr i
+    | Eunop (_, a) -> expr a
+    | Ebinop (_, a, b) -> expr a; expr b
+    | Ecall (_, args) -> List.iter expr args
+    | Econd (c, a, b) -> expr c; expr a; expr b
+  in
+  let rec lv = function
+    | Lvar v -> add v
+    | Lindex (b, i) -> lv b; expr i
+  in
+  let rec stmt s =
+    match s.skind with
+    | Sskip | Sbreak | Scontinue -> ()
+    | Sexpr e -> expr e
+    | Sassign (l, e) -> lv l; expr e
+    | Sdecl (_, v, init) -> add v; Option.iter expr init
+    | Sif (c, b1, b2) -> expr c; List.iter stmt b1; List.iter stmt b2
+    | Swhile (c, b) -> expr c; List.iter stmt b
+    | Sfor (i, c, st, b) ->
+        Option.iter stmt i; Option.iter expr c; Option.iter stmt st;
+        List.iter stmt b
+    | Sblock b -> List.iter stmt b
+    | Sreturn e -> Option.iter expr e
+    | Sacc (_, b) -> Option.iter stmt b
+  in
+  List.iter stmt block;
+  !acc
+
+let kernel_names k =
+  let header =
+    match k.k_loop with
+    | None -> []
+    | Some l ->
+        [ mk_stmt (Sassign (Lvar l.kl_var, l.kl_init));
+          mk_stmt (Sexpr l.kl_cond) ]
+        @ Option.to_list l.kl_step
+  in
+  names_of_block (header @ k.k_body)
+
+(** Execute kernel [k] against [device], reading initial scalar values from —
+    and committing results to — the host environment of [host_ctx]. *)
+let run (host_ctx : Eval.ctx) device (k : kernel) : result =
+  let host_env = host_ctx.Eval.env in
+  let names = kernel_names k in
+
+  (* Base frame: device-array bindings and kernel-entry scalar copies. *)
+  let base : Value.frame = Hashtbl.create 16 in
+  let entry = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match Value.lookup host_env n with
+      | Some (Array slot) ->
+          let root = slot.root in
+          let dbuf = Gpusim.Device.buffer device root in
+          Hashtbl.replace base n
+            (Array { buf = Some dbuf; root; shape = Value.shape_of slot })
+      | Some (Scalar c) ->
+          Hashtbl.replace entry n c.v;
+          Hashtbl.replace base n (Scalar { v = c.v })
+      | None -> () (* declared inside the kernel body *))
+    names;
+
+  let kenv : Value.t =
+    { Value.globals = Hashtbl.create 1; frames = [ base ] }
+  in
+  let kctx = Eval.make host_ctx.Eval.prog kenv in
+
+  let entry_value v =
+    match Hashtbl.find_opt entry v with Some x -> x | None -> Int 0
+  in
+
+  (* Scalars handled per-thread, with their treatment. *)
+  let class_of = k.k_scalars in
+  let extra_induction =
+    Analysis.Varset.filter
+      (fun v ->
+        Hashtbl.mem entry v && not (List.mem_assoc v class_of)
+        && (match k.k_loop with Some l -> v <> l.kl_var | None -> true))
+      k.k_induction
+  in
+
+  let partials : (string, scalar list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (v, c) ->
+      match c with
+      | Sc_reduction _ -> Hashtbl.replace partials v (ref [])
+      | Sc_private | Sc_firstprivate | Sc_raced _ -> ())
+    class_of;
+  let last_values : (string, scalar) Hashtbl.t = Hashtbl.create 8 in
+
+  let fresh_thread_frame () =
+    let frame = Hashtbl.create 8 in
+    List.iter
+      (fun (v, c) ->
+        let init =
+          match c with
+          | Sc_reduction op -> identity op (entry_value v)
+          | Sc_private | Sc_firstprivate | Sc_raced _ -> entry_value v
+        in
+        Hashtbl.replace frame v (Scalar { v = init }))
+      class_of;
+    Analysis.Varset.iter
+      (fun v -> Hashtbl.replace frame v (Scalar { v = entry_value v }))
+      extra_induction;
+    frame
+  in
+
+  let record_thread_results frame =
+    Hashtbl.iter
+      (fun v b ->
+        match b with
+        | Scalar c -> (
+            match List.assoc_opt v class_of with
+            | Some (Sc_reduction _) -> (
+                match Hashtbl.find_opt partials v with
+                | Some l -> l := c.v :: !l
+                | None -> ())
+            | Some _ -> Hashtbl.replace last_values v c.v
+            | None ->
+                if Analysis.Varset.mem v extra_induction then
+                  Hashtbl.replace last_values v c.v)
+        | Array _ -> ())
+      frame
+  in
+
+  let iterations = ref 0 in
+  (match k.k_loop with
+  | None ->
+      (* Single-thread kernel. *)
+      iterations := 1;
+      let frame = fresh_thread_frame () in
+      kenv.frames <- frame :: kenv.frames;
+      Value.scoped kenv (fun () -> Eval.exec_block kctx k.k_body);
+      kenv.frames <- List.tl kenv.frames;
+      record_thread_results frame
+  | Some l when k.k_seq ->
+      (* seq clause: genuinely sequential on the device — persistent scalar
+         state across iterations, no race semantics. *)
+      iterations := 0;
+      let frame = fresh_thread_frame () in
+      (* sequential semantics: start private-ish cells from entry values *)
+      List.iter
+        (fun (v, _) ->
+          Hashtbl.replace frame v (Scalar { v = entry_value v }))
+        class_of;
+      kenv.frames <- frame :: kenv.frames;
+      let driver = { v = Eval.eval kctx l.kl_init } in
+      Hashtbl.replace frame l.kl_var (Scalar driver);
+      while truthy (Eval.eval kctx l.kl_cond) do
+        incr iterations;
+        Value.scoped kenv (fun () -> Eval.exec_block kctx l.kl_body);
+        match l.kl_step with
+        | Some st -> Eval.exec kctx st
+        | None -> ()
+      done;
+      kenv.frames <- List.tl kenv.frames;
+      (* Sequential commits: every handled scalar takes its final value. *)
+      Hashtbl.iter
+        (fun v b ->
+          match b with
+          | Scalar c when v <> l.kl_var ->
+              Hashtbl.replace last_values v c.v
+          | _ -> ())
+        frame;
+      (match Hashtbl.find_opt frame l.kl_var with
+      | Some (Scalar c) -> Hashtbl.replace last_values l.kl_var c.v
+      | _ -> ())
+  | Some l ->
+      (* Parallel loop: one thread per iteration. *)
+      let driver = { v = Eval.eval kctx l.kl_init } in
+      Hashtbl.replace base l.kl_var (Scalar driver);
+      while truthy (Eval.eval kctx l.kl_cond) do
+        incr iterations;
+        let frame = fresh_thread_frame () in
+        kenv.frames <- frame :: kenv.frames;
+        Value.scoped kenv (fun () -> Eval.exec_block kctx l.kl_body);
+        kenv.frames <- List.tl kenv.frames;
+        record_thread_results frame;
+        match l.kl_step with
+        | Some st -> Eval.exec kctx st
+        | None -> ()
+      done;
+      (* The loop variable's exit value matches sequential execution. *)
+      Hashtbl.replace last_values l.kl_var driver.v);
+
+  (* Commit results back to the host environment. *)
+  List.iter
+    (fun (v, c) ->
+      match Value.lookup host_env v with
+      | Some (Scalar host_cell) -> (
+          match c with
+          | Sc_reduction op when not k.k_seq -> (
+              let parts =
+                match Hashtbl.find_opt partials v with
+                | Some l -> List.rev !l
+                | None -> []
+              in
+              match tree_reduce op parts with
+              | Some total -> host_cell.v <- combine op (entry_value v) total
+              | None -> ())
+          | Sc_reduction _ | Sc_private | Sc_firstprivate | Sc_raced _ -> (
+              match Hashtbl.find_opt last_values v with
+              | Some value -> host_cell.v <- value
+              | None -> ()))
+      | Some (Array _) | None -> ())
+    class_of;
+  (* Loop variable and other outer induction variables. *)
+  let commit_plain v =
+    match (Value.lookup host_env v, Hashtbl.find_opt last_values v) with
+    | Some (Scalar host_cell), Some value -> host_cell.v <- value
+    | _ -> ()
+  in
+  (match k.k_loop with Some l -> commit_plain l.kl_var | None -> ());
+  Analysis.Varset.iter commit_plain extra_induction;
+
+  { iterations = !iterations; ops = kctx.Eval.ops }

@@ -1,0 +1,24 @@
+(** GPU-kernel execution on the simulated device.
+
+    Iterations of the parallel loop play the role of GPU threads: arrays are
+    shared in device memory; private/firstprivate scalars and induction
+    variables are fresh per iteration; reduction scalars accumulate into
+    per-thread partials combined in pairwise tree order (hence float results
+    differ from the sequential reference in the last bits); an {e active}
+    raced scalar re-reads the kernel-entry value in every iteration with the
+    last writer winning; a {e latent} raced scalar is register-promoted and
+    behaves privately (§IV-B's undetectable errors). *)
+
+type result = { iterations : int; ops : int }
+
+(** Identity element of a reduction, typed like the host initial value. *)
+val identity : Minic.Ast.redop -> Value.scalar -> Value.scalar
+
+val combine : Minic.Ast.redop -> Value.scalar -> Value.scalar -> Value.scalar
+
+(** Pairwise (tree-order) combination of per-thread partials. *)
+val tree_reduce : Minic.Ast.redop -> Value.scalar list -> Value.scalar option
+
+(** Execute a kernel against the device, reading initial scalars from — and
+    committing results to — the host environment of the given context. *)
+val run : Eval.ctx -> Gpusim.Device.t -> Codegen.Tprog.kernel -> result

@@ -1,0 +1,68 @@
+(** Runtime values and environments for the Mini-C interpreters.
+
+    Scalars are mutable cells; arrays are flattened {!Gpusim.Buf} buffers
+    held in mutable slots (with a shape for multi-dimensional arrays) so
+    that pointer assignment rebinds the slot — the pointer-swap idiom of
+    BACKPROP/LUD.  A slot's [root] is the name of the buffer it currently
+    designates: the key for device memory and coherence tracking. *)
+
+type scalar = Int of int | Flt of float
+
+val to_float : scalar -> float
+val to_int : scalar -> int
+val truthy : scalar -> bool
+
+type cell = { mutable v : scalar }
+
+type slot = {
+  mutable buf : Gpusim.Buf.t option;
+  mutable root : string;
+  mutable shape : int array;
+      (** dimensions, outermost first; [[||]] until materialized *)
+}
+
+type binding = Scalar of cell | Array of slot
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** {1 Environments}: a stack of frames over a global frame. *)
+
+type frame = (string, binding) Hashtbl.t
+
+type t = { globals : frame; mutable frames : frame list }
+
+val create : unit -> t
+val push : t -> unit
+val pop : t -> unit
+
+(** Run [f] in a fresh scope. *)
+val scoped : t -> (unit -> 'a) -> 'a
+
+val declare : t -> string -> binding -> unit
+val declare_global : t -> string -> binding -> unit
+val lookup : t -> string -> binding option
+
+(** @raise Runtime_error when unbound. *)
+val lookup_exn : t -> string -> binding
+
+val scalar_cell : t -> string -> cell
+val array_slot : t -> string -> slot
+
+(** The (flattened) buffer behind an array/pointer name.
+    @raise Runtime_error when not materialized. *)
+val array_buf : t -> string -> Gpusim.Buf.t
+
+(** Root name of the buffer currently designated by a name. *)
+val root_of : t -> string -> string
+
+val get_scalar : t -> string -> scalar
+val set_scalar : t -> string -> scalar -> unit
+
+(** Shape of an array binding ([[|len|]] when it was never given one). *)
+val shape_of : slot -> int array
+
+(** Deep snapshot of named array contents (kernel verification
+    checkpoints). *)
+val snapshot_arrays : t -> string list -> (string * Gpusim.Buf.t) list

@@ -1,0 +1,1 @@
+lib/suite/backprop.ml: Bench_def Str_util

@@ -1,0 +1,1 @@
+lib/suite/bfs.ml: Bench_def Str_util

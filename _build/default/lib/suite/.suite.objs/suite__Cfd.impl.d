@@ -1,0 +1,1 @@
+lib/suite/cfd.ml: Bench_def Str_util

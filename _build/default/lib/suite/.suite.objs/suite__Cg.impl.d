@@ -1,0 +1,1 @@
+lib/suite/cg.ml: Bench_def Str_util

@@ -1,0 +1,1 @@
+lib/suite/ep.ml: Bench_def Str_util

@@ -1,0 +1,1 @@
+lib/suite/hotspot.ml: Bench_def Str_util

@@ -1,0 +1,1 @@
+lib/suite/jacobi.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/suite/kmeans.ml: Bench_def Str_util

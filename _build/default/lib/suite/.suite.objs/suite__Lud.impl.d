@@ -1,0 +1,1 @@
+lib/suite/lud.ml: Bench_def Str_util

@@ -1,0 +1,1 @@
+lib/suite/nw.ml: Bench_def Str_util

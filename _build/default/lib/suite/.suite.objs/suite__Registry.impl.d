@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Backprop Bench_def Bfs Cfd Cg Ep Hotspot Jacobi Kmeans List Lud Nw Spmul Srad String

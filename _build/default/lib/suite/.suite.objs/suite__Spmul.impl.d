@@ -1,0 +1,1 @@
+lib/suite/spmul.ml: Bench_def Str_util

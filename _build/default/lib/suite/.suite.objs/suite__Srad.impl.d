@@ -1,0 +1,1 @@
+lib/suite/srad.ml: Bench_def Str_util

@@ -1,0 +1,1 @@
+lib/suite/str_util.ml: Buffer String

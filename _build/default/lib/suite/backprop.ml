@@ -1,0 +1,101 @@
+(** BACKPROP: Rodinia neural-network training.
+
+    Four kernels (two forward passes with private accumulators, an output
+    error sum reduction, a weight update).  The output-layer weights are
+    double-buffered through the pointers [w2]/[w2prev], swapped each epoch —
+    the unresolved aliasing that makes the compiler's may-dead facts about
+    [w2a]/[w2b] unreliable and produces Table III's incorrect iteration:
+    the tool suggests that keeping the weight planes device-only is safe,
+    but the final host checksum reads one of them through the pointer. *)
+
+let kernels = 4
+let private_ = 2
+let reduction = 1
+
+let body = {|
+int main() {
+  int ni = 32;
+  int nh = 16;
+  int no = 8;
+  int epochs = 6;
+  float input[ni];
+  float hidden[nh];
+  float output[no];
+  float target[no];
+  float delta[no];
+  float w1[ni * nh];
+  float w2a[nh * no];
+  float w2b[nh * no];
+  float *w2;
+  float *w2prev;
+  float *tmpp;
+  float sumv;
+  float sumo;
+  float err = 0.0;
+  float lr = 0.05;
+  for (int i = 0; i < ni; i++) { input[i] = 0.1 * float(i % 10); }
+  for (int j = 0; j < no; j++) { target[j] = 0.5 + 0.05 * float(j); }
+  for (int i = 0; i < ni * nh; i++) { w1[i] = 0.01 * float(i % 13); }
+  for (int i = 0; i < nh * no; i++) {
+    w2a[i] = 0.02 * float(i % 7);
+    w2b[i] = 0.02 * float(i % 7);
+  }
+  w2 = w2a;
+  w2prev = w2b;
+  __REGION__
+  float checksum = 0.0;
+  for (int i = 0; i < nh * no; i++) { checksum = checksum + w2[i]; }
+  return 0;
+}
+|}
+
+let region = {|for (int e = 0; e < epochs; e++) {
+    #pragma acc kernels loop gang worker private(sumv)
+    for (int j = 0; j < nh; j++) {
+      sumv = 0.0;
+      for (int i = 0; i < ni; i++) {
+        sumv = sumv + input[i] * w1[i * nh + j];
+      }
+      hidden[j] = 1.0 / (1.0 + exp(0.0 - sumv));
+    }
+    #pragma acc kernels loop gang worker private(sumo)
+    for (int j = 0; j < no; j++) {
+      sumo = 0.0;
+      for (int i = 0; i < nh; i++) {
+        sumo = sumo + hidden[i] * w2[i * no + j];
+      }
+      output[j] = 1.0 / (1.0 + exp(0.0 - sumo));
+    }
+    err = 0.0;
+    #pragma acc kernels loop gang worker reduction(+:err)
+    for (int j = 0; j < no; j++) {
+      delta[j] = (target[j] - output[j]) * output[j] * (1.0 - output[j]);
+      err = err + fabs(target[j] - output[j]);
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < nh; i++) {
+      for (int j = 0; j < no; j++) {
+        w2prev[i * no + j] = w2[i * no + j] + lr * delta[j] * hidden[i];
+      }
+    }
+    tmpp = w2;
+    w2 = w2prev;
+    w2prev = tmpp;
+  }|}
+
+let region_opt =
+  "#pragma acc data copyin(input, target, w1) copy(w2a, w2b) \
+   create(hidden, output, delta)\n  {\n  " ^ region ^ "\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "BACKPROP";
+    description =
+      "Rodinia BACKPROP: NN training with pointer-swapped weight planes";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "checksum"; "err" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,31 @@
+(** Benchmark registry interface.
+
+    Each of the twelve OpenACC benchmarks of the paper's evaluation (§IV-A:
+    JACOBI, SPMUL, NAS EP and CG, Rodinia BACKPROP, BFS, CFD, SRAD, HOTSPOT,
+    KMEANS, LUD, NW) provides two Mini-C/OpenACC variants:
+
+    - [source]: the *unoptimized* port — compute regions annotated, but
+      memory management left to the OpenACC default scheme (the naive
+      copy-around-every-kernel baseline of Figure 1 and the §IV-C starting
+      point);
+    - [optimized]: the manually tuned port with data regions and targeted
+      [update] directives (the normalization baseline of Figure 1 and the
+      gold standard for Table III's uncaught-redundancy column).
+
+    [outputs] are the host variables that define observable correctness;
+    [expected_kernels] documents the kernel census used by Table II. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  optimized : string;
+  outputs : string list;
+  expected_kernels : int;
+  expected_private : int;  (** kernels containing private data *)
+  expected_reduction : int;  (** kernels containing reduction *)
+}
+
+let scale_note =
+  "Workload sizes are scaled to interpreter speed; structure (kernel count, \
+   data-movement pattern, directive pitfalls) follows the original codes."

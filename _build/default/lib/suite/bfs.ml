@@ -1,0 +1,106 @@
+(** BFS: Rodinia breadth-first search on an implicit graph.
+
+    Two plain kernels per level (frontier expansion and frontier swap); the
+    host inspects the frontier each level to decide termination, so one
+    download per level is required.  Integer arrays exercise the [Ibuf]
+    side of the device memory. *)
+
+let kernels = 2
+let private_ = 0
+let reduction = 0
+
+let body = {|
+int main() {
+  int nv = 64;
+  int maxdepth = 40;
+  int dfinal = 0;
+  int levels[nv];
+  int frontier[nv];
+  int nextf[nv];
+  int cont = 1;
+  for (int i = 0; i < nv; i++) {
+    levels[i] = 0 - 1;
+    frontier[i] = 0;
+    nextf[i] = 0;
+  }
+  frontier[0] = 1;
+  levels[0] = 0;
+  __REGION__
+  int reached = 0;
+  for (int i = 0; i < nv; i++) {
+    if (levels[i] >= 0) { reached = reached + 1; }
+  }
+  return 0;
+}
+|}
+
+let region = {|for (int depth = 0; depth < maxdepth; depth++) {
+    #pragma acc kernels loop gang worker
+    for (int v = 0; v < nv; v++) {
+      if (frontier[v] == 1) {
+        if (levels[(v + 1) % nv] == 0 - 1) {
+          levels[(v + 1) % nv] = depth + 1;
+          nextf[(v + 1) % nv] = 1;
+        }
+        if (levels[(v + 7) % nv] == 0 - 1) {
+          levels[(v + 7) % nv] = depth + 1;
+          nextf[(v + 7) % nv] = 1;
+        }
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (int v = 0; v < nv; v++) {
+      frontier[v] = nextf[v];
+      nextf[v] = 0;
+    }
+    #pragma acc update host(frontier)
+    cont = 0;
+    for (int v = 0; v < nv; v++) {
+      if (frontier[v] == 1) { cont = 1; }
+    }
+    if (cont == 1) { dfinal = depth + 1; }
+    if (cont == 0) { break; }
+  }|}
+
+let region_opt = {|#pragma acc data copyin(nextf) copy(levels, frontier)
+  {
+  for (int depth = 0; depth < maxdepth; depth++) {
+    #pragma acc kernels loop gang worker
+    for (int v = 0; v < nv; v++) {
+      if (frontier[v] == 1) {
+        if (levels[(v + 1) % nv] == 0 - 1) {
+          levels[(v + 1) % nv] = depth + 1;
+          nextf[(v + 1) % nv] = 1;
+        }
+        if (levels[(v + 7) % nv] == 0 - 1) {
+          levels[(v + 7) % nv] = depth + 1;
+          nextf[(v + 7) % nv] = 1;
+        }
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (int v = 0; v < nv; v++) {
+      frontier[v] = nextf[v];
+      nextf[v] = 0;
+    }
+    #pragma acc update host(frontier)
+    cont = 0;
+    for (int v = 0; v < nv; v++) {
+      if (frontier[v] == 1) { cont = 1; }
+    }
+    if (cont == 1) { dfinal = depth + 1; }
+    if (cont == 0) { break; }
+  }
+  }|}
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "BFS";
+    description = "Rodinia BFS: level-synchronous breadth-first search";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "levels"; "reached"; "dfinal" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

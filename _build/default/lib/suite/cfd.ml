@@ -1,0 +1,129 @@
+(** CFD: Rodinia Euler solver (structure following euler3d).
+
+    Nine kernels per time step: save-old, step factor and two flux kernels
+    with private temporaries, two more flux kernels, and three update
+    kernels.  A per-iteration download of the energy field feeds a
+    diagnostics branch that is compiled in but disabled ([verbose = 0]);
+    because the host *statically* touches [ener] inside the loop, the GPU
+    write-check for it cannot be hoisted, and this is the one redundant
+    transfer the scheme cannot expose (Table III: CFD's uncaught
+    redundancy, §IV-C's "locally optimized checking" limitation). *)
+
+let kernels = 9
+let private_ = 3
+let reduction = 0
+
+let body = {|
+int main() {
+  int n = 64;
+  int steps = 5;
+  int verbose = 0;
+  float dens[n];
+  float momx[n];
+  float momy[n];
+  float ener[n];
+  float dens_old[n];
+  float momx_old[n];
+  float momy_old[n];
+  float ener_old[n];
+  float sf[n];
+  float fluxd[n];
+  float fluxmx[n];
+  float fluxmy[n];
+  float fluxe[n];
+  float t1;
+  float t2;
+  float t3;
+  float vcheck = 0.0;
+  for (int i = 0; i < n; i++) {
+    dens[i] = 1.0 + 0.01 * float(i % 11);
+    momx[i] = 0.1 * float(i % 7);
+    momy[i] = 0.05 * float(i % 5);
+    ener[i] = 2.0 + 0.01 * float(i % 13);
+  }
+  __REGION__
+  float dsum = 0.0;
+  float esum = 0.0;
+  for (int i = 0; i < n; i++) {
+    dsum = dsum + dens[i];
+    esum = esum + ener[i];
+  }
+  return 0;
+}
+|}
+
+let loop_kernels = {|#pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      dens_old[i] = dens[i];
+      momx_old[i] = momx[i];
+      momy_old[i] = momy[i];
+      ener_old[i] = ener[i];
+    }
+    #pragma acc kernels loop gang worker private(t1)
+    for (int i = 0; i < n; i++) {
+      t1 = dens[i] * dens[i] + momx[i] * momx[i] + momy[i] * momy[i] + 0.1;
+      sf[i] = 0.5 / sqrt(t1);
+    }
+    #pragma acc kernels loop gang worker private(t2)
+    for (int i = 0; i < n; i++) {
+      t2 = momx[i] + momy[i];
+      fluxd[i] = t2 - dens[i] * 0.1;
+    }
+    #pragma acc kernels loop gang worker private(t3)
+    for (int i = 0; i < n; i++) {
+      t3 = (ener[i] + dens[i] * 0.4) / (dens[i] + 0.5);
+      fluxmx[i] = momx[i] * t3;
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      fluxmy[i] = momy[i] * (ener[i] + dens[i] * 0.4) / (dens[i] + 0.5);
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      fluxe[i] = (momx[i] + momy[i]) * (ener[i] + 0.4) / (dens[i] + 0.5);
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      dens[i] = dens_old[i] + sf[i] * fluxd[i] * 0.01;
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      momx[i] = momx_old[i] + sf[i] * fluxmx[i] * 0.01;
+      momy[i] = momy_old[i] + sf[i] * fluxmy[i] * 0.01;
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      ener[i] = ener_old[i] + sf[i] * fluxe[i] * 0.01;
+    }|}
+
+let diagnostics = {|#pragma acc update host(ener)
+    if (verbose == 1) {
+      for (int i = 0; i < n; i++) { vcheck = vcheck + ener[i]; }
+    }|}
+
+let region =
+  "for (int t = 0; t < steps; t++) {\n    " ^ loop_kernels ^ "\n    "
+  ^ diagnostics ^ "\n  }"
+
+(* The manual port drops the diagnostics download altogether (the human
+   knows the branch is dead); the tool cannot prove it. *)
+let region_opt =
+  "#pragma acc data copy(dens, momx, momy, ener) \
+   create(dens_old, momx_old, momy_old, ener_old, sf, fluxd, fluxmx, \
+   fluxmy, fluxe)\n  {\n  for (int t = 0; t < steps; t++) {\n    "
+  ^ loop_kernels ^ "\n    if (verbose == 1) {\n      \
+     #pragma acc update host(ener)\n      \
+     for (int i = 0; i < n; i++) { vcheck = vcheck + ener[i]; }\n    }\n  }\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "CFD";
+    description =
+      "Rodinia CFD: Euler solver with a dead diagnostics download";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "dsum"; "esum"; "dens"; "ener" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

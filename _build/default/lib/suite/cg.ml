@@ -1,0 +1,134 @@
+(** CG: NAS conjugate-gradient benchmark (the paper's Listing 1).
+
+    Nine kernels: sparse mat-vec products with private accumulators, two
+    sum reductions, and the write-only, partially-written array [q] whose
+    deadness the paper uses to motivate may-dead warnings.  The host
+    recomputes [rho] from [r] every inner iteration, so one download of [r]
+    per [cgit] step is genuinely required. *)
+
+let kernels = 9
+let private_ = 2
+let reduction = 2
+
+let body = {|
+int main() {
+  int n = 256;
+  int band = 2;
+  int maxnnz = n * 5;
+  int rowptr[n + 1];
+  int col[maxnnz];
+  float aval[maxnnz];
+  float x[n];
+  float z[n];
+  float p[n];
+  float q[n];
+  float r[n];
+  float w[n];
+  float t;
+  float t2;
+  float rho = 0.0;
+  float d = 0.0;
+  float alpha = 0.0;
+  float beta = 0.0;
+  float rho0 = 0.0;
+  int nnz = 0;
+  for (int row = 0; row < n; row++) {
+    rowptr[row] = nnz;
+    for (int c = row - band; c <= row + band; c++) {
+      if (c >= 0 && c < n) {
+        col[nnz] = c;
+        aval[nnz] = (row == c) ? 4.0 : -1.0 / (1.0 + float(abs(row - c)));
+        nnz = nnz + 1;
+      }
+    }
+  }
+  rowptr[n] = nnz;
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0 + float(i % 3) * 0.1;
+    q[i] = 0.0;
+  }
+  __REGION__
+  float xnorm = 0.0;
+  for (int i = 0; i < n; i++) { xnorm = xnorm + x[i] * x[i]; }
+  return 0;
+}
+|}
+
+let region = {|for (int it = 0; it < 3; it++) {
+    #pragma acc kernels loop gang worker
+    for (int j = 0; j < n; j++) {
+      q[j] = 0.0;
+      z[j] = 0.0;
+      r[j] = x[j];
+      p[j] = x[j];
+    }
+    rho = 0.0;
+    #pragma acc kernels loop gang worker reduction(+:rho)
+    for (int j = 0; j < n; j++) {
+      rho = rho + r[j] * r[j];
+    }
+    for (int cgit = 0; cgit < 4; cgit++) {
+      #pragma acc kernels loop gang worker private(t)
+      for (int row = 0; row < n; row++) {
+        t = 0.0;
+        for (int k = rowptr[row]; k < rowptr[row + 1]; k++) {
+          t = t + aval[k] * p[col[k]];
+        }
+        q[row] = t;
+      }
+      d = 0.0;
+      #pragma acc kernels loop gang worker reduction(+:d)
+      for (int j = 0; j < n; j++) {
+        d = d + p[j] * q[j];
+      }
+      alpha = rho / d;
+      rho0 = rho;
+      #pragma acc kernels loop gang worker
+      for (int j = 0; j < n; j++) {
+        z[j] = z[j] + alpha * p[j];
+        r[j] = r[j] - alpha * q[j];
+      }
+      #pragma acc update host(r)
+      rho = 0.0;
+      for (int j = 0; j < n; j++) {
+        rho = rho + r[j] * r[j];
+      }
+      beta = rho / rho0;
+      #pragma acc kernels loop gang worker
+      for (int j = 0; j < n; j++) {
+        p[j] = r[j] + beta * p[j];
+      }
+    }
+    #pragma acc kernels loop gang worker private(t2)
+    for (int row = 0; row < n; row++) {
+      t2 = 0.0;
+      for (int k = rowptr[row]; k < rowptr[row + 1]; k++) {
+        t2 = t2 + aval[k] * z[col[k]];
+      }
+      w[row] = t2;
+    }
+    #pragma acc kernels loop gang worker
+    for (int j = 0; j < n; j++) {
+      x[j] = 0.9 * x[j] + 0.1 * w[j];
+    }
+    #pragma acc kernels loop gang worker
+    for (int j = 0; j < n; j++) {
+      z[j] = z[j] * 0.5;
+    }
+  }|}
+
+let region_opt =
+  "#pragma acc data copyin(rowptr, col, aval) copy(x) create(q, z, p, w, r)\n  {\n  " ^ region ^ "\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "CG";
+    description =
+      "NAS CG: conjugate gradient with GPU-only arrays (paper Listing 1)";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "x"; "xnorm"; "rho" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,59 @@
+(** EP: NAS "embarrassingly parallel" pseudo-random pair benchmark.
+
+    Kernel 0 seeds a per-sample state array through a write-first temporary
+    (private data); kernel 1 accumulates a Gaussian-tally statistic as a sum
+    reduction with no temporaries, so that under Table II's fault injection
+    kernel 0 incurs a latent race and kernel 1 an active one. *)
+
+let kernels = 2
+let private_ = 1
+let reduction = 1
+
+let body = {|
+int main() {
+  int n = 4096;
+  int seeds[n];
+  int s;
+  float acc1 = 0.0;
+  __REGION__
+  float result = acc1 / float(n);
+  return 0;
+}
+|}
+
+let compute = {|#pragma acc kernels loop gang worker private(s)
+  for (int i = 0; i < n; i++) {
+    s = (i * 2531011 + 331) % 65536;
+    s = (s * 1103 + 12345) % 65536;
+    seeds[i] = s;
+  }
+  #pragma acc kernels loop gang worker reduction(+:acc1)
+  for (int i = 0; i < n; i++) {
+    acc1 = acc1 + float((seeds[i] * 214013 + 2531011) % 10007) * 0.0001;
+  }|}
+
+let compute_opt = {|#pragma acc data create(seeds)
+  {
+    #pragma acc kernels loop gang worker private(s)
+    for (int i = 0; i < n; i++) {
+      s = (i * 2531011 + 331) % 65536;
+      s = (s * 1103 + 12345) % 65536;
+      seeds[i] = s;
+    }
+    #pragma acc kernels loop gang worker reduction(+:acc1)
+    for (int i = 0; i < n; i++) {
+      acc1 = acc1 + float((seeds[i] * 214013 + 2531011) % 10007) * 0.0001;
+    }
+  }|}
+
+let subst region = Str_util.replace ~needle:"__REGION__" ~with_:region body
+
+let bench : Bench_def.t =
+  { name = "EP";
+    description = "NAS EP: embarrassingly parallel random-pair statistic";
+    source = subst compute;
+    optimized = subst compute_opt;
+    outputs = [ "acc1"; "result" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,71 @@
+(** HOTSPOT: thermal simulation stencil (Rodinia).
+
+    One kernel per time step over a genuine 2-D grid, double-buffered across
+    the planes of a 3-D temperature array with a host-flipped plane index
+    (no pointer aliasing, unlike BACKPROP/LUD).  The per-cell temperature
+    delta is a write-first private temporary. *)
+
+let kernels = 1
+let private_ = 1
+let reduction = 0
+
+let body = {|
+int main() {
+  int dim = 24;
+  int steps = 12;
+  float temp[2][dim][dim];
+  float power[dim][dim];
+  float delta;
+  int src = 0;
+  int dst = 1;
+  int tmpplane = 0;
+  for (int i = 0; i < dim; i++) {
+    for (int j = 0; j < dim; j++) {
+      temp[0][i][j] = 320.0 + float((i * dim + j) % 17) * 0.5;
+      temp[1][i][j] = 0.0;
+      power[i][j] = 0.001 * float((i * dim + j) % 7);
+    }
+  }
+  __REGION__
+  float maxt = 0.0;
+  for (int i = 0; i < dim; i++) {
+    for (int j = 0; j < dim; j++) {
+      maxt = max(maxt, temp[src][i][j]);
+    }
+  }
+  return 0;
+}
+|}
+
+let loop = {|for (int t = 0; t < steps; t++) {
+    #pragma acc kernels loop gang worker private(delta)
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        delta = power[i][j];
+        if (i > 0) { delta = delta + 0.1 * (temp[src][i - 1][j] - temp[src][i][j]); }
+        if (i < dim - 1) { delta = delta + 0.1 * (temp[src][i + 1][j] - temp[src][i][j]); }
+        if (j > 0) { delta = delta + 0.1 * (temp[src][i][j - 1] - temp[src][i][j]); }
+        if (j < dim - 1) { delta = delta + 0.1 * (temp[src][i][j + 1] - temp[src][i][j]); }
+        temp[dst][i][j] = temp[src][i][j] + delta;
+      }
+    }
+    tmpplane = src;
+    src = dst;
+    dst = tmpplane;
+  }|}
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let region_opt =
+  "#pragma acc data copy(temp) copyin(power)\n  {\n  " ^ loop ^ "\n  }"
+
+let bench : Bench_def.t =
+  { name = "HOTSPOT";
+    description =
+      "Rodinia HOTSPOT: 2-D thermal stencil with double-buffered planes";
+    source = subst loop;
+    optimized = subst region_opt;
+    outputs = [ "temp"; "maxt" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,82 @@
+(** JACOBI: 1-D Jacobi relaxation, the paper's running example
+    (Listings 3 and 4).
+
+    Two kernels per sweep; the unoptimized port downloads the intermediate
+    array [b] every iteration (the [memcpyout(b)] of Listing 3) although the
+    host only reads it after the loop — exactly the deferred-copy redundancy
+    the hoisted GPU write-check exposes. *)
+
+let kernels = 2
+let private_ = 0
+let reduction = 0
+
+let source =
+  {|
+int main() {
+  int n = 1024;
+  int iters = 20;
+  float a[n];
+  float b[n];
+  for (int i = 0; i < n; i++) {
+    a[i] = float(i % 13) * 0.25 + 1.0;
+    b[i] = 0.0;
+  }
+  for (int k = 0; k < iters; k++) {
+    #pragma acc kernels loop gang worker
+    for (int i = 1; i < n - 1; i++) {
+      b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 1; i < n - 1; i++) {
+      a[i] = b[i];
+    }
+    #pragma acc update host(b)
+  }
+  float resid = 0.0;
+  for (int i = 0; i < n; i++) {
+    resid = resid + fabs(b[i] - a[i]);
+  }
+  return 0;
+}
+|}
+
+let optimized =
+  {|
+int main() {
+  int n = 1024;
+  int iters = 20;
+  float a[n];
+  float b[n];
+  for (int i = 0; i < n; i++) {
+    a[i] = float(i % 13) * 0.25 + 1.0;
+    b[i] = 0.0;
+  }
+  #pragma acc data copy(a) copyout(b)
+  {
+    for (int k = 0; k < iters; k++) {
+      #pragma acc kernels loop gang worker
+      for (int i = 1; i < n - 1; i++) {
+        b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+      }
+      #pragma acc kernels loop gang worker
+      for (int i = 1; i < n - 1; i++) {
+        a[i] = b[i];
+      }
+    }
+  }
+  float resid = 0.0;
+  for (int i = 0; i < n; i++) {
+    resid = resid + fabs(b[i] - a[i]);
+  }
+  return 0;
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "JACOBI";
+    description = "1-D Jacobi relaxation kernel benchmark (paper Listing 3)";
+    source; optimized;
+    outputs = [ "a"; "b"; "resid" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

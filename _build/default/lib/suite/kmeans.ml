@@ -1,0 +1,109 @@
+(** KMEANS: Rodinia k-means clustering over multi-feature points.
+
+    Two kernels with private data (nearest-centroid search over the feature
+    dimensions, per-point error); the centroids are recomputed on the host
+    every iteration, so the optimized port needs a per-iteration
+    [update device(centroids)] — the refinement the interactive tool
+    discovers via missing-transfer errors after the data region appears. *)
+
+let kernels = 2
+let private_ = 2
+let reduction = 0
+
+let body = {|
+int main() {
+  int npts = 128;
+  int nclu = 4;
+  int nf = 3;
+  int iters = 6;
+  float pts[npts][nf];
+  float centroids[nclu][nf];
+  int membership[npts];
+  float errs[npts];
+  float bestd;
+  int bestc;
+  float dsum;
+  float dmin;
+  for (int i = 0; i < npts; i++) {
+    for (int f = 0; f < nf; f++) {
+      pts[i][f] = float(((i * 37 + f * 11) % 100)) * 0.01;
+    }
+  }
+  for (int c = 0; c < nclu; c++) {
+    for (int f = 0; f < nf; f++) {
+      centroids[c][f] = 0.25 * float(c) + 0.05 * float(f);
+    }
+  }
+  __REGION__
+  float toterr = 0.0;
+  for (int i = 0; i < npts; i++) { toterr = toterr + errs[i]; }
+  return 0;
+}
+|}
+
+let region = {|for (int it = 0; it < iters; it++) {
+    #pragma acc kernels loop gang worker private(bestd, bestc, dsum)
+    for (int i = 0; i < npts; i++) {
+      bestd = 1000000.0;
+      bestc = 0;
+      for (int c = 0; c < nclu; c++) {
+        dsum = 0.0;
+        for (int f = 0; f < nf; f++) {
+          dsum = dsum
+                 + (pts[i][f] - centroids[c][f])
+                   * (pts[i][f] - centroids[c][f]);
+        }
+        if (dsum < bestd) {
+          bestd = dsum;
+          bestc = c;
+        }
+      }
+      membership[i] = bestc;
+    }
+    #pragma acc kernels loop gang worker private(dmin)
+    for (int i = 0; i < npts; i++) {
+      dmin = 0.0;
+      for (int f = 0; f < nf; f++) {
+        dmin = dmin
+               + (pts[i][f] - centroids[membership[i]][f])
+                 * (pts[i][f] - centroids[membership[i]][f]);
+      }
+      errs[i] = dmin;
+    }
+    #pragma acc update host(membership)
+    for (int c = 0; c < nclu; c++) {
+      float cnt = 0.0;
+      for (int f = 0; f < nf; f++) {
+        float s = 0.0;
+        cnt = 0.0;
+        for (int i = 0; i < npts; i++) {
+          if (membership[i] == c) {
+            s = s + pts[i][f];
+            cnt = cnt + 1.0;
+          }
+        }
+        if (cnt > 0.0) { centroids[c][f] = s / cnt; }
+      }
+    }
+  }|}
+
+let region_opt =
+  "#pragma acc data copyin(pts, centroids) create(membership) \
+   copyout(errs)\n  {\n    for (int it = 0; it < iters; it++) {\n      \
+   #pragma acc update device(centroids)\n"
+  ^ Str_util.replace ~needle:"for (int it = 0; it < iters; it++) {"
+      ~with_:"" region
+  ^ "\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "KMEANS";
+    description =
+      "Rodinia KMEANS: multi-feature clustering with host centroid update";
+    outputs = [ "toterr"; "centroids" ];
+    source = subst region;
+    optimized = subst region_opt;
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,100 @@
+(** LUD: Rodinia LU decomposition.
+
+    Three kernels per elimination step (pivot-row scaling and elimination
+    with private temporaries, plus a statistics kernel).  Three per-step
+    statistics vectors are double-buffered through pointers that the host
+    swaps every step — three unresolved alias groups, which is why the tool
+    issues three wrong may-dead suggestions on this benchmark before kernel
+    verification reins it in (Table III: 3 incorrect iterations). *)
+
+let kernels = 3
+let private_ = 2
+let reduction = 0
+
+let body = {|
+int main() {
+  int n = 28;
+  int steps = 8;
+  float m[n * n];
+  float sa[n];
+  float sb[n];
+  float da[n];
+  float db[n];
+  float ca[n];
+  float cb[n];
+  float *ps;
+  float *psold;
+  float *pd;
+  float *pdold;
+  float *pc;
+  float *pcold;
+  float *tmpp;
+  float pv;
+  float f;
+  for (int i = 0; i < n * n; i++) {
+    m[i] = 1.0 + float((i * 13) % 17) * 0.125;
+  }
+  for (int i = 0; i < n; i++) {
+    sa[i] = 0.0; sb[i] = 0.0;
+    da[i] = 0.0; db[i] = 0.0;
+    ca[i] = 0.0; cb[i] = 0.0;
+  }
+  ps = sa; psold = sb;
+  pd = da; pdold = db;
+  pc = ca; pcold = cb;
+  __REGION__
+  float lusum = 0.0;
+  float ssum = 0.0;
+  float dsum = 0.0;
+  float csum = 0.0;
+  for (int i = 0; i < n * n; i++) { lusum = lusum + fabs(m[i]); }
+  for (int i = 0; i < n; i++) {
+    ssum = ssum + psold[i];
+    dsum = dsum + pdold[i];
+    csum = csum + pcold[i];
+  }
+  return 0;
+}
+|}
+
+let region = {|for (int k = 0; k < steps; k++) {
+    #pragma acc kernels loop gang worker private(pv)
+    for (int j = k + 1; j < n; j++) {
+      pv = m[k * n + k];
+      m[k * n + j] = m[k * n + j] / (pv + 1.0);
+    }
+    #pragma acc kernels loop gang worker private(f)
+    for (int i = k + 1; i < n; i++) {
+      f = m[i * n + k] / (m[k * n + k] + 1.0);
+      for (int j = k + 1; j < n; j++) {
+        m[i * n + j] = m[i * n + j] - f * m[k * n + j];
+      }
+      m[i * n + k] = f;
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) {
+      ps[i] = psold[i] + fabs(m[i * n + k]);
+      pd[i] = pdold[i] + ((i == k) ? fabs(m[k * n + k]) : 0.0);
+      pc[i] = pcold[i] + fabs(m[k * n + i]);
+    }
+    tmpp = ps; ps = psold; psold = tmpp;
+    tmpp = pd; pd = pdold; pdold = tmpp;
+    tmpp = pc; pc = pcold; pcold = tmpp;
+  }|}
+
+let region_opt =
+  "#pragma acc data copy(m, sa, sb, da, db, ca, cb)\n  {\n  " ^ region
+  ^ "\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "LUD";
+    description =
+      "Rodinia LUD: LU decomposition with pointer-swapped statistics";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "lusum"; "ssum"; "dsum"; "csum" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,71 @@
+(** NW: Rodinia Needleman-Wunsch sequence alignment.
+
+    Wavefront traversal of the 2-D score matrix: one kernel for the
+    expanding upper-left diagonals (private temporary for the three-way
+    max) and one for the shrinking lower-right diagonals (max computed
+    inline). *)
+
+let kernels = 2
+let private_ = 1
+let reduction = 0
+
+let body = {|
+int main() {
+  int n = 48;
+  int w = n + 1;
+  float sm[w][w];
+  int seq1[n];
+  int seq2[n];
+  float t;
+  for (int i = 0; i < n; i++) {
+    seq1[i] = (i * 7 + 3) % 4;
+    seq2[i] = (i * 11 + 1) % 4;
+  }
+  for (int i = 0; i < w; i++) {
+    for (int j = 0; j < w; j++) { sm[i][j] = 0.0; }
+  }
+  for (int i = 0; i < w; i++) {
+    sm[i][0] = 0.0 - float(i);
+    sm[0][i] = 0.0 - float(i);
+  }
+  __REGION__
+  float score = sm[n][n];
+  return 0;
+}
+|}
+
+let region = {|for (int d = 2; d <= n; d++) {
+    #pragma acc kernels loop gang worker private(t)
+    for (int i = 1; i < d; i++) {
+      t = sm[i - 1][d - i - 1]
+          + ((seq1[i - 1] == seq2[d - i - 1]) ? 2.0 : (0.0 - 1.0));
+      t = max(t, sm[i - 1][d - i] - 1.0);
+      t = max(t, sm[i][d - i - 1] - 1.0);
+      sm[i][d - i] = t;
+    }
+  }
+  for (int d = n + 1; d <= 2 * n; d++) {
+    #pragma acc kernels loop gang worker
+    for (int i = d - n; i <= n; i++) {
+      sm[i][d - i] =
+        max(max(sm[i - 1][d - i - 1]
+                + ((seq1[i - 1] == seq2[d - i - 1]) ? 2.0 : (0.0 - 1.0)),
+                sm[i - 1][d - i] - 1.0),
+            sm[i][d - i - 1] - 1.0);
+    }
+  }|}
+
+let region_opt =
+  "#pragma acc data copy(sm) copyin(seq1, seq2)\n  {\n  " ^ region ^ "\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "NW";
+    description = "Rodinia NW: Needleman-Wunsch wavefront alignment";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "sm"; "score" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,24 @@
+(** The twelve benchmarks of the paper's evaluation (§IV-A), in the order
+    of its figures and tables. *)
+
+let all : Bench_def.t list =
+  [ Backprop.bench; Bfs.bench; Cfd.bench; Cg.bench; Ep.bench; Hotspot.bench;
+    Jacobi.bench; Kmeans.bench; Lud.bench; Nw.bench; Spmul.bench; Srad.bench ]
+
+let find name =
+  List.find_opt
+    (fun (b : Bench_def.t) ->
+      String.lowercase_ascii b.Bench_def.name = String.lowercase_ascii name)
+    all
+
+let names = List.map (fun (b : Bench_def.t) -> b.Bench_def.name) all
+
+(** Expected totals of Table II's census rows. *)
+let total_kernels =
+  List.fold_left (fun a b -> a + b.Bench_def.expected_kernels) 0 all
+
+let total_private =
+  List.fold_left (fun a b -> a + b.Bench_def.expected_private) 0 all
+
+let total_reduction =
+  List.fold_left (fun a b -> a + b.Bench_def.expected_reduction) 0 all

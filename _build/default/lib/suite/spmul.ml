@@ -1,0 +1,87 @@
+(** SPMUL: sparse matrix-vector multiplication (CSR), iterated as in a
+    power-method kernel benchmark.  The per-row accumulator [t] is
+    write-first and therefore automatically privatized; with recognition
+    disabled it becomes a latent race (Table II). *)
+
+let kernels = 2
+let private_ = 1
+let reduction = 0
+
+(* A banded sparse matrix is synthesized in Mini-C: row r has up to 5
+   nonzeros at columns r-2..r+2 with deterministic values. *)
+let body = {|
+int main() {
+  int nr = 512;
+  int band = 2;
+  int maxnnz = nr * 5;
+  int rowptr[nr + 1];
+  int col[maxnnz];
+  float val[maxnnz];
+  float x[nr];
+  float y[nr];
+  float t;
+  int nnz = 0;
+  for (int r = 0; r < nr; r++) {
+    rowptr[r] = nnz;
+    for (int c = r - band; c <= r + band; c++) {
+      if (c >= 0 && c < nr) {
+        col[nnz] = c;
+        val[nnz] = 1.0 / (1.0 + float(abs(r - c)));
+        nnz = nnz + 1;
+      }
+    }
+  }
+  rowptr[nr] = nnz;
+  for (int i = 0; i < nr; i++) { x[i] = 1.0 + float(i % 5) * 0.1; }
+  __REGION__
+  float norm = 0.0;
+  for (int i = 0; i < nr; i++) { norm = norm + x[i] * x[i]; }
+  return 0;
+}
+|}
+
+let region_unopt = {|for (int it = 0; it < 8; it++) {
+    #pragma acc kernels loop gang worker private(t)
+    for (int r = 0; r < nr; r++) {
+      t = 0.0;
+      for (int j = rowptr[r]; j < rowptr[r + 1]; j++) {
+        t = t + val[j] * x[col[j]];
+      }
+      y[r] = t;
+    }
+    #pragma acc kernels loop gang worker
+    for (int r = 0; r < nr; r++) {
+      x[r] = y[r] * 0.2;
+    }
+  }|}
+
+let region_opt = {|#pragma acc data copyin(rowptr, col, val) copy(x) create(y)
+  {
+    for (int it = 0; it < 8; it++) {
+      #pragma acc kernels loop gang worker private(t)
+      for (int r = 0; r < nr; r++) {
+        t = 0.0;
+        for (int j = rowptr[r]; j < rowptr[r + 1]; j++) {
+          t = t + val[j] * x[col[j]];
+        }
+        y[r] = t;
+      }
+      #pragma acc kernels loop gang worker
+      for (int r = 0; r < nr; r++) {
+        x[r] = y[r] * 0.2;
+      }
+    }
+  }|}
+
+let subst region =
+  Str_util.replace ~needle:"__REGION__" ~with_:region body
+
+let bench : Bench_def.t =
+  { name = "SPMUL";
+    description = "CSR sparse matrix-vector product kernel benchmark";
+    source = subst region_unopt;
+    optimized = subst region_opt;
+    outputs = [ "x"; "norm" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,115 @@
+(** SRAD: Rodinia speckle-reducing anisotropic diffusion on a 2-D image.
+
+    Eight kernels: squared image, four directional derivatives, the
+    diffusion coefficient (private temporary), the image update, and a final
+    normalization kernel.  The unoptimized port downloads the image every
+    iteration although the host statistics only run after the loop — the
+    deferred-update suggestion (paper Listing 4) moves that download past
+    the loop. *)
+
+let kernels = 8
+let private_ = 1
+let reduction = 0
+
+let body = {|
+int main() {
+  int dim = 20;
+  int iters = 6;
+  float img[dim][dim];
+  float g[dim][dim];
+  float dn[dim][dim];
+  float ds[dim][dim];
+  float dw[dim][dim];
+  float de[dim][dim];
+  float c[dim][dim];
+  float qsq;
+  float mean = 0.0;
+  float lambda = 0.05;
+  for (int i = 0; i < dim; i++) {
+    for (int j = 0; j < dim; j++) {
+      img[i][j] = 1.0 + 0.01 * float(((i * dim + j) * 29) % 53);
+    }
+  }
+  __REGION__
+  return 0;
+}
+|}
+
+let tail = {|mean = 0.0;
+  for (int i = 0; i < dim; i++) {
+    for (int j = 0; j < dim; j++) { mean = mean + img[i][j]; }
+  }
+  mean = mean / float(dim * dim);
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < dim; i++) {
+    for (int j = 0; j < dim; j++) {
+      g[i][j] = img[i][j] / (mean + 0.0001);
+    }
+  }|}
+
+let loop_kernels = {|#pragma acc kernels loop gang worker
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) { g[i][j] = img[i][j] * img[i][j]; }
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        dn[i][j] = (i > 0) ? (img[i - 1][j] - img[i][j]) : 0.0;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        ds[i][j] = (i < dim - 1) ? (img[i + 1][j] - img[i][j]) : 0.0;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        dw[i][j] = (j > 0) ? (img[i][j - 1] - img[i][j]) : 0.0;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        de[i][j] = (j < dim - 1) ? (img[i][j + 1] - img[i][j]) : 0.0;
+      }
+    }
+    #pragma acc kernels loop gang worker private(qsq)
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        qsq = (dn[i][j] * dn[i][j] + ds[i][j] * ds[i][j]
+               + dw[i][j] * dw[i][j] + de[i][j] * de[i][j])
+              / (g[i][j] + 0.0001);
+        c[i][j] = 1.0 / (1.0 + qsq);
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < dim; i++) {
+      for (int j = 0; j < dim; j++) {
+        img[i][j] = img[i][j]
+                    + 0.25 * lambda * c[i][j]
+                      * (dn[i][j] + ds[i][j] + dw[i][j] + de[i][j]);
+      }
+    }|}
+
+let region =
+  "for (int it = 0; it < iters; it++) {\n    " ^ loop_kernels
+  ^ "\n    #pragma acc update host(img)\n  }\n  " ^ tail
+
+let region_opt =
+  "#pragma acc data copy(img) create(g, dn, ds, dw, de, c)\n  {\n  \
+   for (int it = 0; it < iters; it++) {\n    " ^ loop_kernels
+  ^ "\n  }\n  #pragma acc update host(img)\n  " ^ tail ^ "\n  }"
+
+let subst r = Str_util.replace ~needle:"__REGION__" ~with_:r body
+
+let bench : Bench_def.t =
+  { name = "SRAD";
+    description = "Rodinia SRAD: anisotropic diffusion with deferred download";
+    source = subst region;
+    optimized = subst region_opt;
+    outputs = [ "img"; "mean" ];
+    expected_kernels = kernels;
+    expected_private = private_;
+    expected_reduction = reduction }

@@ -1,0 +1,19 @@
+(** Tiny string helper shared by the benchmark sources. *)
+
+(** Replace every occurrence of [needle] in [s] by [with_]. *)
+let replace ~needle ~with_ s =
+  let nl = String.length needle and sl = String.length s in
+  let buf = Buffer.create sl in
+  let rec go i =
+    if i > sl - nl then Buffer.add_substring buf s i (sl - i)
+    else if String.sub s i nl = needle then begin
+      Buffer.add_string buf with_;
+      go (i + nl)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf

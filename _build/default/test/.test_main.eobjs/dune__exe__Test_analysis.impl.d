@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alias Analysis Array Ast Dataflow Graph List Minic Parser QCheck QCheck_alcotest Regions Typecheck Varset

@@ -1,0 +1,1 @@
+test/test_checkgen.ml: Accrt Alcotest Checkgen Codegen Fmt Gpusim List QCheck QCheck_alcotest Tprog Translate

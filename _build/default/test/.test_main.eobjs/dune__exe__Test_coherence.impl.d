@@ -1,0 +1,1 @@
+test/test_coherence.ml: Accrt Alcotest Codegen Fmt List QCheck QCheck_alcotest String

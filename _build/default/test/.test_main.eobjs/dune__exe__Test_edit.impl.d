@@ -1,0 +1,1 @@
+test/test_edit.ml: Acc Accrt Alcotest Codegen List Minic Option Parser Typecheck

@@ -1,0 +1,1 @@
+test/test_eval.ml: Accrt Alcotest Gpusim Minic Parser

@@ -1,0 +1,1 @@
+test/test_features.ml: Accrt Alcotest Codegen Float Fmt Gpusim List Minic Openarc_core String Unix

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Float Gpusim QCheck QCheck_alcotest

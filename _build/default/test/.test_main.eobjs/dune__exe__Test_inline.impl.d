@@ -1,0 +1,1 @@
+test/test_inline.ml: Accrt Alcotest Array Codegen List Minic Openarc_core Parser Pretty Typecheck

@@ -1,0 +1,1 @@
+test/test_interp.ml: Accrt Alcotest Codegen Float Fmt Fun Gpusim Minic Parser QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_intervals.ml: Accrt Alcotest Array Codegen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel_exec.ml: Accrt Alcotest Float Fmt Gpusim List Minic QCheck QCheck_alcotest

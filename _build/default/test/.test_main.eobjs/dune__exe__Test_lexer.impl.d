@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Lexer List Loc Minic String Token

@@ -1,0 +1,1 @@
+test/test_multidim.ml: Accrt Alcotest Ast Gpusim List Loc Minic Parser Pretty Typecheck

@@ -1,0 +1,1 @@
+test/test_parser.ml: Acc Alcotest Ast Codegen Fun List Loc Minic Parser QCheck QCheck_alcotest String Typecheck

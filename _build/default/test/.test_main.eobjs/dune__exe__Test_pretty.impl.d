@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Float List Loc Minic Parser Pretty QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_session.ml: Accrt Alcotest Codegen List Minic Openarc_core Parser Typecheck

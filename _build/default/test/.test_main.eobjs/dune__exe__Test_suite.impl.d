@@ -1,0 +1,1 @@
+test/test_suite.ml: Acc Accrt Alcotest Array Ast Codegen Float Gpusim List Minic Openarc_core Option Parser Suite Typecheck

@@ -1,0 +1,1 @@
+test/test_tprog_analyses.ml: Alcotest Analysis Array Codegen Deadness Firstaccess Graph Lastwrite List Tcfg Translate Varset

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Analysis Array Codegen Cuda List Minic Options String Tprog Translate

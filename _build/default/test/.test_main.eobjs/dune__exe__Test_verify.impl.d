@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Codegen Gpusim List Minic Openarc_core Parser String

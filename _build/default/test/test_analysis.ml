@@ -1,0 +1,248 @@
+(* Analysis-library tests: points-to, region access analysis, the CFG
+   carrier graph, and the generic dataflow solver (with a QCheck fixpoint
+   property). *)
+
+open Minic
+open Analysis
+
+let setup src =
+  let prog = Parser.parse_string src in
+  let env = Typecheck.check prog in
+  let alias = Alias.compute env prog "main" in
+  (prog, env, alias)
+
+(* ------------------------------ alias ------------------------------ *)
+
+let test_alias_basic () =
+  let _, _, alias =
+    setup
+      "int main() { float a[4]; float b[4]; float *p; float *q; p = a; q = \
+       p; return 0; }"
+  in
+  Alcotest.(check bool) "p -> a" true
+    (Varset.equal (Alias.resolve alias "p") (Varset.singleton "a"));
+  Alcotest.(check bool) "q -> a (transitive)" true
+    (Varset.equal (Alias.resolve alias "q") (Varset.singleton "a"));
+  Alcotest.(check bool) "a -> a" true
+    (Varset.equal (Alias.resolve alias "a") (Varset.singleton "a"));
+  Alcotest.(check bool) "p unambiguous" false (Alias.is_ambiguous alias "p")
+
+let test_alias_swap () =
+  let _, _, alias =
+    setup
+      "int main() { float a[4]; float b[4]; float *p; float *q; float *t; \
+       p = a; q = b; t = p; p = q; q = t; return 0; }"
+  in
+  Alcotest.(check bool) "p ambiguous after swap" true
+    (Alias.is_ambiguous alias "p");
+  Alcotest.(check bool) "p may be a or b" true
+    (Varset.equal (Alias.resolve alias "p") (Varset.of_list [ "a"; "b" ]))
+
+let test_alias_scalar () =
+  let _, _, alias = setup "int main() { int x = 1; return 0; }" in
+  Alcotest.(check bool) "scalar resolves to nothing" true
+    (Varset.is_empty (Alias.resolve alias "x"))
+
+(* ----------------------------- regions ----------------------------- *)
+
+(* Analyze main's body with leading declarations stripped, so scalars
+   declared at the top read as kernel-external (the compute-region shape). *)
+let region_of src =
+  let prog, _, alias = setup src in
+  let body =
+    let rec drop = function
+      | { Ast.skind = Ast.Sdecl _; _ } :: rest -> drop rest
+      | rest -> rest
+    in
+    drop (Ast.main_function prog).Ast.f_body
+  in
+  (Regions.analyze ~alias body, alias)
+
+let test_regions_arrays () =
+  let acc, _ =
+    region_of
+      "int main() { float a[4]; float b[4]; for (int i = 0; i < 4; i++) { \
+       b[i] = a[i] * 2.0; } return 0; }"
+  in
+  Alcotest.(check bool) "a read" true
+    (Varset.mem "a" acc.Regions.arrays_read);
+  Alcotest.(check bool) "b written" true
+    (Varset.mem "b" acc.Regions.arrays_written);
+  Alcotest.(check bool) "b not read" false
+    (Varset.mem "b" acc.Regions.arrays_read)
+
+let test_regions_privatizable () =
+  let acc, _ =
+    region_of
+      "int main() { float a[4]; float t; for (int i = 0; i < 4; i++) { t = \
+       a[i]; a[i] = t * 2.0; } return 0; }"
+  in
+  Alcotest.(check bool) "t privatizable" true
+    (Varset.mem "t" (Regions.privatizable acc))
+
+let test_regions_accumulator () =
+  let acc, _ =
+    region_of
+      "int main() { float a[4]; float s; s = 0.0; for (int i = 0; i < 4; \
+       i++) { s = s + a[i]; } return 0; }"
+  in
+  (* s = 0.0 is a plain write, so s is NOT a pure accumulator of the whole
+     body; restrict to the loop body for the kernel-shaped question. *)
+  let acc2, _ =
+    region_of
+      "int main() { float a[4]; float s; int i; s = s + a[0]; s = s + \
+       a[1]; return 0; }"
+  in
+  Alcotest.(check bool) "plain write disqualifies" true
+    (List.assoc_opt "s" acc.Regions.accumulators = None);
+  (match List.assoc_opt "s" acc2.Regions.accumulators with
+  | Some Ast.Rsum -> ()
+  | _ -> Alcotest.fail "s accumulator (+)");
+  let accm, _ =
+    region_of
+      "int main() { float a[4]; float m; m = max(m, a[0]); m = max(m, \
+       a[1]); return 0; }"
+  in
+  match List.assoc_opt "m" accm.Regions.accumulators with
+  | Some Ast.Rmax -> ()
+  | _ -> Alcotest.fail "m accumulator (max)"
+
+let test_regions_pointer_rebinding () =
+  let acc, _ =
+    region_of
+      "int main() { float a[4]; float *p; p = a; return 0; }"
+  in
+  Alcotest.(check bool) "rebinding writes no array" true
+    (Varset.is_empty acc.Regions.arrays_written);
+  let acc2, _ =
+    region_of
+      "int main() { float a[4]; float *p; p = a; p[0] = 1.0; return 0; }"
+  in
+  Alcotest.(check bool) "write through pointer hits root" true
+    (Varset.mem "a" acc2.Regions.arrays_written)
+
+(* ------------------------------ graph ------------------------------ *)
+
+let test_graph () =
+  let g = Graph.create () in
+  let a = Graph.add_node g in
+  let b = Graph.add_node g in
+  let c = Graph.add_node g in
+  Graph.add_edge g a b;
+  Graph.add_edge g b c;
+  Graph.add_edge g c b;
+  (* duplicate edges are not added twice *)
+  Graph.add_edge g a b;
+  Alcotest.(check int) "size" 3 (Graph.size g);
+  Alcotest.(check (list int)) "succs a" [ b ] (Graph.succs g a);
+  Alcotest.(check (list int)) "preds b" [ a; c ]
+    (List.sort compare (Graph.preds g b));
+  let rpo = Graph.reverse_postorder g ~entry:a in
+  Alcotest.(check int) "rpo covers all" 3 (List.length rpo);
+  Alcotest.(check int) "rpo starts at entry" a (List.hd rpo)
+
+(* ----------------------------- dataflow ---------------------------- *)
+
+(* Diamond CFG: 0 -> 1 -> 3, 0 -> 2 -> 3. *)
+let diamond () =
+  let g = Graph.create () in
+  let n0 = Graph.add_node g and n1 = Graph.add_node g in
+  let n2 = Graph.add_node g and n3 = Graph.add_node g in
+  Graph.add_edge g n0 n1;
+  Graph.add_edge g n0 n2;
+  Graph.add_edge g n1 n3;
+  Graph.add_edge g n2 n3;
+  g
+
+let test_dataflow_union_vs_intersect () =
+  let g = diamond () in
+  let gen = [| Varset.empty; Varset.singleton "x"; Varset.empty;
+               Varset.empty |] in
+  let transfer n inp = Varset.union gen.(n) inp in
+  let solve meet =
+    Dataflow.solve g
+      { direction = Dataflow.Forward; meet; boundary = Varset.empty;
+        universe = Varset.of_list [ "x" ]; transfer }
+  in
+  let union = solve Dataflow.Union in
+  let inter = solve Dataflow.Intersect in
+  (* x is generated on one branch only: union sees it at the join, the
+     all-paths meet does not. *)
+  Alcotest.(check bool) "union join has x" true
+    (Varset.mem "x" union.Dataflow.input.(3));
+  Alcotest.(check bool) "intersect join lacks x" false
+    (Varset.mem "x" inter.Dataflow.input.(3))
+
+let test_dataflow_backward_loop () =
+  (* 0 -> 1 -> 2, 1 -> 1 (self loop); liveness-style: node 2 uses "v". *)
+  let g = Graph.create () in
+  let n0 = Graph.add_node g and n1 = Graph.add_node g in
+  let n2 = Graph.add_node g in
+  Graph.add_edge g n0 n1;
+  Graph.add_edge g n1 n1;
+  Graph.add_edge g n1 n2;
+  let use = [| Varset.empty; Varset.empty; Varset.singleton "v" |] in
+  let r =
+    Dataflow.solve g
+      { direction = Dataflow.Backward; meet = Dataflow.Union;
+        boundary = Varset.empty; universe = Varset.singleton "v";
+        transfer = (fun n out -> Varset.union use.(n) out) }
+  in
+  ignore n0;
+  Alcotest.(check bool) "live through loop" true
+    (Varset.mem "v" r.Dataflow.output.(n1))
+
+(* Property: the solver's solution is a fixpoint of the equations. *)
+let dataflow_fixpoint =
+  QCheck.Test.make ~count:100 ~name:"dataflow solution is a fixpoint"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_bound 12) (pair (int_bound 7) (int_bound 7)))
+           (array_size (return 8)
+              (list_size (int_bound 2) (oneofl [ "x"; "y"; "z" ])))))
+    (fun (edges, gens) ->
+      let g = Graph.create () in
+      for _ = 0 to 7 do ignore (Graph.add_node g) done;
+      List.iter (fun (a, b) -> Graph.add_edge g a b) edges;
+      let gens = Array.map Varset.of_list gens in
+      let transfer n inp = Varset.union gens.(n) inp in
+      let spec =
+        { Dataflow.direction = Dataflow.Forward; meet = Dataflow.Union;
+          boundary = Varset.empty;
+          universe = Varset.of_list [ "x"; "y"; "z" ]; transfer }
+      in
+      let r = Dataflow.solve g spec in
+      (* check: for each node, input = meet of preds' outputs, and
+         output = transfer input *)
+      Array.for_all
+        (fun n ->
+          let expected_in =
+            match Graph.preds g n with
+            | [] -> Varset.empty
+            | ps ->
+                List.fold_left
+                  (fun acc p -> Varset.union acc r.Dataflow.output.(p))
+                  Varset.empty ps
+          in
+          Varset.equal r.Dataflow.input.(n) expected_in
+          && Varset.equal r.Dataflow.output.(n) (transfer n expected_in))
+        (Graph.nodes g))
+
+let tests =
+  [ Alcotest.test_case "alias: basic points-to" `Quick test_alias_basic;
+    Alcotest.test_case "alias: pointer swap ambiguity" `Quick test_alias_swap;
+    Alcotest.test_case "alias: scalars" `Quick test_alias_scalar;
+    Alcotest.test_case "regions: array accesses" `Quick test_regions_arrays;
+    Alcotest.test_case "regions: privatizable" `Quick
+      test_regions_privatizable;
+    Alcotest.test_case "regions: accumulators" `Quick
+      test_regions_accumulator;
+    Alcotest.test_case "regions: pointer rebinding" `Quick
+      test_regions_pointer_rebinding;
+    Alcotest.test_case "graph basics" `Quick test_graph;
+    Alcotest.test_case "dataflow: union vs intersect" `Quick
+      test_dataflow_union_vs_intersect;
+    Alcotest.test_case "dataflow: backward with loop" `Quick
+      test_dataflow_backward_loop;
+    QCheck_alcotest.to_alcotest dataflow_fixpoint ]

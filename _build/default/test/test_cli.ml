@@ -1,0 +1,102 @@
+(* Integration tests of the openarc CLI binary: each subcommand runs on a
+   bundled benchmark, exits cleanly, and prints its key artifacts. *)
+
+let exe = "../bin/openarc.exe"
+
+let available = Sys.file_exists exe
+
+let run_cmd args =
+  let out = Filename.temp_file "openarc_cli" ".out" in
+  let cmd = Fmt.str "%s %s > %s 2>&1" exe args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains ~needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let check_cmd name args ~expect =
+  if not available then ()
+  else begin
+    let code, out = run_cmd args in
+    Alcotest.(check int) (name ^ ": exit code") 0 code;
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Fmt.str "%s: output mentions %S" name needle)
+          true (contains ~needle out))
+      expect
+  end
+
+let test_benchmarks () =
+  check_cmd "benchmarks" "benchmarks" ~expect:[ "JACOBI"; "CG"; "SRAD" ]
+
+let test_compile () =
+  check_cmd "compile" "compile bench:ep" ~expect:[ "main_kernel0"; "seeds" ];
+  check_cmd "compile --emit-cuda" "compile bench:ep --emit-cuda"
+    ~expect:[ "__global__ void main_kernel0"; "reduction(+)" ]
+
+let test_run () =
+  check_cmd "run" "run bench:jacobi"
+    ~expect:[ "launches"; "Mem Transfer" ];
+  check_cmd "run --instrument" "run bench:jacobi --instrument"
+    ~expect:[ "report(s), grouped:"; "redundant"; "suggestions:" ];
+  check_cmd "run --fine-grained" "run bench:jacobi --instrument --fine-grained"
+    ~expect:[ "report(s), grouped:" ]
+
+let test_verify () =
+  check_cmd "verify ok" "verify bench:jacobi"
+    ~expect:[ "[OK]   main_kernel0"; "0 kernel(s) with detected errors" ];
+  check_cmd "verify fault" "verify bench:ep --fault-injection"
+    ~expect:[ "[FAIL] main_kernel1"; "1 kernel(s) with detected errors" ];
+  check_cmd "verify selection"
+    "verify bench:ep --fault-injection --options \
+     complement=0,kernels=main_kernel0"
+    ~expect:[ "[OK]   main_kernel0" ];
+  check_cmd "verify demotion" "verify bench:jacobi --show-transformed \
+                               main_kernel0"
+    ~expect:[ "async(1)"; "#pragma acc wait(1)" ]
+
+let test_optimize () =
+  check_cmd "optimize" "optimize bench:jacobi --outputs a,b,resid"
+    ~expect:[ "converged"; "transfers:" ]
+
+let test_trace () =
+  if available then begin
+    let tracefile = Filename.temp_file "openarc_trace" ".json" in
+    let code, out =
+      run_cmd (Fmt.str "run bench:ep --trace %s" (Filename.quote tracefile))
+    in
+    Alcotest.(check int) "trace: exit" 0 code;
+    Alcotest.(check bool) "trace: reported" true
+      (contains ~needle:"timeline" out);
+    let ic = open_in_bin tracefile in
+    let json = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove tracefile;
+    Alcotest.(check bool) "trace: chrome json" true
+      (contains ~needle:"\"ph\": \"X\"" json)
+  end
+
+let test_error_handling () =
+  if available then begin
+    let code, _ = run_cmd "run bench:nosuchbenchmark" in
+    Alcotest.(check bool) "unknown benchmark fails" true (code <> 0);
+    let code, _ = run_cmd "verify /nonexistent/file.mc" in
+    Alcotest.(check bool) "missing file fails" true (code <> 0)
+  end
+
+let tests =
+  [ Alcotest.test_case "benchmarks" `Quick test_benchmarks;
+    Alcotest.test_case "compile" `Quick test_compile;
+    Alcotest.test_case "run" `Quick test_run;
+    Alcotest.test_case "verify" `Quick test_verify;
+    Alcotest.test_case "optimize" `Slow test_optimize;
+    Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "error handling" `Quick test_error_handling ]

@@ -1,0 +1,162 @@
+(* Coherence state machine: transitions of check_read/check_write,
+   set_status on transfers, reset_status, report kinds; a QCheck invariant
+   over random event sequences. *)
+
+open Codegen.Tprog
+
+let site label = Codegen.Tprog.mk_site label
+
+let kinds t = List.map (fun r -> r.Accrt.Coherence.r_kind) (Accrt.Coherence.reports t)
+
+let test_clean_sequence () =
+  let t = Accrt.Coherence.create () in
+  (* host writes v, uploads, kernel reads+writes, downloads, host reads *)
+  Accrt.Coherence.check_write t "v" Cpu;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up");
+  Accrt.Coherence.check_read t "v" Gpu;
+  Accrt.Coherence.check_write t "v" Gpu;
+  Accrt.Coherence.on_transfer t "v" D2H ~site:(site "down");
+  Accrt.Coherence.check_read t "v" Cpu;
+  Alcotest.(check int) "no reports" 0 (List.length (kinds t))
+
+let test_missing () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t "v" Gpu;
+  (* kernel wrote v; host reads without a download *)
+  Accrt.Coherence.check_read t "v" Cpu;
+  (match kinds t with
+  | [ Accrt.Coherence.Missing ] -> ()
+  | _ -> Alcotest.fail "expected Missing");
+  (* after the (reported) read the state is reset to avoid cascades *)
+  Accrt.Coherence.check_read t "v" Cpu;
+  Alcotest.(check int) "no duplicate" 1 (List.length (kinds t))
+
+let test_redundant () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t "v" Cpu;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up1");
+  (* nothing staled the GPU copy: second upload is redundant *)
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up2");
+  match Accrt.Coherence.reports t with
+  | [ r ] ->
+      Alcotest.(check bool) "kind" true
+        (r.Accrt.Coherence.r_kind = Accrt.Coherence.Redundant);
+      (match r.Accrt.Coherence.r_site with
+      | Some s -> Alcotest.(check string) "site" "up2" s.site_label
+      | None -> Alcotest.fail "site attached")
+  | _ -> Alcotest.fail "expected one Redundant"
+
+let test_incorrect () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t "v" Cpu;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up");
+  Accrt.Coherence.check_write t "v" Gpu;
+  (* GPU now newer; uploading the stale host copy is incorrect (and also
+     redundant is NOT reported: target was stale) *)
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "bad");
+  match kinds t with
+  | [ Accrt.Coherence.Incorrect ] -> ()
+  | _ -> Alcotest.fail "expected Incorrect"
+
+let test_may_redundant_via_reset () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t "v" Gpu;
+  (* compiler: CPU copy is may-dead after this kernel *)
+  Accrt.Coherence.reset_status t "v" Cpu May_stale;
+  Accrt.Coherence.on_transfer t "v" D2H ~site:(site "down");
+  (match kinds t with
+  | [ Accrt.Coherence.May_redundant ] -> ()
+  | _ -> Alcotest.fail "expected May_redundant");
+  let t2 = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t2 "v" Gpu;
+  Accrt.Coherence.reset_status t2 "v" Cpu Not_stale;
+  Accrt.Coherence.on_transfer t2 "v" D2H ~site:(site "down");
+  match kinds t2 with
+  | [ Accrt.Coherence.Redundant ] -> ()
+  | _ -> Alcotest.fail "expected Redundant (must-dead)"
+
+let test_may_missing_on_write () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t "v" Gpu;
+  (* host writes the stale copy: only may-missing (may fully overwrite) *)
+  Accrt.Coherence.check_write t "v" Cpu;
+  match kinds t with
+  | [ Accrt.Coherence.May_missing ] -> ()
+  | _ -> Alcotest.fail "expected May_missing"
+
+let test_free_stales_gpu () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.check_write t "v" Cpu;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up1");
+  Accrt.Coherence.on_free t "v";
+  (* after free+realloc the upload is needed again: no redundant report *)
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up2");
+  Alcotest.(check int) "no report" 0 (List.length (kinds t))
+
+let test_loop_context () =
+  let t = Accrt.Coherence.create () in
+  Accrt.Coherence.enter_loop t "k";
+  Accrt.Coherence.next_iteration t;
+  Accrt.Coherence.next_iteration t;
+  Accrt.Coherence.check_write t "v" Gpu;
+  Accrt.Coherence.check_read t "v" Cpu;
+  (match Accrt.Coherence.reports t with
+  | [ r ] ->
+      Alcotest.(check bool) "loop recorded" true
+        (r.Accrt.Coherence.r_loops = [ ("k", 2) ])
+  | _ -> Alcotest.fail "one report");
+  Accrt.Coherence.exit_loop t;
+  let msg =
+    Fmt.str "%a" Accrt.Coherence.pp_report
+      (List.hd (Accrt.Coherence.reports t))
+  in
+  Alcotest.(check bool) "message mentions loop index" true
+    (let needle = "enclosing loop k index = 2" in
+     let n = String.length needle and m = String.length msg in
+     let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+     go 0)
+
+(* Invariant: after any event sequence, every tracked state is one of the
+   three statuses and check_read immediately after check_write on the same
+   device never reports. *)
+let coherence_invariant =
+  QCheck.Test.make ~count:300 ~name:"read-after-local-write never reports"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_bound 20)
+           (oneofl
+              [ `Cw_cpu; `Cw_gpu; `Cr_cpu; `Cr_gpu; `Up; `Down; `Free;
+                `Reset_may; `Reset_not ])))
+    (fun events ->
+      let t = Accrt.Coherence.create () in
+      List.iter
+        (function
+          | `Cw_cpu -> Accrt.Coherence.check_write t "v" Cpu
+          | `Cw_gpu -> Accrt.Coherence.check_write t "v" Gpu
+          | `Cr_cpu -> Accrt.Coherence.check_read t "v" Cpu
+          | `Cr_gpu -> Accrt.Coherence.check_read t "v" Gpu
+          | `Up -> Accrt.Coherence.on_transfer t "v" H2D ~site:(site "u")
+          | `Down -> Accrt.Coherence.on_transfer t "v" D2H ~site:(site "d")
+          | `Free -> Accrt.Coherence.on_free t "v"
+          | `Reset_may -> Accrt.Coherence.reset_status t "v" Cpu May_stale
+          | `Reset_not -> Accrt.Coherence.reset_status t "v" Gpu Not_stale)
+        events;
+      (* local write then local read: must be silent *)
+      let before = List.length (Accrt.Coherence.reports t) in
+      Accrt.Coherence.check_write t "v" Cpu;
+      let mid = List.length (Accrt.Coherence.reports t) in
+      Accrt.Coherence.check_read t "v" Cpu;
+      ignore before;
+      List.length (Accrt.Coherence.reports t) = mid)
+
+let tests =
+  [ Alcotest.test_case "clean sequence" `Quick test_clean_sequence;
+    Alcotest.test_case "missing transfer" `Quick test_missing;
+    Alcotest.test_case "redundant transfer" `Quick test_redundant;
+    Alcotest.test_case "incorrect transfer" `Quick test_incorrect;
+    Alcotest.test_case "may-redundant via reset" `Quick
+      test_may_redundant_via_reset;
+    Alcotest.test_case "may-missing on write" `Quick test_may_missing_on_write;
+    Alcotest.test_case "free stales device copy" `Quick test_free_stales_gpu;
+    Alcotest.test_case "loop context in reports" `Quick test_loop_context;
+    QCheck_alcotest.to_alcotest coherence_invariant ]

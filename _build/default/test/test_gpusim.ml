@@ -1,0 +1,166 @@
+(* GPU-simulator tests: buffers, cost model, device memory, streams,
+   metrics; QCheck properties on buffer comparison. *)
+
+let feq = Alcotest.float 1e-9
+
+(* ------------------------------ Buf ------------------------------ *)
+
+let test_buf_basics () =
+  let b = Gpusim.Buf.create_float 4 in
+  Gpusim.Buf.set_float b 0 1.5;
+  Alcotest.(check (float 0.)) "get" 1.5 (Gpusim.Buf.get_float b 0);
+  Alcotest.(check int) "bytes float" 32 (Gpusim.Buf.bytes b);
+  let i = Gpusim.Buf.create_int 4 in
+  Alcotest.(check int) "bytes int" 16 (Gpusim.Buf.bytes i);
+  Gpusim.Buf.set_int i 2 7;
+  Alcotest.(check int) "int get" 7 (Gpusim.Buf.get_int i 2);
+  (* int<->float views *)
+  Alcotest.(check (float 0.)) "int as float" 7.0 (Gpusim.Buf.get_float i 2)
+
+let test_buf_blit () =
+  let src = Gpusim.Buf.Fbuf [| 1.; 2.; 3.; 4. |] in
+  let dst = Gpusim.Buf.create_float 4 in
+  Gpusim.Buf.blit ~src ~dst;
+  Alcotest.(check (float 0.)) "blit all" 3. (Gpusim.Buf.get_float dst 2);
+  let dst2 = Gpusim.Buf.create_float 4 in
+  Gpusim.Buf.blit_range ~src ~dst:dst2 ~lo:1 ~len:2;
+  Alcotest.(check (float 0.)) "range inside" 2. (Gpusim.Buf.get_float dst2 1);
+  Alcotest.(check (float 0.)) "range outside" 0. (Gpusim.Buf.get_float dst2 3);
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Buf.blit: shape mismatch")
+    (fun () -> Gpusim.Buf.blit ~src ~dst:(Gpusim.Buf.create_float 3))
+
+let test_buf_compare () =
+  let reference = Gpusim.Buf.Fbuf [| 1.0; 2.0; 3.0 |] in
+  let same = Gpusim.Buf.Fbuf [| 1.0; 2.0 +. 1e-12; 3.0 |] in
+  let off = Gpusim.Buf.Fbuf [| 1.0; 2.5; 3.0 |] in
+  let _, n1 = Gpusim.Buf.compare ~margin:1e-9 ~reference same in
+  Alcotest.(check int) "within margin" 0 n1;
+  let idx, n2 = Gpusim.Buf.compare ~margin:1e-9 ~reference off in
+  Alcotest.(check int) "one mismatch" 1 n2;
+  Alcotest.(check (list int)) "index" [ 1 ] idx;
+  (* minValueToCheck skips small reference entries *)
+  let tiny_ref = Gpusim.Buf.Fbuf [| 1e-40; 5.0 |] in
+  let tiny_off = Gpusim.Buf.Fbuf [| 1.0; 5.0 |] in
+  let _, n3 =
+    Gpusim.Buf.compare ~min_value:1e-32 ~margin:1e-9 ~reference:tiny_ref
+      tiny_off
+  in
+  Alcotest.(check int) "minValueToCheck skips" 0 n3
+
+let buf_compare_reflexive =
+  QCheck.Test.make ~count:200 ~name:"Buf.compare x x = 0"
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 20) (float_range (-1e6) 1e6))
+    (fun a ->
+      let b = Gpusim.Buf.Fbuf a in
+      let _, n = Gpusim.Buf.compare ~margin:0.0 ~reference:b (Gpusim.Buf.copy b) in
+      n = 0)
+
+let buf_max_diff_symmetric =
+  QCheck.Test.make ~count:200 ~name:"max_abs_diff symmetric"
+    QCheck.(pair
+              (array_of_size (QCheck.Gen.return 8) (float_range (-100.) 100.))
+              (array_of_size (QCheck.Gen.return 8) (float_range (-100.) 100.)))
+    (fun (a, b) ->
+      let ba = Gpusim.Buf.Fbuf a and bb = Gpusim.Buf.Fbuf b in
+      Float.equal (Gpusim.Buf.max_abs_diff ba bb)
+        (Gpusim.Buf.max_abs_diff bb ba))
+
+(* --------------------------- cost model --------------------------- *)
+
+let test_costmodel () =
+  let cm = Gpusim.Costmodel.default in
+  let t_small = Gpusim.Costmodel.transfer_time cm ~bytes:8 ~noise:0.0 in
+  let t_big = Gpusim.Costmodel.transfer_time cm ~bytes:8_000_000 ~noise:0.0 in
+  Alcotest.(check bool) "latency floor" true (t_small >= cm.pcie_latency);
+  Alcotest.(check bool) "bandwidth term" true (t_big > 100. *. t_small);
+  (* parallel width caps speedup *)
+  let t1 = Gpusim.Costmodel.kernel_time cm ~iterations:1 ~ops_per_iter:100 in
+  let t512 =
+    Gpusim.Costmodel.kernel_time cm ~iterations:512 ~ops_per_iter:100
+  in
+  let t1024 =
+    Gpusim.Costmodel.kernel_time cm ~iterations:1024 ~ops_per_iter:100
+  in
+  Alcotest.check feq "512 lanes hide iterations" t1 t512;
+  Alcotest.(check bool) "beyond width serializes" true (t1024 > t512);
+  Alcotest.(check bool) "jitter bounded" true
+    (let tj = Gpusim.Costmodel.transfer_time cm ~bytes:8 ~noise:1.0 in
+     tj <= t_small *. (1. +. cm.pcie_jitter) +. 1e-15)
+
+(* ----------------------------- device ----------------------------- *)
+
+let test_device_memory () =
+  let dev = Gpusim.Device.create () in
+  let host = Gpusim.Buf.Fbuf [| 1.; 2.; 3. |] in
+  Gpusim.Device.alloc dev "a" ~like:host;
+  Alcotest.(check bool) "allocated" true (Gpusim.Device.is_allocated dev "a");
+  Gpusim.Device.upload dev "a" ~host ();
+  let back = Gpusim.Buf.create_float 3 in
+  Gpusim.Device.download dev "a" ~host:back ();
+  Alcotest.(check (float 0.)) "round trip" 2. (Gpusim.Buf.get_float back 1);
+  Alcotest.check_raises "double alloc"
+    (Gpusim.Device.Device_error "device buffer 'a' already allocated")
+    (fun () -> Gpusim.Device.alloc dev "a" ~like:host);
+  Gpusim.Device.free dev "a";
+  Alcotest.(check bool) "freed" false (Gpusim.Device.is_allocated dev "a");
+  Alcotest.check_raises "use after free"
+    (Gpusim.Device.Device_error "device buffer 'a' is not allocated")
+    (fun () -> ignore (Gpusim.Device.buffer dev "a"))
+
+let test_device_accounting () =
+  let dev = Gpusim.Device.create () in
+  let m = dev.Gpusim.Device.metrics in
+  let host = Gpusim.Buf.create_float 1000 in
+  Gpusim.Device.alloc dev "a" ~like:host;
+  Gpusim.Device.upload dev "a" ~host ();
+  Gpusim.Device.download dev "a" ~host ();
+  Alcotest.(check int) "h2d bytes" 8000 m.Gpusim.Metrics.bytes_h2d;
+  Alcotest.(check int) "d2h bytes" 8000 m.Gpusim.Metrics.bytes_d2h;
+  Alcotest.(check int) "transfer count" 1 m.Gpusim.Metrics.transfers_h2d;
+  Alcotest.(check bool) "transfer time charged" true
+    (Gpusim.Metrics.time_of m Gpusim.Metrics.Mem_transfer > 0.);
+  (* subarray transfer moves fewer bytes *)
+  Gpusim.Device.upload dev "a" ~host ~range:(0, 10) ();
+  Alcotest.(check int) "partial bytes" (8000 + 80) m.Gpusim.Metrics.bytes_h2d
+
+let test_device_streams () =
+  let dev = Gpusim.Device.create () in
+  let m = dev.Gpusim.Device.metrics in
+  let host = Gpusim.Buf.create_float 100000 in
+  Gpusim.Device.alloc dev "a" ~like:host;
+  (* async upload: host barely charged until the wait *)
+  Gpusim.Device.upload dev "a" ~host ~async:1 ();
+  let before_wait = Gpusim.Metrics.time_of m Gpusim.Metrics.Mem_transfer in
+  Gpusim.Device.wait dev (Some 1);
+  let waited = Gpusim.Metrics.time_of m Gpusim.Metrics.Async_wait in
+  Alcotest.(check bool) "submit is cheap" true (before_wait < 2e-6);
+  Alcotest.(check bool) "wait pays the transfer" true (waited > 50e-6);
+  (* waiting again is free *)
+  Gpusim.Device.wait dev (Some 1);
+  Alcotest.check feq "idempotent wait" waited
+    (Gpusim.Metrics.time_of m Gpusim.Metrics.Async_wait)
+
+let test_metrics () =
+  let m = Gpusim.Metrics.create () in
+  Gpusim.Metrics.charge m Gpusim.Metrics.Cpu_time 1.0;
+  Gpusim.Metrics.charge m Gpusim.Metrics.Cpu_time 0.5;
+  Gpusim.Metrics.charge m Gpusim.Metrics.Gpu_alloc 0.25;
+  Alcotest.check feq "accumulates" 1.5
+    (Gpusim.Metrics.time_of m Gpusim.Metrics.Cpu_time);
+  Alcotest.check feq "total" 1.75 (Gpusim.Metrics.total_time m);
+  Alcotest.check feq "host clock advances" 1.75 m.Gpusim.Metrics.host_clock;
+  Gpusim.Metrics.reset m;
+  Alcotest.check feq "reset" 0.0 (Gpusim.Metrics.total_time m)
+
+let tests =
+  [ Alcotest.test_case "buf basics" `Quick test_buf_basics;
+    Alcotest.test_case "buf blit" `Quick test_buf_blit;
+    Alcotest.test_case "buf compare" `Quick test_buf_compare;
+    QCheck_alcotest.to_alcotest buf_compare_reflexive;
+    QCheck_alcotest.to_alcotest buf_max_diff_symmetric;
+    Alcotest.test_case "cost model" `Quick test_costmodel;
+    Alcotest.test_case "device memory" `Quick test_device_memory;
+    Alcotest.test_case "device accounting" `Quick test_device_accounting;
+    Alcotest.test_case "device streams" `Quick test_device_streams;
+    Alcotest.test_case "metrics" `Quick test_metrics ]

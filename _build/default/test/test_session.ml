@@ -1,0 +1,132 @@
+(* Suggestion engine and the interactive optimization session (Figure 2). *)
+
+open Minic
+
+let jacobi =
+  "int main() { int n = 64; int iters = 5; float a[n]; float b[n];\nfor \
+   (int i = 0; i < n; i++) { a[i] = float(i % 7); b[i] = 0.0; }\nfor (int \
+   k = 0; k < iters; k++) {\n#pragma acc kernels loop\nfor (int i = 1; i < \
+   n - 1; i++) { b[i] = 0.5 * (a[i-1] + a[i+1]); }\n#pragma acc kernels \
+   loop\nfor (int i = 1; i < n - 1; i++) { a[i] = b[i]; }\n}\nfloat cs = \
+   0.0;\nfor (int i = 0; i < n; i++) { cs = cs + a[i]; }\nreturn 0; }"
+
+let test_suggestions_from_naive_run () =
+  let c = Openarc_core.Compiler.compile jacobi in
+  let o = Openarc_core.Compiler.run_instrumented c in
+  let suggestions = Openarc_core.Suggest.analyze o in
+  let has_region_plan =
+    List.exists
+      (fun s ->
+        match s.Openarc_core.Suggest.s_action with
+        | Openarc_core.Suggest.Add_data_region _ -> true
+        | _ -> false)
+      suggestions
+  in
+  Alcotest.(check bool) "data-region plan suggested" true has_region_plan
+
+let test_session_converges () =
+  let prog = Parser.parse_string jacobi in
+  let before, _ = Openarc_core.Session.transfer_stats prog in
+  let r = Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ] prog in
+  Alcotest.(check bool) "converged" true r.Openarc_core.Session.converged;
+  Alcotest.(check bool) "few iterations" true
+    (r.Openarc_core.Session.iterations <= 4);
+  Alcotest.(check int) "no incorrect suggestions" 0
+    r.Openarc_core.Session.incorrect_iterations;
+  let after, _ =
+    Openarc_core.Session.transfer_stats r.Openarc_core.Session.final
+  in
+  Alcotest.(check bool) "transfers reduced a lot" true (after * 10 <= before)
+
+let test_session_preserves_outputs () =
+  let prog = Parser.parse_string jacobi in
+  let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
+  let r = Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ] prog in
+  let env = Typecheck.check r.Openarc_core.Session.final in
+  let tp = Codegen.Translate.translate env r.Openarc_core.Session.final in
+  let o = Accrt.Interp.run ~coherence:false tp in
+  Alcotest.(check bool) "outputs preserved" true
+    (Openarc_core.Session.outputs_match ~outputs:[ "a"; "cs" ] ~reference o)
+
+let aliased =
+  (* The host reads one of two pointer-swapped buffers at the end: the
+     blind may-dead analysis mis-suggests dropping its download; the next
+     iteration detects and repairs it (one incorrect iteration). *)
+  "int main() { int n = 16; float u[n]; float v[n]; float *p; float *q; \
+   float *tp;\nfor (int i = 0; i < n; i++) { u[i] = 1.0; v[i] = 2.0; }\np \
+   = u; q = v;\nfor (int k = 0; k < 4; k++) {\n#pragma acc kernels \
+   loop\nfor (int i = 0; i < n; i++) { q[i] = p[i] + 1.0; }\ntp = p; p = \
+   q; q = tp;\n}\nfloat cs = 0.0;\nfor (int i = 0; i < n; i++) { cs = cs \
+   + p[i]; }\nreturn 0; }"
+
+let test_wrong_suggestion_detected () =
+  let prog = Parser.parse_string aliased in
+  let r = Openarc_core.Session.optimize ~outputs:[ "cs" ] prog in
+  Alcotest.(check bool) "converged" true r.Openarc_core.Session.converged;
+  Alcotest.(check bool) "incorrect iteration recorded" true
+    (r.Openarc_core.Session.incorrect_iterations >= 1);
+  (* and the final program is still correct *)
+  let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
+  let env = Typecheck.check r.Openarc_core.Session.final in
+  let tp = Codegen.Translate.translate env r.Openarc_core.Session.final in
+  let o = Accrt.Interp.run ~coherence:false tp in
+  Alcotest.(check bool) "correct after repair" true
+    (Openarc_core.Session.outputs_match ~outputs:[ "cs" ] ~reference o)
+
+let test_conservative_policy () =
+  let prog = Parser.parse_string aliased in
+  let r =
+    Openarc_core.Session.optimize ~policy:Openarc_core.Session.Conservative
+      ~outputs:[ "cs" ] prog
+  in
+  (* only certain suggestions applied: no wrong turns at all *)
+  Alcotest.(check int) "no incorrect iterations" 0
+    r.Openarc_core.Session.incorrect_iterations
+
+let test_already_optimal () =
+  let src =
+    "int main() { int n = 16; float a[n];\nfor (int i = 0; i < n; i++) { \
+     a[i] = 1.0; }\n#pragma acc data copy(a)\n{\n#pragma acc kernels \
+     loop\nfor (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }\n}\nfloat cs \
+     = 0.0;\nfor (int i = 0; i < n; i++) { cs = cs + a[i]; }\nreturn 0; }"
+  in
+  let r =
+    Openarc_core.Session.optimize ~outputs:[ "cs" ]
+      (Parser.parse_string src)
+  in
+  Alcotest.(check int) "single clean iteration" 1
+    r.Openarc_core.Session.iterations;
+  Alcotest.(check bool) "converged" true r.Openarc_core.Session.converged
+
+let test_defer_suggestion_applied () =
+  (* per-iteration download read only after the loop: deferred out *)
+  let src =
+    "int main() { int n = 16; float a[n];\nfor (int i = 0; i < n; i++) { \
+     a[i] = 0.0; }\n#pragma acc data copy(a)\n{\nfor (int k = 0; k < 4; \
+     k++) {\n#pragma acc kernels loop\nfor (int i = 0; i < n; i++) { a[i] \
+     = a[i] + 1.0; }\n#pragma acc update host(a)\n}\nfloat probe = \
+     a[0];\n#pragma acc kernels loop\nfor (int i = 0; i < n; i++) { a[i] = \
+     a[i] + probe; }\n}\nfloat cs = 0.0;\nfor (int i = 0; i < n; i++) { cs \
+     = cs + a[i]; }\nreturn 0; }"
+  in
+  let prog = Parser.parse_string src in
+  let before, _ = Openarc_core.Session.transfer_stats prog in
+  let r = Openarc_core.Session.optimize ~outputs:[ "cs" ] prog in
+  let after, _ =
+    Openarc_core.Session.transfer_stats r.Openarc_core.Session.final
+  in
+  Alcotest.(check bool) "converged" true r.Openarc_core.Session.converged;
+  Alcotest.(check bool) "in-loop downloads removed" true (after < before)
+
+let tests =
+  [ Alcotest.test_case "suggestions from naive run" `Quick
+      test_suggestions_from_naive_run;
+    Alcotest.test_case "session converges" `Quick test_session_converges;
+    Alcotest.test_case "session preserves outputs" `Quick
+      test_session_preserves_outputs;
+    Alcotest.test_case "wrong suggestion detected and repaired" `Quick
+      test_wrong_suggestion_detected;
+    Alcotest.test_case "conservative policy" `Quick test_conservative_policy;
+    Alcotest.test_case "already optimal" `Quick test_already_optimal;
+    Alcotest.test_case "defer suggestion applied" `Quick
+      test_defer_suggestion_applied ]

@@ -1,0 +1,130 @@
+(* Direct unit tests of the translated-program CFG and the paper's
+   dataflow analyses (Algorithms 1 and 2, first-access), independent of the
+   check-insertion pass that consumes them. *)
+
+open Codegen
+open Codegen.Tprog
+open Analysis
+
+(* q is written by the kernel and never read by the host; x is read by the
+   host after the kernel; s feeds the kernel from host writes. *)
+let src =
+  "int main() { int n = 8; float q[n]; float x[n]; float s[n];\nfor (int i \
+   = 0; i < n; i++) { s[i] = 1.0; x[i] = 0.0; }\n#pragma acc kernels \
+   loop\nfor (int i = 0; i < n; i++) { q[i] = s[i]; x[i] = s[i] * 2.0; \
+   }\nfloat cs = 0.0;\nfor (int i = 0; i < n; i++) { cs = cs + x[i]; \
+   }\nreturn 0; }"
+
+let setup () =
+  let tp = Translate.compile_string src in
+  let cfg = Tcfg.build tp in
+  let sets = Tcfg.access_sets tp cfg ~through_aliases:true in
+  (tp, cfg, sets)
+
+let launch_node cfg sets =
+  match Tcfg.kernel_nodes cfg sets with
+  | [ n ] -> n
+  | l -> Alcotest.failf "expected one kernel node, got %d" (List.length l)
+
+let test_cfg_structure () =
+  let _, cfg, sets = setup () in
+  let g = cfg.Tcfg.graph in
+  Alcotest.(check bool) "has nodes" true (Graph.size g > 8);
+  (* entry reaches exit *)
+  let rpo = Graph.reverse_postorder g ~entry:cfg.Tcfg.entry in
+  Alcotest.(check bool) "exit reachable" true (List.mem cfg.Tcfg.exit_ rpo);
+  (* exactly one kernel node with the right DEF/USE *)
+  let k = launch_node cfg sets in
+  Alcotest.(check bool) "kernel reads s" true
+    (Varset.mem "s" sets.Tcfg.kern_read.(k));
+  Alcotest.(check bool) "kernel writes q and x" true
+    (Varset.mem "q" sets.Tcfg.kern_write.(k)
+    && Varset.mem "x" sets.Tcfg.kern_write.(k));
+  (* host-only loops collapse into single Thost leaves; a loop that
+     contains a kernel gets real CFG structure with a join at its header *)
+  let tp2 =
+    Translate.compile_string
+      "int main() { float a[4];\nfor (int i = 0; i < 4; i++) { a[i] = 0.0; \
+       }\nfor (int k = 0; k < 2; k++) {\n#pragma acc kernels loop\nfor \
+       (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; }\n}\nreturn 0; }"
+  in
+  let cfg2 = Tcfg.build tp2 in
+  Alcotest.(check bool) "loop header is a join" true
+    (Array.exists
+       (fun n -> List.length (Graph.preds cfg2.Tcfg.graph n) > 1)
+       (Graph.nodes cfg2.Tcfg.graph))
+
+let test_deadness () =
+  let tp, cfg, sets = setup () in
+  let dead_cpu = Deadness.compute tp cfg sets Cpu in
+  let k = launch_node cfg sets in
+  (* after the kernel: the host never touches q again -> must-dead; x is
+     read by the checksum loop -> live *)
+  Alcotest.(check string) "q must-dead on CPU" "must-dead"
+    (Deadness.status_name (Deadness.status_after dead_cpu k "q"));
+  Alcotest.(check string) "x live on CPU" "live"
+    (Deadness.status_name (Deadness.status_after dead_cpu k "x"));
+  (* on the GPU side, after entry nothing reads q before the kernel writes
+     it -> (may-)dead at the entry node *)
+  let dead_gpu = Deadness.compute tp cfg sets Gpu in
+  Alcotest.(check bool) "q not live on GPU at entry" true
+    (Deadness.status_after dead_gpu cfg.Tcfg.entry "q" <> Deadness.Live);
+  Alcotest.(check string) "s live on GPU at entry (kernel reads it)" "live"
+    (Deadness.status_name
+       (Deadness.status_after dead_gpu cfg.Tcfg.entry "s"))
+
+let test_lastwrite () =
+  let tp, cfg, sets = setup () in
+  let last = Lastwrite.compute tp cfg sets Cpu in
+  (* the init loop's writes of s are the last host writes before the kernel *)
+  let writers_of v =
+    List.filter
+      (fun n -> Varset.mem v sets.Tcfg.host_write.(n))
+      (Array.to_list (Graph.nodes cfg.Tcfg.graph))
+  in
+  Alcotest.(check bool) "s's init write is last" true
+    (List.exists (fun n -> Lastwrite.is_last_write last n "s")
+       (writers_of "s"))
+
+let test_firstaccess () =
+  let tp, cfg, sets = setup () in
+  let first = Firstaccess.compute tp cfg sets in
+  let g = cfg.Tcfg.graph in
+  let first_reads_of v =
+    List.filter
+      (fun n -> Varset.mem v first.Firstaccess.first_read.(n))
+      (Array.to_list (Graph.nodes g))
+  in
+  (* x's host read after the kernel is a first read (the kernel resets) *)
+  Alcotest.(check bool) "x has a first-read point" true
+    (first_reads_of "x" <> []);
+  (* s is never read by the host: no first-read anywhere *)
+  Alcotest.(check (list int)) "s has no host first-read" []
+    (first_reads_of "s")
+
+let test_blind_sets_drop_alias_reads () =
+  let src =
+    "int main() { float a[4]; float b[4]; float *p; float *q; float *t;\np \
+     = a; q = b;\nfor (int k = 0; k < 2; k++) {\n#pragma acc kernels \
+     loop\nfor (int i = 0; i < 4; i++) { a[i] = 1.0; b[i] = 1.0; }\nt = p; \
+     p = q; q = t;\n}\nfloat cs = p[0];\nreturn 0; }"
+  in
+  let tp = Translate.compile_string src in
+  let cfg = Tcfg.build tp in
+  let full = Tcfg.access_sets tp cfg ~through_aliases:true in
+  let blind = Tcfg.access_sets tp cfg ~through_aliases:false in
+  let total sets =
+    Array.fold_left (fun acc s -> acc + Varset.cardinal s) 0 sets
+  in
+  (* the final read via the ambiguous p is visible to the full view only *)
+  Alcotest.(check bool) "blind view sees fewer host reads" true
+    (total blind.Tcfg.host_read < total full.Tcfg.host_read)
+
+let tests =
+  [ Alcotest.test_case "CFG structure and access sets" `Quick
+      test_cfg_structure;
+    Alcotest.test_case "Algorithm 1 (deadness)" `Quick test_deadness;
+    Alcotest.test_case "Algorithm 2 (last write)" `Quick test_lastwrite;
+    Alcotest.test_case "first-access placement" `Quick test_firstaccess;
+    Alcotest.test_case "alias-blind view drops pointer reads" `Quick
+      test_blind_sets_drop_alias_reads ]

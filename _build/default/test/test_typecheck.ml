@@ -1,0 +1,80 @@
+(* Type checker: acceptance of well-typed programs, rejection with located
+   errors, and the returned variable-type environment. *)
+
+open Minic
+
+let accepts src = ignore (Typecheck.check (Parser.parse_string src))
+
+let rejects name src =
+  try
+    accepts src;
+    Alcotest.failf "%s: expected a type error" name
+  with Loc.Error _ -> ()
+
+let test_accepts () =
+  accepts "int main() { int x = 1; float y = 2.5; y = x; return 0; }";
+  accepts
+    "int main() { int n = 4; float a[n]; a[0] = 1.0; float v = a[1]; \
+     return 0; }";
+  accepts "int main() { float a[4]; float *p; p = a; p[0] = 0.5; return 0; }";
+  accepts
+    "float dot(float a[], float b[], int n) { float s = 0.0; for (int i = \
+     0; i < n; i++) { s = s + a[i] * b[i]; } return s; }\n\
+     int main() { float x[4]; float y[4]; float d = dot(x, y, 4); return 0; }";
+  accepts "int main() { float x = sqrt(fabs(0.0 - 2.0)); return 0; }";
+  accepts "int main() { int i = max(1, 2); float f = max(1.0, 2.5); return 0; }";
+  (* int/float implicit mixing, as in C *)
+  accepts "int main() { float x = 1; int y = 1 + 2 * 3; x = y; return 0; }"
+
+let test_rejects () =
+  rejects "undeclared" "int main() { x = 1; return 0; }";
+  rejects "redeclared" "int main() { int x = 1; int x = 2; return 0; }";
+  rejects "index scalar" "int main() { int x = 1; x[0] = 2; return 0; }";
+  rejects "float index" "int main() { float a[4]; a[1.5] = 0.0; return 0; }";
+  rejects "mod float" "int main() { float x = 1.5 % 2.0; return 0; }";
+  rejects "arity" "int main() { float x = sqrt(1.0, 2.0); return 0; }";
+  rejects "unknown fn" "int main() { frob(1); return 0; }";
+  rejects "assign array to scalar"
+    "int main() { float a[4]; float x = 0.0; x = a; return 0; }";
+  rejects "no main" "int f() { return 0; }";
+  rejects "scope leak"
+    "int main() { { int x = 1; } x = 2; return 0; }";
+  rejects "for scope leak"
+    "int main() { for (int i = 0; i < 2; i++) { } i = 3; return 0; }";
+  rejects "pointer base mismatch"
+    "int main() { int a[4]; float *p; p = a; return 0; }"
+
+let test_directive_vars () =
+  accepts
+    "int main() { float a[4]; float t;\n#pragma acc kernels loop \
+     private(t)\nfor (int i = 0; i < 4; i++) { t = a[i]; a[i] = t; }\n\
+     return 0; }";
+  rejects "clause var undeclared"
+    "int main() { float a[4];\n#pragma acc data copyin(zz)\n{ }\nreturn 0; }";
+  rejects "private var undeclared"
+    "int main() { float a[4];\n#pragma acc kernels loop private(qq)\nfor \
+     (int i = 0; i < 4; i++) { a[i] = 0.0; }\nreturn 0; }"
+
+let test_env () =
+  let env =
+    Typecheck.check
+      (Parser.parse_string
+         "float g[8];\nint main() { int n = 2; float x = 0.0; float a[n]; \
+          float *p; return 0; }")
+  in
+  Alcotest.(check bool) "array var" true (Typecheck.is_array_var env "main" "a");
+  Alcotest.(check bool) "pointer is arrayish" true
+    (Typecheck.is_array_var env "main" "p");
+  Alcotest.(check bool) "global array visible" true
+    (Typecheck.is_array_var env "main" "g");
+  Alcotest.(check bool) "scalar not array" false
+    (Typecheck.is_array_var env "main" "x");
+  match Typecheck.var_type env "main" "n" with
+  | Some Minic.Ast.Tint -> ()
+  | _ -> Alcotest.fail "n : int"
+
+let tests =
+  [ Alcotest.test_case "accepts well-typed" `Quick test_accepts;
+    Alcotest.test_case "rejects ill-typed" `Quick test_rejects;
+    Alcotest.test_case "directive variables" `Quick test_directive_vars;
+    Alcotest.test_case "type environment" `Quick test_env ]

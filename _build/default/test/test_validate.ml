@@ -1,0 +1,68 @@
+(* OpenACC directive validation: clause legality, nesting, data-clause
+   sanity. *)
+
+open Minic
+
+let ok src = Acc.Validate.check_program (Parser.parse_string src)
+
+let bad name src =
+  try
+    ok src;
+    Alcotest.failf "%s: expected validation error" name
+  with Acc.Validate.Invalid _ -> ()
+
+let kernel_on body = "int main() { float a[4]; float s; float t;\n" ^ body
+                     ^ "\nreturn 0; }"
+
+let test_legal () =
+  ok (kernel_on
+        "#pragma acc kernels loop gang worker private(t)\nfor (int i = 0; i \
+         < 4; i++) { a[i] = 0.0; }");
+  ok (kernel_on
+        "#pragma acc data copyin(a) if(1)\n{\n#pragma acc parallel loop \
+         reduction(+:s)\nfor (int i = 0; i < 4; i++) { s = s + a[i]; }\n}");
+  ok (kernel_on "#pragma acc update host(a) async(1)\n#pragma acc wait(1)");
+  ok (kernel_on
+        "#pragma acc kernels\n{\nfor (int i = 0; i < 4; i++) { a[i] = 1.0; \
+         }\n#pragma acc loop gang\nfor (int i = 0; i < 4; i++) { a[i] = \
+         2.0; }\n}")
+
+let test_illegal_clauses () =
+  bad "gang on data"
+    (kernel_on "#pragma acc data gang\n{ }");
+  bad "copy on update"
+    (kernel_on "#pragma acc update copy(a)");
+  bad "private on update"
+    (kernel_on "#pragma acc update host(a) private(t)");
+  bad "host on kernels"
+    (kernel_on
+       "#pragma acc kernels loop host(a)\nfor (int i = 0; i < 4; i++) { \
+        a[i] = 0.0; }")
+
+let test_structure () =
+  bad "nested compute"
+    (kernel_on
+       "#pragma acc parallel\n{\n#pragma acc kernels loop\nfor (int i = 0; \
+        i < 4; i++) { a[i] = 0.0; }\n}");
+  bad "orphaned loop"
+    (kernel_on "#pragma acc loop gang\nfor (int i = 0; i < 4; i++) { }");
+  bad "update inside compute"
+    (kernel_on
+       "#pragma acc kernels\n{\n#pragma acc update host(a)\n}");
+  bad "loop on non-for"
+    (kernel_on "#pragma acc kernels loop\na[0] = 1.0;");
+  bad "empty update" (kernel_on "#pragma acc update async(1)")
+
+let test_data_sanity () =
+  bad "duplicate data var"
+    (kernel_on "#pragma acc data copyin(a) copyout(a)\n{ }");
+  bad "private and data"
+    (kernel_on
+       "#pragma acc kernels loop copyin(s) private(s)\nfor (int i = 0; i < \
+        4; i++) { a[i] = 0.0; }")
+
+let tests =
+  [ Alcotest.test_case "legal programs" `Quick test_legal;
+    Alcotest.test_case "illegal clauses" `Quick test_illegal_clauses;
+    Alcotest.test_case "structural rules" `Quick test_structure;
+    Alcotest.test_case "data-clause sanity" `Quick test_data_sanity ]
