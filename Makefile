@@ -1,0 +1,30 @@
+DUNE ?= dune
+
+BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
+
+.PHONY: all build test lint check bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# The hand-optimized suite is the end state of the paper's optimization
+# sessions: it must lint warning-free.
+lint: build
+	@for b in $(BENCHES); do \
+	  echo "lint bench:$$b:opt"; \
+	  $(DUNE) exec --no-build bin/openarc.exe -- \
+	    lint bench:$$b:opt --deny-warnings || exit 1; \
+	done
+
+check: build test lint
+
+bench: build
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

@@ -8,7 +8,12 @@
                    (§III-A), with OpenARC-style [verificationOptions]
     - [optimize] : the interactive optimization loop of Figure 2, driven by
                    a scripted programmer
+    - [lint]     : static directive diagnostics — race/privatization
+                   errors and compile-time transfer classification
     - [benchmarks]: list the bundled benchmark suite
+
+    Exit codes: 0 success, 1 failed run / lint findings, 2 malformed
+    input.
 
     A [FILE] argument of the form [bench:NAME[:opt]] loads a bundled
     benchmark instead of a file. *)
@@ -61,12 +66,22 @@ let prepare ~fault src =
   in
   (prog, Openarc_core.Compiler.compile_program ~opts:(opts_of_fault fault) prog)
 
-let handle f =
-  try f (); 0 with
-  | Minic.Loc.Error _ | Acc.Validate.Invalid _ | Accrt.Value.Runtime_error _
-  | Gpusim.Device.Device_error _ | Failure _ as e ->
+(* Exit codes: 0 success, 1 runtime/simulation failure (or lint findings),
+   2 malformed input (lexical/syntax/type errors, invalid OpenACC). *)
+let handle_code f =
+  try f () with
+  | (Minic.Loc.Error _ | Acc.Validate.Invalid _) as e ->
+      Fmt.epr "%s@." (Printexc.to_string e);
+      2
+  | Sys_error msg | Failure msg ->
+      (* unreadable FILE, unknown benchmark name, ... *)
+      Fmt.epr "openarc: %s@." msg;
+      2
+  | (Accrt.Value.Runtime_error _ | Gpusim.Device.Device_error _) as e ->
       Fmt.epr "%s@." (Printexc.to_string e);
       1
+
+let handle f = handle_code (fun () -> f (); 0)
 
 (* ----------------------------- compile ----------------------------- *)
 
@@ -281,6 +296,62 @@ let optimize_cmd =
     Term.(const run $ file_arg $ outputs $ max_iterations $ conservative
           $ show_final)
 
+(* ------------------------------- lint ------------------------------ *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit diagnostics as a JSON array")
+  in
+  let severity =
+    Arg.(value
+         & opt
+             (enum
+                [ ("error", Lint.Diag.Error);
+                  ("warning", Lint.Diag.Warning);
+                  ("info", Lint.Diag.Info) ])
+             Lint.Diag.Warning
+         & info [ "severity" ] ~docv:"LEVEL"
+             ~doc:"Lowest severity to display: error, warning (default) \
+                   or info")
+  in
+  let deny_warnings =
+    Arg.(value & flag
+         & info [ "deny-warnings" ]
+             ~doc:"Exit non-zero when warnings remain (CI gating)")
+  in
+  let run file fault json severity deny_warnings =
+    handle_code (fun () ->
+        let ds = Lint.run_string ~fault ~file (load_source file) in
+        let shown = Lint.Diag.filter ~threshold:severity ds in
+        if json then Fmt.pr "%s@." (Lint.Diag.to_json shown)
+        else begin
+          Fmt.pr "%s" (Lint.Diag.to_text shown);
+          let count s =
+            List.length
+              (List.filter (fun d -> d.Lint.Diag.severity = s) ds)
+          in
+          Fmt.pr "%d error(s), %d warning(s), %d info(s)@."
+            (count Lint.Diag.Error) (count Lint.Diag.Warning)
+            (count Lint.Diag.Info)
+        end;
+        let fail_threshold =
+          if deny_warnings then Lint.Diag.Warning else Lint.Diag.Error
+        in
+        if
+          List.exists
+            (fun d -> Lint.Diag.at_least fail_threshold d.Lint.Diag.severity)
+            ds
+        then 1
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically check directives: data races requiring \
+             private/reduction clauses, cross-iteration array conflicts, \
+             and missing/redundant memory transfers — before any execution")
+    Term.(const run $ file_arg $ fault_arg $ json $ severity $ deny_warnings)
+
 (* ---------------------------- benchmarks --------------------------- *)
 
 let benchmarks_cmd =
@@ -302,4 +373,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; run_cmd; verify_cmd; optimize_cmd; benchmarks_cmd ]))
+          [ compile_cmd; run_cmd; verify_cmd; optimize_cmd; lint_cmd;
+            benchmarks_cmd ]))

@@ -59,6 +59,37 @@ let add_data_sub clauses kind sa =
 
 let add_data_var clauses kind v = add_data_sub clauses kind (sub v)
 
+(** Add [v] to the [private] clause, merging with an existing one. *)
+let add_private_var clauses v =
+  let clauses = remove_private_var clauses v in
+  let merged = ref false in
+  let clauses =
+    List.map
+      (function
+        | Cprivate vs when not !merged ->
+            merged := true;
+            Cprivate (vs @ [ v ])
+        | c -> c)
+      clauses
+  in
+  if !merged then clauses else clauses @ [ Cprivate [ v ] ]
+
+(** Add [v] to the [reduction(op:...)] clause, merging with an existing
+    clause of the same operator. *)
+let add_reduction_var clauses op v =
+  let clauses = remove_reduction_var clauses v in
+  let merged = ref false in
+  let clauses =
+    List.map
+      (function
+        | Creduction (o, vs) when o = op && not !merged ->
+            merged := true;
+            Creduction (o, vs @ [ v ])
+        | c -> c)
+      clauses
+  in
+  if !merged then clauses else clauses @ [ Creduction (op, [ v ]) ]
+
 (** Move [v] to data-clause kind [kind] (removing it from any other). *)
 let set_data_kind clauses v kind =
   add_data_var (remove_data_var clauses v) kind v

@@ -19,6 +19,13 @@ val add_data_sub : clause list -> data_kind -> subarray -> clause list
 
 val add_data_var : clause list -> data_kind -> string -> clause list
 
+(** Add [v] to the [private] clause (merging when one exists). *)
+val add_private_var : clause list -> string -> clause list
+
+(** Add [v] to the [reduction(op:...)] clause (merging clauses of the same
+    operator). *)
+val add_reduction_var : clause list -> redop -> string -> clause list
+
 (** Move [v] to data-clause [kind] (removing it from any other). *)
 val set_data_kind : clause list -> string -> data_kind -> clause list
 

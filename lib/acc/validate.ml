@@ -87,19 +87,78 @@ let check_directive d =
           sub.sub_var;
       Hashtbl.add seen sub.sub_var ())
     (Query.data_clauses d);
+  (* Clauses that configure the construct may appear at most once. *)
+  let singles = Hashtbl.create 8 in
+  List.iter
+    (fun cl ->
+      match cl with
+      | Cif _ | Casync _ | Cnum_gangs _ | Cnum_workers _ | Cvector_length _
+      | Ccollapse _ | Cgang _ | Cworker _ | Cvector _ | Cseq
+      | Cindependent ->
+          let n = clause_name cl in
+          if Hashtbl.mem singles n then
+            invalid d.dloc "duplicate '%s' clause" n;
+          Hashtbl.add singles n ()
+      | _ -> ())
+    d.clauses;
+  if Hashtbl.mem singles "seq" && Hashtbl.mem singles "independent" then
+    invalid d.dloc "'seq' and 'independent' are contradictory";
+  List.iter
+    (function
+      | Ccollapse n when n < 1 ->
+          invalid d.dloc "collapse(%d): argument must be at least 1" n
+      | _ -> ())
+    d.clauses;
   (* update requires at least one host/device clause. *)
   (match d.dir with
   | Acc_update ->
       if Query.update_host_subs d = [] && Query.update_device_subs d = [] then
         invalid d.dloc "update directive needs a host() or device() clause"
   | _ -> ());
-  (* Subarray bounds must be both present or both absent (parser enforces),
-     and private vars must not also be in a data clause. *)
+  (* Subarray sanity: a constant lower bound must be non-negative, a
+     constant length positive.  Bounds must be both present or both
+     absent (the parser enforces that). *)
+  let rec const_int = function
+    | Eint n -> Some n
+    | Eunop (Neg, e) -> Option.map (fun n -> -n) (const_int e)
+    | Ebinop (Add, a, b) -> (
+        match (const_int a, const_int b) with
+        | Some x, Some y -> Some (x + y)
+        | _ -> None)
+    | Ebinop (Sub, a, b) -> (
+        match (const_int a, const_int b) with
+        | Some x, Some y -> Some (x - y)
+        | _ -> None)
+    | Ebinop (Mul, a, b) -> (
+        match (const_int a, const_int b) with
+        | Some x, Some y -> Some (x * y)
+        | _ -> None)
+    | _ -> None
+  in
+  let check_sub sub =
+    (match Option.bind sub.sub_lo const_int with
+    | Some lo when lo < 0 ->
+        invalid d.dloc "subarray '%s[%d:...]': negative lower bound"
+          sub.sub_var lo
+    | _ -> ());
+    match Option.bind sub.sub_len const_int with
+    | Some n when n <= 0 ->
+        invalid d.dloc "subarray '%s[...:%d]': length must be positive"
+          sub.sub_var n
+    | _ -> ()
+  in
+  List.iter (fun (_, sub) -> check_sub sub) (Query.data_clauses d);
+  List.iter check_sub (Query.update_host_subs d);
+  List.iter check_sub (Query.update_device_subs d);
+  (* Private vars must not also be in a data clause or a reduction. *)
   let data_vars = Query.data_vars d in
+  let red_vars = List.map snd (Query.reductions d) in
   List.iter
     (fun v ->
       if List.mem v data_vars then
-        invalid d.dloc "variable '%s' is both private and in a data clause" v)
+        invalid d.dloc "variable '%s' is both private and in a data clause" v;
+      if List.mem v red_vars then
+        invalid d.dloc "variable '%s' is both private and a reduction" v)
     (Query.private_vars d)
 
 (* Structural rules on the statement tree. *)

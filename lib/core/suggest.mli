@@ -28,6 +28,12 @@ type suggestion = {
 
 val pp : Format.formatter -> suggestion -> unit
 
+(** Classify a transfer-site label ([dataN.copyin(v)], [update0.host(b)],
+    [regionN.copyout(a)], [kernel.pcopyin(v)], ...) by the directive kind
+    that produced it; [`Implicit] is the default-scheme transfer around a
+    kernel with no covering data clause. *)
+val site_kind : string -> [ `Update | `Data | `Region | `Implicit ]
+
 (** Derive suggestions from a finished instrumented run. *)
 val analyze : Accrt.Interp.outcome -> suggestion list
 

@@ -1,0 +1,27 @@
+(** The [openarc lint] entry point: whole-program static diagnostics.
+
+    Combines the loop-carried race / privatization detector ({!Race}) with
+    the static transfer diagnostics ({!Xfer}) over one translated program
+    and returns deduplicated, deterministically ordered diagnostics. *)
+
+module Diag = Diag
+module Race = Race
+module Xfer = Xfer
+
+(** Lint an already compiled program. *)
+val run_tprog : ?mode:Codegen.Checkgen.mode -> Codegen.Tprog.t -> Diag.t list
+
+(** Validate, type check, translate and lint a parsed program.
+    @raise Minic.Loc.Error on type errors
+    @raise Acc.Validate.Invalid on OpenACC misuse *)
+val run_program :
+  ?opts:Codegen.Options.t -> Minic.Ast.program -> Diag.t list
+
+(** Parse and lint a source string.  [fault] applies the Table II fault
+    injection first (strip [private]/[reduction] clauses, disable automatic
+    recognition) — under it the detector must flag all 20 injected races.
+    @raise Minic.Loc.Error on lexical/syntax/type errors
+    @raise Acc.Validate.Invalid on OpenACC misuse *)
+val run_string :
+  ?opts:Codegen.Options.t -> ?fault:bool -> ?file:string -> string ->
+  Diag.t list

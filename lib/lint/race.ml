@@ -1,0 +1,399 @@
+(** Loop-carried race / privatization detector.
+
+    Scalar races come straight from the outliner's classification
+    ({!Codegen.Tprog.scalar_class}): a kernel scalar is [Sc_raced] exactly
+    when clauses and automatic recognition both fail to cover it — the same
+    condition under which the simulated GPU manifests the race (§IV-B).
+    Array conflicts are found by classifying every subscript of a parallel
+    kernel loop against the loop's induction variable. *)
+
+open Minic.Ast
+open Codegen.Tprog
+module Varset = Analysis.Varset
+
+(* ----------------------- expression utilities ----------------------- *)
+
+let rec expr_vars acc = function
+  | Eint _ | Efloat _ -> acc
+  | Evar v -> Varset.add v acc
+  | Eindex (a, i) -> expr_vars (expr_vars acc a) i
+  | Eunop (_, e) -> expr_vars acc e
+  | Ebinop (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Ecall (_, args) -> List.fold_left expr_vars acc args
+  | Econd (c, a, b) -> expr_vars (expr_vars (expr_vars acc c) a) b
+
+let vars_of e = expr_vars Varset.empty e
+
+(* Split [e] into an affine base and a constant offset: [e = base + k]. *)
+let rec split_offset = function
+  | Ebinop (Add, e, Eint k) | Ebinop (Add, Eint k, e) ->
+      let b, k0 = split_offset e in
+      (b, k0 + k)
+  | Ebinop (Sub, e, Eint k) ->
+      let b, k0 = split_offset e in
+      (b, k0 - k)
+  | e -> (e, 0)
+
+(* Canonical fingerprint of a subscript base, for comparing accesses. *)
+let fingerprint e = Fmt.str "%a" Minic.Pretty.pp_expr e
+
+(* Coefficient of [iv] in [e] when [e] is linear in it; [None] when the
+   dependence is not analyzably linear ([i * n], [(i + 1) % n], ...). *)
+let rec iv_coeff iv = function
+  | Eint _ | Efloat _ -> Some 0
+  | Evar v -> Some (if v = iv then 1 else 0)
+  | Ebinop (Add, a, b) -> (
+      match (iv_coeff iv a, iv_coeff iv b) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None)
+  | Ebinop (Sub, a, b) -> (
+      match (iv_coeff iv a, iv_coeff iv b) with
+      | Some x, Some y -> Some (x - y)
+      | _ -> None)
+  | Ebinop (Mul, Eint k, e) | Ebinop (Mul, e, Eint k) ->
+      Option.map (fun x -> k * x) (iv_coeff iv e)
+  | Eunop (Neg, e) -> Option.map (fun x -> -x) (iv_coeff iv e)
+  | e -> if Varset.mem iv (vars_of e) then None else Some 0
+
+(** How one subscript dimension behaves across iterations of the
+    parallel loop. *)
+type dim =
+  | Dinv of string  (** same element on every iteration (fingerprint) *)
+  | Daff of { base : string; off : int; coeff : int option }
+      (** induction-derived base + constant offset; [coeff] is the
+          induction variable's linear coefficient when known *)
+  | Dopaque  (** varies, but not analyzably (inner loops, computed) *)
+
+let classify_dim ~iv ~varying e =
+  let vs = vars_of e in
+  if Varset.mem iv vs then
+    let base, k = split_offset e in
+    Daff { base = fingerprint base; off = k; coeff = iv_coeff iv base }
+  else if Varset.is_empty (Varset.inter vs varying) then Dinv (fingerprint e)
+  else Dopaque
+
+(** Whole-access summary.  Iteration-invariant only when every dimension
+    is; opaque as soon as one dimension is (an inner-loop subscript makes
+    cross-iteration overlap undecidable here, e.g. the column of a
+    row-parallel stencil). *)
+type affine = { base : string; offs : int list; coeffs : int option list }
+
+type summary = Invariant | Affine of affine | Opaque
+
+let classify_access ~iv ~varying subs =
+  let dims = List.map (classify_dim ~iv ~varying) subs in
+  if List.for_all (function Dinv _ -> true | _ -> false) dims then Invariant
+  else if List.exists (function Dopaque -> true | _ -> false) dims then
+    Opaque
+  else
+    Affine
+      { base =
+          String.concat "]["
+            (List.map
+               (function Dinv f -> f | Daff a -> a.base | Dopaque -> "?")
+               dims);
+        offs =
+          List.map (function Daff a -> a.off | Dinv _ | Dopaque -> 0) dims;
+        coeffs =
+          List.map
+            (function
+              | Daff a -> a.coeff | Dinv _ -> Some 0 | Dopaque -> None)
+            dims }
+
+(* Can access [a] at iteration [x] and access [b] at iteration [x + d],
+   [d <> 0], touch the same element?  Requires identical per-dimension
+   bases; then every dimension demands [coeff_k * d = off_b_k - off_a_k].
+   A dimension with an unknown coefficient is conservatively satisfiable
+   whenever it needs a shift at all.  [temp[dst][i][j]] never conflicts
+   with [temp[src][i][j]] (different bases); [sm[i][d - i]] never
+   conflicts with [sm[i - 1][d - i - 1]] (coefficients +1/-1 admit no
+   common shift); [a[i]] conflicts with [a[i + 1]] (d = 1). *)
+let conflicting a b =
+  a.base = b.base
+  && List.length a.offs = List.length b.offs
+  &&
+  let rec solve delta possible = function
+    | [] -> ( match delta with Some d -> d <> 0 | None -> possible)
+    | (c, oa, ob) :: rest -> (
+        let dk = ob - oa in
+        match c with
+        | Some 0 -> dk = 0 && solve delta possible rest
+        | Some c ->
+            dk mod c = 0
+            &&
+            let d = dk / c in
+            (match delta with
+            | Some d' -> d' = d && solve delta possible rest
+            | None -> solve (Some d) possible rest)
+        | None -> solve delta (possible || dk <> 0) rest)
+  in
+  solve None false
+    (List.map2
+       (fun c (oa, ob) -> (c, oa, ob))
+       a.coeffs
+       (List.combine a.offs b.offs))
+
+(* ------------------------ array access walk ------------------------- *)
+
+type access = { a_arr : string; a_subs : expr list; a_write : bool }
+
+(* Subscripts of an access whose base is a plain variable,
+   outermost-first. *)
+let rec expr_root_subs acc = function
+  | Eindex (Evar a, i) -> Some (a, i :: acc)
+  | Eindex (e, i) -> expr_root_subs (i :: acc) e
+  | _ -> None
+
+let rec lvalue_root_subs acc = function
+  | Lindex (Lvar a, i) -> Some (a, i :: acc)
+  | Lindex (lv, i) -> lvalue_root_subs (i :: acc) lv
+  | Lvar _ -> None
+
+let accesses_of_block block =
+  let acc = ref [] in
+  let push a = acc := a :: !acc in
+  let rec expr e =
+    match e with
+    | Eint _ | Efloat _ | Evar _ -> ()
+    | Eindex (a, i) -> (
+        match expr_root_subs [] e with
+        | Some (arr, subs) ->
+            push { a_arr = arr; a_subs = subs; a_write = false };
+            List.iter expr subs
+        | None -> expr a; expr i)
+    | Eunop (_, e) -> expr e
+    | Ebinop (_, a, b) -> expr a; expr b
+    | Ecall (_, args) -> List.iter expr args
+    | Econd (c, a, b) -> expr c; expr a; expr b
+  in
+  let lvalue lv =
+    match lvalue_root_subs [] lv with
+    | Some (arr, subs) ->
+        push { a_arr = arr; a_subs = subs; a_write = true };
+        List.iter expr subs
+    | None -> ()
+  in
+  let rec stmt s =
+    match s.skind with
+    | Sskip | Sbreak | Scontinue -> ()
+    | Sexpr e -> expr e
+    | Sassign (lv, e) -> lvalue lv; expr e
+    | Sdecl (_, _, e) -> Option.iter expr e
+    | Sreturn e -> Option.iter expr e
+    | Sif (c, b1, b2) -> expr c; List.iter stmt b1; List.iter stmt b2
+    | Swhile (c, b) -> expr c; List.iter stmt b
+    | Sfor (i, c, st, b) ->
+        Option.iter stmt i; Option.iter expr c; Option.iter stmt st;
+        List.iter stmt b
+    | Sblock b -> List.iter stmt b
+    | Sacc (_, body) -> Option.iter stmt body
+  in
+  List.iter stmt block;
+  List.rev !acc
+
+(* ----------------------- explicit clause facts ---------------------- *)
+
+(* Clauses visible to a kernel: the compute-region directive (found by the
+   kernel's anchoring sid) plus every loop directive inside its source
+   statement. *)
+let kernel_directives tp (k : kernel) =
+  let region =
+    List.filter_map
+      (fun (sid, _, d) -> if sid = k.k_sid then Some d else None)
+      (Acc.Query.directives_of tp.source)
+  in
+  let inner = ref [] in
+  iter_stmt
+    (fun s ->
+      match s.skind with Sacc (d, _) -> inner := d :: !inner | _ -> ())
+    k.k_source;
+  region @ List.rev !inner
+
+let explicit_facts tp k =
+  let dirs = kernel_directives tp k in
+  ( Varset.of_list (List.concat_map Acc.Query.private_vars dirs),
+    List.concat_map Acc.Query.reductions dirs )
+
+(* ----------------------------- scalars ------------------------------ *)
+
+let scalar_diags tp (k : kernel) =
+  let region = Analysis.Regions.analyze ~alias:tp.alias k.k_body in
+  let explicit_private, explicit_reduction = explicit_facts tp k in
+  let diag_of_scalar (v, cls) =
+    match cls with
+    | Sc_raced kind -> (
+        let manifest =
+          match kind with
+          | Race_active -> "an active race (corrupts kernel outputs)"
+          | Race_latent ->
+              "a latent race (hidden by backend register promotion)"
+        in
+        match List.assoc_opt v region.Analysis.Regions.accumulators with
+        | Some op ->
+            Some
+              (Diag.mk ~var:v
+                 ~fixit:(Diag.Fix_add_reduction { sid = k.k_sid; op; var = v })
+                 ~code:"ACC-RACE-002" ~severity:Diag.Error ~loc:k.k_loc
+                 (Fmt.str
+                    "accumulator '%s' in kernel '%s' needs a \
+                     'reduction(%s:%s)' clause: every iteration reads and \
+                     updates the shared copy, %s"
+                    v k.k_name (Minic.Pretty.redop_str op) v manifest))
+        | None -> (
+            match
+              Hashtbl.find_opt region.Analysis.Regions.first_access v
+            with
+            | Some Analysis.Regions.First_write ->
+                Some
+                  (Diag.mk ~var:v
+                     ~fixit:(Diag.Fix_add_private { sid = k.k_sid; var = v })
+                     ~code:"ACC-RACE-001" ~severity:Diag.Error ~loc:k.k_loc
+                     (Fmt.str
+                        "scalar '%s' in kernel '%s' needs a 'private' \
+                         clause: it is written before being read in every \
+                         iteration, but all threads share one copy — %s"
+                        v k.k_name manifest))
+            | _ ->
+                Some
+                  (Diag.mk ~var:v ~code:"ACC-RACE-005" ~severity:Diag.Error
+                     ~loc:k.k_loc
+                     (Fmt.str
+                        "scalar '%s' in kernel '%s' carries a loop-carried \
+                         dependence (read of a value written by another \
+                         iteration) — %s"
+                        v k.k_name manifest))))
+    | Sc_private when not (Varset.mem v explicit_private) ->
+        Some
+          (Diag.mk ~var:v
+             ~fixit:(Diag.Fix_add_private { sid = k.k_sid; var = v })
+             ~code:"ACC-RACE-010" ~severity:Diag.Info ~loc:k.k_loc
+             (Fmt.str
+                "scalar '%s' in kernel '%s' is privatized only by automatic \
+                 recognition; an explicit 'private(%s)' clause makes the \
+                 program portable to compilers without it"
+                v k.k_name v))
+    | Sc_reduction op
+      when not (List.exists (fun (o, rv) -> o = op && rv = v)
+                  explicit_reduction) ->
+        Some
+          (Diag.mk ~var:v
+             ~fixit:(Diag.Fix_add_reduction { sid = k.k_sid; op; var = v })
+             ~code:"ACC-RACE-011" ~severity:Diag.Info ~loc:k.k_loc
+             (Fmt.str
+                "reduction on '%s' in kernel '%s' is recognized only \
+                 automatically; an explicit 'reduction(%s:%s)' clause makes \
+                 the program portable to compilers without it"
+                v k.k_name (Minic.Pretty.redop_str op) v))
+    | Sc_private | Sc_firstprivate | Sc_reduction _ -> None
+  in
+  List.filter_map diag_of_scalar k.k_scalars
+
+(* ------------------------------ arrays ------------------------------ *)
+
+(* Names whose value changes from parallel iteration to parallel iteration:
+   the induction variables and every scalar the body writes. *)
+let varying_names (k : kernel) region =
+  Varset.union k.k_induction
+    (Varset.union region.Analysis.Regions.scalars_written
+       region.Analysis.Regions.declared)
+
+let array_diags tp (k : kernel) =
+  match k.k_loop with
+  | None -> []
+  | Some _ when k.k_seq -> []
+  | Some loop ->
+      let region = Analysis.Regions.analyze ~alias:tp.alias k.k_body in
+      let iv = loop.kl_var in
+      let varying = varying_names k region in
+      let explicit_private, _ = explicit_facts tp k in
+      let accesses =
+        List.filter
+          (fun a -> not (Varset.mem a.a_arr explicit_private))
+          (accesses_of_block k.k_body)
+      in
+      let classified =
+        List.map (fun a -> (a, classify_access ~iv ~varying a.a_subs)) accesses
+      in
+      let by_array = Hashtbl.create 8 in
+      List.iter
+        (fun ((a, _) as e) ->
+          let prev =
+            Option.value (Hashtbl.find_opt by_array a.a_arr) ~default:[]
+          in
+          Hashtbl.replace by_array a.a_arr (e :: prev))
+        classified;
+      let diags = ref [] in
+      let emit d = diags := d :: !diags in
+      let arrays = List.sort_uniq compare (List.map (fun a -> a.a_arr) accesses) in
+      List.iter
+        (fun arr ->
+          let entries = List.rev (Hashtbl.find by_array arr) in
+          let writes = List.filter (fun (a, _) -> a.a_write) entries in
+          let reads = List.filter (fun (a, _) -> not a.a_write) entries in
+          let affines entries =
+            List.sort_uniq compare
+              (List.filter_map
+                 (function _, Affine a -> Some a | _ -> None)
+                 entries)
+          in
+          let write_affines = affines writes in
+          (* Write-write: an iteration-invariant write hits the same element
+             from every iteration; two induction-affine writes that admit a
+             nonzero iteration shift overlap between iterations. *)
+          (if List.exists (fun (_, c) -> c = Invariant) writes then
+             emit
+               (Diag.mk ~var:arr ~code:"ACC-RACE-003" ~severity:Diag.Warning
+                  ~loc:k.k_loc
+                  (Fmt.str
+                     "array '%s' in kernel '%s': every iteration of the \
+                      parallel loop writes the same element (no subscript \
+                      depends on '%s') — cross-iteration write-write \
+                      conflict"
+                     arr k.k_name iv))
+           else if
+             List.exists
+               (fun w ->
+                 List.exists
+                   (fun w' -> w <> w' && conflicting w w')
+                   write_affines)
+               write_affines
+           then
+             emit
+               (Diag.mk ~var:arr ~code:"ACC-RACE-003" ~severity:Diag.Warning
+                  ~loc:k.k_loc
+                  (Fmt.str
+                     "array '%s' in kernel '%s' is written at overlapping \
+                      elements by different iterations of the parallel loop \
+                      (write-write conflict)"
+                     arr k.k_name)));
+          (* Read-write: a read that a nonzero iteration shift aligns with a
+             write ([a[i - 1]] vs [a[i]]).  Reads whose subscripts no shift
+             can align with the written ones (a fixed pivot element, the
+             other plane of a double buffer, the previous anti-diagonal of a
+             wavefront) are left alone. *)
+          let rw_conflict =
+            List.exists
+              (fun w ->
+                List.exists
+                  (fun (_, rc) ->
+                    match rc with
+                    | Affine r -> conflicting w r
+                    | Invariant | Opaque -> false)
+                  reads)
+              write_affines
+          in
+          if rw_conflict then
+            emit
+              (Diag.mk ~var:arr ~code:"ACC-RACE-004" ~severity:Diag.Warning
+                 ~loc:k.k_loc
+                 (Fmt.str
+                    "array '%s' in kernel '%s' is read at elements written \
+                     by other iterations of the parallel loop — \
+                     cross-iteration read-write dependence"
+                    arr k.k_name)))
+        arrays;
+      List.rev !diags
+
+let analyze (tp : Codegen.Tprog.t) =
+  Array.to_list tp.kernels
+  |> List.concat_map (fun k -> scalar_diags tp k @ array_diags tp k)

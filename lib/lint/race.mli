@@ -1,0 +1,22 @@
+(** Loop-carried race / privatization detector (the static counterpart of
+    the Table II fault corpus).
+
+    Works on the translated program: every outlined kernel already carries
+    the scalar classification of {!Codegen.Outline} — a scalar classified
+    [Sc_raced] is exactly a data race the simulator would manifest, so the
+    detector can flag it *before* any execution, including the 16 latent
+    races that runtime kernel verification never detects.  On top of the
+    scalar facts, a per-iteration subscript analysis flags cross-iteration
+    array conflicts (write-write and read-write) inside parallel kernel
+    loops. *)
+
+(** Diagnostics for one translated program:
+
+    - [ACC-RACE-001] (error): scalar raced for lack of a [private] clause
+    - [ACC-RACE-002] (error): accumulator raced for lack of a [reduction]
+    - [ACC-RACE-005] (error): other loop-carried scalar dependence
+    - [ACC-RACE-003] (warning): cross-iteration array write-write conflict
+    - [ACC-RACE-004] (warning): cross-iteration array read-write dependence
+    - [ACC-RACE-010]/[-011] (info): parallelism recovered only by automatic
+      recognition; suggests making the clause explicit. *)
+val analyze : Codegen.Tprog.t -> Diag.t list

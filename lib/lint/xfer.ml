@@ -1,0 +1,224 @@
+(** Static transfer diagnostics (compile-time shadow of the §III-B runtime
+    coherence reports).
+
+    The abstract state is a pair of stale-bit sets over tags ["C:v"] /
+    ["G:v"] — "the CPU/GPU copy of [v] is stale".  The instrumented
+    program's coherence events drive gen/kill transfer functions exactly
+    mirroring {!Accrt.Coherence} (Coarse mode):
+
+    - [check_read v dev]: after the (potential) report the local copy is
+      marked fresh (the runtime's anti-cascade), so the tag is killed;
+    - [check_write v dev]: local copy fresh, remote copy stale;
+    - [reset_status v dev st]: set the tag per [st];
+    - transfer: target copy fresh;
+    - free: GPU copy stale.
+
+    Soundness under pointer ambiguity: an event on a name that may denote
+    several arrays *gens* into the may-solve only and *kills* from the
+    must-solve only, so must-facts stay under-approximate and may-facts
+    over-approximate. *)
+
+open Codegen
+open Codegen.Tprog
+module Varset = Analysis.Varset
+module Dataflow = Analysis.Dataflow
+
+let tag dev v = (match dev with Cpu -> "C:" | Gpu -> "G:") ^ v
+let other = function Cpu -> Gpu | Gpu -> Cpu
+
+type event = {
+  ev_node : int;
+  ev_kind :
+    [ `Read of string * device
+    | `Write of string * device
+    | `Xfer of xfer ];
+  ev_roots : Varset.t;
+  ev_loc : Minic.Loc.t;
+  ev_sid : int;
+}
+
+let analyze ?(mode = Checkgen.Optimized) (tp : Tprog.t) =
+  let tp = Checkgen.instrument ~mode tp in
+  let cfg = Tcfg.build tp in
+  let n = Analysis.Graph.size cfg.Tcfg.graph in
+  let resolve v =
+    let r = Varset.inter (Analysis.Alias.resolve tp.alias v) tp.tracked in
+    if Varset.is_empty r && Varset.mem v tp.tracked then Varset.singleton v
+    else r
+  in
+  let gen_may = Array.make n Varset.empty in
+  let kill_may = Array.make n Varset.empty in
+  let gen_must = Array.make n Varset.empty in
+  let kill_must = Array.make n Varset.empty in
+  let events = ref [] in
+  (* An event on possibly-aliased roots is not definite: it must not gen
+     must-facts nor kill may-facts. *)
+  let gen i ~definite tags =
+    gen_may.(i) <- Varset.union gen_may.(i) tags;
+    if definite then gen_must.(i) <- Varset.union gen_must.(i) tags
+  in
+  let kill i ~definite tags =
+    kill_must.(i) <- Varset.union kill_must.(i) tags;
+    if definite then kill_may.(i) <- Varset.union kill_may.(i) tags
+  in
+  for i = 0 to n - 1 do
+    match Tcfg.payload cfg i with
+    | Tcfg.Nstmt ts -> (
+        let event kind roots =
+          events :=
+            { ev_node = i; ev_kind = kind; ev_roots = roots;
+              ev_loc = ts.tloc; ev_sid = ts.tsid }
+            :: !events
+        in
+        match ts.tkind with
+        | Tcheck (Check_read (v, dev)) ->
+            let roots = resolve v in
+            if not (Varset.is_empty roots) then begin
+              let definite = Varset.cardinal roots = 1 in
+              kill i ~definite (Varset.map (tag dev) roots);
+              event (`Read (v, dev)) roots
+            end
+        | Tcheck (Check_write (v, dev)) ->
+            let roots = resolve v in
+            if not (Varset.is_empty roots) then begin
+              let definite = Varset.cardinal roots = 1 in
+              kill i ~definite (Varset.map (tag dev) roots);
+              gen i ~definite (Varset.map (tag (other dev)) roots);
+              event (`Write (v, dev)) roots
+            end
+        | Tcheck (Reset_status (v, dev, st)) ->
+            let roots = resolve v in
+            if not (Varset.is_empty roots) then begin
+              let definite = Varset.cardinal roots = 1 in
+              let tags = Varset.map (tag dev) roots in
+              match st with
+              | Not_stale -> kill i ~definite tags
+              | May_stale ->
+                  gen_may.(i) <- Varset.union gen_may.(i) tags;
+                  kill_must.(i) <- Varset.union kill_must.(i) tags
+              | Stale -> gen i ~definite tags
+            end
+        | Txfer x ->
+            let roots = resolve x.x_var in
+            if not (Varset.is_empty roots) then begin
+              let definite = Varset.cardinal roots = 1 in
+              let tgt = match x.x_dir with H2D -> Gpu | D2H -> Cpu in
+              kill i ~definite (Varset.map (tag tgt) roots);
+              event (`Xfer x) roots
+            end
+        | Tfree (v, _) ->
+            let roots = resolve v in
+            if not (Varset.is_empty roots) then
+              gen i
+                ~definite:(Varset.cardinal roots = 1)
+                (Varset.map (tag Gpu) roots)
+        | _ -> ())
+    | _ -> ()
+  done;
+  let universe =
+    Varset.fold
+      (fun v acc -> Varset.add (tag Cpu v) (Varset.add (tag Gpu v) acc))
+      tp.tracked Varset.empty
+  in
+  let solve meet gen kill =
+    Dataflow.solve cfg.Tcfg.graph
+      { Dataflow.direction = Dataflow.Forward; meet;
+        boundary = Varset.empty; universe;
+        transfer =
+          Dataflow.gen_kill ~gen:(fun i -> gen.(i)) ~kill:(fun i -> kill.(i)) }
+  in
+  let may = solve Dataflow.Union gen_may kill_may in
+  let must = solve Dataflow.Intersect gen_must kill_must in
+  (* Classify every event against the facts flowing into its node. *)
+  let diag_of ev =
+    let may_in = may.Dataflow.input.(ev.ev_node) in
+    let must_in = must.Dataflow.input.(ev.ev_node) in
+    let all_stale dev set = (* definitely stale, whichever root it is *)
+      Varset.for_all (fun r -> Varset.mem (tag dev r) set) ev.ev_roots
+    in
+    let any_stale dev set =
+      Varset.exists (fun r -> Varset.mem (tag dev r) set) ev.ev_roots
+    in
+    let var = Varset.min_elt ev.ev_roots in
+    match ev.ev_kind with
+    | `Read (v, dev) ->
+        if all_stale dev must_in then
+          Some
+            (Diag.mk ~var
+               ~fixit:
+                 (Diag.Fix_insert_update
+                    { before_sid = ev.ev_sid; var; host = dev = Cpu })
+               ~code:"ACC-XFER-001" ~severity:Diag.Error ~loc:ev.ev_loc
+               (Fmt.str
+                  "missing transfer: the %s copy of '%s' is stale at this \
+                   read; a transfer from the %s is required first"
+                  (device_name dev) v
+                  (device_name (other dev))))
+        else if any_stale dev may_in then
+          Some
+            (Diag.mk ~var ~code:"ACC-XFER-002" ~severity:Diag.Info
+               ~loc:ev.ev_loc
+               (Fmt.str
+                  "the %s copy of '%s' may be stale at this read (stale on \
+                   some execution path)"
+                  (device_name dev) v))
+        else None
+    | `Write (v, dev) ->
+        if any_stale dev may_in then
+          Some
+            (Diag.mk ~var ~code:"ACC-XFER-002" ~severity:Diag.Info
+               ~loc:ev.ev_loc
+               (Fmt.str
+                  "%s writes '%s' while its local copy may be stale; a \
+                   transfer is missing unless the write fully overwrites \
+                   the data"
+                  (device_name dev) v))
+        else None
+    | `Xfer x ->
+        let src, tgt = match x.x_dir with H2D -> (Cpu, Gpu) | D2H -> (Gpu, Cpu) in
+        let site = x.x_site.site_label in
+        let dir_desc =
+          match x.x_dir with
+          | H2D -> "from host to device"
+          | D2H -> "from device to host"
+        in
+        if all_stale src must_in then
+          Some
+            (Diag.mk ~var ~site ~code:"ACC-XFER-003" ~severity:Diag.Error
+               ~loc:x.x_site.site_loc
+               (Fmt.str
+                  "incorrect transfer: copying '%s' %s in %s ships an \
+                   outdated value (the %s copy is stale here)"
+                  var dir_desc site (device_name src)))
+        else if not (any_stale tgt may_in) then
+          let fixit =
+            match Openarc_core.Suggest.site_kind site with
+            | `Update ->
+                Some
+                  (Diag.Fix_remove_update_var
+                     { sid = x.x_site.site_sid; var; host = x.x_dir = D2H })
+            | `Data | `Region ->
+                Some
+                  (Diag.Fix_weaken_clause
+                     { sid = x.x_site.site_sid; var;
+                       side = (match x.x_dir with H2D -> `In | D2H -> `Out) })
+            | `Implicit -> None
+          in
+          Some
+            (Diag.mk ~var ~site ?fixit ~code:"ACC-XFER-004"
+               ~severity:Diag.Warning ~loc:x.x_site.site_loc
+               (Fmt.str
+                  "redundant transfer: the %s copy of '%s' is already \
+                   up to date whenever %s copies it %s"
+                  (device_name tgt) var site dir_desc))
+        else if not (all_stale tgt must_in) then
+          Some
+            (Diag.mk ~var ~site ~code:"ACC-XFER-005" ~severity:Diag.Info
+               ~loc:x.x_site.site_loc
+               (Fmt.str
+                  "copying '%s' %s in %s may be redundant (the %s copy is \
+                   already up to date on some execution path)"
+                  var dir_desc site (device_name tgt)))
+        else None
+  in
+  List.filter_map diag_of (List.rev !events)

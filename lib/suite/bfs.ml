@@ -62,7 +62,7 @@ let region = {|for (int depth = 0; depth < maxdepth; depth++) {
     if (cont == 0) { break; }
   }|}
 
-let region_opt = {|#pragma acc data copyin(nextf) copy(levels, frontier)
+let region_opt = {|#pragma acc data create(nextf) copy(levels) copyin(frontier)
   {
   for (int depth = 0; depth < maxdepth; depth++) {
     #pragma acc kernels loop gang worker

@@ -98,7 +98,7 @@ let region =
   ^ "\n    #pragma acc update host(img)\n  }\n  " ^ tail
 
 let region_opt =
-  "#pragma acc data copy(img) create(g, dn, ds, dw, de, c)\n  {\n  \
+  "#pragma acc data copyin(img) create(g, dn, ds, dw, de, c)\n  {\n  \
    for (int it = 0; it < iters; it++) {\n    " ^ loop_kernels
   ^ "\n  }\n  #pragma acc update host(img)\n  " ^ tail ^ "\n  }"
 

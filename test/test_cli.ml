@@ -84,12 +84,65 @@ let test_trace () =
       (contains ~needle:"\"ph\": \"X\"" json)
   end
 
+let test_lint () =
+  check_cmd "lint clean optimized" "lint bench:jacobi:opt --deny-warnings"
+    ~expect:[ "0 error(s)" ];
+  if available then begin
+    (* the unoptimized variant carries redundant-transfer warnings: exit 0
+       normally, exit 1 under --deny-warnings *)
+    let code, out = run_cmd "lint bench:jacobi" in
+    Alcotest.(check int) "lint warnings: exit 0" 0 code;
+    Alcotest.(check bool) "lint warnings: ACC-XFER-004 reported" true
+      (contains ~needle:"ACC-XFER-004" out);
+    let code, _ = run_cmd "lint bench:jacobi --deny-warnings" in
+    Alcotest.(check int) "lint --deny-warnings: exit 1" 1 code;
+    (* injected faults are errors: exit 1, with fix-its *)
+    let code, out = run_cmd "lint bench:ep --fault-injection" in
+    Alcotest.(check int) "lint faults: exit 1" 1 code;
+    Alcotest.(check bool) "lint faults: RACE-001" true
+      (contains ~needle:"ACC-RACE-001" out);
+    Alcotest.(check bool) "lint faults: RACE-002" true
+      (contains ~needle:"ACC-RACE-002" out);
+    Alcotest.(check bool) "lint faults: fix-it shown" true
+      (contains ~needle:"fix:" out);
+    (* JSON rendering *)
+    let code, out = run_cmd "lint bench:ep --fault-injection --json" in
+    Alcotest.(check int) "lint --json: exit 1" 1 code;
+    Alcotest.(check bool) "lint --json: code field" true
+      (contains ~needle:"\"code\": \"ACC-RACE-002\"" out)
+  end
+
+let test_version () =
+  if available then begin
+    let code, out = run_cmd "--version" in
+    Alcotest.(check int) "--version: exit 0" 0 code;
+    Alcotest.(check bool) "--version: prints a version" true
+      (contains ~needle:"1.0.0" out)
+  end
+
 let test_error_handling () =
   if available then begin
     let code, _ = run_cmd "run bench:nosuchbenchmark" in
     Alcotest.(check bool) "unknown benchmark fails" true (code <> 0);
     let code, _ = run_cmd "verify /nonexistent/file.mc" in
-    Alcotest.(check bool) "missing file fails" true (code <> 0)
+    Alcotest.(check bool) "missing file fails" true (code <> 0);
+    (* malformed input exits 2, runtime trouble exits 1 *)
+    let bad = Filename.temp_file "openarc_cli" ".c" in
+    let oc = open_out bad in
+    output_string oc "int main() { return 0 }\n";
+    close_out oc;
+    let code, _ = run_cmd (Fmt.str "compile %s" (Filename.quote bad)) in
+    Sys.remove bad;
+    Alcotest.(check int) "syntax error: exit 2" 2 code;
+    let invalid = Filename.temp_file "openarc_cli" ".c" in
+    let oc = open_out invalid in
+    output_string oc
+      "int main() { float a[4];\n#pragma acc data copyin(a) copyout(a)\n{ \
+       }\nreturn 0; }\n";
+    close_out oc;
+    let code, _ = run_cmd (Fmt.str "compile %s" (Filename.quote invalid)) in
+    Sys.remove invalid;
+    Alcotest.(check int) "validation error: exit 2" 2 code
   end
 
 let tests =
@@ -99,4 +152,6 @@ let tests =
     Alcotest.test_case "verify" `Quick test_verify;
     Alcotest.test_case "optimize" `Slow test_optimize;
     Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "lint" `Quick test_lint;
+    Alcotest.test_case "version" `Quick test_version;
     Alcotest.test_case "error handling" `Quick test_error_handling ]

@@ -1,0 +1,446 @@
+(* The static linter: unit tests for the diagnostics engine, synthetic
+   race/transfer cases with machine-applicable fix-its, the Table II
+   detection criterion (all 16 latent + 4 active injected faults), the
+   zero-noise criterion on the hand-optimized suite, agreement between the
+   static transfer diagnostics and the runtime coherence reports, and
+   golden expected-diagnostic files for every suite variant. *)
+
+module Diag = Lint.Diag
+
+let codes ds = List.map (fun d -> d.Diag.code) ds
+
+let with_code code ds = List.filter (fun d -> d.Diag.code = code) ds
+
+let race_codes ds =
+  List.filter
+    (fun c -> String.length c >= 8 && String.sub c 0 8 = "ACC-RACE")
+    (codes ds)
+
+let lint ?opts ?fault ?file src = Lint.run_string ?opts ?fault ?file src
+
+(* --------------------------- diag engine ---------------------------- *)
+
+let loc_at line col =
+  { Minic.Loc.file = "t.c"; line; col }
+
+let d1 = Diag.mk ~var:"x" ~code:"ACC-RACE-001" ~severity:Diag.Error
+    ~loc:(loc_at 3 1) "msg \"quoted\"\nsecond"
+
+let d2 = Diag.mk ~code:"ACC-XFER-004" ~severity:Diag.Warning
+    ~loc:(loc_at 2 5) ~site:"update0.host(b)" "redundant"
+
+let d3 = Diag.mk ~code:"ACC-XFER-005" ~severity:Diag.Info
+    ~loc:(loc_at 2 5) "maybe"
+
+let test_severity () =
+  Alcotest.(check bool) "error reaches warning" true
+    (Diag.at_least Diag.Warning Diag.Error);
+  Alcotest.(check bool) "info below warning" false
+    (Diag.at_least Diag.Warning Diag.Info);
+  Alcotest.(check int) "filter at warning" 2
+    (List.length (Diag.filter ~threshold:Diag.Warning [ d1; d2; d3 ]));
+  Alcotest.(check int) "filter at info keeps all" 3
+    (List.length (Diag.filter ~threshold:Diag.Info [ d1; d2; d3 ]));
+  Alcotest.(check (option string)) "worst" (Some "error")
+    (Option.map Diag.severity_name (Diag.worst [ d2; d3; d1 ]));
+  Alcotest.(check (option string)) "worst of none" None
+    (Option.map Diag.severity_name (Diag.worst []))
+
+let test_sort () =
+  (* by location first, then code *)
+  Alcotest.(check (list string)) "sorted order"
+    [ "ACC-XFER-004"; "ACC-XFER-005"; "ACC-RACE-001" ]
+    (codes (Diag.sort [ d1; d3; d2 ]))
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_json () =
+  let j = Diag.to_json [ d1 ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json contains " ^ needle) true
+        (contains ~needle j))
+    [ {|"code": "ACC-RACE-001"|}; {|"severity": "error"|}; {|"line": 3|};
+      {|"var": "x"|}; {|\"quoted\"|}; {|\n|} ]
+
+(* --------------------- synthetic race programs ---------------------- *)
+
+let racy_private = {|
+int main() {
+  int n = 16;
+  float a[n];
+  float b[n];
+  float t;
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < n; i++) {
+    t = a[i] * 2.0;
+    b[i] = t + 1.0;
+  }
+  return 0;
+}
+|}
+
+let racy_reduction = {|
+int main() {
+  int n = 16;
+  float a[n];
+  float s = 0.0;
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < n; i++) { s = s + a[i]; }
+  return 0;
+}
+|}
+
+let carried_scalar = {|
+int main() {
+  int n = 16;
+  float a[n];
+  float b[n];
+  float s = 1.0;
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < n; i++) {
+    s = s * 0.5 + a[i];
+    b[i] = s;
+  }
+  return 0;
+}
+|}
+
+let invariant_write = {|
+int main() {
+  int n = 16;
+  float a[n];
+  float c[n];
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < n; i++) { c[0] = a[i]; }
+  return 0;
+}
+|}
+
+let shifted_read = {|
+int main() {
+  int n = 16;
+  float a[n];
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc kernels loop gang worker
+  for (int i = 0; i < n - 1; i++) { a[i] = a[i + 1] * 0.5; }
+  return 0;
+}
+|}
+
+(* Apply the first fix-it for [code] and re-lint: the diagnostic must be
+   gone and no new >=warning diagnostic may appear. *)
+let check_fixit_resolves ~opts ~code src =
+  let prog = Minic.Parser.parse_string ~file:"t.c" src in
+  let ds = Lint.run_program ~opts prog in
+  let d =
+    match with_code code ds with
+    | d :: _ -> d
+    | [] -> Alcotest.failf "expected a %s diagnostic" code
+  in
+  let fixit =
+    match d.Diag.fixit with
+    | Some f -> f
+    | None -> Alcotest.failf "%s carries no fix-it" code
+  in
+  let fixed = Diag.apply_fixit prog fixit in
+  let ds' = Lint.run_program ~opts fixed in
+  Alcotest.(check (list string)) (code ^ " resolved by its fix-it") []
+    (codes (with_code code ds'));
+  (* the clause edit must not introduce any other race finding (transfer
+     diagnostics may shift: a privatized scalar is no longer copied) *)
+  Alcotest.(check (list string)) ("no new race findings after fixing " ^ code)
+    [] (race_codes (Diag.filter ~threshold:Diag.Warning ds'))
+
+let test_missing_private () =
+  let opts = Codegen.Options.fault_injection in
+  let ds = lint ~opts racy_private in
+  Alcotest.(check int) "one RACE-001" 1 (List.length (with_code "ACC-RACE-001" ds));
+  let d = List.hd (with_code "ACC-RACE-001" ds) in
+  Alcotest.(check (option string)) "on t" (Some "t") d.Diag.var;
+  check_fixit_resolves ~opts ~code:"ACC-RACE-001" racy_private;
+  (* with automatic recognition the same scalar is only an info note *)
+  Alcotest.(check (list string)) "auto-privatized: info note only"
+    [ "ACC-RACE-010" ] (race_codes (lint racy_private))
+
+let test_missing_reduction () =
+  let opts = Codegen.Options.fault_injection in
+  let ds = lint ~opts racy_reduction in
+  Alcotest.(check int) "one RACE-002" 1
+    (List.length (with_code "ACC-RACE-002" ds));
+  check_fixit_resolves ~opts ~code:"ACC-RACE-002" racy_reduction;
+  Alcotest.(check (list string)) "auto-recognized: info note only"
+    [ "ACC-RACE-011" ] (race_codes (lint racy_reduction))
+
+let test_carried_scalar () =
+  (* neither privatizable nor an accumulator: an error even with every
+     automatic recognition enabled *)
+  let ds = lint carried_scalar in
+  Alcotest.(check int) "one RACE-005" 1
+    (List.length (with_code "ACC-RACE-005" ds));
+  Alcotest.(check (option string)) "on s" (Some "s")
+    (List.hd (with_code "ACC-RACE-005" ds)).Diag.var
+
+let test_array_conflicts () =
+  let ds = lint invariant_write in
+  Alcotest.(check int) "invariant write: one RACE-003" 1
+    (List.length (with_code "ACC-RACE-003" ds));
+  let ds = lint shifted_read in
+  Alcotest.(check int) "shifted read: one RACE-004" 1
+    (List.length (with_code "ACC-RACE-004" ds));
+  Alcotest.(check (option string)) "on a" (Some "a")
+    (List.hd (with_code "ACC-RACE-004" ds)).Diag.var
+
+(* ------------------- synthetic transfer programs -------------------- *)
+
+let missing_transfer = {|
+int main() {
+  int n = 8;
+  float a[n];
+  float s = 0.0;
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc data create(a)
+  {
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+  }
+  for (int i = 0; i < n; i++) { s = s + a[i]; }
+  return 0;
+}
+|}
+
+let redundant_update = {|
+int main() {
+  int n = 8;
+  float a[n];
+  float s = 0.0;
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc data copy(a)
+  {
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+    #pragma acc update host(a)
+    #pragma acc update host(a)
+  }
+  for (int i = 0; i < n; i++) { s = s + a[i]; }
+  return 0;
+}
+|}
+
+let incorrect_update = {|
+int main() {
+  int n = 8;
+  float a[n];
+  float b[n];
+  for (int i = 0; i < n; i++) { a[i] = float(i); }
+  #pragma acc data copyin(a) copyout(b)
+  {
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+    #pragma acc update device(a)
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i++) { s = s + a[i]; }
+  return 0;
+}
+|}
+
+let test_missing_transfer () =
+  let ds = lint missing_transfer in
+  Alcotest.(check bool) "XFER-001 on a" true
+    (List.exists (fun d -> d.Diag.var = Some "a")
+       (with_code "ACC-XFER-001" ds))
+
+let test_redundant_update () =
+  let ds = with_code "ACC-XFER-004" (lint redundant_update) in
+  let on_update =
+    List.filter
+      (fun d ->
+        match d.Diag.site with
+        | Some s -> Openarc_core.Suggest.site_kind s = `Update
+        | None -> false)
+      ds
+  in
+  Alcotest.(check bool) "XFER-004 on the second update host" true
+    (List.exists
+       (fun d ->
+         match d.Diag.fixit with
+         | Some (Diag.Fix_remove_update_var { host = true; var = "a"; _ }) ->
+             true
+         | _ -> false)
+       on_update)
+
+let test_incorrect_update () =
+  let ds = lint incorrect_update in
+  Alcotest.(check bool) "XFER-003 on a" true
+    (List.exists (fun d -> d.Diag.var = Some "a")
+       (with_code "ACC-XFER-003" ds))
+
+(* ------------------------- Table II faults -------------------------- *)
+
+(* Under the fault-injection experiment (private/reduction clauses
+   stripped, recognition disabled) the detector must flag every injected
+   fault: distinct kernels with a RACE-001 are exactly Table II's
+   private-data kernels (latent under register promotion), kernels with a
+   RACE-002 exactly its reduction kernels (active races). *)
+let test_table2 () =
+  let latent_total = ref 0 and active_total = ref 0 in
+  List.iter
+    (fun (b : Suite.Bench_def.t) ->
+      let ds = lint ~fault:true ~file:b.name b.source in
+      let kernels_with code =
+        List.length
+          (List.sort_uniq compare
+             (List.map (fun d -> d.Diag.loc) (with_code code ds)))
+      in
+      let latent = kernels_with "ACC-RACE-001" in
+      let active = kernels_with "ACC-RACE-002" in
+      Alcotest.(check int) (b.name ^ ": latent faults flagged")
+        b.expected_private latent;
+      Alcotest.(check int) (b.name ^ ": active faults flagged")
+        b.expected_reduction active;
+      latent_total := !latent_total + latent;
+      active_total := !active_total + active)
+    Suite.Registry.all;
+  Alcotest.(check int) "16 latent faults across the suite" 16 !latent_total;
+  Alcotest.(check int) "4 active faults across the suite" 4 !active_total
+
+(* ------------------------ suite cleanliness ------------------------- *)
+
+(* The hand-optimized variants are the paper's end state: the linter must
+   be silent on them at the default (warning) threshold.  The unoptimized
+   sources are correct programs too — merely slow — so they carry no race
+   findings, only redundant-transfer warnings (the tool's optimization
+   opportunities, section III-B). *)
+let test_suite_clean () =
+  List.iter
+    (fun (b : Suite.Bench_def.t) ->
+      let at_warning src =
+        codes (Diag.filter ~threshold:Diag.Warning (lint ~file:b.name src))
+      in
+      Alcotest.(check (list string))
+        (b.name ^ " optimized: no findings at default severity") []
+        (at_warning b.optimized);
+      Alcotest.(check (list string))
+        (b.name ^ " source: only transfer warnings") []
+        (List.filter
+           (fun c -> not (contains ~needle:"XFER" c))
+           (at_warning b.source)))
+    Suite.Registry.all
+
+(* ------------------ static vs runtime cross-check ------------------- *)
+
+let kind_of_code = function
+  | "ACC-XFER-001" -> Some Accrt.Coherence.Missing
+  | "ACC-XFER-003" -> Some Accrt.Coherence.Incorrect
+  | "ACC-XFER-004" -> Some Accrt.Coherence.Redundant
+  | _ -> None
+
+(* Every definite static claim (missing / incorrect / redundant transfer)
+   must be confirmed by the runtime coherence checker: same kind, same
+   variable, same instrumentation site (paper section III-B). *)
+let test_runtime_agreement () =
+  List.iter
+    (fun (b : Suite.Bench_def.t) ->
+      List.iter
+        (fun (vname, src) ->
+          let c = Openarc_core.Compiler.compile ~file:b.name src in
+          let ds = Lint.Xfer.analyze c.Openarc_core.Compiler.tprog in
+          let o = Openarc_core.Compiler.run_instrumented c in
+          let reports = Accrt.Interp.reports o in
+          let confirmed d =
+            match kind_of_code d.Diag.code with
+            | None -> true
+            | Some k ->
+                List.exists
+                  (fun r ->
+                    r.Accrt.Coherence.r_kind = k
+                    && Some r.Accrt.Coherence.r_var = d.Diag.var
+                    && (match (d.Diag.site, r.Accrt.Coherence.r_site) with
+                       | None, _ -> true
+                       | Some s, Some rs ->
+                           rs.Codegen.Tprog.site_label = s
+                       | Some _, None -> false))
+                  reports
+          in
+          let unmatched = List.filter (fun d -> not (confirmed d)) ds in
+          Alcotest.(check (list string))
+            (Fmt.str "%s %s: every definite static claim has a runtime report"
+               b.name vname)
+            [] (codes unmatched))
+        [ ("source", b.source); ("opt", b.optimized) ])
+    Suite.Registry.all
+
+(* --------------------------- golden files --------------------------- *)
+
+(* Expected diagnostics (all severities) for every suite variant, kept
+   under test/golden/.  Regenerate with [dune exec test/gen_golden.exe]
+   from the repository root after an intentional behavior change.
+
+   Data/declare site labels embed parse-time statement ids, which depend
+   on how many programs the process parsed before; normalize them so the
+   text is reproducible (keep in sync with gen_golden.ml). *)
+let normalize_sites s =
+  Str.global_replace (Str.regexp "\\(data\\|declare\\)[0-9]+") "\\1N" s
+
+let golden_text ~file src =
+  normalize_sites
+    (Diag.to_text (Diag.filter ~threshold:Diag.Info (lint ~file src)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_case (b : Suite.Bench_def.t) =
+  Alcotest.test_case b.name `Quick (fun () ->
+      List.iter
+        (fun (vname, src) ->
+          let path =
+            Fmt.str "golden/%s.%s.lint" (String.lowercase_ascii b.name) vname
+          in
+          (* cwd is _build/default/test under 'dune test', the project root
+             under 'dune exec' *)
+          let expected =
+            try read_file path
+            with Sys_error _ -> (
+              try read_file (Filename.concat "test" path)
+              with Sys_error _ ->
+                Alcotest.failf
+                  "missing golden file %s — run 'dune exec \
+                   test/gen_golden.exe'"
+                  path)
+          in
+          Alcotest.(check string)
+            (Fmt.str "%s %s matches its golden diagnostics" b.name vname)
+            expected
+            (golden_text ~file:b.name src))
+        [ ("source", b.source); ("opt", b.optimized) ])
+
+let tests =
+  [ Alcotest.test_case "diag severity+filter" `Quick test_severity;
+    Alcotest.test_case "diag sort" `Quick test_sort;
+    Alcotest.test_case "diag json" `Quick test_json;
+    Alcotest.test_case "missing private" `Quick test_missing_private;
+    Alcotest.test_case "missing reduction" `Quick test_missing_reduction;
+    Alcotest.test_case "carried scalar" `Quick test_carried_scalar;
+    Alcotest.test_case "array conflicts" `Quick test_array_conflicts;
+    Alcotest.test_case "missing transfer" `Quick test_missing_transfer;
+    Alcotest.test_case "redundant update" `Quick test_redundant_update;
+    Alcotest.test_case "incorrect update" `Quick test_incorrect_update;
+    Alcotest.test_case "Table II faults all flagged" `Quick test_table2;
+    Alcotest.test_case "suite clean at default severity" `Quick
+      test_suite_clean;
+    Alcotest.test_case "static claims confirmed at runtime" `Quick
+      test_runtime_agreement ]
+  @ List.map golden_case Suite.Registry.all

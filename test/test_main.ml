@@ -22,4 +22,5 @@ let () =
       ("inline", Test_inline.tests);
       ("features", Test_features.tests);
       ("suite", Test_suite.tests);
+      ("lint", Test_lint.tests);
       ("cli", Test_cli.tests) ]

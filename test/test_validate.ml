@@ -61,8 +61,65 @@ let test_data_sanity () =
        "#pragma acc kernels loop copyin(s) private(s)\nfor (int i = 0; i < \
         4; i++) { a[i] = 0.0; }")
 
+let test_duplicate_clauses () =
+  bad "two if clauses"
+    (kernel_on "#pragma acc data copyin(a) if(1) if(0)\n{ }");
+  bad "two async clauses"
+    (kernel_on "#pragma acc update host(a) async(1) async(2)");
+  bad "two gang clauses"
+    (kernel_on
+       "#pragma acc kernels loop gang gang\nfor (int i = 0; i < 4; i++) { \
+        a[i] = 0.0; }");
+  bad "two collapse clauses"
+    (kernel_on
+       "#pragma acc kernels loop collapse(2) collapse(2)\nfor (int i = 0; \
+        i < 4; i++) { for (int j = 0; j < 4; j++) { a[i] = 0.0; } }");
+  bad "seq with independent"
+    (kernel_on
+       "#pragma acc kernels loop seq independent\nfor (int i = 0; i < 4; \
+        i++) { a[i] = 0.0; }");
+  bad "collapse(0)"
+    (kernel_on
+       "#pragma acc kernels loop collapse(0)\nfor (int i = 0; i < 4; i++) \
+        { a[i] = 0.0; }");
+  (* one of each remains fine *)
+  ok (kernel_on
+        "#pragma acc kernels loop gang worker collapse(2)\nfor (int i = 0; \
+         i < 4; i++) { for (int j = 0; j < 4; j++) { a[i] = 0.0; } }")
+
+let test_nesting_edges () =
+  bad "data inside compute"
+    (kernel_on
+       "#pragma acc kernels\n{\n#pragma acc data copyin(a)\n{ }\n}");
+  bad "compute inside compute via loop body"
+    (kernel_on
+       "#pragma acc kernels loop\nfor (int i = 0; i < 4; i++) {\n#pragma \
+        acc kernels loop\nfor (int j = 0; j < 4; j++) { a[j] = 0.0; }\n}");
+  bad "wait inside compute"
+    (kernel_on "#pragma acc kernels\n{\n#pragma acc wait(1)\n}");
+  (* data regions nest among themselves *)
+  ok (kernel_on
+        "#pragma acc data copyin(a)\n{\n#pragma acc data copyout(a)\n{ \
+         }\n}")
+
+let test_subarray_sanity () =
+  bad "negative subarray base"
+    (kernel_on "#pragma acc data copyin(a[0-1:2])\n{ }");
+  bad "zero-length subarray"
+    (kernel_on "#pragma acc data copyin(a[0:0])\n{ }");
+  bad "negative-length update subarray"
+    (kernel_on "#pragma acc update host(a[0:0-2])");
+  bad "private and reduction"
+    (kernel_on
+       "#pragma acc kernels loop private(s) reduction(+:s)\nfor (int i = \
+        0; i < 4; i++) { s = s + a[i]; }");
+  ok (kernel_on "#pragma acc data copyin(a[1:3])\n{ }")
+
 let tests =
   [ Alcotest.test_case "legal programs" `Quick test_legal;
     Alcotest.test_case "illegal clauses" `Quick test_illegal_clauses;
     Alcotest.test_case "structural rules" `Quick test_structure;
-    Alcotest.test_case "data-clause sanity" `Quick test_data_sanity ]
+    Alcotest.test_case "data-clause sanity" `Quick test_data_sanity;
+    Alcotest.test_case "duplicate clauses" `Quick test_duplicate_clauses;
+    Alcotest.test_case "nesting edge cases" `Quick test_nesting_edges;
+    Alcotest.test_case "subarray sanity" `Quick test_subarray_sanity ]
