@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint check bench clean
+.PHONY: all build test lint fault-matrix check bench clean
 
 all: build
 
@@ -21,7 +21,14 @@ lint: build
 	    lint bench:$$b:opt --deny-warnings || exit 1; \
 	done
 
-check: build test lint
+# Resilience smoke: every fault kind x recovery policy on a small subset
+# of the suite must recover verified-correct (the full sweep is
+# `bench/main.exe faults`, which regenerates BENCH_faults.json).
+fault-matrix: build
+	$(DUNE) exec --no-build bin/openarc.exe -- \
+	  fault-matrix --benches jacobi,ep,srad --seed 42
+
+check: build test lint fault-matrix
 
 bench: build
 	$(DUNE) exec bench/main.exe

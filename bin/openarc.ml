@@ -80,6 +80,41 @@ let handle_code f =
   | (Accrt.Value.Runtime_error _ | Gpusim.Device.Device_error _) as e ->
       Fmt.epr "%s@." (Printexc.to_string e);
       1
+  (* Device faults carry distinct diagnostic codes: ACC-FAULT-001 is a
+     fault the active resilience policy could not mask; ACC-FAULT-002 is a
+     raw fault with no recovery policy armed. *)
+  | Accrt.Resilience.Unrecovered f ->
+      Fmt.epr "openarc: [ACC-FAULT-001] unrecovered device fault: %s on \
+               '%s' during %s@."
+        (Gpusim.Fault_plan.kind_name f.Gpusim.Device.f_kind)
+        f.Gpusim.Device.f_target f.Gpusim.Device.f_op;
+      1
+  | Gpusim.Device.Device_fault f ->
+      Fmt.epr "openarc: [ACC-FAULT-002] device fault: %s on '%s' during \
+               %s (no resilience policy; rerun with --resilience)@."
+        (Gpusim.Fault_plan.kind_name f.Gpusim.Device.f_kind)
+        f.Gpusim.Device.f_target f.Gpusim.Device.f_op;
+      1
+
+(* Malformed --device-faults / --resilience specs exit 2 (the [Failure]
+   branch above) like any other malformed input. *)
+let plan_of_spec ~seed = function
+  | None -> None
+  | Some spec -> (
+      match Gpusim.Fault_plan.of_spec ~seed spec with
+      | Ok p -> Some p
+      | Error e -> Fmt.failwith "invalid --device-faults spec: %s" e)
+
+let policy_of_name name =
+  match Accrt.Resilience.of_string name with
+  | Ok p -> p
+  | Error e -> Fmt.failwith "invalid --resilience policy: %s" e
+
+let seed_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Deterministic seed for device jitter and fault injection \
+                 (the same seed reproduces a faulty run exactly)")
 
 let handle f = handle_code (fun () -> f (); 0)
 
@@ -145,8 +180,34 @@ let run_cmd =
                    array (the granularity alternative of the paper's \
                    SIII-B discussion)")
   in
-  let run file fault instrument trace fine =
+  let device_faults =
+    Arg.(value
+         & opt (some string) None
+         & info [ "device-faults" ] ~docv:"SPEC"
+             ~doc:"Inject device faults: comma-separated \
+                   KIND[:TARGET][@PROB][xCOUNT] rules with KIND in bitflip, \
+                   xfer-fail, xfer-partial, xfer-corrupt, launch-fail, \
+                   launch-timeout, oom, device-lost (e.g. \
+                   'bitflip:a@0.5x3,device-lost')")
+  in
+  let resilience =
+    Arg.(value & opt string "none"
+         & info [ "resilience" ] ~docv:"POLICY"
+             ~doc:"Recovery policy for injected faults: none (propagate), \
+                   retry (bounded retry + checksum re-transfer + verified \
+                   re-execution), or full (retry plus CPU fallback)")
+  in
+  let faults_json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "faults-json" ] ~docv:"FILE"
+             ~doc:"Write the fault/recovery report as JSON to FILE")
+  in
+  let run file fault instrument trace fine device_faults resilience seed
+      faults_json =
     handle (fun () ->
+        let plan = plan_of_spec ~seed device_faults in
+        let policy = policy_of_name resilience in
         let _, c = prepare ~fault (load_source file) in
         let tp = c.Openarc_core.Compiler.tprog in
         let tp =
@@ -156,8 +217,8 @@ let run_cmd =
           if fine then Accrt.Coherence.Fine else Accrt.Coherence.Coarse
         in
         let o =
-          Accrt.Interp.run ~coherence:instrument ~granularity
-            ~trace:(trace <> None) tp
+          Accrt.Interp.run ~coherence:instrument ~granularity ~seed
+            ~trace:(trace <> None) ?plan ~resilience:policy tp
         in
         (match trace with
         | Some path ->
@@ -172,6 +233,25 @@ let run_cmd =
               path
         | None -> ());
         Fmt.pr "%a@." Gpusim.Metrics.pp (Accrt.Interp.metrics o);
+        (if plan <> None || policy.Accrt.Resilience.p_name <> "none" then
+           let plan =
+             Option.value plan ~default:(Gpusim.Fault_plan.none ())
+           in
+           Fmt.pr "@.%a@."
+             (Accrt.Resilience.pp_report ~seed ~plan ~policy
+                ~metrics:(Accrt.Interp.metrics o))
+             o.Accrt.Interp.resilience;
+           match faults_json with
+           | Some path ->
+               let oc = open_out path in
+               output_string oc
+                 (Accrt.Resilience.report_json ~seed ~plan ~policy
+                    ~metrics:(Accrt.Interp.metrics o)
+                    o.Accrt.Interp.resilience);
+               output_char oc '\n';
+               close_out oc;
+               Fmt.pr "fault report written to %s@." path
+           | None -> ());
         if instrument then begin
           let reports = Accrt.Interp.reports o in
           Fmt.pr "@.%d report(s), grouped:@." (List.length reports);
@@ -184,7 +264,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program on the simulated accelerator")
-    Term.(const run $ file_arg $ fault_arg $ instrument $ trace $ fine)
+    Term.(const run $ file_arg $ fault_arg $ instrument $ trace $ fine
+          $ device_faults $ resilience $ seed_arg $ faults_json)
 
 (* ------------------------------ verify ----------------------------- *)
 
@@ -352,6 +433,79 @@ let lint_cmd =
              and missing/redundant memory transfers — before any execution")
     Term.(const run $ file_arg $ fault_arg $ json $ severity $ deny_warnings)
 
+(* --------------------------- fault-matrix -------------------------- *)
+
+let fault_matrix_cmd =
+  let benches =
+    Arg.(value
+         & opt (some string) None
+         & info [ "benches" ] ~docv:"NAMES"
+             ~doc:"Comma-separated benchmark names (default: the whole \
+                   suite)")
+  in
+  let kinds =
+    Arg.(value
+         & opt (some string) None
+         & info [ "kinds" ] ~docv:"KINDS"
+             ~doc:"Comma-separated fault kinds to sweep (default: all)")
+  in
+  let json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the matrix as JSON to FILE")
+  in
+  let split s =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let run benches kinds seed json =
+    handle_code (fun () ->
+        let subjects =
+          (match benches with
+          | None -> Suite.Registry.all
+          | Some s ->
+              List.map
+                (fun n ->
+                  match Suite.Registry.find n with
+                  | Some b -> b
+                  | None -> Fmt.failwith "unknown benchmark '%s'" n)
+                (split s))
+          |> List.map (fun (b : Suite.Bench_def.t) ->
+                 { Openarc_core.Fault_matrix.s_name = b.Suite.Bench_def.name;
+                   s_source = b.Suite.Bench_def.source;
+                   s_outputs = b.Suite.Bench_def.outputs })
+        in
+        let kinds =
+          Option.map
+            (fun s ->
+              List.map
+                (fun k ->
+                  match Gpusim.Fault_plan.kind_of_name k with
+                  | Some k -> k
+                  | None -> Fmt.failwith "unknown fault kind '%s'" k)
+                (split s))
+            kinds
+        in
+        let m = Openarc_core.Fault_matrix.run ~seed ?kinds subjects in
+        Fmt.pr "%a@." Openarc_core.Fault_matrix.pp m;
+        (match json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Openarc_core.Fault_matrix.to_json m);
+            output_char oc '\n';
+            close_out oc;
+            Fmt.pr "matrix written to %s@." path
+        | None -> ());
+        if Openarc_core.Fault_matrix.all_ok m then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "fault-matrix"
+       ~doc:"Sweep fault kinds x recovery policies over the benchmark \
+             suite, asserting every combination recovers verified-correct \
+             or degrades to CPU fallback")
+    Term.(const run $ benches $ kinds $ seed_arg $ json)
+
 (* ---------------------------- benchmarks --------------------------- *)
 
 let benchmarks_cmd =
@@ -374,4 +528,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ compile_cmd; run_cmd; verify_cmd; optimize_cmd; lint_cmd;
-            benchmarks_cmd ]))
+            fault_matrix_cmd; benchmarks_cmd ]))

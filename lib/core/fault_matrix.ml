@@ -1,0 +1,162 @@
+(** Fault-matrix sweep: fault kinds x recovery policies across a set of
+    programs, asserting verified-correct results.
+
+    Each cell arms a single-shot fault of one kind, runs the program under
+    one resilience policy, and checks the designated outputs against the
+    sequential reference (the same comparator as the §IV-C optimization
+    safety net).  The default matrix pairs every transient kind with the
+    [retry] and [full] policies and [device-lost] with [full] only — the
+    combinations that must either recover verified-correct or degrade to
+    CPU fallback, never produce a silently wrong answer. *)
+
+type subject = {
+  s_name : string;
+  s_source : string;
+  s_outputs : string list;  (** host variables defining correctness *)
+}
+
+type cell = {
+  c_bench : string;
+  c_kind : Gpusim.Fault_plan.kind;
+  c_policy : string;
+  c_injected : int;
+  c_retries : int;  (** transfer/alloc retries + checksum re-transfers *)
+  c_reexecs : int;
+  c_fallbacks : int;
+  c_verified : int;
+  c_correct : bool;  (** outputs match the sequential reference *)
+  c_recovered : bool;  (** run completed without an unrecovered fault *)
+  c_device_lost : bool;
+  c_overhead : float;  (** simulated time vs. the fault-free baseline *)
+}
+
+type t = { seed : int; cells : cell list }
+
+(** A cell is acceptable when the run completed and its outputs are
+    correct — whether by verified recovery or by CPU fallback. *)
+let cell_ok c = c.c_recovered && c.c_correct
+
+let all_ok t = List.for_all cell_ok t.cells
+
+(** Policies a fault kind is swept against: recovery-only policies must
+    handle every transient kind; device loss additionally needs the CPU
+    fallback of [full]. *)
+let policies_for kind =
+  if Gpusim.Fault_plan.transient kind then
+    [ Accrt.Resilience.retry; Accrt.Resilience.full ]
+  else [ Accrt.Resilience.full ]
+
+let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds) subjects =
+  let cells = ref [] in
+  List.iter
+    (fun s ->
+      let prog = Minic.Parser.parse_string ~file:s.s_name s.s_source in
+      let c = Compiler.compile_program prog in
+      let tp = c.Compiler.tprog in
+      let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
+      let baseline = Accrt.Interp.run ~coherence:false ~seed tp in
+      let base_time =
+        Gpusim.Metrics.total_time (Accrt.Interp.metrics baseline)
+      in
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun policy ->
+              let plan =
+                Gpusim.Fault_plan.create ~seed
+                  [ Gpusim.Fault_plan.mk_rule ~count:1 kind ]
+              in
+              let cell =
+                match
+                  Accrt.Interp.run ~coherence:false ~seed ~plan
+                    ~resilience:policy tp
+                with
+                | o ->
+                    let st = o.Accrt.Interp.resilience in
+                    let time =
+                      Gpusim.Metrics.total_time (Accrt.Interp.metrics o)
+                    in
+                    { c_bench = s.s_name; c_kind = kind;
+                      c_policy = policy.Accrt.Resilience.p_name;
+                      c_injected = Gpusim.Fault_plan.injected plan;
+                      c_retries =
+                        st.Accrt.Resilience.retries
+                        + st.Accrt.Resilience.retransfers;
+                      c_reexecs = st.Accrt.Resilience.reexecs;
+                      c_fallbacks = st.Accrt.Resilience.fallbacks;
+                      c_verified = st.Accrt.Resilience.verified;
+                      c_correct =
+                        Session.outputs_match ~outputs:s.s_outputs
+                          ~reference o;
+                      c_recovered = st.Accrt.Resilience.unrecovered = 0;
+                      c_device_lost = st.Accrt.Resilience.device_lost;
+                      c_overhead =
+                        (if base_time > 0.0 then time /. base_time else 1.0);
+                    }
+                | exception
+                    ( Accrt.Resilience.Unrecovered _
+                    | Gpusim.Device.Device_fault _ ) ->
+                    { c_bench = s.s_name; c_kind = kind;
+                      c_policy = policy.Accrt.Resilience.p_name;
+                      c_injected = Gpusim.Fault_plan.injected plan;
+                      c_retries = 0; c_reexecs = 0; c_fallbacks = 0;
+                      c_verified = 0; c_correct = false;
+                      c_recovered = false;
+                      c_device_lost = plan.Gpusim.Fault_plan.lost;
+                      c_overhead = 0.0 }
+              in
+              cells := cell :: !cells)
+            (policies_for kind))
+        kinds)
+    subjects;
+  { seed; cells = List.rev !cells }
+
+(* ------------------------------ report ------------------------------ *)
+
+let pp_cell ppf c =
+  Fmt.pf ppf "%-10s %-14s %-6s %s  inj=%d retry=%d reexec=%d fb=%d ver=%d \
+              %s overhead=%.2fx"
+    c.c_bench
+    (Gpusim.Fault_plan.kind_name c.c_kind)
+    c.c_policy
+    (if cell_ok c then "[OK]  " else "[FAIL]")
+    c.c_injected c.c_retries c.c_reexecs c.c_fallbacks c.c_verified
+    (if c.c_device_lost then "lost->host" else
+       if c.c_fallbacks > 0 then "fallback" else "recovered")
+    c.c_overhead
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>fault matrix (seed %d, %d cells)" t.seed
+    (List.length t.cells);
+  List.iter (fun c -> Fmt.pf ppf "@,%a" pp_cell c) t.cells;
+  let bad = List.filter (fun c -> not (cell_ok c)) t.cells in
+  Fmt.pf ppf "@,%d/%d cell(s) recovered verified-correct%s"
+    (List.length t.cells - List.length bad)
+    (List.length t.cells)
+    (if bad = [] then "" else " — MATRIX FAILED");
+  Fmt.pf ppf "@]"
+
+let json_str s = Fmt.str "\"%s\"" (String.concat "\\\"" (String.split_on_char '"' s))
+
+let to_json t =
+  let cell c =
+    Fmt.str
+      "{\"bench\": %s, \"fault\": %s, \"policy\": %s, \"injected\": %d, \
+       \"retries\": %d, \"reexecs\": %d, \"fallbacks\": %d, \"verified\": \
+       %d, \"correct\": %b, \"recovered\": %b, \"device_lost\": %b, \
+       \"overhead\": %.6f}"
+      (json_str c.c_bench)
+      (json_str (Gpusim.Fault_plan.kind_name c.c_kind))
+      (json_str c.c_policy) c.c_injected c.c_retries c.c_reexecs
+      c.c_fallbacks c.c_verified c.c_correct c.c_recovered c.c_device_lost
+      c.c_overhead
+  in
+  let ok = all_ok t in
+  let fallback_cells =
+    List.length (List.filter (fun c -> c.c_fallbacks > 0) t.cells)
+  in
+  Fmt.str
+    "{\"seed\": %d,\n \"cells\": %d,\n \"all_ok\": %b,\n \
+     \"fallback_cells\": %d,\n \"matrix\": [\n  %s\n]}"
+    t.seed (List.length t.cells) ok fallback_cells
+    (String.concat ",\n  " (List.map cell t.cells))

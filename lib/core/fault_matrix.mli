@@ -1,0 +1,43 @@
+(** Fault-matrix sweep: fault kinds x recovery policies over a set of
+    programs, asserting that every combination either recovers
+    verified-correct or degrades to CPU fallback — never a silently wrong
+    result. *)
+
+type subject = {
+  s_name : string;
+  s_source : string;
+  s_outputs : string list;  (** host variables defining correctness *)
+}
+
+type cell = {
+  c_bench : string;
+  c_kind : Gpusim.Fault_plan.kind;
+  c_policy : string;
+  c_injected : int;
+  c_retries : int;  (** transfer/alloc retries + checksum re-transfers *)
+  c_reexecs : int;
+  c_fallbacks : int;
+  c_verified : int;
+  c_correct : bool;  (** outputs match the sequential reference *)
+  c_recovered : bool;  (** run completed without an unrecovered fault *)
+  c_device_lost : bool;
+  c_overhead : float;  (** simulated time vs. the fault-free baseline *)
+}
+
+type t = { seed : int; cells : cell list }
+
+val cell_ok : cell -> bool
+val all_ok : t -> bool
+
+(** Policies a fault kind is swept against: transient kinds pair with
+    [retry] and [full]; [device-lost] needs [full]'s CPU fallback. *)
+val policies_for : Gpusim.Fault_plan.kind -> Accrt.Resilience.policy list
+
+(** Sweep [kinds] (default: all) across [subjects], injecting one
+    single-shot fault per cell with the given deterministic [seed]. *)
+val run :
+  ?seed:int -> ?kinds:Gpusim.Fault_plan.kind list -> subject list -> t
+
+val pp_cell : Format.formatter -> cell -> unit
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string

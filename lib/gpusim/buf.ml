@@ -86,6 +86,39 @@ let compare ?(min_value = 0.0) ?(limit = 5) ~margin ~reference other =
   done;
   (List.rev !bad, !nbad)
 
+(** Flip one bit of element [idx] (fault injection: a transient device
+    memory error).  Floats are flipped in their IEEE-754 bit pattern. *)
+let flip_bit b ~idx ~bit =
+  match b with
+  | Fbuf a ->
+      let bits = Int64.bits_of_float a.(idx) in
+      a.(idx) <- Int64.float_of_bits (Int64.logxor bits
+                                        (Int64.shift_left 1L (bit land 63)))
+  | Ibuf a -> a.(idx) <- a.(idx) lxor (1 lsl (bit land 62))
+
+(* FNV-1a over the element bit patterns. *)
+let fnv h x =
+  let h = Int64.logxor h x in
+  Int64.mul h 0x100000001b3L
+
+(** Order-sensitive checksum of the element range [lo, lo+len) (whole
+    buffer by default); used for end-to-end transfer verification. *)
+let checksum ?range b =
+  let lo, len =
+    match range with None -> (0, length b) | Some (lo, len) -> (lo, len)
+  in
+  let h = ref 0xcbf29ce484222325L in
+  (match b with
+  | Fbuf a ->
+      for i = lo to lo + len - 1 do
+        h := fnv !h (Int64.bits_of_float a.(i))
+      done
+  | Ibuf a ->
+      for i = lo to lo + len - 1 do
+        h := fnv !h (Int64.of_int a.(i))
+      done);
+  !h
+
 let equal b1 b2 =
   match (b1, b2) with
   | Fbuf a, Fbuf b -> a = b

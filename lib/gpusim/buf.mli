@@ -39,4 +39,12 @@ val compare :
   ?min_value:float -> ?limit:int -> margin:float -> reference:t -> t ->
   int list * int
 
+(** Flip one bit of element [idx] (fault injection: a transient device
+    memory error).  Floats are flipped in their IEEE-754 bit pattern. *)
+val flip_bit : t -> idx:int -> bit:int -> unit
+
+(** Order-sensitive FNV-1a checksum of the element range [lo, lo+len)
+    (whole buffer by default); used for transfer verification. *)
+val checksum : ?range:int * int -> t -> int64
+
 val equal : t -> t -> bool

@@ -14,21 +14,23 @@ type t = {
   timeline : Timeline.t;
   mem : (string, Buf.t) Hashtbl.t;
   streams : (int, stream) Hashtbl.t;
-  mutable rng : int;  (** LCG state for deterministic PCIe jitter *)
+  rng : Rng.t;  (** explicit stream for deterministic PCIe jitter *)
+  plan : Fault_plan.t;  (** armed device faults (empty by default) *)
   mutable allocated_bytes : int;
   mutable peak_bytes : int;
 }
 
-let create ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false) () =
+let create ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false) ?plan () =
+  let plan =
+    match plan with Some p -> p | None -> Fault_plan.none ()
+  in
   { cm; metrics = Metrics.create (); timeline = Timeline.create ~enabled:trace ();
     mem = Hashtbl.create 32;
-    streams = Hashtbl.create 4; rng = seed; allocated_bytes = 0;
-    peak_bytes = 0 }
+    streams = Hashtbl.create 4; rng = Rng.create seed; plan;
+    allocated_bytes = 0; peak_bytes = 0 }
 
 (* Deterministic noise in [-1, 1]. *)
-let noise dev =
-  dev.rng <- ((dev.rng * 1103515245) + 12345) land 0x3FFFFFFF;
-  (float_of_int (dev.rng mod 20001) /. 10000.) -. 1.0
+let noise dev = Rng.noise dev.rng
 
 let stream dev q =
   match Hashtbl.find_opt dev.streams q with
@@ -42,9 +44,62 @@ exception Device_error of string
 
 let fail fmt = Fmt.kstr (fun m -> raise (Device_error m)) fmt
 
+(** A device fault injected by the plan: the typed error surface the
+    resilient runtime recovers from (retry, re-execution, CPU fallback). *)
+type fault_info = {
+  f_kind : Fault_plan.kind;
+  f_target : string;  (** buffer or kernel name *)
+  f_op : string;  (** operation underway *)
+}
+
+exception Device_fault of fault_info
+
+let () =
+  Printexc.register_printer (function
+    | Device_fault f ->
+        Some
+          (Fmt.str "device fault: %s on '%s' during %s"
+             (Fault_plan.kind_name f.f_kind) f.f_target f.f_op)
+    | _ -> None)
+
+let alive dev = not dev.plan.Fault_plan.lost
+
+(* Record an injected fault on the metrics and timeline (the plan already
+   logged it), then build the typed error. *)
+let fault_event dev kind ~target ~op =
+  dev.metrics.Metrics.faults_injected <-
+    dev.metrics.Metrics.faults_injected + 1;
+  Timeline.record dev.timeline ~kind:(Timeline.Ev_fault (Fault_plan.kind_name kind))
+    ~label:(Fmt.str "%s(%s) during %s" (Fault_plan.kind_name kind) target op)
+    ~start:dev.metrics.Metrics.host_clock ~duration:0.0 ();
+  { f_kind = kind; f_target = target; f_op = op }
+
+(* Does the plan inject [kind] at this opportunity? *)
+let inject dev kind ~target ~op =
+  if
+    Fault_plan.fire dev.plan kind ~target ~op
+      ~time:dev.metrics.Metrics.host_clock
+  then Some (fault_event dev kind ~target ~op)
+  else None
+
+(* Fault gate shared by every device entry point: an already-lost device
+   rejects all work, and any opportunity may be the one where the device
+   drops off the bus. *)
+let check_lost dev ~target ~op =
+  if dev.plan.Fault_plan.lost then
+    raise (Device_fault { f_kind = Fault_plan.Device_lost; f_target = target;
+                          f_op = op })
+  else
+    match inject dev Fault_plan.Device_lost ~target ~op with
+    | Some f -> raise (Device_fault f)
+    | None -> ()
+
 let is_allocated dev name = Hashtbl.mem dev.mem name
 
 let buffer dev name =
+  if dev.plan.Fault_plan.lost then
+    raise (Device_fault { f_kind = Fault_plan.Device_lost; f_target = name;
+                          f_op = "access" });
   match Hashtbl.find_opt dev.mem name with
   | Some b -> b
   | None -> fail "device buffer '%s' is not allocated" name
@@ -52,6 +107,14 @@ let buffer dev name =
 (** Allocate a device buffer shaped like [like] (contents zeroed). *)
 let alloc dev name ~like =
   if is_allocated dev name then fail "device buffer '%s' already allocated" name;
+  check_lost dev ~target:name ~op:"alloc";
+  (match inject dev Fault_plan.Oom ~target:name ~op:"alloc" with
+  | Some f ->
+      (* a failed cudaMalloc still costs the host its round trip *)
+      Metrics.charge dev.metrics Metrics.Gpu_alloc
+        (Costmodel.alloc_time dev.cm ~bytes:0);
+      raise (Device_fault f)
+  | None -> ());
   let b =
     match like with
     | Buf.Fbuf a -> Buf.create_float (Array.length a)
@@ -67,6 +130,8 @@ let alloc dev name ~like =
     ~start:dev.metrics.Metrics.host_clock ~duration ();
   Metrics.charge dev.metrics Metrics.Gpu_alloc duration
 
+(* [free] stays available on a lost device (it is the cleanup path): the
+   memory is gone either way, so only the bookkeeping happens. *)
 let free dev name =
   match Hashtbl.find_opt dev.mem name with
   | None -> fail "freeing unallocated device buffer '%s'" name
@@ -74,11 +139,13 @@ let free dev name =
       let bytes = Buf.bytes b in
       Hashtbl.remove dev.mem name;
       dev.allocated_bytes <- dev.allocated_bytes - bytes;
-      let duration = Costmodel.free_time dev.cm ~bytes in
-      Timeline.record dev.timeline ~kind:(Timeline.Ev_free name)
-        ~label:(Fmt.str "cudaFree(%s)" name)
-        ~start:dev.metrics.Metrics.host_clock ~duration ();
-      Metrics.charge dev.metrics Metrics.Gpu_free duration
+      if alive dev then begin
+        let duration = Costmodel.free_time dev.cm ~bytes in
+        Timeline.record dev.timeline ~kind:(Timeline.Ev_free name)
+          ~label:(Fmt.str "cudaFree(%s)" name)
+          ~start:dev.metrics.Metrics.host_clock ~duration ();
+        Metrics.charge dev.metrics Metrics.Gpu_free duration
+      end
 
 let free_all dev =
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) dev.mem [] in
@@ -106,13 +173,48 @@ let transfer_bytes ~range buf =
   | None -> Buf.bytes buf
   | Some (_, len) -> len * (Buf.bytes buf / max 1 (Buf.length buf))
 
+(* Transfer-fault gate: outright failure (charged the PCIe round trip),
+   partial transfer (a prefix of the range lands, then the copy aborts), or
+   silent corruption (one bit of the destination range is flipped after a
+   complete copy — only an end-to-end checksum can tell). *)
+let transfer_faults dev name ~op ~src ~dst ~range =
+  check_lost dev ~target:name ~op;
+  (match inject dev Fault_plan.Xfer_fail ~target:name ~op with
+  | Some f ->
+      Metrics.charge dev.metrics Metrics.Mem_transfer dev.cm.Costmodel.pcie_latency;
+      raise (Device_fault f)
+  | None -> ());
+  let lo, len =
+    match range with None -> (0, Buf.length src) | Some (lo, len) -> (lo, len)
+  in
+  (match inject dev Fault_plan.Xfer_partial ~target:name ~op with
+  | Some f ->
+      Buf.blit_range ~src ~dst ~lo ~len:(len / 2);
+      let bytes = transfer_bytes ~range src / 2 in
+      Metrics.charge dev.metrics Metrics.Mem_transfer
+        (Costmodel.transfer_time dev.cm ~bytes ~noise:(noise dev));
+      raise (Device_fault f)
+  | None -> ());
+  fun () ->
+    (* after the copy: silent corruption of the destination range *)
+    match inject dev Fault_plan.Xfer_corrupt ~target:name ~op with
+    | Some _ when len > 0 ->
+        Buf.flip_bit dst
+          ~idx:(lo + Fault_plan.rand_int dev.plan len)
+          ~bit:(Fault_plan.rand_int dev.plan 52)
+    | Some _ | None -> ()
+
 (** Host-to-device copy of [host] into the device buffer [name].
     [range = Some (lo, len)] restricts to a subarray. *)
 let upload dev name ~host ?range ?async ?label () =
   let dbuf = buffer dev name in
+  let corrupt =
+    transfer_faults dev name ~op:"upload" ~src:host ~dst:dbuf ~range
+  in
   (match range with
   | None -> Buf.blit ~src:host ~dst:dbuf
   | Some (lo, len) -> Buf.blit_range ~src:host ~dst:dbuf ~lo ~len);
+  corrupt ();
   let bytes = transfer_bytes ~range host in
   Metrics.record_h2d dev.metrics bytes;
   let duration = Costmodel.transfer_time dev.cm ~bytes ~noise:(noise dev) in
@@ -125,9 +227,13 @@ let upload dev name ~host ?range ?async ?label () =
 (** Device-to-host copy of the device buffer [name] into [host]. *)
 let download dev name ~host ?range ?async ?label () =
   let dbuf = buffer dev name in
+  let corrupt =
+    transfer_faults dev name ~op:"download" ~src:dbuf ~dst:host ~range
+  in
   (match range with
   | None -> Buf.blit ~src:dbuf ~dst:host
   | Some (lo, len) -> Buf.blit_range ~src:dbuf ~dst:host ~lo ~len);
+  corrupt ();
   let bytes = transfer_bytes ~range dbuf in
   Metrics.record_d2h dev.metrics bytes;
   let duration = Costmodel.transfer_time dev.cm ~bytes ~noise:(noise dev) in
@@ -136,6 +242,49 @@ let download dev name ~host ?range ?async ?label () =
     ~kind:(Timeline.Ev_transfer { var = name; h2d = false; bytes })
     ~label:(Option.value label ~default:(Fmt.str "memcpyout(%s)" name))
     ~start ~duration ()
+
+(** Fault gate called before a kernel's functional execution: launch
+    errors, watchdog timeouts, and device loss all surface here, before any
+    device memory is touched.
+    @raise Device_fault when the plan injects a launch-time fault. *)
+let begin_launch dev ~label =
+  check_lost dev ~target:label ~op:"launch";
+  (match inject dev Fault_plan.Launch_fail ~target:label ~op:"launch" with
+  | Some f ->
+      (* a failed launch costs the submission overhead *)
+      Metrics.charge dev.metrics Metrics.Async_wait dev.cm.Costmodel.kernel_launch;
+      raise (Device_fault f)
+  | None -> ());
+  match inject dev Fault_plan.Launch_timeout ~target:label ~op:"launch" with
+  | Some f ->
+      (* the watchdog lets the kernel hang for a while before killing it *)
+      Metrics.charge dev.metrics Metrics.Async_wait
+        (100.0 *. dev.cm.Costmodel.kernel_launch);
+      raise (Device_fault f)
+  | None -> ()
+
+(** Simulated ECC scrub of the named buffers (called after a kernel's
+    functional execution): the plan may flip one bit per armed rule, and
+    every flip is detected and returned — the DED half of ECC; silent
+    corruption is modeled by [Xfer_corrupt] instead.  Unallocated names are
+    skipped. *)
+let scrub dev names =
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt dev.mem name with
+      | None -> None
+      | Some b ->
+          if Buf.length b > 0
+             && Fault_plan.fire dev.plan Fault_plan.Bit_flip ~target:name
+                  ~op:"scrub" ~time:dev.metrics.Metrics.host_clock
+          then begin
+            Buf.flip_bit b
+              ~idx:(Fault_plan.rand_int dev.plan (Buf.length b))
+              ~bit:(Fault_plan.rand_int dev.plan 52);
+            Some (fault_event dev Fault_plan.Bit_flip ~target:name ~op:"scrub")
+          end
+          else None)
+    names
 
 (** Account for a kernel execution of [iterations] x [ops_per_iter]. The
     functional execution is done by the runtime interpreter; this charges
@@ -164,8 +313,12 @@ let launch dev ~iterations ~ops_per_iter ?width ?async ?(label = "kernel")
     ~label:(Fmt.str "%s<<<%d>>>" label iterations)
     ~start ~duration ()
 
-(** Block the host until stream [q] (or all streams when [None]) drains. *)
+(** Block the host until stream [q] (or all streams when [None]) drains.
+    Waiting on a lost device returns immediately: there is no work left to
+    wait for. *)
 let wait dev q =
+  if not (alive dev) then ()
+  else
   let streams =
     match q with
     | Some q -> [ stream dev q ]

@@ -14,22 +14,42 @@ type t = {
   timeline : Timeline.t;
   mem : (string, Buf.t) Hashtbl.t;
   streams : (int, stream) Hashtbl.t;
-  mutable rng : int;
+  rng : Rng.t;  (** explicit stream for deterministic PCIe jitter *)
+  plan : Fault_plan.t;  (** armed device faults (empty by default) *)
   mutable allocated_bytes : int;
   mutable peak_bytes : int;
 }
 
+(** Host-side misuse (double alloc, unallocated buffer): a programming
+    error, not a recoverable fault. *)
 exception Device_error of string
 
-val create : ?cm:Costmodel.t -> ?seed:int -> ?trace:bool -> unit -> t
+(** A device fault injected by the plan: the typed error surface the
+    resilient runtime recovers from (retry, re-execution, CPU fallback). *)
+type fault_info = {
+  f_kind : Fault_plan.kind;
+  f_target : string;  (** buffer or kernel name *)
+  f_op : string;  (** operation underway: "alloc", "upload", "launch", ... *)
+}
+
+exception Device_fault of fault_info
+
+val create :
+  ?cm:Costmodel.t -> ?seed:int -> ?trace:bool -> ?plan:Fault_plan.t ->
+  unit -> t
+
+(** Has the device {e not} been lost to a [Device_lost] fault? *)
+val alive : t -> bool
 
 val is_allocated : t -> string -> bool
 
-(** @raise Device_error when the buffer is not allocated. *)
+(** @raise Device_error when the buffer is not allocated.
+    @raise Device_fault when the device has been lost. *)
 val buffer : t -> string -> Buf.t
 
 (** Allocate a device buffer shaped like [like] (zeroed).
-    @raise Device_error on double allocation. *)
+    @raise Device_error on double allocation.
+    @raise Device_fault on injected OOM or device loss. *)
 val alloc : t -> string -> like:Buf.t -> unit
 
 val free : t -> string -> unit
@@ -46,11 +66,23 @@ val download :
   t -> string -> host:Buf.t -> ?range:int * int -> ?async:int ->
   ?label:string -> unit -> unit
 
+(** Launch-time fault gate, called by the runtime {e before} the kernel's
+    functional execution.
+    @raise Device_fault on injected launch failure, timeout, or device
+    loss. *)
+val begin_launch : t -> label:string -> unit
+
 (** Account for a kernel execution (the functional work is done by the
     runtime's kernel executor).  [width] caps parallel lanes. *)
 val launch :
   t -> iterations:int -> ops_per_iter:int -> ?width:int -> ?async:int ->
   ?label:string -> unit -> unit
+
+(** ECC scrub of the named device buffers after a kernel execution:
+    injects any armed [Bit_flip] faults (flipping a real bit in device
+    memory) and returns them as {e detected} errors — the simulator's
+    model of ECC double-error detection.  Never raises. *)
+val scrub : t -> string list -> fault_info list
 
 (** Block the host until stream [q] (or all streams when [None]) drains. *)
 val wait : t -> int option -> unit

@@ -1,0 +1,76 @@
+(** Seeded, deterministic device-fault plans.
+
+    A plan arms fault rules the device consults at every opportunity
+    (allocation, transfer, launch, ECC scrub).  All randomness comes from an
+    explicit {!Rng.t} stream derived from the run seed, so faulty runs are
+    exactly reproducible from [--seed] plus the spec string.
+
+    Spec grammar (comma-separated):
+    [KIND[:TARGET][@PROB][xCOUNT]] with [KIND] one of [bitflip], [xfer-fail],
+    [xfer-partial], [xfer-corrupt], [launch-fail], [launch-timeout], [oom],
+    [device-lost]; [PROB] in (0,1] (default 1); [COUNT] a positive int or
+    ['*'] for unlimited (default 1). *)
+
+type kind =
+  | Bit_flip
+  | Xfer_fail
+  | Xfer_partial
+  | Xfer_corrupt
+  | Launch_fail
+  | Launch_timeout
+  | Oom
+  | Device_lost
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+(** Is recovery a matter of retrying the same operation? ([Device_lost] is
+    the only non-transient kind.) *)
+val transient : kind -> bool
+
+type rule = {
+  r_kind : kind;
+  r_target : string option;  (** buffer/kernel name; [None] = any *)
+  r_prob : float;
+  r_count : int;  (** max injections; negative = unlimited *)
+  mutable r_fired : int;
+}
+
+type event = {
+  e_kind : kind;
+  e_target : string;
+  e_op : string;
+  e_time : float;  (** simulated host clock at injection *)
+}
+
+type t = {
+  rng : Rng.t;
+  rules : rule list;
+  mutable events : event list;  (** reversed; use {!events} *)
+  mutable lost : bool;
+}
+
+val mk_rule : ?target:string -> ?prob:float -> ?count:int -> kind -> rule
+val create : ?seed:int -> rule list -> t
+
+(** The empty plan: no faults ever fire. *)
+val none : unit -> t
+
+val is_empty : t -> bool
+
+(** Injected fault events, oldest first. *)
+val events : t -> event list
+
+val injected : t -> int
+
+(** Deterministic site pick (bit index, element index, ...). *)
+val rand_int : t -> int -> int
+
+(** Should a fault of this kind hit [target] during [op] now?  Logs the
+    event (and sets {!field-lost} for [Device_lost]) when it fires. *)
+val fire : t -> kind -> target:string -> op:string -> time:float -> bool
+
+val of_spec : ?seed:int -> string -> (t, string) result
+val to_spec : t -> string
+val pp_event : Format.formatter -> event -> unit

@@ -13,10 +13,13 @@ type category =
   | Async_wait  (** host blocked on asynchronous GPU work *)
   | Result_comp  (** kernel-verification output comparison *)
   | Check_overhead  (** coherence runtime checks *)
+  | Fault_recovery
+      (** resilience work: retry backoff, checksum re-verification,
+          checkpointing, recovery validation *)
 
 let all_categories =
   [ Cpu_time; Mem_transfer; Gpu_alloc; Gpu_free; Async_wait; Result_comp;
-    Check_overhead ]
+    Check_overhead; Fault_recovery ]
 
 let category_name = function
   | Cpu_time -> "CPU Time"
@@ -26,6 +29,7 @@ let category_name = function
   | Async_wait -> "Async-Wait"
   | Result_comp -> "Result-Comp"
   | Check_overhead -> "Check-Overhead"
+  | Fault_recovery -> "Fault-Recovery"
 
 type t = {
   mutable times : (category * float) list;
@@ -35,19 +39,20 @@ type t = {
   mutable transfers_d2h : int;
   mutable kernel_launches : int;
   mutable checks : int;
+  mutable faults_injected : int;  (** device faults injected by the plan *)
   mutable host_clock : float;  (** simulated wall clock of the host thread *)
 }
 
 let create () =
   { times = List.map (fun c -> (c, 0.0)) all_categories;
     bytes_h2d = 0; bytes_d2h = 0; transfers_h2d = 0; transfers_d2h = 0;
-    kernel_launches = 0; checks = 0; host_clock = 0.0 }
+    kernel_launches = 0; checks = 0; faults_injected = 0; host_clock = 0.0 }
 
 let reset m =
   m.times <- List.map (fun c -> (c, 0.0)) all_categories;
   m.bytes_h2d <- 0; m.bytes_d2h <- 0;
   m.transfers_h2d <- 0; m.transfers_d2h <- 0;
-  m.kernel_launches <- 0; m.checks <- 0;
+  m.kernel_launches <- 0; m.checks <- 0; m.faults_injected <- 0;
   m.host_clock <- 0.0
 
 (** Charge [dt] seconds of host time to [cat] and advance the host clock. *)
@@ -71,9 +76,11 @@ let record_d2h m bytes =
   m.transfers_d2h <- m.transfers_d2h + 1
 
 let pp ppf m =
-  Fmt.pf ppf "@[<v>total %.6f s (%d B h2d in %d xfers, %d B d2h in %d xfers, %d launches, %d checks)"
+  Fmt.pf ppf "@[<v>total %.6f s (%d B h2d in %d xfers, %d B d2h in %d xfers, %d launches, %d checks%s)"
     (total_time m) m.bytes_h2d m.transfers_h2d m.bytes_d2h m.transfers_d2h
-    m.kernel_launches m.checks;
+    m.kernel_launches m.checks
+    (if m.faults_injected > 0 then Fmt.str ", %d faults" m.faults_injected
+     else "");
   List.iter
     (fun (c, t) ->
       if t > 0.0 then Fmt.pf ppf "@,  %-14s %.6f s" (category_name c) t)

@@ -10,6 +10,9 @@ type category =
   | Async_wait  (** host blocked on asynchronous GPU work *)
   | Result_comp  (** kernel-verification output comparison *)
   | Check_overhead  (** coherence runtime checks *)
+  | Fault_recovery
+      (** resilience work: retry backoff, checksum re-verification,
+          checkpointing, recovery validation *)
 
 val all_categories : category list
 val category_name : category -> string
@@ -22,6 +25,7 @@ type t = {
   mutable transfers_d2h : int;
   mutable kernel_launches : int;
   mutable checks : int;
+  mutable faults_injected : int;  (** device faults injected by the plan *)
   mutable host_clock : float;  (** simulated wall clock of the host thread *)
 }
 

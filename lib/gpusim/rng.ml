@@ -1,0 +1,33 @@
+(** Explicit-state deterministic random stream.
+
+    One [t] per consumer (the device's PCIe-jitter stream, the fault plan's
+    injection stream) so that simulated runs are exactly reproducible from a
+    single [--seed]: no [Random.self_init], no shared hidden state, and
+    adding a new consumer never perturbs the draws of an existing one.
+
+    The generator is the same 31-bit LCG the device has always used for
+    jitter, so timing streams are bit-compatible with earlier versions. *)
+
+type t = { mutable state : int; seed : int }
+
+let create seed = { state = seed land 0x3FFFFFFF; seed }
+
+let seed t = t.seed
+
+(** Advance and return the raw 30-bit state. *)
+let next t =
+  t.state <- ((t.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.state
+
+(** Deterministic noise in [-1, 1] (the device's PCIe jitter draw). *)
+let noise t = (float_of_int (next t mod 20001) /. 10000.) -. 1.0
+
+(** Uniform float in [0, 1). *)
+let float t = float_of_int (next t) /. 1073741824.0
+
+(** Uniform int in [0, n); [n] must be positive. *)
+let int t n = if n <= 0 then 0 else next t mod n
+
+(** A decorrelated child stream: used to give the fault plan its own stream
+    derived from the run seed without consuming jitter draws. *)
+let split t = create ((t.seed * 0x9E3779B1) lxor 0x5DEECE6 land 0x3FFFFFFF)

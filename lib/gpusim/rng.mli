@@ -1,0 +1,25 @@
+(** Explicit-state deterministic random stream (one per consumer), making
+    every simulated run reproducible from a single seed.  Bit-compatible
+    with the LCG the device historically used for PCIe jitter. *)
+
+type t = { mutable state : int; seed : int }
+
+val create : int -> t
+
+(** The seed this stream was created from. *)
+val seed : t -> int
+
+(** Advance and return the raw 30-bit state. *)
+val next : t -> int
+
+(** Deterministic noise in [-1, 1]. *)
+val noise : t -> float
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform int in [0, n); returns 0 when [n <= 0]. *)
+val int : t -> int -> int
+
+(** A decorrelated child stream derived from the same seed. *)
+val split : t -> t

@@ -15,6 +15,7 @@ type kind =
   | Ev_free of string
   | Ev_wait
   | Ev_check
+  | Ev_fault of string  (** injected device fault (fault-kind name) *)
 
 type event = {
   ev_kind : kind;
@@ -47,6 +48,7 @@ let kind_name = function
   | Ev_free _ -> "free"
   | Ev_wait -> "wait"
   | Ev_check -> "check"
+  | Ev_fault k -> "fault-" ^ k
 
 (** Total simulated time per event kind. *)
 let summary t =

@@ -10,6 +10,7 @@ type kind =
   | Ev_free of string
   | Ev_wait
   | Ev_check
+  | Ev_fault of string  (** injected device fault (fault-kind name) *)
 
 type event = {
   ev_kind : kind;

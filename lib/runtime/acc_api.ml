@@ -60,7 +60,12 @@ let routines st : (string * (int * (scalar list -> scalar))) list =
   let int1 f = (1, fun args -> Int (f (to_int (List.nth args 0)))) in
   let int0 f = (0, fun _ -> Int (f ())) in
   [ ("acc_get_num_devices",
-     int1 (fun t -> if t = acc_device_host then 1 else 1));
+     (* A lost device is no longer countable: programs can poll device
+        health through the standard routine. *)
+     int1 (fun t ->
+         if t = acc_device_host then 1
+         else if Gpusim.Device.alive st.device then 1
+         else 0));
     ("acc_set_device_type",
      int1 (fun t -> st.device_type <- t; 0));
     ("acc_get_device_type", int0 (fun () -> st.device_type));

@@ -1,6 +1,21 @@
 (** Interpreter for translated programs: executes host code natively, drives
     the {!Gpusim} device for data movement and kernels, and (when enabled)
-    the {!Coherence} runtime for the paper's memory-transfer verification. *)
+    the {!Coherence} runtime for the paper's memory-transfer verification.
+
+    When the device carries an armed {!Gpusim.Fault_plan}, the interpreter
+    becomes a resilient runtime governed by a {!Resilience.policy}:
+
+    - transient transfer/allocation faults are retried with exponential
+      backoff (charged to the [Fault_recovery] metrics category);
+    - silent transfer corruption is caught by end-to-end checksums and
+      repaired by re-transfer;
+    - kernel launches checkpoint their device inputs and committed scalars,
+      so launch faults and ECC-detected bit flips re-execute from a clean
+      state — and each re-execution is validated against the sequential
+      reference (§III-A's comparator), reusing the demotion-snapshot idea;
+    - exhausted retries and device loss degrade to CPU fallback: the
+      original sequential region runs on the host (host mode after loss),
+      so a [full]-policy run never produces a silently wrong answer. *)
 
 open Minic.Ast
 open Codegen.Tprog
@@ -14,6 +29,7 @@ type outcome = {
   sites :
     (int, Codegen.Tprog.site * string * Codegen.Tprog.xdir) Hashtbl.t;
       (** executed transfer sites with their variable and direction *)
+  resilience : Resilience.stats;  (** fault-recovery accounting *)
 }
 
 let reports o = Coherence.reports o.coherence
@@ -27,8 +43,8 @@ let host_scalar o name = Value.get_scalar o.ctx.Eval.env name
 exception Stop
 
 let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
-    (tp : Codegen.Tprog.t) =
-  let device = Gpusim.Device.create ?cm ~seed ~trace () in
+    ?plan ?(resilience = Resilience.none) (tp : Codegen.Tprog.t) =
+  let device = Gpusim.Device.create ?cm ~seed ~trace ?plan () in
   let metrics = device.Gpusim.Device.metrics in
   let coh = Coherence.create ?granularity () in
   let site_execs = Hashtbl.create 32 in
@@ -52,6 +68,439 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
   in
   let eval_int e = Value.to_int (Eval.eval ctx e) in
   let eval_async = Option.map eval_int in
+
+  (* ------------------------- fault recovery ------------------------- *)
+  let policy = resilience in
+  let stats = Resilience.fresh_stats () in
+  let host_mode = ref false in  (* device lost: everything runs on the CPU *)
+  (* Arrays demoted to host residence (OOM / unrecoverable transfers). *)
+  let host_only : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  (* Roots whose freshest copy lives only on the device, and their
+     host-side resilience mirrors (kept under [cpu_fallback] so a lost
+     device does not take the data with it). *)
+  let device_fresh : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let mirrors : (string, Gpusim.Buf.t) Hashtbl.t = Hashtbl.create 8 in
+
+  let charge_recovery dt =
+    Gpusim.Metrics.charge metrics Gpusim.Metrics.Fault_recovery dt
+  in
+  let backoff_delay attempt =
+    policy.Resilience.backoff *. float_of_int (1 lsl attempt)
+  in
+  let unrecovered fault =
+    stats.Resilience.unrecovered <- stats.Resilience.unrecovered + 1;
+    Resilience.record stats ~fault ~action:"abort" ~ok:false;
+    raise (Resilience.Unrecovered fault)
+  in
+  (* Restore a mirrored buffer into the host array it shadows. *)
+  let restore_mirror v =
+    match (Hashtbl.find_opt mirrors v, Value.lookup env v) with
+    | Some m, Some (Value.Array { buf = Some hb; _ })
+      when Gpusim.Buf.length m = Gpusim.Buf.length hb ->
+        Gpusim.Buf.blit ~src:m ~dst:hb;
+        charge_recovery
+          (Gpusim.Costmodel.cpu_time cmodel ~ops:(Gpusim.Buf.length m))
+    | _ -> ()
+  in
+  (* The device dropped off the bus: recover the data only it held from
+     the resilience mirrors, then continue in host mode. *)
+  let enter_host_mode fault =
+    host_mode := true;
+    stats.Resilience.device_lost <- true;
+    Hashtbl.iter (fun v () -> restore_mirror v) device_fresh;
+    Hashtbl.reset device_fresh;
+    Resilience.record stats ~fault ~action:"host-mode" ~ok:true
+  in
+  let on_lost fault =
+    if policy.Resilience.cpu_fallback then enter_host_mode fault
+    else unrecovered fault
+  in
+  (* Keep an array on the host for the rest of the run. *)
+  let demote_to_host v =
+    if Hashtbl.mem device_fresh v then restore_mirror v;
+    Hashtbl.remove device_fresh v;
+    Hashtbl.remove mirrors v;
+    if Gpusim.Device.is_allocated device v then Gpusim.Device.free device v;
+    Hashtbl.replace host_only v ()
+  in
+  (* After a successful launch the written roots are freshest on the
+     device; under a fallback-capable policy, mirror them so device loss
+     cannot destroy data (the checkpoint upkeep the report accounts for). *)
+  let refresh_mirrors written =
+    Analysis.Varset.iter
+      (fun v ->
+        if Gpusim.Device.is_allocated device v then begin
+          Hashtbl.replace device_fresh v ();
+          if policy.Resilience.cpu_fallback then begin
+            let b = Gpusim.Device.buffer device v in
+            (match Hashtbl.find_opt mirrors v with
+            | Some m when Gpusim.Buf.length m = Gpusim.Buf.length b ->
+                Gpusim.Buf.blit ~src:b ~dst:m
+            | _ -> Hashtbl.replace mirrors v (Gpusim.Buf.copy b));
+            charge_recovery
+              (Gpusim.Costmodel.compare_time cmodel
+                 ~elems:(Gpusim.Buf.length b))
+          end
+        end)
+      written
+  in
+
+  (* ----------------------- resilient transfers ---------------------- *)
+  let checksum_range ~range buf = Gpusim.Buf.checksum ?range buf in
+  let do_transfer x ~host ~range ~async =
+    let var = x.x_var in
+    let label = x.x_site.site_label in
+    let op = match x.x_dir with H2D -> "upload" | D2H -> "download" in
+    let dev_op () =
+      match x.x_dir with
+      | H2D ->
+          Gpusim.Device.upload device var ~host ?range ?async ~label ()
+      | D2H ->
+          Gpusim.Device.download device var ~host ?range ?async ~label ()
+    in
+    (* End-to-end verification: source and destination checksums must
+       agree, or the copy is redone ([Xfer_corrupt]'s only detector). *)
+    let checksum_ok () =
+      (not policy.Resilience.checksum)
+      ||
+      (let dbuf = Gpusim.Device.buffer device var in
+       let elems =
+         match range with
+         | Some (_, len) -> len
+         | None -> Gpusim.Buf.length host
+       in
+       charge_recovery (Gpusim.Costmodel.compare_time cmodel ~elems);
+       checksum_range ~range host = checksum_range ~range dbuf)
+    in
+    let corrupt_fault () =
+      { Gpusim.Device.f_kind = Gpusim.Fault_plan.Xfer_corrupt;
+        f_target = var; f_op = op }
+    in
+    let rec attempt n =
+      match dev_op () with
+      | () ->
+          if not (checksum_ok ()) then
+            if n < policy.Resilience.max_retries then begin
+              stats.Resilience.retransfers <-
+                stats.Resilience.retransfers + 1;
+              Resilience.record stats ~fault:(corrupt_fault ())
+                ~action:"re-transfer" ~ok:true;
+              charge_recovery (backoff_delay n);
+              attempt (n + 1)
+            end
+            else if policy.Resilience.cpu_fallback then begin
+              Resilience.record stats ~fault:(corrupt_fault ())
+                ~action:"host-demote" ~ok:true;
+              demote_to_host var
+            end
+            else unrecovered (corrupt_fault ())
+      | exception Gpusim.Device.Device_fault fault
+        when fault.Gpusim.Device.f_kind = Gpusim.Fault_plan.Device_lost
+             && (policy.Resilience.cpu_fallback
+                || policy.Resilience.max_retries > 0) ->
+          (* Host mode makes the host copy authoritative, so the transfer
+             itself needs no replay. *)
+          on_lost fault
+      | exception Gpusim.Device.Device_fault fault
+        when Gpusim.Fault_plan.transient fault.Gpusim.Device.f_kind
+             && policy.Resilience.max_retries > 0 ->
+          if n < policy.Resilience.max_retries then begin
+            stats.Resilience.retries <- stats.Resilience.retries + 1;
+            Resilience.record stats ~fault ~action:"retry" ~ok:true;
+            charge_recovery (backoff_delay n);
+            attempt (n + 1)
+          end
+          else if policy.Resilience.cpu_fallback then begin
+            Resilience.record stats ~fault ~action:"host-demote" ~ok:true;
+            demote_to_host var
+          end
+          else unrecovered fault
+    in
+    attempt 0
+  in
+
+  (* ------------------------ resilient launches ----------------------- *)
+  (* Sequential execution of the kernel's original source region on the
+     live host state — the CPU fallback (and the whole of host mode). *)
+  let cpu_exec k =
+    Value.scoped env (fun () -> Eval.exec ctx k.k_source);
+    charge_host ();
+    stats.Resilience.fallbacks <- stats.Resilience.fallbacks + 1
+  in
+  (* Fall back for one kernel: restore its host inputs from the
+     pre-launch checkpoint of the device buffers, run the sequential
+     region, then push the written arrays back to the (still alive)
+     device so later device kernels see the results. *)
+  let cpu_fallback_exec k ~ckpt ~scalars =
+    List.iter (fun (c, v0) -> c.Value.v <- v0) scalars;
+    List.iter
+      (fun (v, b) ->
+        match Value.lookup env v with
+        | Some (Value.Array { buf = Some hb; _ })
+          when Gpusim.Buf.length hb = Gpusim.Buf.length b ->
+            Gpusim.Buf.blit ~src:b ~dst:hb;
+            charge_recovery
+              (Gpusim.Costmodel.cpu_time cmodel ~ops:(Gpusim.Buf.length b))
+        | _ -> ())
+      ckpt;
+    cpu_exec k;
+    if (not !host_mode) && Gpusim.Device.alive device then
+      Analysis.Varset.iter
+        (fun v ->
+          if Gpusim.Device.is_allocated device v then begin
+            let host = Value.array_buf env v in
+            let rec push n =
+              try
+                Gpusim.Device.upload device v ~host
+                  ~label:(k.k_name ^ ".recover") ()
+              with
+              | Gpusim.Device.Device_fault fault
+                when fault.Gpusim.Device.f_kind
+                     = Gpusim.Fault_plan.Device_lost ->
+                  on_lost fault
+              | Gpusim.Device.Device_fault fault
+                when Gpusim.Fault_plan.transient fault.Gpusim.Device.f_kind
+                ->
+                  if n < policy.Resilience.max_retries then begin
+                    stats.Resilience.retries <-
+                      stats.Resilience.retries + 1;
+                    charge_recovery (backoff_delay n);
+                    push (n + 1)
+                  end
+                  else demote_to_host v
+            in
+            push 0;
+            Hashtbl.remove device_fresh v
+          end)
+        (kernel_arrays k)
+  in
+  (* Validate a recovery with the §III-A comparator: execute the original
+     sequential region in a shadow environment seeded from the checkpoint
+     (scalar entry values, pre-launch device arrays) and compare every
+     written array and committed scalar against the recovered device
+     results under a small error margin. *)
+  let validate_recovery k ~ckpt ~scalar_values =
+    (* One shadow copy per checkpointed root, shared by every binding that
+       aliases it (pointer-swap programs). *)
+    let shadow_bufs = List.map (fun (v, b) -> (v, Gpusim.Buf.copy b)) ckpt in
+    let clone_frame fr =
+      let fr' = Hashtbl.create (Hashtbl.length fr) in
+      Hashtbl.iter
+        (fun name b ->
+          let b' =
+            match b with
+            | Value.Scalar c ->
+                let v =
+                  match List.assoc_opt name scalar_values with
+                  | Some v0 -> v0
+                  | None -> c.Value.v
+                in
+                Value.Scalar { Value.v }
+            | Value.Array slot -> (
+                match List.assoc_opt slot.Value.root shadow_bufs with
+                | Some sb ->
+                    Value.Array
+                      { Value.buf = Some sb;
+                        root = slot.Value.root;
+                        shape = slot.Value.shape }
+                | None -> b)
+          in
+          Hashtbl.replace fr' name b')
+        fr;
+      fr'
+    in
+    let env' =
+      { Value.globals = clone_frame env.Value.globals;
+        frames = List.map clone_frame env.Value.frames }
+    in
+    let sctx = Eval.make ctx.Eval.prog env' in
+    Value.scoped env' (fun () -> Eval.exec sctx k.k_source);
+    charge_recovery
+      (Gpusim.Costmodel.cpu_time cmodel ~ops:sctx.Eval.ops);
+    let margin = 1e-6 in
+    let arrays_ok =
+      Analysis.Varset.for_all
+        (fun v ->
+          match Value.lookup env' v with
+          | Some (Value.Array { buf = Some reference; _ })
+            when Gpusim.Device.is_allocated device v ->
+              let got = Gpusim.Device.buffer device v in
+              charge_recovery
+                (Gpusim.Costmodel.compare_time cmodel
+                   ~elems:(Gpusim.Buf.length reference));
+              let _, bad = Gpusim.Buf.compare ~margin ~reference got in
+              bad = 0
+          | _ -> true)
+        k.k_arrays_written
+    in
+    let scalars_ok =
+      List.for_all
+        (fun (name, _) ->
+          match (Value.lookup env' name, Value.lookup env name) with
+          | Some (Value.Scalar c_ref), Some (Value.Scalar c_got) ->
+              let x = Value.to_float c_ref.Value.v in
+              let y = Value.to_float c_got.Value.v in
+              Float.abs (x -. y) <= margin *. Float.max 1.0 (Float.abs x)
+          | _ -> true)
+        k.k_scalars
+    in
+    arrays_ok && scalars_ok
+  in
+  (* Names whose host cells a kernel commits into (the state a checkpoint
+     must capture besides device arrays). *)
+  let committed_names k =
+    let base = List.map fst k.k_scalars in
+    let ind = Analysis.Varset.elements k.k_induction in
+    let lv = match k.k_loop with Some l -> [ l.kl_var ] | None -> [] in
+    List.sort_uniq compare (base @ ind @ lv)
+  in
+  let launch_device k async =
+    let arrays = Analysis.Varset.elements (kernel_arrays k) in
+    let checkpointing =
+      policy.Resilience.reexec || policy.Resilience.cpu_fallback
+    in
+    (* Checkpoint: pre-launch device buffers (the kernel's inputs, exactly
+       the data the §III-A demotion snapshot would upload) plus the
+       scalar cells the kernel will commit. *)
+    let ckpt =
+      if checkpointing then
+        List.filter_map
+          (fun v ->
+            if Gpusim.Device.is_allocated device v then begin
+              let b = Gpusim.Device.buffer device v in
+              charge_recovery
+                (Gpusim.Costmodel.compare_time cmodel
+                   ~elems:(Gpusim.Buf.length b));
+              Some (v, Gpusim.Buf.copy b)
+            end
+            else None)
+          arrays
+      else []
+    in
+    let scalars =
+      if checkpointing then
+        List.filter_map
+          (fun name ->
+            match Value.lookup env name with
+            | Some (Value.Scalar c) -> Some (c, c.Value.v)
+            | _ -> None)
+          (committed_names k)
+      else []
+    in
+    let scalar_values =
+      List.filter_map
+        (fun name ->
+          match Value.lookup env name with
+          | Some (Value.Scalar c) -> Some (name, c.Value.v)
+          | _ -> None)
+        (committed_names k)
+    in
+    let restore_ckpt () =
+      List.iter
+        (fun (v, b) ->
+          if Gpusim.Device.is_allocated device v then
+            Gpusim.Buf.blit ~src:b ~dst:(Gpusim.Device.buffer device v))
+        ckpt;
+      List.iter (fun (c, v0) -> c.Value.v <- v0) scalars
+    in
+    let written = Analysis.Varset.elements k.k_arrays_written in
+    let fall_back fault =
+      Resilience.record stats ~fault ~action:"cpu-fallback" ~ok:true;
+      restore_ckpt ();
+      cpu_fallback_exec k ~ckpt ~scalars
+    in
+    let rec attempt n =
+      match
+        Gpusim.Device.begin_launch device ~label:k.k_name;
+        let r = Kernel_exec.run ctx device k in
+        let width =
+          let g, w, v = k.k_dims in
+          match List.filter_map (Option.map eval_int) [ g; w; v ] with
+          | [] -> None
+          | dims -> Some (List.fold_left ( * ) 1 dims)
+        in
+        Gpusim.Device.launch device ~iterations:r.Kernel_exec.iterations
+          ~ops_per_iter:k.k_ops_per_iter ?width ?async ~label:k.k_name ();
+        Gpusim.Device.scrub device written
+      with
+      | [] ->
+          (* Clean execution.  A recovery (n > 0) must additionally pass
+             the sequential-reference comparison before it counts. *)
+          if n > 0 && policy.Resilience.validate then begin
+            if validate_recovery k ~ckpt ~scalar_values then
+              stats.Resilience.verified <- stats.Resilience.verified + 1
+            else begin
+              let fault =
+                { Gpusim.Device.f_kind = Gpusim.Fault_plan.Launch_fail;
+                  f_target = k.k_name; f_op = "recovery-validation" }
+              in
+              Resilience.record stats ~fault ~action:"re-execute" ~ok:false;
+              escalate n fault
+            end
+          end;
+          refresh_mirrors k.k_arrays_written
+      | detected :: _ ->
+          (* ECC caught a bit flip in a written buffer: the results are
+             poisoned, so recover exactly like a failed launch. *)
+          recover n detected
+      | exception Gpusim.Device.Device_fault fault -> recover n fault
+    and recover n fault =
+      match fault.Gpusim.Device.f_kind with
+      | Gpusim.Fault_plan.Device_lost
+        when policy.Resilience.cpu_fallback ->
+          enter_host_mode fault;
+          (* Device state is gone; the checkpoint still has the kernel's
+             inputs, so the sequential region replays it on the host. *)
+          cpu_fallback_exec k ~ckpt ~scalars
+      | Gpusim.Fault_plan.Device_lost
+        when policy.Resilience.max_retries > 0 ->
+          unrecovered fault
+      | k' when Gpusim.Fault_plan.transient k' && policy.Resilience.reexec
+        ->
+          if n < policy.Resilience.max_retries then begin
+            stats.Resilience.reexecs <- stats.Resilience.reexecs + 1;
+            Resilience.record stats ~fault ~action:"re-execute" ~ok:true;
+            restore_ckpt ();
+            charge_recovery (backoff_delay n);
+            attempt (n + 1)
+          end
+          else escalate n fault
+      | k'
+        when Gpusim.Fault_plan.transient k'
+             && policy.Resilience.cpu_fallback ->
+          fall_back fault
+      | k'
+        when Gpusim.Fault_plan.transient k'
+             && policy.Resilience.max_retries > 0 ->
+          unrecovered fault
+      | _ -> raise (Gpusim.Device.Device_fault fault)
+    and escalate _n fault =
+      if policy.Resilience.cpu_fallback then fall_back fault
+      else unrecovered fault
+    in
+    attempt 0
+  in
+  let launch_resilient k async =
+    if !host_mode then cpu_exec k
+    else begin
+      let arrays = Analysis.Varset.elements (kernel_arrays k) in
+      if List.exists (Hashtbl.mem host_only) arrays then begin
+        (* Some of the kernel's data could not be kept on the device:
+           run the whole region on the host, bridging from/to the arrays
+           that do live on the device. *)
+        let ckpt =
+          List.filter_map
+            (fun v ->
+              if Gpusim.Device.is_allocated device v then
+                Some (v, Gpusim.Buf.copy (Gpusim.Device.buffer device v))
+              else None)
+            arrays
+        in
+        cpu_fallback_exec k ~ckpt ~scalars:[]
+      end
+      else launch_device k async
+    end
+  in
 
   let loop_label init tid =
     match init with
@@ -110,12 +559,47 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
             Coherence.exit_loop coh)
     | Talloc (v, _site) ->
         (* present-or-create: keep an existing buffer resident *)
-        if not (Gpusim.Device.is_allocated device v) then begin
+        if
+          (not !host_mode)
+          && (not (Hashtbl.mem host_only v))
+          && not (Gpusim.Device.is_allocated device v)
+        then begin
           let host = Value.array_buf env v in
-          Gpusim.Device.alloc device v ~like:host
+          let rec attempt n =
+            try Gpusim.Device.alloc device v ~like:host with
+            | Gpusim.Device.Device_fault fault
+              when fault.Gpusim.Device.f_kind = Gpusim.Fault_plan.Device_lost
+                   && (policy.Resilience.cpu_fallback
+                      || policy.Resilience.max_retries > 0) ->
+                on_lost fault
+            | Gpusim.Device.Device_fault fault
+              when fault.Gpusim.Device.f_kind = Gpusim.Fault_plan.Oom
+                   && policy.Resilience.max_retries > 0 ->
+                if n < policy.Resilience.max_retries then begin
+                  stats.Resilience.retries <- stats.Resilience.retries + 1;
+                  Resilience.record stats ~fault ~action:"retry" ~ok:true;
+                  charge_recovery (backoff_delay n);
+                  attempt (n + 1)
+                end
+                else if policy.Resilience.cpu_fallback then begin
+                  (* Keep this array host-resident; kernels touching it
+                     take the CPU-fallback path. *)
+                  Resilience.record stats ~fault ~action:"host-demote"
+                    ~ok:true;
+                  Hashtbl.replace host_only v ()
+                end
+                else unrecovered fault
+          in
+          attempt 0
         end
     | Tfree (v, _site) ->
-        Gpusim.Device.free device v;
+        if
+          (not !host_mode) && Gpusim.Device.is_allocated device v
+        then
+          Gpusim.Device.free device v;
+        Hashtbl.remove host_only v;
+        Hashtbl.remove device_fresh v;
+        Hashtbl.remove mirrors v;
         if coherence then Coherence.on_free coh v
     | Txfer x ->
         let range =
@@ -134,25 +618,15 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
           Coherence.register_len coh x.x_var (Gpusim.Buf.length host);
           Coherence.on_transfer ?range coh x.x_var x.x_dir ~site:x.x_site
         end;
-        let label = x.x_site.site_label in
-        (match x.x_dir with
-        | H2D ->
-            Gpusim.Device.upload device x.x_var ~host ?range ?async ~label ()
-        | D2H ->
-            Gpusim.Device.download device x.x_var ~host ?range ?async ~label
-              ())
+        if (not !host_mode) && not (Hashtbl.mem host_only x.x_var) then begin
+          do_transfer x ~host ~range ~async;
+          (* A completed transfer leaves host and device coherent. *)
+          Hashtbl.remove device_fresh x.x_var
+        end
     | Tlaunch (kid, async) ->
         let k = tp.kernels.(kid) in
         let async = eval_async async in
-        let r = Kernel_exec.run ctx device k in
-        let width =
-          let g, w, v = k.k_dims in
-          match List.filter_map (Option.map eval_int) [ g; w; v ] with
-          | [] -> None
-          | dims -> Some (List.fold_left ( * ) 1 dims)
-        in
-        Gpusim.Device.launch device ~iterations:r.Kernel_exec.iterations
-          ~ops_per_iter:k.k_ops_per_iter ?width ?async ~label:k.k_name ()
+        launch_resilient k async
     | Twait e ->
         let q = eval_async e in
         charge_host ();
@@ -187,16 +661,18 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
   (try exec_ts tp.body with
   | Eval.Return_exc _ | Stop -> ());
   charge_host ();
-  (* Drain outstanding async work and release device memory. *)
+  (* Drain outstanding async work and release device memory (both are
+     no-ops on a lost device). *)
   Gpusim.Device.wait device None;
   Gpusim.Device.free_all device;
-  { ctx; device; coherence = coh; tprog = tp; site_execs; sites }
+  { ctx; device; coherence = coh; tprog = tp; site_execs; sites;
+    resilience = stats }
 
 (** Convenience: compile and run a source string (uninstrumented unless
     [instrument] is set). *)
 let run_string ?opts ?(instrument = false) ?mode ?granularity ?coherence
-    ?seed ?cm src =
+    ?seed ?cm ?plan ?resilience src =
   let tp = Codegen.Translate.compile_string ?opts src in
   let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
   let coherence = Option.value coherence ~default:instrument in
-  run ~coherence ?granularity ?seed ?cm tp
+  run ~coherence ?granularity ?seed ?cm ?plan ?resilience tp

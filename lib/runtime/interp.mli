@@ -1,7 +1,14 @@
 (** Interpreter for translated programs: executes host code natively,
     drives the {!Gpusim} device for data movement and kernels, and (when
     enabled) the {!Coherence} runtime for the paper's memory-transfer
-    verification. *)
+    verification.
+
+    With an armed {!Gpusim.Fault_plan} the interpreter is a resilient
+    runtime: injected device faults surface as typed errors and are
+    handled per the {!Resilience.policy} — bounded retry, checksum-verified
+    re-transfer, checkpointed kernel re-execution validated against the
+    sequential reference, and CPU fallback of the original sequential
+    region. *)
 
 type outcome = {
   ctx : Eval.ctx;  (** final host state *)
@@ -12,6 +19,7 @@ type outcome = {
   sites :
     (int, Codegen.Tprog.site * string * Codegen.Tprog.xdir) Hashtbl.t;
       (** executed transfer sites with their variable and direction *)
+  resilience : Resilience.stats;  (** fault-recovery accounting *)
 }
 
 val reports : outcome -> Coherence.report list
@@ -28,13 +36,19 @@ exception Stop
 (** Execute a translated program.  [coherence] enables the §III-B runtime
     (meaningful on instrumented programs); [granularity] picks whole-array
     (default, as the paper) or interval tracking; [trace] records the
-    execution timeline; [seed] drives the deterministic jitter streams. *)
+    execution timeline; [seed] drives the deterministic jitter and fault
+    streams; [plan] arms device faults; [resilience] picks the recovery
+    policy (default {!Resilience.none}: faults propagate as
+    {!Gpusim.Device.Device_fault}).
+    @raise Resilience.Unrecovered when the policy's budget is exhausted. *)
 val run :
   ?coherence:bool -> ?granularity:Coherence.granularity -> ?seed:int ->
-  ?trace:bool -> ?cm:Gpusim.Costmodel.t -> Codegen.Tprog.t -> outcome
+  ?trace:bool -> ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
+  ?resilience:Resilience.policy -> Codegen.Tprog.t -> outcome
 
 (** Compile and run a source string (instrumented when [instrument]). *)
 val run_string :
   ?opts:Codegen.Options.t -> ?instrument:bool -> ?mode:Codegen.Checkgen.mode ->
   ?granularity:Coherence.granularity -> ?coherence:bool -> ?seed:int ->
-  ?cm:Gpusim.Costmodel.t -> string -> outcome
+  ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
+  ?resilience:Resilience.policy -> string -> outcome

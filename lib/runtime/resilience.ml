@@ -1,0 +1,179 @@
+(** Recovery policies for injected device faults.
+
+    The resilient runtime (in {!Interp}) consults a policy whenever the
+    simulated device raises a typed fault: bounded retry with exponential
+    backoff for transient transfer/allocation errors, checksum-verified
+    re-transfer for silent corruption, kernel re-execution from a
+    checkpoint for launch faults and detected ECC bit flips, and graceful
+    CPU fallback — executing the original sequential region — when the
+    device is exhausted or lost.  Every successful recovery can be
+    validated against the §III-A sequential reference, so a policy never
+    converts a detected fault into a silently wrong answer. *)
+
+type policy = {
+  p_name : string;
+  max_retries : int;  (** per-operation retry budget *)
+  backoff : float;  (** base backoff delay (simulated s), doubled per retry *)
+  checksum : bool;  (** end-to-end checksum verification of transfers *)
+  reexec : bool;  (** checkpoint kernels and re-execute on fault *)
+  cpu_fallback : bool;  (** degrade to the sequential region / host mode *)
+  validate : bool;  (** compare recoveries against the sequential reference *)
+}
+
+let none =
+  { p_name = "none"; max_retries = 0; backoff = 0.0; checksum = false;
+    reexec = false; cpu_fallback = false; validate = false }
+
+let retry =
+  { p_name = "retry"; max_retries = 3; backoff = 1e-4; checksum = true;
+    reexec = true; cpu_fallback = false; validate = true }
+
+let full =
+  { p_name = "full"; max_retries = 3; backoff = 1e-4; checksum = true;
+    reexec = true; cpu_fallback = true; validate = true }
+
+let all_policies = [ none; retry; full ]
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "none" -> Ok none
+  | "retry" -> Ok retry
+  | "full" | "fallback" -> Ok full
+  | other ->
+      Error
+        (Fmt.str "unknown resilience policy '%s' (expected none|retry|full)"
+           other)
+
+(** One recovery decision taken by the runtime. *)
+type entry = {
+  l_fault : Gpusim.Fault_plan.kind;
+  l_target : string;
+  l_op : string;
+  l_action : string;  (** "retry", "re-transfer", "re-execute", ... *)
+  l_ok : bool;
+}
+
+type stats = {
+  mutable retries : int;  (** transfer/allocation retries *)
+  mutable retransfers : int;  (** checksum-mismatch re-transfers *)
+  mutable reexecs : int;  (** kernel re-executions from checkpoint *)
+  mutable fallbacks : int;  (** kernels degraded to the sequential region *)
+  mutable verified : int;  (** recoveries validated against the reference *)
+  mutable unrecovered : int;
+  mutable device_lost : bool;
+  mutable log : entry list;  (** reversed; use {!log_entries} *)
+}
+
+let fresh_stats () =
+  { retries = 0; retransfers = 0; reexecs = 0; fallbacks = 0; verified = 0;
+    unrecovered = 0; device_lost = false; log = [] }
+
+let log_entries s = List.rev s.log
+
+let record s ~fault ~action ~ok =
+  s.log <-
+    { l_fault = fault.Gpusim.Device.f_kind;
+      l_target = fault.Gpusim.Device.f_target;
+      l_op = fault.Gpusim.Device.f_op; l_action = action; l_ok = ok }
+    :: s.log
+
+(** A fault the active policy could not mask: the run's results are not
+    trustworthy past this point. *)
+exception Unrecovered of Gpusim.Device.fault_info
+
+let () =
+  Printexc.register_printer (function
+    | Unrecovered f ->
+        Some
+          (Fmt.str "unrecovered device fault: %s on '%s' during %s"
+             (Gpusim.Fault_plan.kind_name f.Gpusim.Device.f_kind)
+             f.Gpusim.Device.f_target f.Gpusim.Device.f_op)
+    | _ -> None)
+
+let recoveries s = s.retries + s.retransfers + s.reexecs + s.fallbacks
+
+(* ------------------------------ report ------------------------------ *)
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s on '%s' during %s -> %s (%s)"
+    (Gpusim.Fault_plan.kind_name e.l_fault)
+    e.l_target e.l_op e.l_action
+    (if e.l_ok then "ok" else "failed")
+
+(** Per-run fault/recovery report: seed and spec first, so a report is a
+    complete reproduction recipe. *)
+let pp_report ~seed ~plan ~policy ~metrics ppf s =
+  Fmt.pf ppf "@[<v>fault/recovery report (seed %d, policy %s)" seed
+    policy.p_name;
+  let spec = Gpusim.Fault_plan.to_spec plan in
+  Fmt.pf ppf "@,plan: %s" (if spec = "" then "(none)" else spec);
+  let events = Gpusim.Fault_plan.events plan in
+  Fmt.pf ppf "@,injected: %d fault(s)" (List.length events);
+  List.iter
+    (fun e -> Fmt.pf ppf "@,  %a" Gpusim.Fault_plan.pp_event e)
+    events;
+  Fmt.pf ppf
+    "@,recovery: %d retries, %d re-transfers, %d re-executions, %d CPU \
+     fallbacks"
+    s.retries s.retransfers s.reexecs s.fallbacks;
+  Fmt.pf ppf "@,verified: %d recovery(ies) matched the sequential reference"
+    s.verified;
+  if s.device_lost then Fmt.pf ppf "@,device lost: continued in host mode";
+  Fmt.pf ppf "@,unrecovered: %d" s.unrecovered;
+  Fmt.pf ppf "@,recovery time: %.6f s"
+    (Gpusim.Metrics.time_of metrics Gpusim.Metrics.Fault_recovery);
+  (match log_entries s with
+  | [] -> ()
+  | log ->
+      Fmt.pf ppf "@,log:";
+      List.iter (fun e -> Fmt.pf ppf "@,  %a" pp_entry e) log);
+  Fmt.pf ppf "@]"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = Fmt.str "\"%s\"" (json_escape s)
+
+let report_json ~seed ~plan ~policy ~metrics s =
+  let event e =
+    Fmt.str "{\"kind\": %s, \"target\": %s, \"op\": %s, \"time\": %.9f}"
+      (json_str (Gpusim.Fault_plan.kind_name e.Gpusim.Fault_plan.e_kind))
+      (json_str e.Gpusim.Fault_plan.e_target)
+      (json_str e.Gpusim.Fault_plan.e_op)
+      e.Gpusim.Fault_plan.e_time
+  in
+  let entry e =
+    Fmt.str
+      "{\"fault\": %s, \"target\": %s, \"op\": %s, \"action\": %s, \"ok\": \
+       %b}"
+      (json_str (Gpusim.Fault_plan.kind_name e.l_fault))
+      (json_str e.l_target) (json_str e.l_op) (json_str e.l_action) e.l_ok
+  in
+  let events = Gpusim.Fault_plan.events plan in
+  Fmt.str
+    "{\"seed\": %d,\n \"policy\": %s,\n \"plan\": %s,\n \"injected\": %d,\n \
+     \"events\": [%s],\n \"recovery\": {\"retries\": %d, \"retransfers\": \
+     %d, \"reexecs\": %d, \"fallbacks\": %d, \"verified\": %d, \
+     \"unrecovered\": %d, \"device_lost\": %b},\n \"recovery_time\": %.9f,\n \
+     \"log\": [%s]}"
+    seed
+    (json_str policy.p_name)
+    (json_str (Gpusim.Fault_plan.to_spec plan))
+    (List.length events)
+    (String.concat ", " (List.map event events))
+    s.retries s.retransfers s.reexecs s.fallbacks s.verified s.unrecovered
+    s.device_lost
+    (Gpusim.Metrics.time_of metrics Gpusim.Metrics.Fault_recovery)
+    (String.concat ",\n   " (List.map entry (log_entries s)))

@@ -145,6 +145,67 @@ let test_error_handling () =
     Alcotest.(check int) "validation error: exit 2" 2 code
   end
 
+let test_device_faults () =
+  if available then begin
+    (* recovered faulty run: exit 0 with the fault/recovery report *)
+    let code, out =
+      run_cmd "run bench:jacobi --device-faults xfer-fail --resilience retry"
+    in
+    Alcotest.(check int) "recovered run: exit 0" 0 code;
+    Alcotest.(check bool) "report printed" true
+      (contains ~needle:"fault/recovery report" out);
+    Alcotest.(check bool) "retry logged" true
+      (contains ~needle:"-> retry (ok)" out);
+    (* no policy: the raw typed fault escapes with its diagnostic code *)
+    let code, out = run_cmd "run bench:jacobi --device-faults xfer-fail" in
+    Alcotest.(check int) "raw fault: exit 1" 1 code;
+    Alcotest.(check bool) "raw fault: ACC-FAULT-002" true
+      (contains ~needle:"ACC-FAULT-002" out);
+    (* a fault the policy cannot mask: the other diagnostic code *)
+    let code, out =
+      run_cmd
+        "run bench:jacobi --device-faults device-lost --resilience retry"
+    in
+    Alcotest.(check int) "unrecovered: exit 1" 1 code;
+    Alcotest.(check bool) "unrecovered: ACC-FAULT-001" true
+      (contains ~needle:"ACC-FAULT-001" out);
+    (* malformed spec / policy: exit 2 like any malformed input *)
+    let code, _ = run_cmd "run bench:jacobi --device-faults frobnicate" in
+    Alcotest.(check int) "malformed spec: exit 2" 2 code;
+    let code, _ = run_cmd "run bench:jacobi --resilience bogus" in
+    Alcotest.(check int) "malformed policy: exit 2" 2 code;
+    (* device loss under [full]: completes in host mode, JSON report *)
+    let json = Filename.temp_file "openarc_faults" ".json" in
+    let code, out =
+      run_cmd
+        (Fmt.str
+           "run bench:jacobi --device-faults device-lost --resilience full \
+            --faults-json %s"
+           (Filename.quote json))
+    in
+    Alcotest.(check int) "host mode: exit 0" 0 code;
+    Alcotest.(check bool) "host mode noted" true
+      (contains ~needle:"host mode" out);
+    let ic = open_in_bin json in
+    let j = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove json;
+    Alcotest.(check bool) "json: device_lost" true
+      (contains ~needle:"\"device_lost\": true" j);
+    Alcotest.(check bool) "json: seed" true (contains ~needle:"\"seed\": 42" j)
+  end
+
+let test_fault_matrix () =
+  check_cmd "fault-matrix"
+    "fault-matrix --benches jacobi --kinds xfer-fail,bitflip"
+    ~expect:[ "[OK]"; "4/4 cell(s) recovered verified-correct" ];
+  if available then begin
+    let code, _ = run_cmd "fault-matrix --benches nosuchbenchmark" in
+    Alcotest.(check int) "unknown bench: exit 2" 2 code;
+    let code, _ = run_cmd "fault-matrix --benches jacobi --kinds frobnicate" in
+    Alcotest.(check int) "unknown kind: exit 2" 2 code
+  end
+
 let tests =
   [ Alcotest.test_case "benchmarks" `Quick test_benchmarks;
     Alcotest.test_case "compile" `Quick test_compile;
@@ -153,5 +214,7 @@ let tests =
     Alcotest.test_case "optimize" `Slow test_optimize;
     Alcotest.test_case "trace" `Quick test_trace;
     Alcotest.test_case "lint" `Quick test_lint;
+    Alcotest.test_case "device faults" `Quick test_device_faults;
+    Alcotest.test_case "fault matrix" `Quick test_fault_matrix;
     Alcotest.test_case "version" `Quick test_version;
     Alcotest.test_case "error handling" `Quick test_error_handling ]

@@ -1,0 +1,155 @@
+(* Fault-plan tests: spec grammar round trips, malformed specs are
+   rejected, firing respects target/probability/count budgets, and all
+   randomness is reproducible from the explicit seeded RNG. *)
+
+open Gpusim
+
+let ok_plan spec =
+  match Fault_plan.of_spec ~seed:7 spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "spec %S rejected: %s" spec e
+
+let check_error spec =
+  match Fault_plan.of_spec spec with
+  | Ok _ -> Alcotest.failf "spec %S should have been rejected" spec
+  | Error _ -> ()
+
+let test_spec_parse () =
+  let p = ok_plan "bitflip:a@0.5x3" in
+  (match p.Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check bool) "kind" true (r.Fault_plan.r_kind = Fault_plan.Bit_flip);
+      Alcotest.(check (option string)) "target" (Some "a") r.Fault_plan.r_target;
+      Alcotest.(check (float 0.)) "prob" 0.5 r.Fault_plan.r_prob;
+      Alcotest.(check int) "count" 3 r.Fault_plan.r_count
+  | rs -> Alcotest.failf "expected 1 rule, got %d" (List.length rs));
+  (* defaults: prob 1, count 1 *)
+  let p = ok_plan "device-lost" in
+  (match p.Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check (float 0.)) "default prob" 1.0 r.Fault_plan.r_prob;
+      Alcotest.(check int) "default count" 1 r.Fault_plan.r_count
+  | _ -> Alcotest.fail "one rule");
+  (* trailing count without target; unlimited budgets *)
+  (match (ok_plan "oomx3").Fault_plan.rules with
+  | [ r ] -> Alcotest.(check int) "oomx3 count" 3 r.Fault_plan.r_count
+  | _ -> Alcotest.fail "one rule");
+  (match (ok_plan "xfer-fail:ax*").Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check (option string)) "target" (Some "a") r.Fault_plan.r_target;
+      Alcotest.(check int) "unlimited" (-1) r.Fault_plan.r_count
+  | _ -> Alcotest.fail "one rule");
+  (* the 'x' of xfer-* kinds is not a count separator *)
+  (match (ok_plan "xfer-corrupt").Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check bool) "kind survives leading x" true
+        (r.Fault_plan.r_kind = Fault_plan.Xfer_corrupt)
+  | _ -> Alcotest.fail "one rule");
+  let p = ok_plan " bitflip , launch-fail:main_kernel0 ,oom@0.25x* " in
+  Alcotest.(check int) "three rules" 3 (List.length p.Fault_plan.rules)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      let p = ok_plan spec in
+      Alcotest.(check string) (Fmt.str "roundtrip %S" spec) spec
+        (Fault_plan.to_spec p))
+    [ "bitflip:a@0.5x3"; "device-lost"; "oomx3"; "xfer-fail:ax*";
+      "launch-timeout:main_kernel0"; "bitflip,xfer-partial@0.25" ]
+
+let test_spec_malformed () =
+  List.iter check_error
+    [ ""; "bogus"; "bitflip@2"; "bitflip@0"; "bitflip@-1"; "bitflipx0";
+      "bitflip@abc"; "frobnicate:a@0.5"; " , " ]
+
+let fire p k ~target =
+  Fault_plan.fire p k ~target ~op:"test" ~time:0.0
+
+let test_fire_budget () =
+  let p = Fault_plan.create ~seed:3 [ Fault_plan.mk_rule ~count:2 Fault_plan.Oom ] in
+  Alcotest.(check bool) "1st" true (fire p Fault_plan.Oom ~target:"a");
+  Alcotest.(check bool) "2nd" true (fire p Fault_plan.Oom ~target:"b");
+  Alcotest.(check bool) "budget exhausted" false (fire p Fault_plan.Oom ~target:"c");
+  Alcotest.(check int) "two events" 2 (Fault_plan.injected p);
+  (* unlimited budget never exhausts *)
+  let p = Fault_plan.create [ Fault_plan.mk_rule ~count:(-1) Fault_plan.Oom ] in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "unlimited" true (fire p Fault_plan.Oom ~target:"a")
+  done
+
+let test_fire_target () =
+  let p =
+    Fault_plan.create [ Fault_plan.mk_rule ~target:"a" ~count:(-1) Fault_plan.Xfer_fail ]
+  in
+  Alcotest.(check bool) "other target" false (fire p Fault_plan.Xfer_fail ~target:"b");
+  Alcotest.(check bool) "other kind" false (fire p Fault_plan.Oom ~target:"a");
+  Alcotest.(check bool) "match" true (fire p Fault_plan.Xfer_fail ~target:"a");
+  let w =
+    Fault_plan.create [ Fault_plan.mk_rule ~target:"*" ~count:(-1) Fault_plan.Xfer_fail ]
+  in
+  Alcotest.(check bool) "wildcard" true (fire w Fault_plan.Xfer_fail ~target:"zz");
+  (* the lost flag latches on device loss *)
+  let l = Fault_plan.create [ Fault_plan.mk_rule Fault_plan.Device_lost ] in
+  Alcotest.(check bool) "not lost yet" false l.Fault_plan.lost;
+  ignore (fire l Fault_plan.Device_lost ~target:"gpu");
+  Alcotest.(check bool) "lost latched" true l.Fault_plan.lost
+
+let test_fire_deterministic () =
+  let mk () =
+    Fault_plan.create ~seed:11
+      [ Fault_plan.mk_rule ~prob:0.5 ~count:(-1) Fault_plan.Bit_flip ]
+  in
+  let draw p = List.init 50 (fun _ -> fire p Fault_plan.Bit_flip ~target:"a") in
+  let a = draw (mk ()) and b = draw (mk ()) in
+  Alcotest.(check (list bool)) "same seed, same decisions" a b;
+  Alcotest.(check bool) "both outcomes occur" true
+    (List.mem true a && List.mem false a);
+  let c =
+    draw
+      (Fault_plan.create ~seed:12
+         [ Fault_plan.mk_rule ~prob:0.5 ~count:(-1) Fault_plan.Bit_flip ])
+  in
+  Alcotest.(check bool) "different seed diverges" true (a <> c)
+
+(* ------------------------------- Rng ------------------------------- *)
+
+let test_rng_explicit_state () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let seq r = List.init 20 (fun _ -> Rng.next r) in
+  Alcotest.(check (list int)) "same seed reproduces" (seq a) (seq b);
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seed diverges" true (seq (Rng.create 42) <> seq c);
+  (* bounds *)
+  let r = Rng.create 7 in
+  for _ = 1 to 100 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let n = Rng.noise r in
+    Alcotest.(check bool) "noise in [-1,1]" true (n >= -1.0 && n <= 1.0);
+    let i = Rng.int r 10 in
+    Alcotest.(check bool) "int in [0,10)" true (i >= 0 && i < 10)
+  done
+
+let test_rng_split_independent () =
+  let base = Rng.create 42 in
+  let forked = Rng.split base in
+  (* The fork is itself deterministic... *)
+  let forked' = Rng.split (Rng.create 42) in
+  Alcotest.(check int) "split deterministic" (Rng.next forked) (Rng.next forked');
+  (* ...and decoupled from the parent stream. *)
+  let base' = Rng.create 42 in
+  let s1 = List.init 10 (fun _ -> Rng.next base') in
+  let b2 = Rng.create 42 in
+  ignore (Rng.next (Rng.split b2));
+  let s2 = List.init 10 (fun _ -> Rng.next b2) in
+  Alcotest.(check (list int)) "parent unaffected by fork draws" s1 s2
+
+let tests =
+  [ Alcotest.test_case "spec parse" `Quick test_spec_parse;
+    Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec malformed" `Quick test_spec_malformed;
+    Alcotest.test_case "fire budget" `Quick test_fire_budget;
+    Alcotest.test_case "fire target" `Quick test_fire_target;
+    Alcotest.test_case "fire deterministic" `Quick test_fire_deterministic;
+    Alcotest.test_case "rng explicit state" `Quick test_rng_explicit_state;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent ]

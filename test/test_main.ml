@@ -22,5 +22,7 @@ let () =
       ("inline", Test_inline.tests);
       ("features", Test_features.tests);
       ("suite", Test_suite.tests);
+      ("fault_plan", Test_fault_plan.tests);
+      ("resilience", Test_resilience.tests);
       ("lint", Test_lint.tests);
       ("cli", Test_cli.tests) ]

@@ -1,0 +1,320 @@
+(* Resilient-runtime tests: injected device faults surface as typed
+   errors under the [none] policy; [retry] recovers transients by
+   retry / checksum re-transfer / checkpointed re-execution with every
+   recovery validated against the sequential reference; [full]
+   additionally degrades to CPU fallback (host mode after device loss) so
+   no fault ever yields a silently wrong result.  Coherence states after
+   retried transfers and re-executed kernels must match a fault-free run. *)
+
+open Accrt
+
+let plan spec =
+  match Gpusim.Fault_plan.of_spec ~seed:42 spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad spec %S: %s" spec e
+
+let run ?instrument ?resilience ?spec src =
+  let plan = Option.map plan spec in
+  Interp.run_string ?instrument ?plan ?resilience src
+
+let arr o name i = Gpusim.Buf.get_float (Interp.host_array o name) i
+
+let stats (o : Interp.outcome) = o.Interp.resilience
+
+(* One kernel: b[i] = 2 a[i] + 1. *)
+let simple_src =
+  "int main() { int n = 64; float a[n]; float b[n];\n\
+   for (int i = 0; i < n; i++) { a[i] = float(i); }\n\
+   #pragma acc data copyin(a) copyout(b)\n\
+   {\n\
+   #pragma acc kernels loop\n\
+   for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0 + 1.0; }\n\
+   }\n\
+   return 0; }"
+
+(* Two chained kernels: b = a + 1 on the device stays device-fresh when
+   the device dies before the second kernel. *)
+let chained_src =
+  "int main() { int n = 32; float a[n]; float b[n]; float c[n];\n\
+   for (int i = 0; i < n; i++) { a[i] = float(i); }\n\
+   #pragma acc data copyin(a) create(b) copyout(c)\n\
+   {\n\
+   #pragma acc kernels loop\n\
+   for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }\n\
+   #pragma acc kernels loop\n\
+   for (int i = 0; i < n; i++) { c[i] = b[i] * 2.0; }\n\
+   }\n\
+   return 0; }"
+
+let check_simple o =
+  for i = 0 to 63 do
+    Alcotest.(check (float 1e-9))
+      (Fmt.str "b[%d]" i)
+      ((2.0 *. float_of_int i) +. 1.0)
+      (arr o "b" i)
+  done
+
+let check_chained o =
+  for i = 0 to 31 do
+    Alcotest.(check (float 1e-9))
+      (Fmt.str "c[%d]" i)
+      (2.0 *. (float_of_int i +. 1.0))
+      (arr o "c" i)
+  done
+
+(* -------------------------- typed errors --------------------------- *)
+
+let test_none_policy_propagates () =
+  let raises spec expected_kind =
+    match run ~spec simple_src with
+    | _ -> Alcotest.failf "%s: expected a device fault" spec
+    | exception Gpusim.Device.Device_fault f ->
+        Alcotest.(check string) (spec ^ ": kind") expected_kind
+          (Gpusim.Fault_plan.kind_name f.Gpusim.Device.f_kind)
+  in
+  raises "xfer-fail" "xfer-fail";
+  raises "xfer-partial" "xfer-partial";
+  raises "launch-fail" "launch-fail";
+  raises "launch-timeout" "launch-timeout";
+  raises "oom" "oom";
+  raises "device-lost" "device-lost";
+  (* ECC-detected bit flips poison the launch under [none] too *)
+  raises "bitflip" "bitflip"
+
+let test_fault_free_run_unchanged () =
+  (* An armed policy without faults must not change results. *)
+  let o = run ~resilience:Resilience.retry simple_src in
+  check_simple o;
+  Alcotest.(check int) "no recoveries" 0 (Resilience.recoveries (stats o));
+  Alcotest.(check int) "no faults" 0
+    (Interp.metrics o).Gpusim.Metrics.faults_injected
+
+(* ------------------------- retry recovery -------------------------- *)
+
+let test_retry_transfer () =
+  let o = run ~resilience:Resilience.retry ~spec:"xfer-fail" simple_src in
+  check_simple o;
+  let st = stats o in
+  Alcotest.(check bool) "retried" true (st.Resilience.retries >= 1);
+  Alcotest.(check int) "recovered" 0 st.Resilience.unrecovered;
+  Alcotest.(check bool) "recovery time charged" true
+    (Gpusim.Metrics.time_of (Interp.metrics o) Gpusim.Metrics.Fault_recovery
+     > 0.0)
+
+let test_retry_partial_transfer () =
+  let o = run ~resilience:Resilience.retry ~spec:"xfer-partial:a" simple_src in
+  check_simple o;
+  Alcotest.(check bool) "retried" true ((stats o).Resilience.retries >= 1)
+
+let test_checksum_retransfer () =
+  (* Silent corruption: only the end-to-end checksum can see it. *)
+  let o = run ~resilience:Resilience.retry ~spec:"xfer-corrupt:a" simple_src in
+  check_simple o;
+  Alcotest.(check bool) "re-transferred" true
+    ((stats o).Resilience.retransfers >= 1)
+
+let test_bitflip_reexecution () =
+  let o = run ~resilience:Resilience.retry ~spec:"bitflip:b" simple_src in
+  check_simple o;
+  let st = stats o in
+  Alcotest.(check bool) "re-executed" true (st.Resilience.reexecs >= 1);
+  Alcotest.(check bool) "recovery verified" true (st.Resilience.verified >= 1)
+
+let test_launch_reexecution () =
+  List.iter
+    (fun spec ->
+      let o = run ~resilience:Resilience.retry ~spec simple_src in
+      check_simple o;
+      let st = stats o in
+      Alcotest.(check bool) (spec ^ ": re-executed") true
+        (st.Resilience.reexecs >= 1);
+      Alcotest.(check bool) (spec ^ ": verified") true
+        (st.Resilience.verified >= 1))
+    [ "launch-fail"; "launch-timeout" ]
+
+let test_oom_retry () =
+  let o = run ~resilience:Resilience.retry ~spec:"oom" simple_src in
+  check_simple o;
+  Alcotest.(check bool) "alloc retried" true ((stats o).Resilience.retries >= 1)
+
+let test_retry_exhaustion_is_loud () =
+  (* A persistent fault exhausts the budget and raises — never returns a
+     wrong answer silently. *)
+  match run ~resilience:Resilience.retry ~spec:"xfer-fail:ax*" simple_src with
+  | _ -> Alcotest.fail "expected Unrecovered"
+  | exception Resilience.Unrecovered f ->
+      Alcotest.(check string) "target" "a" f.Gpusim.Device.f_target
+
+let test_device_lost_without_fallback () =
+  match run ~resilience:Resilience.retry ~spec:"device-lost" simple_src with
+  | _ -> Alcotest.fail "expected Unrecovered"
+  | exception Resilience.Unrecovered f ->
+      Alcotest.(check string) "kind" "device-lost"
+        (Gpusim.Fault_plan.kind_name f.Gpusim.Device.f_kind)
+
+(* --------------------------- CPU fallback -------------------------- *)
+
+let test_full_oom_demotes_to_host () =
+  (* Allocation never succeeds: the arrays stay host-resident and every
+     kernel runs as its sequential region. *)
+  let o = run ~resilience:Resilience.full ~spec:"oomx*" simple_src in
+  check_simple o;
+  let st = stats o in
+  Alcotest.(check bool) "fell back" true (st.Resilience.fallbacks >= 1);
+  Alcotest.(check int) "no unrecovered" 0 st.Resilience.unrecovered
+
+let test_full_persistent_transfer_demotes () =
+  let o = run ~resilience:Resilience.full ~spec:"xfer-fail:ax*" simple_src in
+  check_simple o;
+  Alcotest.(check int) "no unrecovered" 0 (stats o).Resilience.unrecovered
+
+let test_device_lost_host_mode () =
+  (* Lost at the very first opportunity: the whole program runs in host
+     mode and still produces correct outputs. *)
+  let o = run ~resilience:Resilience.full ~spec:"device-lost" simple_src in
+  check_simple o;
+  let st = stats o in
+  Alcotest.(check bool) "device lost" true st.Resilience.device_lost;
+  Alcotest.(check bool) "kernels fell back" true (st.Resilience.fallbacks >= 1);
+  Alcotest.(check int) "no unrecovered" 0 st.Resilience.unrecovered
+
+let test_device_lost_mid_run_restores_mirrors () =
+  (* The device dies at the second kernel's launch; b's freshest copy
+     lives only in device memory and must be recovered from the
+     resilience mirror for the CPU fallback to see it. *)
+  let o =
+    run ~resilience:Resilience.full ~spec:"device-lost:main_kernel1"
+      chained_src
+  in
+  check_chained o;
+  let st = stats o in
+  Alcotest.(check bool) "device lost" true st.Resilience.device_lost;
+  Alcotest.(check int) "no unrecovered" 0 st.Resilience.unrecovered
+
+let test_acc_num_devices_after_loss () =
+  (* Programs can poll device health through the standard routine. *)
+  let device = Gpusim.Device.create () in
+  let lost =
+    Gpusim.Device.create
+      ~plan:(Gpusim.Fault_plan.create [ Gpusim.Fault_plan.mk_rule Gpusim.Fault_plan.Device_lost ])
+      ()
+  in
+  (try Gpusim.Device.alloc lost "a" ~like:(Gpusim.Buf.create_float 4)
+   with Gpusim.Device.Device_fault _ -> ());
+  Alcotest.(check bool) "alive" true (Gpusim.Device.alive device);
+  Alcotest.(check bool) "lost" false (Gpusim.Device.alive lost)
+
+(* -------------------------- determinism ---------------------------- *)
+
+let test_reports_reproducible () =
+  let report src spec =
+    let p = plan spec in
+    let o = Interp.run_string ~plan:p ~resilience:Resilience.full ~seed:42 src in
+    Resilience.report_json ~seed:42 ~plan:p ~policy:Resilience.full
+      ~metrics:(Interp.metrics o) (stats o)
+  in
+  List.iter
+    (fun spec ->
+      Alcotest.(check string)
+        (Fmt.str "same seed, byte-identical report (%s)" spec)
+        (report simple_src spec) (report simple_src spec))
+    [ "xfer-fail"; "bitflip:b@0.5x*"; "device-lost:main_kernel0";
+      "xfer-corrupt@0.5x*,launch-fail" ]
+
+(* ----------------- coherence-state equivalence --------------------- *)
+
+(* After a retried transfer or a re-executed kernel, the §III-B coherence
+   automaton must be exactly where a fault-free run leaves it: hooks fire
+   once per logical operation, however many physical attempts recovery
+   takes. *)
+let coherence_fingerprint (o : Interp.outcome) =
+  let states =
+    Hashtbl.fold
+      (fun v (s : Coherence.var_state) acc ->
+        (v,
+         Codegen.Tprog.status_name s.Coherence.cpu.Coherence.status,
+         Codegen.Tprog.status_name s.Coherence.gpu.Coherence.status)
+        :: acc)
+      o.Interp.coherence.Coherence.states []
+    |> List.sort compare
+  in
+  (states, Coherence.summarize (Interp.reports o))
+
+let test_coherence_equivalence () =
+  let specs =
+    [ "xfer-fail"; "xfer-partial"; "xfer-corrupt"; "bitflip";
+      "launch-fail"; "launch-timeout"; "oom";
+      "xfer-failx2,launch-fail,bitflip@0.5x2" ]
+  in
+  List.iter
+    (fun (b : Suite.Bench_def.t) ->
+      let baseline =
+        Interp.run_string ~instrument:true ~seed:42 b.Suite.Bench_def.source
+      in
+      let want = coherence_fingerprint baseline in
+      List.iter
+        (fun spec ->
+          let faulty =
+            Interp.run_string ~instrument:true ~seed:42 ~plan:(plan spec)
+              ~resilience:Resilience.retry b.Suite.Bench_def.source
+          in
+          let got = coherence_fingerprint faulty in
+          Alcotest.(check bool)
+            (Fmt.str "%s + %s: coherence states match fault-free run"
+               b.Suite.Bench_def.name spec)
+            true (want = got))
+        specs)
+    (List.filter_map Suite.Registry.find [ "jacobi"; "hotspot"; "nw" ])
+
+(* ------------------------- fault matrix ---------------------------- *)
+
+let test_fault_matrix_small () =
+  let subjects =
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun (b : Suite.Bench_def.t) ->
+            { Openarc_core.Fault_matrix.s_name = b.Suite.Bench_def.name;
+              s_source = b.Suite.Bench_def.source;
+              s_outputs = b.Suite.Bench_def.outputs })
+          (Suite.Registry.find n))
+      [ "jacobi"; "ep" ]
+  in
+  let m = Openarc_core.Fault_matrix.run ~seed:42 subjects in
+  Alcotest.(check bool) "every cell recovers verified-correct" true
+    (Openarc_core.Fault_matrix.all_ok m);
+  (* transient kinds sweep two policies, device-lost only [full] *)
+  Alcotest.(check int) "cell count" (2 * ((7 * 2) + 1))
+    (List.length m.Openarc_core.Fault_matrix.cells)
+
+let tests =
+  [ Alcotest.test_case "none policy propagates" `Quick
+      test_none_policy_propagates;
+    Alcotest.test_case "fault-free unchanged" `Quick
+      test_fault_free_run_unchanged;
+    Alcotest.test_case "retry transfer" `Quick test_retry_transfer;
+    Alcotest.test_case "retry partial transfer" `Quick
+      test_retry_partial_transfer;
+    Alcotest.test_case "checksum re-transfer" `Quick test_checksum_retransfer;
+    Alcotest.test_case "bitflip re-execution" `Quick test_bitflip_reexecution;
+    Alcotest.test_case "launch re-execution" `Quick test_launch_reexecution;
+    Alcotest.test_case "oom retry" `Quick test_oom_retry;
+    Alcotest.test_case "retry exhaustion is loud" `Quick
+      test_retry_exhaustion_is_loud;
+    Alcotest.test_case "device lost without fallback" `Quick
+      test_device_lost_without_fallback;
+    Alcotest.test_case "oom demotes to host" `Quick
+      test_full_oom_demotes_to_host;
+    Alcotest.test_case "persistent transfer demotes" `Quick
+      test_full_persistent_transfer_demotes;
+    Alcotest.test_case "device lost -> host mode" `Quick
+      test_device_lost_host_mode;
+    Alcotest.test_case "device lost mid-run" `Quick
+      test_device_lost_mid_run_restores_mirrors;
+    Alcotest.test_case "acc_get_num_devices" `Quick
+      test_acc_num_devices_after_loss;
+    Alcotest.test_case "reports reproducible" `Quick
+      test_reports_reproducible;
+    Alcotest.test_case "coherence equivalence" `Quick
+      test_coherence_equivalence;
+    Alcotest.test_case "fault matrix (small)" `Quick test_fault_matrix_small ]
