@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke check bench clean
 
 all: build
 
@@ -28,7 +28,13 @@ fault-matrix: build
 	$(DUNE) exec --no-build bin/openarc.exe -- \
 	  fault-matrix --benches jacobi,ep,srad --seed 42
 
-check: build test lint fault-matrix
+# Profiler byte-stability: regenerate a 3-benchmark subset of the
+# per-directive profile and require it to match the committed
+# BENCH_profile.json verbatim (the full sweep is `bench/main.exe profile`).
+profile-smoke: build
+	$(DUNE) exec --no-build bench/main.exe profile-smoke
+
+check: build test lint fault-matrix profile-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

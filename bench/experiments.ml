@@ -505,3 +505,99 @@ let run_all ppf =
   run_granularity ppf; Fmt.pf ppf "@.";
   run_sweep ppf; Fmt.pf ppf "@.";
   run_faults ppf
+
+(* Per-directive profile sweep: the observability counterpart of Figure
+   3/4.  Each benchmark runs once (seed 42, source variant, coherence
+   off) under a span trace; the per-directive cost report must conserve
+   the metrics total bit-exactly, and the canonical JSON is byte-stable,
+   so the committed BENCH_profile.json doubles as a regression baseline. *)
+
+let profile_path = "BENCH_profile.json"
+
+let profile_categories =
+  List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
+
+let profile_entry (b : Bench_def.t) =
+  let prog = parse b in
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  let tr = Obs.Trace.create () in
+  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~obs:tr tp in
+  let total = Gpusim.Metrics.total_time (Accrt.Interp.metrics o) in
+  let p = Obs.Profile.of_trace ~categories:profile_categories tr in
+  if not (Obs.Profile.conserves p ~total) then
+    Fmt.failwith "profile conservation violated for %s" b.Bench_def.name;
+  ( b.Bench_def.name,
+    total,
+    String.trim (Obs.Profile.to_json ~name:b.Bench_def.name ~seed:42 p) )
+
+let profile_doc entries =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    "{\n\"schema\": \"openarc.obs.bench-profile\",\n\"version\": 1,\n\
+     \"seed\": 42,\n\"benchmarks\": [\n";
+  List.iteri
+    (fun i (_, _, e) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf e)
+    entries;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let run_profile ?(json = profile_path) ppf =
+  Fmt.pf ppf "Per-directive profile sweep (seed 42, source variant)@.";
+  hr ppf;
+  let entries = List.map profile_entry benchmarks in
+  List.iter
+    (fun (name, total, _) ->
+      Fmt.pf ppf "  %-12s %12.9f s  conservation exact@." name total)
+    entries;
+  let oc = open_out json in
+  output_string oc (profile_doc entries);
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "profile baseline written to %s@." json
+
+(* Byte-stability gate for CI: regenerate a 3-benchmark subset and require
+   each entry to appear verbatim in the committed baseline. *)
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let run_profile_smoke ppf =
+  let committed =
+    match open_in_bin profile_path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith "missing %s (run 'bench/main.exe profile' and commit \
+                      the result)" profile_path
+  in
+  let names = [ "JACOBI"; "EP"; "SRAD" ] in
+  let ok =
+    List.for_all
+      (fun n ->
+        let b = List.find (fun b -> b.Bench_def.name = n) benchmarks in
+        let _, total, entry = profile_entry b in
+        if contains ~needle:entry committed then begin
+          Fmt.pf ppf "  %-12s %12.9f s  matches baseline@." n total;
+          true
+        end
+        else begin
+          Fmt.pf ppf "  %-12s MISMATCH against %s@." n profile_path;
+          false
+        end)
+      names
+  in
+  if ok then Fmt.pf ppf "profile smoke: %d/%d byte-stable@."
+      (List.length names) (List.length names)
+  else
+    Fmt.failwith
+      "profile smoke failed: regenerate with 'bench/main.exe profile' and \
+       inspect the diff"

@@ -2,7 +2,7 @@
     (Table I-III, Figures 1, 3, 4, plus the design ablations), then runs a
     Bechamel micro-benchmark suite over the compiler pipeline stages.
 
-    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|micro|all]]
+    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|micro|all]]
     With no argument everything runs. *)
 
 let ppf = Fmt.stdout
@@ -80,6 +80,12 @@ let () =
   | "granularity" -> Experiments.run_granularity ppf
   | "sweep" -> Experiments.run_sweep ppf
   | "faults" -> Experiments.run_faults ~json:"BENCH_faults.json" ppf
+  | "profile" -> Experiments.run_profile ppf
+  | "profile-smoke" -> (
+      try Experiments.run_profile_smoke ppf
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
   | "micro" -> run_micro ()
   | "all" ->
       Experiments.run_all ppf;
@@ -87,7 +93,7 @@ let () =
   | other ->
       Fmt.epr
         "unknown experiment '%s' (expected \
-         table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|micro|all)@."
+         table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|micro|all)@."
         other;
       exit 1);
   Fmt.pf ppf "@."

@@ -4,6 +4,8 @@
     - [compile]  : translate and show the generated CUDA-style program
     - [run]      : execute on the simulated GPU, with optional coherence
                    profiling (memory-transfer verification, §III-B)
+    - [profile]  : span-based tracing with per-directive cost attribution
+                   (Figure 3/4 breakdown), coherence audit log, flamegraph
     - [verify]   : kernel verification against the sequential reference
                    (§III-A), with OpenARC-style [verificationOptions]
     - [optimize] : the interactive optimization loop of Figure 2, driven by
@@ -59,12 +61,26 @@ let fault_arg =
 let opts_of_fault fault =
   if fault then Codegen.Options.fault_injection else Codegen.Options.default
 
-let prepare ~fault src =
-  let prog = Minic.Parser.parse_string ~file:"<input>" src in
+let prepare ?obs ~fault src =
+  let phase name f =
+    match obs with
+    | None -> f ()
+    | Some tr -> Obs.Trace.with_span tr Obs.Trace.Phase name f
+  in
+  let prog =
+    phase "parse" (fun () -> Minic.Parser.parse_string ~file:"<input>" src)
+  in
   let prog =
     if fault then Openarc_core.Faults.strip_parallelism_clauses prog else prog
   in
-  (prog, Openarc_core.Compiler.compile_program ~opts:(opts_of_fault fault) prog)
+  ( prog,
+    Openarc_core.Compiler.compile_program ~opts:(opts_of_fault fault) ?obs
+      prog )
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 (* Exit codes: 0 success, 1 runtime/simulation failure (or lint findings),
    2 malformed input (lexical/syntax/type errors, invalid OpenACC). *)
@@ -267,6 +283,151 @@ let run_cmd =
     Term.(const run $ file_arg $ fault_arg $ instrument $ trace $ fine
           $ device_faults $ resilience $ seed_arg $ faults_json)
 
+(* ------------------------------ profile ---------------------------- *)
+
+let category_names =
+  List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
+
+let audit_status_of = function
+  | Codegen.Tprog.Not_stale -> Obs.Audit.Notstale
+  | Codegen.Tprog.May_stale -> Obs.Audit.Maystale
+  | Codegen.Tprog.Stale -> Obs.Audit.Stale
+
+let tprog_device_of = function
+  | Obs.Audit.Cpu -> Codegen.Tprog.Cpu
+  | Obs.Audit.Gpu -> Codegen.Tprog.Gpu
+
+(* The audit log must replay, from the all-fresh initial state, to exactly
+   the final per-copy statuses the runtime reports. *)
+let audit_replays audit (o : Accrt.Interp.outcome) =
+  List.for_all
+    (fun ((var, dev), st) ->
+      audit_status_of
+        (Accrt.Coherence.get o.Accrt.Interp.coherence var
+           (tprog_device_of dev))
+      = st)
+    (Obs.Audit.final_states audit)
+
+let profile_cmd =
+  let instrument =
+    Arg.(value & flag
+         & info [ "instrument" ]
+             ~doc:"Profile with the coherence runtime enabled (populates \
+                   the audit log and the Check-Overhead category)")
+  in
+  let fine =
+    Arg.(value & flag
+         & info [ "fine-grained" ]
+             ~doc:"Track coherence per element range instead of per whole \
+                   array")
+  in
+  let device_faults =
+    Arg.(value
+         & opt (some string) None
+         & info [ "device-faults" ] ~docv:"SPEC"
+             ~doc:"Inject device faults while profiling (recovery work \
+                   shows up as Recovery spans and Fault-Recovery time)")
+  in
+  let resilience =
+    Arg.(value & opt string "none"
+         & info [ "resilience" ] ~docv:"POLICY"
+             ~doc:"Recovery policy: none, retry or full")
+  in
+  let json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the per-directive cost report as canonical JSON")
+  in
+  let flame =
+    Arg.(value
+         & opt (some string) None
+         & info [ "flame" ] ~docv:"FILE"
+             ~doc:"Write a folded-stack flamegraph (flamegraph.pl / \
+                   speedscope input)")
+  in
+  let events =
+    Arg.(value
+         & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"Write the raw span/charge/audit event stream as JSONL \
+                   (schema openarc.obs v1)")
+  in
+  let trace =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome-trace JSON timeline of the device events")
+  in
+  let run file fault instrument fine device_faults resilience seed json
+      flame events trace =
+    handle_code (fun () ->
+        let plan = plan_of_spec ~seed device_faults in
+        let policy = policy_of_name resilience in
+        let tr = Obs.Trace.create () in
+        let audit = Obs.Audit.create () in
+        let session =
+          Obs.Trace.start_span tr Obs.Trace.Session ("profile " ^ file) ()
+        in
+        let _, c = prepare ~obs:tr ~fault (load_source file) in
+        let tp = c.Openarc_core.Compiler.tprog in
+        let tp =
+          if instrument then Codegen.Checkgen.instrument tp else tp
+        in
+        let granularity =
+          if fine then Accrt.Coherence.Fine else Accrt.Coherence.Coarse
+        in
+        let o =
+          Accrt.Interp.run ~coherence:instrument ~granularity ~seed
+            ~trace:true ?plan ~resilience:policy ~obs:tr ~audit tp
+        in
+        Obs.Trace.end_span tr session;
+        let metrics = Accrt.Interp.metrics o in
+        let p = Obs.Profile.of_trace ~categories:category_names tr in
+        Fmt.pr "per-directive cost breakdown for %s (seed %d):@.@." file seed;
+        Fmt.pr "%a@." Obs.Profile.pp p;
+        let total = Gpusim.Metrics.total_time metrics in
+        let conserved = Obs.Profile.conserves p ~total in
+        Fmt.pr "conservation: %s (profiled %.9f s, metrics %.9f s)@."
+          (if conserved then "exact" else "FAILED")
+          p.Obs.Profile.p_total total;
+        let replayed = audit_replays audit o in
+        Fmt.pr "audit: %d coherence transition(s), replay %s@."
+          (Obs.Audit.length audit)
+          (if replayed then "consistent" else "INCONSISTENT");
+        (match json with
+        | Some path ->
+            write_file path (Obs.Profile.to_json ~name:file ~seed p);
+            Fmt.pr "profile written to %s@." path
+        | None -> ());
+        (match flame with
+        | Some path ->
+            write_file path (Obs.Profile.folded tr);
+            Fmt.pr "flamegraph stacks written to %s@." path
+        | None -> ());
+        (match events with
+        | Some path ->
+            write_file path (Obs.Trace.to_jsonl tr ^ Obs.Audit.to_jsonl audit);
+            Fmt.pr "event stream written to %s@." path
+        | None -> ());
+        (match trace with
+        | Some path ->
+            write_file path
+              (Gpusim.Timeline.to_chrome_json
+                 o.Accrt.Interp.device.Gpusim.Device.timeline);
+            Fmt.pr "timeline written to %s@." path
+        | None -> ());
+        if conserved && replayed then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a program: span-based trace, per-directive cost \
+             attribution (the paper's Figure 3/4 breakdown), coherence \
+             audit log, and flamegraph export")
+    Term.(const run $ file_arg $ fault_arg $ instrument $ fine
+          $ device_faults $ resilience $ seed_arg $ json $ flame $ events
+          $ trace)
+
 (* ------------------------------ verify ----------------------------- *)
 
 let verify_cmd =
@@ -287,9 +448,26 @@ let verify_cmd =
              ~doc:"Print the memory-transfer-demoted source for KERNEL \
                    (the paper's Listing 2) instead of verifying")
   in
-  let run file fault options show_transformed =
+  let trace =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome-trace JSON timeline of the verification \
+                   run's device events")
+  in
+  let events =
+    Arg.(value
+         & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"Write the verification span/charge stream as JSONL \
+                   (schema openarc.obs v1)")
+  in
+  let run file fault options show_transformed trace events =
     handle (fun () ->
-        let prog, c = prepare ~fault (load_source file) in
+        let obs =
+          if events <> None then Some (Obs.Trace.create ()) else None
+        in
+        let prog, c = prepare ?obs ~fault (load_source file) in
         match show_transformed with
         | Some kname ->
             Fmt.pr "%s@."
@@ -306,7 +484,7 @@ let verify_cmd =
             in
             let v =
               Openarc_core.Kernel_verify.verify ~opts:(opts_of_fault fault)
-                ~config prog
+                ~config ?obs ~trace:(trace <> None) prog
             in
             List.iter
               (fun r -> Fmt.pr "%a@." Openarc_core.Kernel_verify.pp_report r)
@@ -314,12 +492,25 @@ let verify_cmd =
             let bad =
               List.length (Openarc_core.Kernel_verify.detected_errors v)
             in
-            Fmt.pr "@.%d kernel(s) with detected errors@." bad)
+            Fmt.pr "@.%d kernel(s) with detected errors@." bad;
+            (match trace with
+            | Some path ->
+                write_file path
+                  (Gpusim.Timeline.to_chrome_json
+                     v.Openarc_core.Kernel_verify.timeline);
+                Fmt.pr "timeline written to %s@." path
+            | None -> ());
+            (match (events, obs) with
+            | Some path, Some tr ->
+                write_file path (Obs.Trace.to_jsonl tr);
+                Fmt.pr "event stream written to %s@." path
+            | _ -> ()))
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify translated kernels against the sequential reference")
-    Term.(const run $ file_arg $ fault_arg $ options $ show_transformed)
+    Term.(const run $ file_arg $ fault_arg $ options $ show_transformed
+          $ trace $ events)
 
 (* ----------------------------- optimize ---------------------------- *)
 
@@ -459,7 +650,14 @@ let fault_matrix_cmd =
     String.split_on_char ',' s |> List.map String.trim
     |> List.filter (fun x -> x <> "")
   in
-  let run benches kinds seed json =
+  let trace =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a merged Chrome trace of every cell's device \
+                   timeline (one process per bench/fault/policy cell)")
+  in
+  let run benches kinds seed json trace =
     handle_code (fun () ->
         let subjects =
           (match benches with
@@ -487,15 +685,20 @@ let fault_matrix_cmd =
                 (split s))
             kinds
         in
-        let m = Openarc_core.Fault_matrix.run ~seed ?kinds subjects in
+        let m =
+          Openarc_core.Fault_matrix.run ~seed ?kinds ~trace:(trace <> None)
+            subjects
+        in
         Fmt.pr "%a@." Openarc_core.Fault_matrix.pp m;
         (match json with
         | Some path ->
-            let oc = open_out path in
-            output_string oc (Openarc_core.Fault_matrix.to_json m);
-            output_char oc '\n';
-            close_out oc;
+            write_file path (Openarc_core.Fault_matrix.to_json m ^ "\n");
             Fmt.pr "matrix written to %s@." path
+        | None -> ());
+        (match trace with
+        | Some path ->
+            write_file path (Openarc_core.Fault_matrix.trace_json m);
+            Fmt.pr "merged timeline written to %s@." path
         | None -> ());
         if Openarc_core.Fault_matrix.all_ok m then 0 else 1)
   in
@@ -504,7 +707,7 @@ let fault_matrix_cmd =
        ~doc:"Sweep fault kinds x recovery policies over the benchmark \
              suite, asserting every combination recovers verified-correct \
              or degrades to CPU fallback")
-    Term.(const run $ benches $ kinds $ seed_arg $ json)
+    Term.(const run $ benches $ kinds $ seed_arg $ json $ trace)
 
 (* ---------------------------- benchmarks --------------------------- *)
 
@@ -527,5 +730,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; run_cmd; verify_cmd; optimize_cmd; lint_cmd;
-            fault_matrix_cmd; benchmarks_cmd ]))
+          [ compile_cmd; run_cmd; profile_cmd; verify_cmd; optimize_cmd;
+            lint_cmd; fault_matrix_cmd; benchmarks_cmd ]))

@@ -8,12 +8,26 @@ type compiled = {
   tprog : Codegen.Tprog.t;  (** uninstrumented translation *)
 }
 
+(* Compile-phase spans use the trace's default constant clock, so their
+   presence never perturbs byte-reproducible outputs. *)
+let phase obs name f =
+  match obs with
+  | None -> f ()
+  | Some tr -> Obs.Trace.with_span tr Obs.Trace.Phase name f
+
 (** Compile a source string end to end. *)
-let compile ?(opts = Codegen.Options.default) ?file src =
-  let program = Minic.Parser.parse_string ?file src in
-  Acc.Validate.check_program program;
-  let env = Minic.Typecheck.check program in
-  let tprog = Codegen.Translate.translate ~opts env program in
+let compile ?(opts = Codegen.Options.default) ?file ?obs src =
+  let program = phase obs "parse" (fun () -> Minic.Parser.parse_string ?file src) in
+  phase obs "validate" (fun () -> Acc.Validate.check_program program);
+  let env = phase obs "typecheck" (fun () -> Minic.Typecheck.check program) in
+  let tprog =
+    phase obs "translate" (fun () ->
+        Codegen.Translate.translate ~opts env program)
+  in
+  (match obs with
+  | Some tr ->
+      Obs.Trace.count tr "kernels" (Array.length tprog.Codegen.Tprog.kernels)
+  | None -> ());
   { program; env; tprog }
 
 let compile_file ?opts path =
@@ -23,10 +37,17 @@ let compile_file ?opts path =
   close_in ic;
   compile ?opts ~file:path src
 
-let compile_program ?(opts = Codegen.Options.default) program =
-  Acc.Validate.check_program program;
-  let env = Minic.Typecheck.check program in
-  let tprog = Codegen.Translate.translate ~opts env program in
+let compile_program ?(opts = Codegen.Options.default) ?obs program =
+  phase obs "validate" (fun () -> Acc.Validate.check_program program);
+  let env = phase obs "typecheck" (fun () -> Minic.Typecheck.check program) in
+  let tprog =
+    phase obs "translate" (fun () ->
+        Codegen.Translate.translate ~opts env program)
+  in
+  (match obs with
+  | Some tr ->
+      Obs.Trace.count tr "kernels" (Array.length tprog.Codegen.Tprog.kernels)
+  | None -> ());
   { program; env; tprog }
 
 (** Execute the translated program on the simulated device. *)
@@ -41,8 +62,8 @@ let run_instrumented ?mode ?seed ?cm c =
 let run_reference c = Accrt.Eval.run_reference c.program
 
 (** Kernel verification (§III-A) of the compiled program. *)
-let verify ?opts ?config c =
-  Kernel_verify.verify ?opts ?config ~env:(Some c.env) c.program
+let verify ?opts ?config ?obs ?trace c =
+  Kernel_verify.verify ?opts ?config ~env:(Some c.env) ?obs ?trace c.program
 
 (** Interactive memory-transfer optimization (§III-B / Figure 2). *)
 let optimize ?policy ?max_iterations ~outputs c =

@@ -8,13 +8,19 @@ type compiled = {
   tprog : Codegen.Tprog.t;  (** uninstrumented translation *)
 }
 
-(** Compile a source string end to end.
+(** Compile a source string end to end.  [obs] records one phase span per
+    pipeline stage (parse, validate, typecheck, translate) plus a
+    ["kernels"] counter.
     @raise Minic.Loc.Error on lexical/syntax/type errors
     @raise Acc.Validate.Invalid on OpenACC misuse *)
-val compile : ?opts:Codegen.Options.t -> ?file:string -> string -> compiled
+val compile :
+  ?opts:Codegen.Options.t -> ?file:string -> ?obs:Obs.Trace.t -> string ->
+  compiled
 
 val compile_file : ?opts:Codegen.Options.t -> string -> compiled
-val compile_program : ?opts:Codegen.Options.t -> Minic.Ast.program -> compiled
+
+val compile_program :
+  ?opts:Codegen.Options.t -> ?obs:Obs.Trace.t -> Minic.Ast.program -> compiled
 
 (** Execute the translated program on the simulated device. *)
 val run :
@@ -30,7 +36,8 @@ val run_reference : compiled -> Accrt.Eval.ctx
 
 (** Kernel verification (§III-A). *)
 val verify :
-  ?opts:Codegen.Options.t -> ?config:Vconfig.t -> compiled -> Kernel_verify.t
+  ?opts:Codegen.Options.t -> ?config:Vconfig.t -> ?obs:Obs.Trace.t ->
+  ?trace:bool -> compiled -> Kernel_verify.t
 
 (** Interactive memory-transfer optimization (§III-B / Figure 2). *)
 val optimize :

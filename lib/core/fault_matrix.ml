@@ -30,7 +30,12 @@ type cell = {
   c_overhead : float;  (** simulated time vs. the fault-free baseline *)
 }
 
-type t = { seed : int; cells : cell list }
+type t = {
+  seed : int;
+  cells : cell list;
+  traces : (string * Gpusim.Timeline.t) list;
+      (** per-cell device timelines (with [trace]), in cell order *)
+}
 
 (** A cell is acceptable when the run completed and its outputs are
     correct — whether by verified recovery or by CPU fallback. *)
@@ -46,8 +51,10 @@ let policies_for kind =
     [ Accrt.Resilience.retry; Accrt.Resilience.full ]
   else [ Accrt.Resilience.full ]
 
-let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds) subjects =
+let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds)
+    ?(trace = false) subjects =
   let cells = ref [] in
+  let traces = ref [] in
   List.iter
     (fun s ->
       let prog = Minic.Parser.parse_string ~file:s.s_name s.s_source in
@@ -66,12 +73,22 @@ let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds) subjects =
                 Gpusim.Fault_plan.create ~seed
                   [ Gpusim.Fault_plan.mk_rule ~count:1 kind ]
               in
+              let label =
+                Fmt.str "%s/%s/%s" s.s_name
+                  (Gpusim.Fault_plan.kind_name kind)
+                  policy.Accrt.Resilience.p_name
+              in
               let cell =
                 match
-                  Accrt.Interp.run ~coherence:false ~seed ~plan
+                  Accrt.Interp.run ~coherence:false ~seed ~trace ~plan
                     ~resilience:policy tp
                 with
                 | o ->
+                    if trace then
+                      traces :=
+                        (label,
+                         o.Accrt.Interp.device.Gpusim.Device.timeline)
+                        :: !traces;
                     let st = o.Accrt.Interp.resilience in
                     let time =
                       Gpusim.Metrics.total_time (Accrt.Interp.metrics o)
@@ -109,7 +126,7 @@ let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds) subjects =
             (policies_for kind))
         kinds)
     subjects;
-  { seed; cells = List.rev !cells }
+  { seed; cells = List.rev !cells; traces = List.rev !traces }
 
 (* ------------------------------ report ------------------------------ *)
 
@@ -160,3 +177,27 @@ let to_json t =
      \"fallback_cells\": %d,\n \"matrix\": [\n  %s\n]}"
     t.seed (List.length t.cells) ok fallback_cells
     (String.concat ",\n  " (List.map cell t.cells))
+
+(** Merged Chrome trace of every traced cell: one process per cell, named
+    [bench/fault/policy], so recovery behaviour is comparable side by
+    side in one Perfetto view. *)
+let trace_json t =
+  let lines =
+    List.concat
+      (List.mapi
+         (fun i (label, tl) ->
+           let pid = i + 1 in
+           Gpusim.Timeline.chrome_process_name ~pid label
+           :: Gpusim.Timeline.chrome_events ~pid tl)
+         t.traces)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf l)
+    lines;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -24,7 +24,12 @@ type cell = {
   c_overhead : float;  (** simulated time vs. the fault-free baseline *)
 }
 
-type t = { seed : int; cells : cell list }
+type t = {
+  seed : int;
+  cells : cell list;
+  traces : (string * Gpusim.Timeline.t) list;
+      (** per-cell device timelines (with [trace]), in cell order *)
+}
 
 val cell_ok : cell -> bool
 val all_ok : t -> bool
@@ -34,10 +39,15 @@ val all_ok : t -> bool
 val policies_for : Gpusim.Fault_plan.kind -> Accrt.Resilience.policy list
 
 (** Sweep [kinds] (default: all) across [subjects], injecting one
-    single-shot fault per cell with the given deterministic [seed]. *)
+    single-shot fault per cell with the given deterministic [seed];
+    [trace] records each cell's device timeline. *)
 val run :
-  ?seed:int -> ?kinds:Gpusim.Fault_plan.kind list -> subject list -> t
+  ?seed:int -> ?kinds:Gpusim.Fault_plan.kind list -> ?trace:bool ->
+  subject list -> t
 
 val pp_cell : Format.formatter -> cell -> unit
 val pp : Format.formatter -> t -> unit
 val to_json : t -> string
+
+(** Merged Chrome trace of every traced cell (one process per cell). *)
+val trace_json : t -> string

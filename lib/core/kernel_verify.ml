@@ -33,6 +33,7 @@ type kernel_report = {
 type t = {
   reports : kernel_report list;
   metrics : Gpusim.Metrics.t;
+  timeline : Gpusim.Timeline.t;  (** device events (with [trace]) *)
   sequential_ops : int;  (** pure-reference op count, for normalization *)
 }
 
@@ -73,7 +74,7 @@ let shadow_ctx (ctx : Accrt.Eval.ctx) =
     per-kernel verdicts, the simulated cost of the verification run, and the
     cost of the pure sequential execution. *)
 let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
-    ?(env = None) ?cm prog =
+    ?(env = None) ?cm ?obs ?(trace = false) prog =
   (* Directive-containing callees are inlined so that kernel ids and the
      reference execution agree on one program. *)
   let prog, env =
@@ -85,9 +86,28 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
     match env with Some e -> e | None -> Minic.Typecheck.check prog
   in
   let tp = Codegen.Translate.translate ~opts tenv prog in
-  let device = Gpusim.Device.create ?cm () in
+  let device = Gpusim.Device.create ?cm ~trace () in
   let metrics = device.Gpusim.Device.metrics in
   let cmodel = device.Gpusim.Device.cm in
+  (match obs with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.set_clock tr (fun () -> metrics.Gpusim.Metrics.host_clock);
+      Gpusim.Metrics.set_on_charge metrics (fun cat dt ->
+          Obs.Trace.charge tr
+            ~category:(Gpusim.Metrics.category_name cat)
+            dt);
+      Gpusim.Timeline.set_on_event device.Gpusim.Device.timeline (fun e ->
+          Obs.Trace.leaf tr Obs.Trace.Device
+            (Gpusim.Timeline.kind_name e.Gpusim.Timeline.ev_kind)
+            ~attrs:[ ("label", e.Gpusim.Timeline.ev_label) ]
+            ~start:e.Gpusim.Timeline.ev_start
+            ~duration:e.Gpusim.Timeline.ev_duration ()));
+  let in_span kind name ?loc ?directive f =
+    match obs with
+    | None -> f ()
+    | Some tr -> Obs.Trace.with_span tr kind name ?loc ?directive f
+  in
 
   (* Per-kernel aggregation. *)
   let occurrences = Hashtbl.create 16 in
@@ -118,6 +138,9 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
   let verify_kernel (ctx : Accrt.Eval.ctx) k =
     Hashtbl.replace occurrences k.k_name
       (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences k.k_name));
+    in_span Obs.Trace.Kernel k.k_name
+      ~loc:(Minic.Loc.to_string k.k_loc) ~directive:k.k_name
+    @@ fun () ->
     let env = ctx.Accrt.Eval.env in
     let arrays = Analysis.Varset.elements (kernel_arrays k) in
     (* Demoted transfers: allocate and upload everything the kernel touches,
@@ -246,7 +269,10 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
             true)
     | _ -> false
   in
-  let vctx = Accrt.Eval.run_reference ~hook prog in
+  let vctx =
+    in_span Obs.Trace.Phase "verify" (fun () ->
+        Accrt.Eval.run_reference ~hook prog)
+  in
   (* Host work outside compute regions (regions were charged as they ran). *)
   Gpusim.Metrics.charge metrics Gpusim.Metrics.Cpu_time
     (Gpusim.Costmodel.cpu_time cmodel
@@ -270,7 +296,8 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
                Option.value ~default:[]
                  (Hashtbl.find_opt assertion_failures k.k_name) })
   in
-  { reports; metrics; sequential_ops = ref_ctx.Accrt.Eval.ops }
+  { reports; metrics; timeline = device.Gpusim.Device.timeline;
+    sequential_ops = ref_ctx.Accrt.Eval.ops }
 
 let pp_report ppf r =
   if kernel_ok r then

@@ -24,6 +24,7 @@ type kernel_report = {
 type t = {
   reports : kernel_report list;
   metrics : Gpusim.Metrics.t;  (** Figure 3's cost breakdown *)
+  timeline : Gpusim.Timeline.t;  (** device events (with [trace]) *)
   sequential_ops : int;  (** pure-reference op count, for normalization *)
 }
 
@@ -32,10 +33,13 @@ val detected_errors : t -> kernel_report list
 
 (** Verify [prog]; [opts] controls translation (use
     {!Codegen.Options.fault_injection} for the Table II experiment);
-    [env] may pass a pre-computed type environment. *)
+    [env] may pass a pre-computed type environment.  [obs] records a
+    "verify" phase span with one [Kernel] span per verified occurrence and
+    all metrics charges; [trace] additionally records the device timeline
+    (exported as [Device] leaves when [obs] is also given). *)
 val verify :
   ?opts:Codegen.Options.t -> ?config:Vconfig.t ->
   ?env:Minic.Typecheck.env option -> ?cm:Gpusim.Costmodel.t ->
-  Minic.Ast.program -> t
+  ?obs:Obs.Trace.t -> ?trace:bool -> Minic.Ast.program -> t
 
 val pp_report : Format.formatter -> kernel_report -> unit

@@ -21,6 +21,18 @@ let all_categories =
   [ Cpu_time; Mem_transfer; Gpu_alloc; Gpu_free; Async_wait; Result_comp;
     Check_overhead; Fault_recovery ]
 
+let category_index = function
+  | Cpu_time -> 0
+  | Mem_transfer -> 1
+  | Gpu_alloc -> 2
+  | Gpu_free -> 3
+  | Async_wait -> 4
+  | Result_comp -> 5
+  | Check_overhead -> 6
+  | Fault_recovery -> 7
+
+let num_categories = List.length all_categories
+
 let category_name = function
   | Cpu_time -> "CPU Time"
   | Mem_transfer -> "Mem Transfer"
@@ -32,7 +44,7 @@ let category_name = function
   | Fault_recovery -> "Fault-Recovery"
 
 type t = {
-  mutable times : (category * float) list;
+  times : float array;  (** indexed by [category_index] *)
   mutable bytes_h2d : int;
   mutable bytes_d2h : int;
   mutable transfers_h2d : int;
@@ -41,29 +53,35 @@ type t = {
   mutable checks : int;
   mutable faults_injected : int;  (** device faults injected by the plan *)
   mutable host_clock : float;  (** simulated wall clock of the host thread *)
+  mutable on_charge : (category -> float -> unit) option;
+      (** observer called after each charge (tracing) *)
 }
 
 let create () =
-  { times = List.map (fun c -> (c, 0.0)) all_categories;
+  { times = Array.make num_categories 0.0;
     bytes_h2d = 0; bytes_d2h = 0; transfers_h2d = 0; transfers_d2h = 0;
-    kernel_launches = 0; checks = 0; faults_injected = 0; host_clock = 0.0 }
+    kernel_launches = 0; checks = 0; faults_injected = 0; host_clock = 0.0;
+    on_charge = None }
 
 let reset m =
-  m.times <- List.map (fun c -> (c, 0.0)) all_categories;
+  Array.fill m.times 0 num_categories 0.0;
   m.bytes_h2d <- 0; m.bytes_d2h <- 0;
   m.transfers_h2d <- 0; m.transfers_d2h <- 0;
   m.kernel_launches <- 0; m.checks <- 0; m.faults_injected <- 0;
   m.host_clock <- 0.0
 
+let set_on_charge m f = m.on_charge <- Some f
+
 (** Charge [dt] seconds of host time to [cat] and advance the host clock. *)
 let charge m cat dt =
-  m.times <-
-    List.map (fun (c, t) -> if c = cat then (c, t +. dt) else (c, t)) m.times;
-  m.host_clock <- m.host_clock +. dt
+  let i = category_index cat in
+  m.times.(i) <- m.times.(i) +. dt;
+  m.host_clock <- m.host_clock +. dt;
+  match m.on_charge with None -> () | Some f -> f cat dt
 
-let time_of m cat = List.assoc cat m.times
+let time_of m cat = m.times.(category_index cat)
 
-let total_time m = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 m.times
+let total_time m = Array.fold_left ( +. ) 0.0 m.times
 
 let total_bytes m = m.bytes_h2d + m.bytes_d2h
 
@@ -82,7 +100,8 @@ let pp ppf m =
     (if m.faults_injected > 0 then Fmt.str ", %d faults" m.faults_injected
      else "");
   List.iter
-    (fun (c, t) ->
+    (fun c ->
+      let t = time_of m c in
       if t > 0.0 then Fmt.pf ppf "@,  %-14s %.6f s" (category_name c) t)
-    m.times;
+    all_categories;
   Fmt.pf ppf "@]"

@@ -17,8 +17,14 @@ type category =
 val all_categories : category list
 val category_name : category -> string
 
+(** Dense index of a category into the per-category totals array; covers
+    [0 .. num_categories - 1] in [all_categories] order. *)
+val category_index : category -> int
+
+val num_categories : int
+
 type t = {
-  mutable times : (category * float) list;
+  times : float array;  (** per-category totals, indexed by [category_index] *)
   mutable bytes_h2d : int;
   mutable bytes_d2h : int;
   mutable transfers_h2d : int;
@@ -27,10 +33,15 @@ type t = {
   mutable checks : int;
   mutable faults_injected : int;  (** device faults injected by the plan *)
   mutable host_clock : float;  (** simulated wall clock of the host thread *)
+  mutable on_charge : (category -> float -> unit) option;
+      (** observer called after each charge (tracing) *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+(** Install an observer invoked after every [charge] (tracing hook). *)
+val set_on_charge : t -> (category -> float -> unit) -> unit
 
 (** Charge [dt] seconds of host time to a category and advance the clock. *)
 val charge : t -> category -> float -> unit

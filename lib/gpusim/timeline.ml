@@ -25,16 +25,26 @@ type event = {
   ev_stream : int option;  (** async queue, if any *)
 }
 
-type t = { mutable events : event list (* reversed *); mutable enabled : bool }
+type t = {
+  mutable events : event list (* reversed *);
+  mutable enabled : bool;
+  mutable on_event : (event -> unit) option;
+      (** observer called on each recorded event (tracing) *)
+}
 
-let create ?(enabled = true) () = { events = []; enabled }
+let create ?(enabled = true) () = { events = []; enabled; on_event = None }
+
+let set_on_event t f = t.on_event <- Some f
 
 let record t ?stream ~kind ~label ~start ~duration () =
-  if t.enabled then
-    t.events <-
+  if t.enabled then begin
+    let e =
       { ev_kind = kind; ev_label = label; ev_start = start;
         ev_duration = duration; ev_stream = stream }
-      :: t.events
+    in
+    t.events <- e :: t.events;
+    match t.on_event with None -> () | Some f -> f e
+  end
 
 let events t = List.rev t.events
 
@@ -75,25 +85,38 @@ let escape s =
     s;
   Buffer.contents buf
 
-(** Chrome-trace ("trace event format") JSON. Track 0 is the host thread;
-    async streams get their own tracks. *)
+(** Chrome-trace event objects, one string per event. Track 0 is the host
+    thread; async streams get their own tracks ([tid = stream + 1]). *)
+let chrome_events ?(pid = 1) t =
+  List.map
+    (fun e ->
+      let tid = match e.ev_stream with None -> 0 | Some q -> q + 1 in
+      Fmt.str
+        "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
+         \"dur\": %.3f, \"pid\": %d, \"tid\": %d}"
+        (escape e.ev_label)
+        (kind_name e.ev_kind)
+        (e.ev_start *. 1e6) (e.ev_duration *. 1e6) pid tid)
+    (events t)
+
+(** Chrome metadata event naming process [pid] (used when merging the
+    timelines of several runs into one trace). *)
+let chrome_process_name ~pid name =
+  Fmt.str
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"args\": \
+     {\"name\": \"%s\"}}"
+    pid (escape name)
+
+(** Chrome-trace ("trace event format") JSON. *)
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[\n";
-  let first = ref true in
-  List.iter
-    (fun e ->
-      if not !first then Buffer.add_string buf ",\n";
-      first := false;
-      let tid = match e.ev_stream with None -> 0 | Some q -> q + 1 in
-      Buffer.add_string buf
-        (Fmt.str
-           "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": \
-            %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}"
-           (escape e.ev_label)
-           (kind_name e.ev_kind)
-           (e.ev_start *. 1e6) (e.ev_duration *. 1e6) tid))
-    (events t);
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf line)
+    (chrome_events t);
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 

@@ -28,12 +28,22 @@ val record :
   t -> ?stream:int -> kind:kind -> label:string -> start:float ->
   duration:float -> unit -> unit
 
+(** Install an observer invoked on every recorded event (tracing hook). *)
+val set_on_event : t -> (event -> unit) -> unit
+
 val events : t -> event list
 val count : t -> int
 val kind_name : kind -> string
 
 (** Total simulated time per event kind, sorted by kind name. *)
 val summary : t -> (string * float) list
+
+(** Chrome-trace event objects, one serialized JSON object per event
+    ([tid] 0 = host, stream [q] = [q + 1]).  [pid] defaults to 1. *)
+val chrome_events : ?pid:int -> t -> string list
+
+(** Chrome metadata event naming process [pid] (for merged traces). *)
+val chrome_process_name : pid:int -> string -> string
 
 (** Chrome "trace event format" JSON (chrome://tracing, Perfetto). *)
 val to_chrome_json : t -> string

@@ -1,0 +1,200 @@
+(** Per-directive cost attribution (the paper's Figure 3/4 stacked
+    breakdown, one bar per directive/region).
+
+    The report is computed by replaying a trace's charge events in
+    chronological order — the same order the {!Gpusim.Metrics} accumulator
+    applied them — so every per-category total is the *identical* sequence
+    of float additions the runtime performed.  The conservation check
+    ([conserves]) therefore holds with bit-exact float equality, not an
+    epsilon. *)
+
+type row = {
+  r_directive : string;
+  r_kind : string;  (** span kind of the attributed span, or ["host"] *)
+  r_loc : string;  (** source location, or [""] *)
+  r_cats : (string * float) list;  (** per-category seconds, canonical order *)
+  r_total : float;
+}
+
+type t = {
+  p_categories : string list;  (** canonical category order *)
+  p_rows : row list;  (** first-charge order *)
+  p_totals : (string * float) list;  (** per-category grand totals *)
+  p_total : float;  (** folds [p_totals] in canonical order *)
+  p_counters : (string * int) list;
+}
+
+let of_trace ~categories tr =
+  let ncat = List.length categories in
+  let cat_idx = Hashtbl.create 16 in
+  List.iteri (fun i c -> Hashtbl.add cat_idx c i) categories;
+  (* Grand totals replay the accumulator's exact addition sequence. *)
+  let totals = Array.make ncat 0.0 in
+  (* Per-directive rows, in first-charge order. *)
+  let rows : (string, float array) Hashtbl.t = Hashtbl.create 16 in
+  let order_rev = ref [] in
+  let row_for d =
+    match Hashtbl.find_opt rows d with
+    | Some a -> a
+    | None ->
+        let a = Array.make ncat 0.0 in
+        Hashtbl.add rows d a;
+        order_rev := d :: !order_rev;
+        a
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.E_charge c -> (
+          match Hashtbl.find_opt cat_idx c.c_category with
+          | None -> ()
+          | Some i ->
+              totals.(i) <- totals.(i) +. c.c_dt;
+              let a = row_for c.c_directive in
+              a.(i) <- a.(i) +. c.c_dt)
+      | Trace.E_begin _ | Trace.E_end _ -> ())
+    (Trace.events tr);
+  (* Attribute kind/loc from the first span carrying each directive. *)
+  let span_info = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      match sp.Trace.sp_directive with
+      | Some d when not (Hashtbl.mem span_info d) ->
+          Hashtbl.add span_info d
+            ( Trace.kind_name sp.Trace.sp_kind,
+              Option.value ~default:"" sp.Trace.sp_loc )
+      | _ -> ())
+    (Trace.spans tr);
+  let mk_row d =
+    let a = Hashtbl.find rows d in
+    let kind, loc =
+      match Hashtbl.find_opt span_info d with
+      | Some info -> info
+      | None -> ("host", "")
+    in
+    { r_directive = d; r_kind = kind; r_loc = loc;
+      r_cats = List.mapi (fun i c -> (c, a.(i))) categories;
+      r_total = Array.fold_left ( +. ) 0.0 a }
+  in
+  { p_categories = categories;
+    p_rows = List.rev_map mk_row !order_rev;
+    p_totals = List.mapi (fun i c -> (c, totals.(i))) categories;
+    p_total = Array.fold_left ( +. ) 0.0 totals;
+    p_counters = Trace.counters tr }
+
+(** Bit-exact: both sides fold the same additions in the same order. *)
+let conserves p ~total = p.p_total = total
+
+(* ------------------------------ text ------------------------------ *)
+
+let pp ppf p =
+  (* Only show categories that received any charge, to keep the table
+     readable; the JSON export keeps all of them. *)
+  let live =
+    List.filter (fun c -> List.assoc c p.p_totals <> 0.0) p.p_categories
+  in
+  let dir_w =
+    List.fold_left
+      (fun w r -> max w (String.length r.r_directive))
+      (String.length "directive") p.p_rows
+  in
+  Fmt.pf ppf "%-*s  %10s" dir_w "directive" "total(s)";
+  List.iter (fun c -> Fmt.pf ppf "  %14s" c) live;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-*s  %10.6f" dir_w r.r_directive r.r_total;
+      List.iter (fun c -> Fmt.pf ppf "  %14.6f" (List.assoc c r.r_cats)) live;
+      Fmt.pf ppf "@.")
+    p.p_rows;
+  Fmt.pf ppf "%-*s  %10.6f" dir_w "TOTAL" p.p_total;
+  List.iter (fun c -> Fmt.pf ppf "  %14.6f" (List.assoc c p.p_totals)) live;
+  Fmt.pf ppf "@."
+
+(* ------------------------------ JSON ------------------------------ *)
+
+let json_cats cats =
+  Fmt.str "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (c, v) -> Fmt.str "%s: %.9f" (Trace.json_str c) v)
+          cats))
+
+let row_json r =
+  Fmt.str
+    "{\"directive\": %s, \"kind\": %s, \"loc\": %s, \"total\": %.9f, \
+     \"categories\": %s}"
+    (Trace.json_str r.r_directive)
+    (Trace.json_str r.r_kind) (Trace.json_str r.r_loc) r.r_total
+    (json_cats r.r_cats)
+
+(** Canonical, deterministic JSON document (2-space indent, ordered
+    fields) — byte-comparable across runs with the same seed. *)
+let to_json ~name ~seed p =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Fmt.str "  \"schema\": %s,\n  \"version\": %d,\n"
+       (Trace.json_str (Trace.schema ^ ".profile"))
+       Trace.version);
+  Buffer.add_string b
+    (Fmt.str "  \"name\": %s,\n  \"seed\": %d,\n" (Trace.json_str name) seed);
+  Buffer.add_string b (Fmt.str "  \"total\": %.9f,\n" p.p_total);
+  Buffer.add_string b
+    (Fmt.str "  \"totals\": %s,\n" (json_cats p.p_totals));
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (row_json r);
+      if i < List.length p.p_rows - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    p.p_rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"counters\": {";
+  Buffer.add_string b
+    (String.concat ", "
+       (List.map
+          (fun (n, v) -> Fmt.str "%s: %d" (Trace.json_str n) v)
+          p.p_counters));
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+(* --------------------------- flamegraph --------------------------- *)
+
+(** Folded-stack export (Brendan Gregg's flamegraph.pl format): one
+    [name;name;...;category count] line per charged stack, values in
+    integer nanoseconds, lines sorted for determinism. *)
+let folded tr =
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun sp -> Hashtbl.add by_id sp.Trace.sp_id sp)
+    (Trace.spans tr);
+  let rec path id acc =
+    match Hashtbl.find_opt by_id id with
+    | None -> acc
+    | Some sp ->
+        let acc = sp.Trace.sp_name :: acc in
+        (match sp.Trace.sp_parent with None -> acc | Some p -> path p acc)
+  in
+  let stacks : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.E_charge c ->
+          let names =
+            if c.c_span < 0 then [ Trace.host_directive ]
+            else path c.c_span []
+          in
+          let key = String.concat ";" (names @ [ c.c_category ]) in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt stacks key) in
+          Hashtbl.replace stacks key (prev +. c.c_dt)
+      | Trace.E_begin _ | Trace.E_end _ -> ())
+    (Trace.events tr);
+  Hashtbl.fold
+    (fun k v acc ->
+      let ns = int_of_float ((v *. 1e9) +. 0.5) in
+      if ns > 0 then Fmt.str "%s %d" k ns :: acc else acc)
+    stacks []
+  |> List.sort compare
+  |> fun lines -> String.concat "\n" lines ^ if lines = [] then "" else "\n"

@@ -1,0 +1,269 @@
+(** Hierarchical execution spans with source-level attribution.
+
+    A trace is the observability spine of a run: a tree of *spans*
+    (session → compile phases → region/kernel/transfer → recovery) plus a
+    chronological stream of *charge events* — every simulated-time charge
+    the cost accounting makes, tagged with the innermost open span and the
+    nearest enclosing directive.  Because charges are replayed in the exact
+    order the {!Gpusim.Metrics} accumulator saw them, per-category totals
+    recomputed from a trace are bit-identical to the metrics totals (the
+    conservation property the profiler asserts).
+
+    The trace exports a stable, versioned JSONL event stream
+    ([schema "openarc.obs", version 1]): one [meta] header line, then
+    [span_begin] / [span_end] / [charge] lines in event order, then final
+    [counter] lines. *)
+
+let schema = "openarc.obs"
+let version = 1
+
+type kind =
+  | Session  (** one CLI invocation / one profiled run *)
+  | Phase  (** compiler pipeline stage, or the runtime "run" phase *)
+  | Region  (** a source data/compute region *)
+  | Kernel  (** one kernel launch (retries included) *)
+  | Transfer  (** one transfer-site execution *)
+  | Alloc
+  | Free
+  | Wait
+  | Check  (** coherence runtime check *)
+  | Recovery  (** one resilience action (retry, re-transfer, fallback, ...) *)
+  | Device  (** device-visible leaf imported from the {!Gpusim.Timeline} *)
+
+let kind_name = function
+  | Session -> "session"
+  | Phase -> "phase"
+  | Region -> "region"
+  | Kernel -> "kernel"
+  | Transfer -> "transfer"
+  | Alloc -> "alloc"
+  | Free -> "free"
+  | Wait -> "wait"
+  | Check -> "check"
+  | Recovery -> "recovery"
+  | Device -> "device"
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_kind : kind;
+  sp_name : string;
+  sp_loc : string option;  (** source location, ["file:line:col"] *)
+  sp_directive : string option;
+      (** source-level directive attribution (kernel name, transfer-site
+          label); charges made under this span roll up to it *)
+  mutable sp_attrs : (string * string) list;
+  sp_start : float;  (** simulated seconds *)
+  mutable sp_end : float option;
+}
+
+(** The directive charges fall to when no enclosing span carries one. *)
+let host_directive = "(host)"
+
+type charge = {
+  c_span : int;  (** innermost open span, [-1] outside any span *)
+  c_directive : string;
+  c_category : string;  (** {!Gpusim.Metrics} category name *)
+  c_dt : float;
+}
+
+type event =
+  | E_begin of span
+  | E_end of span * float
+  | E_charge of charge
+
+type t = {
+  mutable clock : unit -> float;
+  mutable next_id : int;
+  mutable stack : span list;  (** open spans, innermost first *)
+  mutable events_rev : event list;
+  mutable spans_rev : span list;
+  counter_tbl : (string, int) Hashtbl.t;
+  mutable counter_order_rev : string list;  (** first-use order, reversed *)
+}
+
+let create ?(clock = fun () -> 0.0) () =
+  { clock; next_id = 0; stack = []; events_rev = []; spans_rev = [];
+    counter_tbl = Hashtbl.create 8; counter_order_rev = [] }
+
+let set_clock t clock = t.clock <- clock
+
+let push_event t e = t.events_rev <- e :: t.events_rev
+
+let fresh_span t kind name ?loc ?directive ?(attrs = []) ~start ~finish () =
+  let sp =
+    { sp_id = t.next_id;
+      sp_parent =
+        (match t.stack with [] -> None | s :: _ -> Some s.sp_id);
+      sp_kind = kind; sp_name = name; sp_loc = loc;
+      sp_directive = directive; sp_attrs = attrs; sp_start = start;
+      sp_end = finish }
+  in
+  t.next_id <- t.next_id + 1;
+  t.spans_rev <- sp :: t.spans_rev;
+  sp
+
+let start_span t kind name ?loc ?directive ?attrs () =
+  let sp =
+    fresh_span t kind name ?loc ?directive ?attrs ~start:(t.clock ())
+      ~finish:None ()
+  in
+  t.stack <- sp :: t.stack;
+  push_event t (E_begin sp);
+  sp
+
+let end_span t sp =
+  let now = t.clock () in
+  sp.sp_end <- Some now;
+  (* Pop up to and including [sp]; unknown spans leave the stack alone. *)
+  let rec pop = function
+    | [] -> t.stack
+    | s :: rest -> if s.sp_id = sp.sp_id then rest else pop rest
+  in
+  t.stack <- pop t.stack;
+  push_event t (E_end (sp, now))
+
+let with_span t kind name ?loc ?directive ?attrs f =
+  let sp = start_span t kind name ?loc ?directive ?attrs () in
+  Fun.protect ~finally:(fun () -> end_span t sp) f
+
+let add_attr sp k v = sp.sp_attrs <- sp.sp_attrs @ [ (k, v) ]
+
+let leaf t kind name ?loc ?directive ?attrs ~start ~duration () =
+  let sp =
+    fresh_span t kind name ?loc ?directive ?attrs ~start
+      ~finish:(Some (start +. duration)) ()
+  in
+  push_event t (E_begin sp);
+  push_event t (E_end (sp, start +. duration))
+
+let current_directive t =
+  let rec find = function
+    | [] -> host_directive
+    | s :: rest -> (
+        match s.sp_directive with Some d -> d | None -> find rest)
+  in
+  find t.stack
+
+let charge t ~category dt =
+  let span = match t.stack with [] -> -1 | s :: _ -> s.sp_id in
+  push_event t
+    (E_charge
+       { c_span = span; c_directive = current_directive t;
+         c_category = category; c_dt = dt })
+
+let count t name n =
+  (match Hashtbl.find_opt t.counter_tbl name with
+  | Some v -> Hashtbl.replace t.counter_tbl name (v + n)
+  | None ->
+      Hashtbl.add t.counter_tbl name n;
+      t.counter_order_rev <- name :: t.counter_order_rev)
+
+let incr t name = count t name 1
+
+let spans t = List.rev t.spans_rev
+let events t = List.rev t.events_rev
+let open_spans t = List.length t.stack
+
+let counters t =
+  List.rev_map (fun n -> (n, Hashtbl.find t.counter_tbl n))
+    t.counter_order_rev
+
+(* ------------------------------ JSONL ------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = Fmt.str "\"%s\"" (json_escape s)
+
+let attrs_json attrs =
+  Fmt.str "{%s}"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Fmt.str "%s: %s" (json_str k) (json_str v))
+          attrs))
+
+let meta_line =
+  Fmt.str "{\"type\": \"meta\", \"schema\": %s, \"version\": %d}"
+    (json_str schema) version
+
+let span_begin_line sp =
+  Fmt.str
+    "{\"type\": \"span_begin\", \"id\": %d, \"parent\": %s, \"kind\": %s, \
+     \"name\": %s%s%s, \"t\": %.9f}"
+    sp.sp_id
+    (match sp.sp_parent with None -> "null" | Some p -> string_of_int p)
+    (json_str (kind_name sp.sp_kind))
+    (json_str sp.sp_name)
+    (match sp.sp_loc with
+    | None -> ""
+    | Some l -> Fmt.str ", \"loc\": %s" (json_str l))
+    (match sp.sp_directive with
+    | None -> ""
+    | Some d -> Fmt.str ", \"directive\": %s" (json_str d))
+    sp.sp_start
+
+let span_end_line sp at =
+  Fmt.str "{\"type\": \"span_end\", \"id\": %d, \"t\": %.9f%s}" sp.sp_id at
+    (match sp.sp_attrs with
+    | [] -> ""
+    | attrs -> Fmt.str ", \"attrs\": %s" (attrs_json attrs))
+
+let charge_line c =
+  Fmt.str
+    "{\"type\": \"charge\", \"span\": %d, \"directive\": %s, \"category\": \
+     %s, \"dt\": %.12e}"
+    c.c_span (json_str c.c_directive) (json_str c.c_category) c.c_dt
+
+let counter_line (name, v) =
+  Fmt.str "{\"type\": \"counter\", \"name\": %s, \"value\": %d}"
+    (json_str name) v
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b meta_line;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (match e with
+        | E_begin sp -> span_begin_line sp
+        | E_end (sp, at) -> span_end_line sp at
+        | E_charge c -> charge_line c);
+      Buffer.add_char b '\n')
+    (events t);
+  List.iter
+    (fun kv ->
+      Buffer.add_string b (counter_line kv);
+      Buffer.add_char b '\n')
+    (counters t);
+  Buffer.contents b
+
+let pp ppf t =
+  let depth = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let d =
+        match sp.sp_parent with
+        | None -> 0
+        | Some p -> 1 + Option.value ~default:0 (Hashtbl.find_opt depth p)
+      in
+      Hashtbl.replace depth sp.sp_id d;
+      Fmt.pf ppf "%s%-10s %s [%.6f s .. %s]@."
+        (String.make (2 * d) ' ')
+        (kind_name sp.sp_kind) sp.sp_name sp.sp_start
+        (match sp.sp_end with
+        | None -> "open"
+        | Some e -> Fmt.str "%.6f s" e))
+    (spans t)

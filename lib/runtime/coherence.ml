@@ -72,11 +72,16 @@ type t = {
   mutable interval_ops : int;
       (** fine-mode tracking work: interval pieces touched (the cost the
           paper's granularity discussion worries about) *)
+  audit : Obs.Audit.t option;  (** records every status transition *)
+  now : unit -> float;  (** simulated clock for audit timestamps *)
+  mutable cur_op : string;  (** runtime call currently driving transitions *)
+  mutable cur_point : string;  (** program point of that call *)
 }
 
-let create ?(granularity = Coarse) () =
+let create ?(granularity = Coarse) ?audit ?(now = fun () -> 0.0) () =
   { granularity; states = Hashtbl.create 32; reports = []; loop_stack = [];
-    checks_executed = 0; interval_ops = 0 }
+    checks_executed = 0; interval_ops = 0; audit; now; cur_op = "";
+    cur_point = "" }
 
 let fresh_dev () =
   { status = Not_stale; stale_iv = Intervals.empty; may_iv = Intervals.empty }
@@ -98,7 +103,32 @@ let dev_state t v dev =
 
 let get t v dev = (dev_state t v dev).status
 
-let set t v dev st = (dev_state t v dev).status <- st
+let audit_dev = function Cpu -> Obs.Audit.Cpu | Gpu -> Obs.Audit.Gpu
+
+let audit_status = function
+  | Not_stale -> Obs.Audit.Notstale
+  | May_stale -> Obs.Audit.Maystale
+  | Stale -> Obs.Audit.Stale
+
+(* Every observable status transition flows through here, so the audit log
+   captures all of them with the op/point context set by the entry point. *)
+let set t v dev st =
+  let ds = dev_state t v dev in
+  if ds.status <> st then begin
+    (match t.audit with
+    | Some a ->
+        Obs.Audit.record a ~time:(t.now ()) ~var:v ~dev:(audit_dev dev)
+          ~from_:(audit_status ds.status) ~to_:(audit_status st)
+          ~op:t.cur_op ~point:t.cur_point ~loops:(List.rev t.loop_stack)
+    | None -> ());
+    ds.status <- st
+  end
+
+let set_ctx t op point =
+  t.cur_op <- op;
+  t.cur_point <- point
+
+let point_of_sid = function None -> "" | Some s -> Fmt.str "stmt%d" s
 
 let other = function Cpu -> Gpu | Gpu -> Cpu
 
@@ -156,6 +186,7 @@ let exit_loop t =
 (* --- runtime calls --- *)
 
 let check_read ?sid ?range t v dev =
+  set_ctx t "check-read" (point_of_sid sid);
   t.checks_executed <- t.checks_executed + 1;
   match t.granularity with
   | Coarse ->
@@ -190,6 +221,7 @@ let check_read ?sid ?range t v dev =
       mark_fresh t v dev ~lo ~hi
 
 let check_write ?sid ?range t v dev =
+  set_ctx t "check-write" (point_of_sid sid);
   t.checks_executed <- t.checks_executed + 1;
   match t.granularity with
   | Coarse ->
@@ -217,6 +249,7 @@ let check_write ?sid ?range t v dev =
       mark_stale t v (other dev) ~lo ~hi
 
 let reset_status t v dev st =
+  set_ctx t "reset" "";
   t.checks_executed <- t.checks_executed + 1;
   (match t.granularity with
   | Coarse -> ()
@@ -237,6 +270,9 @@ let reset_status t v dev st =
 (* A transfer is about to move [v] along [dir]; [site] identifies the call
    site for the report; [range] restricts to a subarray. *)
 let on_transfer ?range t v dir ~site =
+  set_ctx t
+    (match dir with H2D -> "transfer-h2d" | D2H -> "transfer-d2h")
+    site.site_label;
   let src, tgt = match dir with H2D -> (Cpu, Gpu) | D2H -> (Gpu, Cpu) in
   let dir_desc =
     match dir with
@@ -292,6 +328,7 @@ let on_transfer ?range t v dir ~site =
       mark_fresh t v tgt ~lo ~hi
 
 let on_free t v =
+  set_ctx t "free" "";
   (match t.granularity with
   | Coarse -> ()
   | Fine ->

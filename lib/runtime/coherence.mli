@@ -44,9 +44,17 @@ type t = {
   mutable loop_stack : (string * int) list;
   mutable checks_executed : int;
   mutable interval_ops : int;  (** fine-mode tracking work *)
+  audit : Obs.Audit.t option;  (** records every status transition *)
+  now : unit -> float;  (** simulated clock for audit timestamps *)
+  mutable cur_op : string;  (** runtime call currently driving transitions *)
+  mutable cur_point : string;  (** program point of that call *)
 }
 
-val create : ?granularity:granularity -> unit -> t
+(** [audit], when given, receives one entry per observable status
+    transition, stamped by [now] (default: the constant 0). *)
+val create :
+  ?granularity:granularity -> ?audit:Obs.Audit.t -> ?now:(unit -> float) ->
+  unit -> t
 
 (** Record the element count of a variable (ranges whole-array events in
     fine mode). *)

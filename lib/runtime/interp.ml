@@ -43,10 +43,40 @@ let host_scalar o name = Value.get_scalar o.ctx.Eval.env name
 exception Stop
 
 let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
-    ?plan ?(resilience = Resilience.none) (tp : Codegen.Tprog.t) =
+    ?plan ?(resilience = Resilience.none) ?obs ?audit
+    (tp : Codegen.Tprog.t) =
   let device = Gpusim.Device.create ?cm ~seed ~trace ?plan () in
   let metrics = device.Gpusim.Device.metrics in
-  let coh = Coherence.create ?granularity () in
+  let coh =
+    Coherence.create ?granularity ?audit
+      ~now:(fun () -> metrics.Gpusim.Metrics.host_clock)
+      ()
+  in
+  (* Observability: spans are stamped by the simulated host clock; every
+     metrics charge becomes a trace event (the conservation invariant);
+     device-timeline events become [Device] leaf spans. *)
+  (match obs with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.set_clock tr (fun () -> metrics.Gpusim.Metrics.host_clock);
+      Gpusim.Metrics.set_on_charge metrics (fun cat dt ->
+          Obs.Trace.charge tr
+            ~category:(Gpusim.Metrics.category_name cat)
+            dt);
+      Gpusim.Timeline.set_on_event device.Gpusim.Device.timeline (fun e ->
+          Obs.Trace.leaf tr Obs.Trace.Device
+            (Gpusim.Timeline.kind_name e.Gpusim.Timeline.ev_kind)
+            ~attrs:[ ("label", e.Gpusim.Timeline.ev_label) ]
+            ~start:e.Gpusim.Timeline.ev_start
+            ~duration:e.Gpusim.Timeline.ev_duration ()));
+  let in_span kind name ?loc ?directive f =
+    match obs with
+    | None -> f ()
+    | Some tr -> Obs.Trace.with_span tr kind name ?loc ?directive f
+  in
+  let bump name =
+    match obs with None -> () | Some tr -> Obs.Trace.incr tr name
+  in
   let site_execs = Hashtbl.create 32 in
   let sites = Hashtbl.create 32 in
   let env = Value.create () in
@@ -72,6 +102,23 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
   (* ------------------------- fault recovery ------------------------- *)
   let policy = resilience in
   let stats = Resilience.fresh_stats () in
+  (* Every resilience action also becomes a [Recovery] leaf span carrying
+     its cause, so traces explain *why* time was spent recovering. *)
+  let record ~fault ~action ~ok =
+    Resilience.record stats ~fault ~action ~ok;
+    bump "recoveries";
+    match obs with
+    | None -> ()
+    | Some tr ->
+        Obs.Trace.leaf tr Obs.Trace.Recovery action
+          ~attrs:
+            [ ("cause",
+               Gpusim.Fault_plan.kind_name fault.Gpusim.Device.f_kind);
+              ("target", fault.Gpusim.Device.f_target);
+              ("op", fault.Gpusim.Device.f_op);
+              ("ok", string_of_bool ok) ]
+          ~start:metrics.Gpusim.Metrics.host_clock ~duration:0.0 ()
+  in
   let host_mode = ref false in  (* device lost: everything runs on the CPU *)
   (* Arrays demoted to host residence (OOM / unrecoverable transfers). *)
   let host_only : (string, unit) Hashtbl.t = Hashtbl.create 4 in
@@ -89,7 +136,7 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
   in
   let unrecovered fault =
     stats.Resilience.unrecovered <- stats.Resilience.unrecovered + 1;
-    Resilience.record stats ~fault ~action:"abort" ~ok:false;
+    record ~fault ~action:"abort" ~ok:false;
     raise (Resilience.Unrecovered fault)
   in
   (* Restore a mirrored buffer into the host array it shadows. *)
@@ -109,7 +156,7 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
     stats.Resilience.device_lost <- true;
     Hashtbl.iter (fun v () -> restore_mirror v) device_fresh;
     Hashtbl.reset device_fresh;
-    Resilience.record stats ~fault ~action:"host-mode" ~ok:true
+    record ~fault ~action:"host-mode" ~ok:true
   in
   let on_lost fault =
     if policy.Resilience.cpu_fallback then enter_host_mode fault
@@ -183,13 +230,13 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
             if n < policy.Resilience.max_retries then begin
               stats.Resilience.retransfers <-
                 stats.Resilience.retransfers + 1;
-              Resilience.record stats ~fault:(corrupt_fault ())
+              record ~fault:(corrupt_fault ())
                 ~action:"re-transfer" ~ok:true;
               charge_recovery (backoff_delay n);
               attempt (n + 1)
             end
             else if policy.Resilience.cpu_fallback then begin
-              Resilience.record stats ~fault:(corrupt_fault ())
+              record ~fault:(corrupt_fault ())
                 ~action:"host-demote" ~ok:true;
               demote_to_host var
             end
@@ -206,12 +253,12 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
              && policy.Resilience.max_retries > 0 ->
           if n < policy.Resilience.max_retries then begin
             stats.Resilience.retries <- stats.Resilience.retries + 1;
-            Resilience.record stats ~fault ~action:"retry" ~ok:true;
+            record ~fault ~action:"retry" ~ok:true;
             charge_recovery (backoff_delay n);
             attempt (n + 1)
           end
           else if policy.Resilience.cpu_fallback then begin
-            Resilience.record stats ~fault ~action:"host-demote" ~ok:true;
+            record ~fault ~action:"host-demote" ~ok:true;
             demote_to_host var
           end
           else unrecovered fault
@@ -405,7 +452,7 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
     in
     let written = Analysis.Varset.elements k.k_arrays_written in
     let fall_back fault =
-      Resilience.record stats ~fault ~action:"cpu-fallback" ~ok:true;
+      record ~fault ~action:"cpu-fallback" ~ok:true;
       restore_ckpt ();
       cpu_fallback_exec k ~ckpt ~scalars
     in
@@ -434,7 +481,7 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
                 { Gpusim.Device.f_kind = Gpusim.Fault_plan.Launch_fail;
                   f_target = k.k_name; f_op = "recovery-validation" }
               in
-              Resilience.record stats ~fault ~action:"re-execute" ~ok:false;
+              record ~fault ~action:"re-execute" ~ok:false;
               escalate n fault
             end
           end;
@@ -459,7 +506,7 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
         ->
           if n < policy.Resilience.max_retries then begin
             stats.Resilience.reexecs <- stats.Resilience.reexecs + 1;
-            Resilience.record stats ~fault ~action:"re-execute" ~ok:true;
+            record ~fault ~action:"re-execute" ~ok:true;
             restore_ckpt ();
             charge_recovery (backoff_delay n);
             attempt (n + 1)
@@ -557,13 +604,18 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
                done
              with Eval.Break_exc -> ());
             Coherence.exit_loop coh)
-    | Talloc (v, _site) ->
+    | Talloc (v, site) ->
         (* present-or-create: keep an existing buffer resident *)
         if
           (not !host_mode)
           && (not (Hashtbl.mem host_only v))
           && not (Gpusim.Device.is_allocated device v)
         then begin
+          charge_host ();
+          in_span Obs.Trace.Alloc site.site_label
+            ~loc:(Minic.Loc.to_string site.site_loc)
+            ~directive:site.site_label
+          @@ fun () ->
           let host = Value.array_buf env v in
           let rec attempt n =
             try Gpusim.Device.alloc device v ~like:host with
@@ -577,14 +629,14 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
                    && policy.Resilience.max_retries > 0 ->
                 if n < policy.Resilience.max_retries then begin
                   stats.Resilience.retries <- stats.Resilience.retries + 1;
-                  Resilience.record stats ~fault ~action:"retry" ~ok:true;
+                  record ~fault ~action:"retry" ~ok:true;
                   charge_recovery (backoff_delay n);
                   attempt (n + 1)
                 end
                 else if policy.Resilience.cpu_fallback then begin
                   (* Keep this array host-resident; kernels touching it
                      take the CPU-fallback path. *)
-                  Resilience.record stats ~fault ~action:"host-demote"
+                  record ~fault ~action:"host-demote"
                     ~ok:true;
                   Hashtbl.replace host_only v ()
                 end
@@ -592,7 +644,12 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
           in
           attempt 0
         end
-    | Tfree (v, _site) ->
+    | Tfree (v, site) ->
+        charge_host ();
+        in_span Obs.Trace.Free site.site_label
+          ~loc:(Minic.Loc.to_string site.site_loc)
+          ~directive:site.site_label
+        @@ fun () ->
         if
           (not !host_mode) && Gpusim.Device.is_allocated device v
         then
@@ -613,6 +670,11 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
           (1 + Option.value ~default:0
                  (Hashtbl.find_opt site_execs x.x_site.site_id));
         Hashtbl.replace sites x.x_site.site_id (x.x_site, x.x_var, x.x_dir);
+        bump "transfers";
+        in_span Obs.Trace.Transfer x.x_site.site_label
+          ~loc:(Minic.Loc.to_string x.x_site.site_loc)
+          ~directive:x.x_site.site_label
+        @@ fun () ->
         let host = Value.array_buf env x.x_var in
         if coherence then begin
           Coherence.register_len coh x.x_var (Gpusim.Buf.length host);
@@ -626,13 +688,26 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
     | Tlaunch (kid, async) ->
         let k = tp.kernels.(kid) in
         let async = eval_async async in
-        launch_resilient k async
+        charge_host ();
+        bump "launches";
+        in_span Obs.Trace.Kernel k.k_name
+          ~loc:(Minic.Loc.to_string k.k_loc) ~directive:k.k_name
+        @@ fun () -> launch_resilient k async
     | Twait e ->
         let q = eval_async e in
         charge_host ();
+        in_span Obs.Trace.Wait "wait" @@ fun () ->
         Gpusim.Device.wait device q
     | Tcheck c ->
         if coherence then begin
+          charge_host ();
+          bump "checks";
+          in_span Obs.Trace.Check
+            (match c with
+            | Check_read _ -> "check-read"
+            | Check_write _ -> "check-write"
+            | Reset_status _ -> "reset-status")
+          @@ fun () ->
           (* Host checks are placed on accessed names; resolve a pointer to
              the root it currently designates. *)
           let resolve v =
@@ -658,21 +733,22 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
         end
   and exec_ts b = List.iter exec_t b in
 
-  (try exec_ts tp.body with
-  | Eval.Return_exc _ | Stop -> ());
-  charge_host ();
-  (* Drain outstanding async work and release device memory (both are
-     no-ops on a lost device). *)
-  Gpusim.Device.wait device None;
-  Gpusim.Device.free_all device;
+  in_span Obs.Trace.Phase "run" (fun () ->
+      (try exec_ts tp.body with
+      | Eval.Return_exc _ | Stop -> ());
+      charge_host ();
+      (* Drain outstanding async work and release device memory (both are
+         no-ops on a lost device). *)
+      Gpusim.Device.wait device None;
+      Gpusim.Device.free_all device);
   { ctx; device; coherence = coh; tprog = tp; site_execs; sites;
     resilience = stats }
 
 (** Convenience: compile and run a source string (uninstrumented unless
     [instrument] is set). *)
 let run_string ?opts ?(instrument = false) ?mode ?granularity ?coherence
-    ?seed ?cm ?plan ?resilience src =
+    ?seed ?cm ?plan ?resilience ?obs ?audit src =
   let tp = Codegen.Translate.compile_string ?opts src in
   let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
   let coherence = Option.value coherence ~default:instrument in
-  run ~coherence ?granularity ?seed ?cm ?plan ?resilience tp
+  run ~coherence ?granularity ?seed ?cm ?plan ?resilience ?obs ?audit tp

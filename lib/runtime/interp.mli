@@ -40,15 +40,25 @@ exception Stop
     streams; [plan] arms device faults; [resilience] picks the recovery
     policy (default {!Resilience.none}: faults propagate as
     {!Gpusim.Device.Device_fault}).
+
+    [obs], when given, receives the run as a span tree stamped by the
+    simulated clock — a "run" phase span with one child span per kernel
+    launch / transfer / alloc / free / wait / check, [Recovery] leaves for
+    every resilience action, [Device] leaves for timeline events (with
+    [trace]), and one charge event per {!Gpusim.Metrics.charge} (so
+    {!Obs.Profile} totals conserve exactly).  [audit], when given, records
+    every coherence status transition.
     @raise Resilience.Unrecovered when the policy's budget is exhausted. *)
 val run :
   ?coherence:bool -> ?granularity:Coherence.granularity -> ?seed:int ->
   ?trace:bool -> ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
-  ?resilience:Resilience.policy -> Codegen.Tprog.t -> outcome
+  ?resilience:Resilience.policy -> ?obs:Obs.Trace.t -> ?audit:Obs.Audit.t ->
+  Codegen.Tprog.t -> outcome
 
 (** Compile and run a source string (instrumented when [instrument]). *)
 val run_string :
   ?opts:Codegen.Options.t -> ?instrument:bool -> ?mode:Codegen.Checkgen.mode ->
   ?granularity:Coherence.granularity -> ?coherence:bool -> ?seed:int ->
   ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
-  ?resilience:Resilience.policy -> string -> outcome
+  ?resilience:Resilience.policy -> ?obs:Obs.Trace.t -> ?audit:Obs.Audit.t ->
+  string -> outcome

@@ -84,6 +84,102 @@ let test_trace () =
       (contains ~needle:"\"ph\": \"X\"" json)
   end
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_profile () =
+  check_cmd "profile" "profile bench:jacobi"
+    ~expect:
+      [ "directive"; "TOTAL"; "conservation: exact"; "Mem Transfer" ];
+  check_cmd "profile --instrument" "profile bench:jacobi --instrument"
+    ~expect:[ "conservation: exact"; "coherence transition(s)";
+              "replay consistent" ];
+  if available then begin
+    (* all four exporters write well-formed artifacts *)
+    let tmp suffix = Filename.temp_file "openarc_profile" suffix in
+    let json = tmp ".json" and flame = tmp ".folded" in
+    let events = tmp ".jsonl" and trace = tmp ".trace.json" in
+    let code, _ =
+      run_cmd
+        (Fmt.str
+           "profile bench:jacobi --instrument --json %s --flame %s \
+            --events %s --trace %s"
+           (Filename.quote json) (Filename.quote flame)
+           (Filename.quote events) (Filename.quote trace))
+    in
+    Alcotest.(check int) "profile exporters: exit 0" 0 code;
+    Alcotest.(check bool) "json: schema" true
+      (contains ~needle:"\"schema\": \"openarc.obs.profile\""
+         (read_file json));
+    Alcotest.(check bool) "flame: folded stacks" true
+      (contains ~needle:";" (read_file flame));
+    let ev = read_file events in
+    Alcotest.(check bool) "events: span lines" true
+      (contains ~needle:"\"type\": \"span_begin\"" ev);
+    Alcotest.(check bool) "events: audit lines" true
+      (contains ~needle:"\"type\": \"audit\"" ev);
+    Alcotest.(check bool) "trace: chrome json" true
+      (contains ~needle:"\"ph\": \"X\"" (read_file trace));
+    List.iter Sys.remove [ json; flame; events; trace ];
+    (* determinism: same seed, byte-identical profile JSON *)
+    let j1 = tmp ".json" and j2 = tmp ".json" in
+    let _ =
+      run_cmd (Fmt.str "profile bench:ep --json %s" (Filename.quote j1))
+    in
+    let _ =
+      run_cmd (Fmt.str "profile bench:ep --json %s" (Filename.quote j2))
+    in
+    Alcotest.(check string) "profile json reproducible" (read_file j1)
+      (read_file j2);
+    List.iter Sys.remove [ j1; j2 ];
+    (* profiling a faulty resilient run still conserves *)
+    let code, out =
+      run_cmd
+        "profile bench:jacobi --device-faults xfer-fail --resilience retry"
+    in
+    Alcotest.(check int) "faulty profile: exit 0" 0 code;
+    Alcotest.(check bool) "faulty profile conserves" true
+      (contains ~needle:"conservation: exact" out)
+  end
+
+let test_verify_trace () =
+  if available then begin
+    let trace = Filename.temp_file "openarc_verify" ".json" in
+    let events = Filename.temp_file "openarc_verify" ".jsonl" in
+    let code, _ =
+      run_cmd
+        (Fmt.str "verify bench:jacobi --trace %s --events %s"
+           (Filename.quote trace) (Filename.quote events))
+    in
+    Alcotest.(check int) "verify --trace: exit 0" 0 code;
+    Alcotest.(check bool) "verify trace: chrome json" true
+      (contains ~needle:"\"ph\": \"X\"" (read_file trace));
+    Alcotest.(check bool) "verify events: phase span" true
+      (contains ~needle:"\"type\": \"span_begin\"" (read_file events));
+    List.iter Sys.remove [ trace; events ]
+  end
+
+let test_fault_matrix_trace () =
+  if available then begin
+    let trace = Filename.temp_file "openarc_matrix" ".json" in
+    let code, _ =
+      run_cmd
+        (Fmt.str
+           "fault-matrix --benches jacobi --kinds xfer-fail --trace %s"
+           (Filename.quote trace))
+    in
+    Alcotest.(check int) "fault-matrix --trace: exit 0" 0 code;
+    let j = read_file trace in
+    Sys.remove trace;
+    Alcotest.(check bool) "per-cell process names" true
+      (contains ~needle:"process_name" j);
+    Alcotest.(check bool) "cell label" true
+      (contains ~needle:"JACOBI/xfer-fail/" j)
+  end
+
 let test_lint () =
   check_cmd "lint clean optimized" "lint bench:jacobi:opt --deny-warnings"
     ~expect:[ "0 error(s)" ];
@@ -213,6 +309,9 @@ let tests =
     Alcotest.test_case "verify" `Quick test_verify;
     Alcotest.test_case "optimize" `Slow test_optimize;
     Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "profile" `Quick test_profile;
+    Alcotest.test_case "verify trace" `Quick test_verify_trace;
+    Alcotest.test_case "fault matrix trace" `Quick test_fault_matrix_trace;
     Alcotest.test_case "lint" `Quick test_lint;
     Alcotest.test_case "device faults" `Quick test_device_faults;
     Alcotest.test_case "fault matrix" `Quick test_fault_matrix;

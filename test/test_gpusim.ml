@@ -141,6 +141,110 @@ let test_device_streams () =
   Alcotest.check feq "idempotent wait" waited
     (Gpusim.Metrics.time_of m Gpusim.Metrics.Async_wait)
 
+(* --------------------------- chrome trace -------------------------- *)
+
+(* A small traced device workload touching the host track (tid 0) and an
+   async stream track (tid 2 = stream 1 + 1). *)
+let traced_device () =
+  let dev = Gpusim.Device.create ~trace:true () in
+  let host = Gpusim.Buf.create_float 1000 in
+  Gpusim.Device.alloc dev "a" ~like:host;
+  Gpusim.Device.upload dev "a" ~host ();
+  Gpusim.Device.upload dev "a" ~host ~async:1 ();
+  Gpusim.Device.wait dev (Some 1);
+  Gpusim.Device.download dev "a" ~host ();
+  dev
+
+let test_chrome_json_parses () =
+  let dev = traced_device () in
+  let json = Gpusim.Timeline.to_chrome_json dev.Gpusim.Device.timeline in
+  let v = Json_check.parse json in
+  let events = Json_check.arr_exn v in
+  Alcotest.(check bool) "several events" true (List.length events >= 4);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "complete-event phase" (Some "X")
+        (Option.map Json_check.str_exn (Json_check.member "ph" e));
+      List.iter
+        (fun field ->
+          Alcotest.(check bool) (field ^ " present") true
+            (Json_check.member field e <> None))
+        [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ])
+    events
+
+let test_chrome_tids () =
+  let dev = traced_device () in
+  let tl = dev.Gpusim.Device.timeline in
+  let events = Json_check.arr_exn (Json_check.parse
+                                     (Gpusim.Timeline.to_chrome_json tl)) in
+  let tid_of e = int_of_float (Json_check.num_exn
+                                 (Option.get (Json_check.member "tid" e))) in
+  let tids = List.sort_uniq compare (List.map tid_of events) in
+  (* host track is tid 0; stream q maps stably to tid q+1 *)
+  Alcotest.(check bool) "host track present" true (List.mem 0 tids);
+  Alcotest.(check bool) "stream 1 is tid 2" true (List.mem 2 tids);
+  Alcotest.(check bool) "no tid 1 without stream 0" true
+    (List.for_all
+       (fun ev ->
+         match ev.Gpusim.Timeline.ev_stream with
+         | None -> true
+         | Some q -> List.mem (q + 1) tids)
+       (Gpusim.Timeline.events tl));
+  (* per-tid (not global) start times are monotone: async submissions may
+     interleave across tracks, but each track is ordered *)
+  let ts_of e = Json_check.num_exn (Option.get (Json_check.member "ts" e)) in
+  List.iter
+    (fun tid ->
+      let track = List.filter (fun e -> tid_of e = tid) events in
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool)
+              (Fmt.str "tid %d monotone" tid)
+              true
+              (ts_of a <= ts_of b);
+            mono rest
+        | _ -> ()
+      in
+      mono track)
+    tids
+
+let test_chrome_process_name () =
+  let m = Gpusim.Timeline.chrome_process_name ~pid:3 "jacobi/bitflip/retry" in
+  let v = Json_check.parse m in
+  Alcotest.(check (option string)) "metadata phase" (Some "M")
+    (Option.map Json_check.str_exn (Json_check.member "ph" v));
+  Alcotest.(check (option string)) "name" (Some "process_name")
+    (Option.map Json_check.str_exn (Json_check.member "name" v))
+
+let test_metrics_pp_golden () =
+  let m = Gpusim.Metrics.create () in
+  Gpusim.Metrics.charge m Gpusim.Metrics.Cpu_time 1.0;
+  Gpusim.Metrics.charge m Gpusim.Metrics.Mem_transfer 0.25;
+  m.Gpusim.Metrics.bytes_h2d <- 1024;
+  m.Gpusim.Metrics.transfers_h2d <- 2;
+  m.Gpusim.Metrics.kernel_launches <- 3;
+  let expected =
+    "total 1.250000 s (1024 B h2d in 2 xfers, 0 B d2h in 0 xfers, \
+     3 launches, 0 checks)\n\
+     \  CPU Time       1.000000 s\n\
+     \  Mem Transfer   0.250000 s"
+  in
+  Alcotest.(check string) "pp golden" expected
+    (Fmt.str "%a" Gpusim.Metrics.pp m)
+
+let test_metrics_charge_hook () =
+  let m = Gpusim.Metrics.create () in
+  let seen = ref [] in
+  Gpusim.Metrics.set_on_charge m (fun c dt ->
+      seen := (Gpusim.Metrics.category_name c, dt) :: !seen);
+  Gpusim.Metrics.charge m Gpusim.Metrics.Gpu_alloc 0.5;
+  Gpusim.Metrics.charge m Gpusim.Metrics.Cpu_time 0.25;
+  Alcotest.(check (list (pair string (float 0.))))
+    "hook sees every charge in order"
+    [ ("GPU Mem Alloc", 0.5); ("CPU Time", 0.25) ]
+    (List.rev !seen)
+
 let test_metrics () =
   let m = Gpusim.Metrics.create () in
   Gpusim.Metrics.charge m Gpusim.Metrics.Cpu_time 1.0;
@@ -163,4 +267,9 @@ let tests =
     Alcotest.test_case "device memory" `Quick test_device_memory;
     Alcotest.test_case "device accounting" `Quick test_device_accounting;
     Alcotest.test_case "device streams" `Quick test_device_streams;
+    Alcotest.test_case "chrome json parses" `Quick test_chrome_json_parses;
+    Alcotest.test_case "chrome tids" `Quick test_chrome_tids;
+    Alcotest.test_case "chrome process name" `Quick test_chrome_process_name;
+    Alcotest.test_case "metrics pp golden" `Quick test_metrics_pp_golden;
+    Alcotest.test_case "metrics charge hook" `Quick test_metrics_charge_hook;
     Alcotest.test_case "metrics" `Quick test_metrics ]

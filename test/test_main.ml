@@ -25,4 +25,5 @@ let () =
       ("fault_plan", Test_fault_plan.tests);
       ("resilience", Test_resilience.tests);
       ("lint", Test_lint.tests);
+      ("obs", Test_obs.tests);
       ("cli", Test_cli.tests) ]

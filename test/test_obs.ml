@@ -1,0 +1,269 @@
+(* Observability subsystem: span trees and attribution, JSONL export,
+   bit-exact profile conservation against the metrics accumulator,
+   coherence audit-log replay, flamegraph determinism, recovery and
+   device spans, counters. *)
+
+let bench name = Option.get (Suite.Registry.find name)
+
+let tprog_of name =
+  let b = bench name in
+  let c =
+    Openarc_core.Compiler.compile ~file:b.Suite.Bench_def.name
+      b.Suite.Bench_def.source
+  in
+  c.Openarc_core.Compiler.tprog
+
+let categories =
+  List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
+
+(* ---------------------------- span tree ---------------------------- *)
+
+let test_span_tree () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.with_span tr Obs.Trace.Session "session" (fun () ->
+      Obs.Trace.with_span tr Obs.Trace.Phase "run" (fun () ->
+          Obs.Trace.leaf tr Obs.Trace.Kernel "k0" ~directive:"k0"
+            ~start:1.0 ~duration:0.5 ();
+          Alcotest.(check string)
+            "innermost directive" "k1"
+            (Obs.Trace.with_span tr Obs.Trace.Kernel "k1" ~directive:"k1"
+               (fun () -> Obs.Trace.current_directive tr));
+          Alcotest.(check string)
+            "directive pops with the span" Obs.Trace.host_directive
+            (Obs.Trace.current_directive tr)));
+  Alcotest.(check int) "all spans closed" 0 (Obs.Trace.open_spans tr);
+  (match Obs.Trace.spans tr with
+  | [ s0; s1; s2; s3 ] ->
+      Alcotest.(check (option int)) "root has no parent" None s0.Obs.Trace.sp_parent;
+      Alcotest.(check (option int)) "phase under session" (Some s0.Obs.Trace.sp_id)
+        s1.Obs.Trace.sp_parent;
+      Alcotest.(check (option int)) "leaf under phase" (Some s1.Obs.Trace.sp_id)
+        s2.Obs.Trace.sp_parent;
+      Alcotest.(check (option int)) "kernel under phase" (Some s1.Obs.Trace.sp_id)
+        s3.Obs.Trace.sp_parent;
+      Alcotest.(check string) "leaf kind" "kernel"
+        (Obs.Trace.kind_name s2.Obs.Trace.sp_kind);
+      Alcotest.(check (option (float 0.))) "leaf pre-timed end" (Some 1.5)
+        s2.Obs.Trace.sp_end
+  | spans ->
+      Alcotest.failf "expected 4 spans, got %d" (List.length spans));
+  Alcotest.(check string) "host directive outside spans"
+    Obs.Trace.host_directive
+    (Obs.Trace.current_directive tr)
+
+let test_counters () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.incr tr "a";
+  Obs.Trace.count tr "b" 5;
+  Obs.Trace.incr tr "a";
+  Alcotest.(check (list (pair string int)))
+    "first-use order, accumulated"
+    [ ("a", 2); ("b", 5) ]
+    (Obs.Trace.counters tr)
+
+(* ------------------------------ JSONL ------------------------------ *)
+
+let test_jsonl () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.with_span tr Obs.Trace.Session "s \"quoted\"\n" (fun () ->
+      Obs.Trace.charge tr ~category:"CPU Time" 0.25);
+  Obs.Trace.incr tr "ticks";
+  let lines =
+    String.split_on_char '\n' (Obs.Trace.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "several lines" true (List.length lines >= 4);
+  let parsed = List.map Json_check.parse lines in
+  (match parsed with
+  | meta :: _ ->
+      Alcotest.(check (option string))
+        "schema header" (Some "openarc.obs")
+        (Option.map Json_check.str_exn (Json_check.member "schema" meta))
+  | [] -> Alcotest.fail "empty JSONL");
+  let types =
+    List.filter_map
+      (fun v -> Option.map Json_check.str_exn (Json_check.member "type" v))
+      parsed
+  in
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) (Fmt.str "known line type %s" ty) true
+        (List.mem ty [ "meta"; "span_begin"; "span_end"; "charge"; "counter" ]))
+    types;
+  Alcotest.(check bool) "has charge line" true (List.mem "charge" types);
+  Alcotest.(check bool) "has counter line" true (List.mem "counter" types)
+
+(* ------------------------- conservation --------------------------- *)
+
+let test_conservation () =
+  let tp = tprog_of "JACOBI" in
+  let tr = Obs.Trace.create () in
+  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~obs:tr tp in
+  let total = Gpusim.Metrics.total_time (Accrt.Interp.metrics o) in
+  let p = Obs.Profile.of_trace ~categories tr in
+  Alcotest.(check bool) "total is positive" true (total > 0.0);
+  (* Bit-exact float equality, not an epsilon: the profile replays the
+     accumulator's exact addition sequence. *)
+  Alcotest.(check bool) "bit-exact conservation" true
+    (Obs.Profile.conserves p ~total);
+  Alcotest.(check bool) "Float.equal agrees" true
+    (Float.equal p.Obs.Profile.p_total total);
+  (* Per-category totals likewise match the accumulator's. *)
+  List.iter
+    (fun c ->
+      let name = Gpusim.Metrics.category_name c in
+      Alcotest.(check bool) (Fmt.str "category %s conserved" name) true
+        (Float.equal
+           (List.assoc name p.Obs.Profile.p_totals)
+           (Gpusim.Metrics.time_of (Accrt.Interp.metrics o) c)))
+    Gpusim.Metrics.all_categories;
+  (* Attribution is real: more than just the host row. *)
+  Alcotest.(check bool) "several directive rows" true
+    (List.length p.Obs.Profile.p_rows > 1)
+
+(* -------------------------- audit replay --------------------------- *)
+
+let tprog_device_of = function
+  | Obs.Audit.Cpu -> Codegen.Tprog.Cpu
+  | Obs.Audit.Gpu -> Codegen.Tprog.Gpu
+
+let test_audit_replay () =
+  let b = bench "JACOBI" in
+  let c = Openarc_core.Compiler.compile b.Suite.Bench_def.source in
+  let tp = Codegen.Checkgen.instrument c.Openarc_core.Compiler.tprog in
+  let audit = Obs.Audit.create () in
+  let o = Accrt.Interp.run ~coherence:true ~seed:42 ~audit tp in
+  Alcotest.(check bool) "transitions recorded" true
+    (Obs.Audit.length audit > 0);
+  (* Replaying the log from the all-fresh initial state must land on the
+     same final statuses the runtime reports. *)
+  List.iter
+    (fun ((var, dev), st) ->
+      let live =
+        Accrt.Coherence.get o.Accrt.Interp.coherence var (tprog_device_of dev)
+      in
+      Alcotest.(check string)
+        (Fmt.str "replayed state of %s/%s" var (Obs.Audit.device_name dev))
+        (Codegen.Tprog.status_name live)
+        (Obs.Audit.status_name st))
+    (Obs.Audit.final_states audit);
+  (* Sequence numbers are dense and ordered. *)
+  List.iteri
+    (fun i e -> Alcotest.(check int) "dense seq" i e.Obs.Audit.a_seq)
+    (Obs.Audit.entries audit);
+  (* Every JSONL line parses. *)
+  String.split_on_char '\n' (Obs.Audit.to_jsonl audit)
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         match Json_check.member "type" (Json_check.parse l) with
+         | Some (Json_check.Str "audit") -> ()
+         | _ -> Alcotest.fail "audit line without type=audit")
+
+(* ------------------------- determinism ----------------------------- *)
+
+let run_traced name =
+  let tp = tprog_of name in
+  let tr = Obs.Trace.create () in
+  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~obs:tr tp in
+  (tr, o)
+
+let test_flame_deterministic () =
+  let tr1, _ = run_traced "JACOBI" in
+  let tr2, _ = run_traced "JACOBI" in
+  let f1 = Obs.Profile.folded tr1 and f2 = Obs.Profile.folded tr2 in
+  Alcotest.(check string) "byte-identical across runs" f1 f2;
+  let lines =
+    String.split_on_char '\n' f1 |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "non-empty" true (lines <> []);
+  Alcotest.(check bool) "sorted" true (List.sort compare lines = lines);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.failf "malformed folded line %S" l
+      | Some i ->
+          let v = String.sub l (i + 1) (String.length l - i - 1) in
+          Alcotest.(check bool) (Fmt.str "positive ns in %S" l) true
+            (match int_of_string_opt v with Some n -> n > 0 | None -> false))
+    lines
+
+let test_profile_json_deterministic () =
+  let entry () =
+    let tr, o = run_traced "JACOBI" in
+    let p = Obs.Profile.of_trace ~categories tr in
+    ignore o;
+    Obs.Profile.to_json ~name:"JACOBI" ~seed:42 p
+  in
+  let j1 = entry () and j2 = entry () in
+  Alcotest.(check string) "byte-identical JSON" j1 j2;
+  let v = Json_check.parse j1 in
+  Alcotest.(check (option string))
+    "schema" (Some "openarc.obs.profile")
+    (Option.map Json_check.str_exn (Json_check.member "schema" v));
+  let rows = Json_check.arr_exn (Option.get (Json_check.member "rows" v)) in
+  Alcotest.(check bool) "rows present" true (rows <> [])
+
+(* ---------------------- recovery & device spans --------------------- *)
+
+let test_recovery_spans () =
+  let tp = tprog_of "JACOBI" in
+  let plan =
+    match Gpusim.Fault_plan.of_spec ~seed:42 "xfer-fail" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "fault spec: %s" e
+  in
+  let tr = Obs.Trace.create () in
+  let o =
+    Accrt.Interp.run ~coherence:false ~seed:42 ~plan
+      ~resilience:Accrt.Resilience.retry ~obs:tr tp
+  in
+  ignore o;
+  let recoveries =
+    List.filter
+      (fun s -> s.Obs.Trace.sp_kind = Obs.Trace.Recovery)
+      (Obs.Trace.spans tr)
+  in
+  Alcotest.(check bool) "recovery spans recorded" true (recoveries <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "has cause attr" true
+        (List.mem_assoc "cause" s.Obs.Trace.sp_attrs);
+      Alcotest.(check bool) "has ok attr" true
+        (List.mem_assoc "ok" s.Obs.Trace.sp_attrs))
+    recoveries;
+  Alcotest.(check bool) "counter mirrors spans" true
+    (List.assoc_opt "recoveries" (Obs.Trace.counters tr)
+    = Some (List.length recoveries))
+
+let test_device_spans_and_counters () =
+  let tp = tprog_of "JACOBI" in
+  let tr = Obs.Trace.create () in
+  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~trace:true ~obs:tr tp in
+  let m = Accrt.Interp.metrics o in
+  let device_leaves =
+    List.filter
+      (fun s -> s.Obs.Trace.sp_kind = Obs.Trace.Device)
+      (Obs.Trace.spans tr)
+  in
+  Alcotest.(check bool) "device leaves imported" true (device_leaves <> []);
+  Alcotest.(check (option int))
+    "launch counter matches metrics"
+    (Some m.Gpusim.Metrics.kernel_launches)
+    (List.assoc_opt "launches" (Obs.Trace.counters tr));
+  Alcotest.(check bool) "transfer counter recorded" true
+    (match List.assoc_opt "transfers" (Obs.Trace.counters tr) with
+    | Some n -> n > 0
+    | None -> false)
+
+let tests =
+  [ Alcotest.test_case "span tree" `Quick test_span_tree;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "jsonl export" `Quick test_jsonl;
+    Alcotest.test_case "bit-exact conservation" `Quick test_conservation;
+    Alcotest.test_case "audit replay" `Quick test_audit_replay;
+    Alcotest.test_case "flamegraph determinism" `Quick test_flame_deterministic;
+    Alcotest.test_case "profile json determinism" `Quick
+      test_profile_json_deterministic;
+    Alcotest.test_case "recovery spans" `Quick test_recovery_spans;
+    Alcotest.test_case "device spans & counters" `Quick
+      test_device_spans_and_counters ]
