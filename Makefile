@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke regress-smoke check bench clean
 
 all: build
 
@@ -34,7 +34,14 @@ fault-matrix: build
 profile-smoke: build
 	$(DUNE) exec --no-build bench/main.exe profile-smoke
 
-check: build test lint fault-matrix profile-smoke
+# Regression sentinel smoke: diff a 3-benchmark sweep against the
+# committed BENCH_profile.json baseline; exits nonzero with a
+# per-directive culprit report (regress-report.json) on regression.
+regress-smoke: build
+	$(DUNE) exec --no-build bench/main.exe -- \
+	  regress --benches jacobi,ep,srad --json regress-report.json
+
+check: build test lint fault-matrix profile-smoke regress-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

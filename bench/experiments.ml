@@ -601,3 +601,283 @@ let run_profile_smoke ppf =
     Fmt.failwith
       "profile smoke failed: regenerate with 'bench/main.exe profile' and \
        inspect the diff"
+
+(* ------------------------------------------------------------------ *)
+(* Regression sentinel: trend accumulation and baseline diffing        *)
+(* ------------------------------------------------------------------ *)
+
+let trend_path = "BENCH_trend.jsonl"
+
+(* Resolve a comma-separated --benches selection; unknown names raise
+   (the CLI maps that to exit 2, malformed input). *)
+let select = function
+  | None -> benchmarks
+  | Some names ->
+      List.map
+        (fun n ->
+          let n = String.uppercase_ascii n in
+          match
+            List.find_opt (fun b -> b.Bench_def.name = n) benchmarks
+          with
+          | Some b -> b
+          | None ->
+              Fmt.failwith "unknown benchmark '%s' (expected one of %s)" n
+                (String.concat ","
+                   (List.map (fun b -> b.Bench_def.name) benchmarks)))
+        names
+
+(* The current sweep side of a diff re-parses its own canonical JSON so
+   both sides of every comparison went through the same %.9f rounding:
+   a clean tree diffs against the committed baseline to exactly zero. *)
+let current_profile b =
+  let name, total, entry = profile_entry b in
+  match Obs.Diff.profile_of_json entry with
+  | Ok (p, _, _) -> (name, total, p)
+  | Error e ->
+      Fmt.failwith "internal: generated profile for %s unparseable: %s" name
+        e
+
+let trend_line ~label name (p : Obs.Profile.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Fmt.str
+       "{\"schema\": %s, \"version\": %d, \"name\": %s, \"seed\": 42, \
+        \"label\": %s, \"total\": %.9f, \"totals\": {"
+       (Obs.Trace.json_str (Obs.Trace.schema ^ ".bench-trend"))
+       Obs.Trace.version
+       (Obs.Trace.json_str name)
+       (Obs.Trace.json_str label)
+       p.Obs.Profile.p_total);
+  List.iteri
+    (fun i (c, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Fmt.str "%s: %.9f" (Obs.Trace.json_str c) v))
+    p.Obs.Profile.p_totals;
+  Buffer.add_string buf "}, \"counters\": {";
+  List.iteri
+    (fun i (c, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Fmt.str "%s: %d" (Obs.Trace.json_str c) v))
+    p.Obs.Profile.p_counters;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let run_trend ?(out = trend_path) ?names ?(label = "") ppf =
+  let bs = select names in
+  Fmt.pf ppf "Bench trend sweep (seed 42, source variant)@.";
+  hr ppf;
+  let lines =
+    List.map
+      (fun b ->
+        let name, total, p = current_profile b in
+        Fmt.pf ppf "  %-12s %12.9f s@." name total;
+        trend_line ~label name p)
+      bs
+  in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 out in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "%d record(s) appended to %s@." (List.length lines) out
+
+(* Per-benchmark relative tolerances for the regress gate.  The default
+   absorbs cost-model retuning noise; short transfer-dominated runs get a
+   slightly wider band because a single PCIe transaction is a coarser
+   relative step of their total. *)
+let default_tolerance = 0.02
+
+let tolerances = [ ("EP", 0.03); ("HOTSPOT", 0.03) ]
+
+let tolerance name =
+  Option.value ~default:default_tolerance (List.assoc_opt name tolerances)
+
+type regress_row = {
+  rg_name : string;
+  rg_tol : float;
+  rg_status : string;  (* ok | regression | improved | missing-baseline *)
+  rg_diff : Obs.Diff.t option;
+  rg_culprits : Obs.Diff.row_delta list;
+}
+
+let baseline_profiles path =
+  let doc =
+    match open_in_bin path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith "missing baseline %s (run 'bench/main.exe profile' \
+                      and commit the result)" path
+  in
+  match Obs.Pjson.parse_result doc with
+  | Error e -> Fmt.failwith "malformed baseline %s: %s" path e
+  | Ok v -> (
+      match Obs.Pjson.member "benchmarks" v with
+      | Some (Obs.Pjson.Arr entries) ->
+          List.map
+            (fun ev ->
+              match Obs.Diff.profile_of_value ev with
+              | Ok (p, name, _seed) -> (name, p)
+              | Error e ->
+                  Fmt.failwith "malformed baseline entry in %s: %s" path e)
+            entries
+      | _ -> Fmt.failwith "baseline %s has no benchmarks array" path)
+
+let regress_row ~baseline b =
+  let name, _total, p_cur = current_profile b in
+  let tol = tolerance name in
+  match List.assoc_opt name baseline with
+  | None ->
+      { rg_name = name; rg_tol = tol; rg_status = "missing-baseline";
+        rg_diff = None; rg_culprits = [] }
+  | Some p_base ->
+      let d =
+        Obs.Diff.diff ~before_name:(name ^ "@baseline")
+          ~after_name:(name ^ "@current") ~before:p_base ~after:p_cur ()
+      in
+      let budget = tol *. Float.max d.Obs.Diff.d_total_before 1e-12 in
+      let cat_over =
+        List.exists
+          (fun c -> c.Obs.Diff.cd_delta > budget)
+          d.Obs.Diff.d_totals
+      in
+      let status =
+        if d.Obs.Diff.d_delta > budget || cat_over then "regression"
+        else if d.Obs.Diff.d_delta < -.budget then "improved"
+        else "ok"
+      in
+      let culprits =
+        if status <> "regression" then []
+        else
+          List.filteri (fun i _ -> i < 5)
+            (List.filter
+               (fun (r : Obs.Diff.row_delta) -> r.Obs.Diff.rd_delta > 0.0)
+               (Obs.Diff.movers d))
+      in
+      { rg_name = name; rg_tol = tol; rg_status = status; rg_diff = Some d;
+        rg_culprits = culprits }
+
+let regress_json ~baseline_path rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Fmt.str
+       "{\n\"schema\": %s,\n\"version\": %d,\n\"baseline\": %s,\n\
+        \"seed\": 42,\n\"status\": %s,\n\"benchmarks\": [\n"
+       (Obs.Trace.json_str (Obs.Trace.schema ^ ".bench-regress"))
+       Obs.Trace.version
+       (Obs.Trace.json_str baseline_path)
+       (Obs.Trace.json_str
+          (if List.exists
+                (fun r ->
+                  r.rg_status = "regression"
+                  || r.rg_status = "missing-baseline")
+                rows
+           then "regression"
+           else "ok")));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let tb, ta, dl =
+        match r.rg_diff with
+        | Some d ->
+            (d.Obs.Diff.d_total_before, d.Obs.Diff.d_total_after,
+             d.Obs.Diff.d_delta)
+        | None -> (0.0, 0.0, 0.0)
+      in
+      Buffer.add_string buf
+        (Fmt.str
+           "{\"name\": %s, \"tolerance\": %.3f, \"status\": %s, \
+            \"total_before\": %.9f, \"total_after\": %.9f, \"delta\": \
+            %.9f, \"culprits\": ["
+           (Obs.Trace.json_str r.rg_name)
+           r.rg_tol
+           (Obs.Trace.json_str r.rg_status)
+           tb ta dl);
+      List.iteri
+        (fun j (c : Obs.Diff.row_delta) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Fmt.str
+               "{\"directive\": %s, \"verdict\": %s, \"delta\": %.9f, \
+                \"category\": %s}"
+               (Obs.Trace.json_str c.Obs.Diff.rd_directive)
+               (Obs.Trace.json_str
+                  (Obs.Diff.verdict_name c.Obs.Diff.rd_verdict))
+               c.Obs.Diff.rd_delta
+               (Obs.Trace.json_str
+                  (Option.value ~default:""
+                     (Obs.Diff.dominant_cat c)))))
+        r.rg_culprits;
+      Buffer.add_string buf "]}")
+    rows;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let run_regress ?(baseline = profile_path) ?names ?json ppf =
+  let bs = select names in
+  let base = baseline_profiles baseline in
+  Fmt.pf ppf "Regression sentinel: current sweep vs %s (seed 42)@." baseline;
+  hr ppf;
+  let rows = List.map (regress_row ~baseline:base) bs in
+  List.iter
+    (fun r ->
+      (match r.rg_diff with
+      | Some d ->
+          Fmt.pf ppf
+            "  %-12s base %12.9f s  now %12.9f s  delta %+.9f s  %s (tol \
+             %.1f%%)@."
+            r.rg_name d.Obs.Diff.d_total_before d.Obs.Diff.d_total_after
+            d.Obs.Diff.d_delta r.rg_status (100. *. r.rg_tol)
+      | None ->
+          Fmt.pf ppf
+            "  %-12s missing from baseline (regenerate with \
+             'bench/main.exe profile')@."
+            r.rg_name);
+      List.iter
+        (fun (c : Obs.Diff.row_delta) ->
+          Fmt.pf ppf "    culprit: [%-9s] %-34s %+.9f s%s@."
+            (Obs.Diff.verdict_name c.Obs.Diff.rd_verdict)
+            c.Obs.Diff.rd_directive c.Obs.Diff.rd_delta
+            (match Obs.Diff.dominant_cat c with
+            | Some cat -> "  (" ^ cat ^ ")"
+            | None -> ""))
+        r.rg_culprits)
+    rows;
+  hr ppf;
+  (match json with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (regress_json ~baseline_path:baseline rows);
+      close_out oc;
+      Fmt.pf ppf "regress report written to %s@." path
+  | None -> ());
+  let bad =
+    List.filter
+      (fun r ->
+        r.rg_status = "regression" || r.rg_status = "missing-baseline")
+      rows
+  in
+  let improved = List.filter (fun r -> r.rg_status = "improved") rows in
+  if bad <> [] then begin
+    Fmt.pf ppf "REGRESSION: %d/%d benchmark(s) over tolerance@."
+      (List.length bad) (List.length rows);
+    1
+  end
+  else begin
+    Fmt.pf ppf "regress: %d/%d benchmark(s) within tolerance@."
+      (List.length rows - List.length bad)
+      (List.length rows);
+    if improved <> [] then
+      Fmt.pf ppf
+        "note: %d benchmark(s) improved beyond tolerance — consider \
+         refreshing the baseline with 'bench/main.exe profile'@."
+        (List.length improved);
+    0
+  end

@@ -2,8 +2,11 @@
     (Table I-III, Figures 1, 3, 4, plus the design ablations), then runs a
     Bechamel micro-benchmark suite over the compiler pipeline stages.
 
-    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|micro|all]]
-    With no argument everything runs. *)
+    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|trend|regress|micro|all]]
+    With no argument everything runs.  [trend] appends per-benchmark run
+    summaries to BENCH_trend.jsonl; [regress] diffs the current sweep
+    against the committed BENCH_profile.json under per-benchmark
+    tolerances and exits 1 with a culprit report on regression. *)
 
 let ppf = Fmt.stdout
 
@@ -67,8 +70,45 @@ let run_micro () =
         tbl)
     results
 
+let usage =
+  "usage: main.exe \
+   [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|\
+   profile|profile-smoke|trend|regress|micro|all] [options]\n\
+  \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
+  \  regress options: --baseline FILE  --benches A,B,..  --json FILE"
+
+(* Tiny --flag VALUE parser for the trend/regress subcommands.  Any
+   unknown flag or missing value is malformed input: usage to stderr,
+   exit 2 (same convention as the openarc CLI). *)
+let parse_flags spec argv =
+  let rec go = function
+    | [] -> ()
+    | flag :: rest -> (
+        match List.assoc_opt flag spec with
+        | None ->
+            Fmt.epr "unknown option '%s'@.%s@." flag usage;
+            exit 2
+        | Some set -> (
+            match rest with
+            | [] ->
+                Fmt.epr "option '%s' requires a value@.%s@." flag usage;
+                exit 2
+            | v :: rest' ->
+                set v;
+                go rest'))
+  in
+  go argv
+
+let split_benches s =
+  match String.split_on_char ',' s with
+  | [] -> None
+  | l -> Some (List.filter (fun x -> x <> "") l)
+
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let rest =
+    Array.to_list (Array.sub Sys.argv 2 (max 0 (Array.length Sys.argv - 2)))
+  in
   (match cmd with
   | "table1" -> Experiments.run_table1 ppf
   | "fig1" -> Experiments.run_fig1 ppf
@@ -86,14 +126,42 @@ let () =
       with Failure msg ->
         Fmt.epr "%s@." msg;
         exit 1)
+  | "trend" ->
+      let out = ref Experiments.trend_path in
+      let benches = ref None in
+      let label = ref "" in
+      parse_flags
+        [ ("--out", fun v -> out := v);
+          ("--benches", fun v -> benches := split_benches v);
+          ("--label", fun v -> label := v) ]
+        rest;
+      (try Experiments.run_trend ~out:!out ?names:!benches ~label:!label ppf
+       with Failure msg ->
+         Fmt.epr "%s@." msg;
+         exit 2)
+  | "regress" ->
+      let baseline = ref Experiments.profile_path in
+      let benches = ref None in
+      let json = ref None in
+      parse_flags
+        [ ("--baseline", fun v -> baseline := v);
+          ("--benches", fun v -> benches := split_benches v);
+          ("--json", fun v -> json := Some v) ]
+        rest;
+      let code =
+        try
+          Experiments.run_regress ~baseline:!baseline ?names:!benches
+            ?json:!json ppf
+        with Failure msg ->
+          Fmt.epr "%s@." msg;
+          exit 2
+      in
+      if code <> 0 then exit code
   | "micro" -> run_micro ()
   | "all" ->
       Experiments.run_all ppf;
       run_micro ()
   | other ->
-      Fmt.epr
-        "unknown experiment '%s' (expected \
-         table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|micro|all)@."
-        other;
-      exit 1);
+      Fmt.epr "unknown experiment '%s'@.%s@." other usage;
+      exit 2);
   Fmt.pf ppf "@."

@@ -10,6 +10,10 @@
                    (§III-A), with OpenARC-style [verificationOptions]
     - [optimize] : the interactive optimization loop of Figure 2, driven by
                    a scripted programmer
+    - [session]  : the same loop with structured per-iteration telemetry
+                   and inter-iteration profile diffs
+    - [diff-profile]: compare two per-directive cost profiles (the
+                   canonical [profile --json] documents)
     - [lint]     : static directive diagnostics — race/privatization
                    errors and compile-time transfer classification
     - [benchmarks]: list the bundled benchmark suite
@@ -548,7 +552,8 @@ let optimize_cmd =
           Openarc_core.Session.optimize ~policy ~max_iterations ~outputs
             prog
         in
-        List.iter (fun l -> Fmt.pr "%s@." l) r.Openarc_core.Session.log;
+        List.iter (fun l -> Fmt.pr "%s@." l)
+          (Openarc_core.Session.log_lines r);
         Fmt.pr "@.%d iteration(s), %d incorrect, converged: %b@."
           r.Openarc_core.Session.iterations
           r.Openarc_core.Session.incorrect_iterations
@@ -567,6 +572,139 @@ let optimize_cmd =
        ~doc:"Run the interactive memory-transfer optimization loop")
     Term.(const run $ file_arg $ outputs $ max_iterations $ conservative
           $ show_final)
+
+(* ------------------------------ session ---------------------------- *)
+
+let session_cmd =
+  let outputs =
+    Arg.(required
+         & opt (some string) None
+         & info [ "outputs" ] ~docv:"VARS"
+             ~doc:"Comma-separated host variables that define observable \
+                   correctness")
+  in
+  let max_iterations =
+    Arg.(value & opt int 12 & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap")
+  in
+  let conservative =
+    Arg.(value & flag
+         & info [ "conservative" ]
+             ~doc:"Apply only suggestions backed by certain evidence")
+  in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Print the full iteration-by-iteration narrative with \
+                   inter-iteration profile diffs")
+  in
+  let json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the session telemetry (per-iteration records, \
+                   embedded profiles, profile deltas) as canonical JSON")
+  in
+  let run file outputs max_iterations conservative report json =
+    handle (fun () ->
+        let prog =
+          Minic.Parser.parse_string ~file:"<input>" (load_source file)
+        in
+        let outputs = String.split_on_char ',' outputs in
+        let policy =
+          if conservative then Openarc_core.Session.Conservative
+          else Openarc_core.Session.Follow_all
+        in
+        let r =
+          Openarc_core.Session.optimize ~policy ~max_iterations ~outputs
+            prog
+        in
+        if report then
+          Fmt.pr "%s" (Openarc_core.Session.report ~name:file r)
+        else begin
+          List.iter
+            (fun (it : Openarc_core.Session.iteration) ->
+              Fmt.pr "iteration %d: outputs %s, %d transfer(s), %d \
+                      byte(s)%s@."
+                it.Openarc_core.Session.it_index
+                (if it.Openarc_core.Session.it_outputs_ok then "ok"
+                 else "DIVERGED")
+                it.Openarc_core.Session.it_transfers
+                it.Openarc_core.Session.it_bytes
+                (if it.Openarc_core.Session.it_note = "" then ""
+                 else "; " ^ it.Openarc_core.Session.it_note))
+            r.Openarc_core.Session.telemetry;
+          Fmt.pr "%d iteration(s), %d incorrect, converged: %b@."
+            r.Openarc_core.Session.iterations
+            r.Openarc_core.Session.incorrect_iterations
+            r.Openarc_core.Session.converged
+        end;
+        match json with
+        | Some path ->
+            write_file path (Openarc_core.Session.to_json ~name:file r);
+            Fmt.pr "session telemetry written to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Run the interactive optimization loop with structured \
+             per-iteration telemetry: profile snapshots, coherence report \
+             counts, applied suggestions, verification outcomes, and \
+             inter-iteration profile diffs")
+    Term.(const run $ file_arg $ outputs $ max_iterations $ conservative
+          $ report $ json)
+
+(* ---------------------------- diff-profile -------------------------- *)
+
+let diff_profile_cmd =
+  let before_arg =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"BEFORE"
+             ~doc:"Baseline profile (canonical 'openarc profile --json' \
+                   document)")
+  in
+  let after_arg =
+    Arg.(required
+         & pos 1 (some string) None
+         & info [] ~docv:"AFTER" ~doc:"Profile to compare against BEFORE")
+  in
+  let json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the diff as canonical JSON (schema \
+                   openarc.obs.profile-diff)")
+  in
+  let read_profile path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Diff.profile_of_json s with
+    | Ok (p, name, _seed) -> (p, if name = "" then path else name)
+    | Error e -> Fmt.failwith "%s: not a canonical profile (%s)" path e
+  in
+  let run before after json =
+    handle (fun () ->
+        let pb, nb = read_profile before in
+        let pa, na = read_profile after in
+        let d =
+          Obs.Diff.diff ~before_name:nb ~after_name:na ~before:pb ~after:pa
+            ()
+        in
+        Fmt.pr "%a" Obs.Diff.pp d;
+        match json with
+        | Some path ->
+            write_file path (Obs.Diff.to_json d);
+            Fmt.pr "diff written to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "diff-profile"
+       ~doc:"Compare two per-directive cost profiles: per-directive, \
+             per-category deltas with improved/regressed/appeared/vanished \
+             attribution")
+    Term.(const run $ before_arg $ after_arg $ json)
 
 (* ------------------------------- lint ------------------------------ *)
 
@@ -731,4 +869,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ compile_cmd; run_cmd; profile_cmd; verify_cmd; optimize_cmd;
-            lint_cmd; fault_matrix_cmd; benchmarks_cmd ]))
+            session_cmd; diff_profile_cmd; lint_cmd; fault_matrix_cmd;
+            benchmarks_cmd ]))

@@ -35,7 +35,8 @@ let () =
   let result =
     Openarc_core.Session.optimize ~outputs:[ "a"; "b"; "resid" ] prog
   in
-  List.iter (fun l -> Fmt.pr "  %s@." l) result.Openarc_core.Session.log;
+  List.iter (fun l -> Fmt.pr "  %s@." l)
+    (Openarc_core.Session.log_lines result);
 
   let n0, b0 = Openarc_core.Session.transfer_stats prog in
   let n1, b1 =

@@ -16,13 +16,41 @@ type policy =
   | Follow_all  (** apply certain and may-based suggestions (paper's user) *)
   | Conservative  (** apply only certain suggestions *)
 
+(** Structured telemetry of one loop iteration: the profiled run's
+    per-directive cost snapshot, the coherence findings it produced, the
+    suggestions the scripted programmer applied, the dynamic transfer
+    stats, and the verification outcome.  The bare log lines of earlier
+    versions survive as [it_events]. *)
+type iteration = {
+  it_index : int;  (** 1-based *)
+  it_profile : Obs.Profile.t option;
+      (** per-directive snapshot of the instrumented run; [None] when the
+          run raised before completing *)
+  it_report_counts : (string * int) list;
+      (** coherence report kind -> occurrence count, fixed kind order *)
+  it_suggestions : (string * bool) list;
+      (** suggestions applied this iteration (rendered text, certain?) *)
+  it_transfers : int;  (** transfers executed by the profiled run *)
+  it_bytes : int;  (** bytes moved by the profiled run *)
+  it_outputs_ok : bool;  (** outputs matched the sequential reference *)
+  it_wrong_restored : string list;
+      (** variables whose earlier transfer removal this iteration exposed
+          as a wrong suggestion (and restored) *)
+  it_reverted : bool;  (** this iteration reverted the previous edits *)
+  it_note : string;  (** "converged", "reverted", "failed: ...", or "" *)
+  it_events : string list;  (** human-readable event lines *)
+}
+
 type result = {
   final : program;  (** program after optimization *)
   iterations : int;  (** total verification iterations (Table III) *)
   incorrect_iterations : int;  (** iterations spoiled by wrong suggestions *)
   converged : bool;
-  log : string list;  (** per-iteration summaries *)
+  telemetry : iteration list;  (** one record per iteration, in order *)
 }
+
+let log_lines r =
+  List.concat_map (fun it -> it.it_events) r.telemetry
 
 (* Compare designated outputs of a candidate run against the sequential
    reference; small relative tolerance absorbs the GPU's tree-order
@@ -141,8 +169,36 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
   (* vars whose (uncertain) transfer removal was applied, per direction *)
   let removed : (string * bool, unit) Hashtbl.t = Hashtbl.create 8 in
   let frozen_vars : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  let log = ref [] in
-  let say fmt = Fmt.kstr (fun m -> log := m :: !log) fmt in
+  let categories =
+    List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
+  in
+  let telemetry = ref [] in
+  (* Per-iteration event lines; [say] appends to the current iteration. *)
+  let events = ref [] in
+  let say fmt = Fmt.kstr (fun m -> events := m :: !events) fmt in
+  let blank_iteration index =
+    { it_index = index; it_profile = None; it_report_counts = [];
+      it_suggestions = []; it_transfers = 0; it_bytes = 0;
+      it_outputs_ok = false; it_wrong_restored = []; it_reverted = false;
+      it_note = ""; it_events = [] }
+  in
+  let push it =
+    telemetry := { it with it_events = List.rev !events } :: !telemetry;
+    events := []
+  in
+  let report_counts reports =
+    List.map
+      (fun k ->
+        ( Accrt.Coherence.kind_name k,
+          List.length
+            (List.filter
+               (fun (r : Accrt.Coherence.report) ->
+                 r.Accrt.Coherence.r_kind = k)
+               reports) ))
+      [ Accrt.Coherence.Missing; Accrt.Coherence.May_missing;
+        Accrt.Coherence.Incorrect; Accrt.Coherence.Redundant;
+        Accrt.Coherence.May_redundant ]
+  in
 
   let removal_of (s : Suggest.suggestion) =
     match s.Suggest.s_action with
@@ -173,15 +229,16 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
   let rec loop prog history iterations incorrect =
     if iterations >= max_iterations then
       { final = prog; iterations; incorrect_iterations = incorrect;
-        converged = false; log = List.rev !log }
+        converged = false; telemetry = List.rev !telemetry }
     else begin
       let iterations = iterations + 1 in
+      let tr = Obs.Trace.create () in
       let outcome_or_err =
         try
           let env = Minic.Typecheck.check prog in
           let tp = Codegen.Translate.translate env prog in
           let tp = Codegen.Checkgen.instrument tp in
-          Ok (Accrt.Interp.run ~coherence:true tp)
+          Ok (Accrt.Interp.run ~coherence:true ~obs:tr tp)
         with e -> Error (Printexc.to_string e)
       in
       match outcome_or_err with
@@ -197,12 +254,31 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
                       Hashtbl.replace frozen_vars v ()
                   | _ -> ())
                 applied;
+              push
+                { (blank_iteration iterations) with
+                  it_reverted = true;
+                  it_note = "failed: " ^ msg };
               loop prev rest iterations (incorrect + 1)
           | [] ->
+              push
+                { (blank_iteration iterations) with
+                  it_note = "failed: " ^ msg };
               { final = prog; iterations; incorrect_iterations = incorrect;
-                converged = false; log = List.rev !log })
+                converged = false; telemetry = List.rev !telemetry })
       | Ok outcome ->
           let correct = outputs_match ~outputs ~reference outcome in
+          let m = Accrt.Interp.metrics outcome in
+          let base =
+            { (blank_iteration iterations) with
+              it_profile = Some (Obs.Profile.of_trace ~categories tr);
+              it_report_counts =
+                report_counts (Accrt.Interp.reports outcome);
+              it_transfers =
+                m.Gpusim.Metrics.transfers_h2d
+                + m.Gpusim.Metrics.transfers_d2h;
+              it_bytes = Gpusim.Metrics.total_bytes m;
+              it_outputs_ok = correct }
+          in
           let suggestions =
             Suggest.actionable (Suggest.analyze outcome)
             |> List.filter (fun (sg : Suggest.suggestion) ->
@@ -228,11 +304,11 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
                 | _ -> false)
               suggestions
           in
-          let incorrect =
+          let incorrect, restored =
             List.fold_left
-              (fun acc (sg : Suggest.suggestion) ->
+              (fun (acc, restored) (sg : Suggest.suggestion) ->
                 let v = sg.Suggest.s_var in
-                if Hashtbl.mem frozen_vars v then acc
+                if Hashtbl.mem frozen_vars v then (acc, restored)
                 else begin
                   Hashtbl.replace frozen_vars v ();
                   say
@@ -240,10 +316,11 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
                      wrong suggestion (verification reported errors); \
                      restoring it"
                     iterations v;
-                  acc + 1
+                  (acc + 1, v :: restored)
                 end)
-              incorrect readds
+              (incorrect, []) readds
           in
+          let base = { base with it_wrong_restored = List.rev restored } in
           if suggestions = [] then begin
             if not correct then begin
               (* Broken with nothing left to apply: fall back to revert. *)
@@ -253,17 +330,20 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
                     "iteration %d: outputs diverge from the reference; \
                      reverting previous edits"
                     iterations;
+                  push { base with it_reverted = true; it_note = "reverted" };
                   loop prev rest iterations (incorrect + 1)
               | [] ->
+                  push { base with it_note = "not converged" };
                   { final = prog; iterations;
                     incorrect_iterations = incorrect; converged = false;
-                    log = List.rev !log }
+                    telemetry = List.rev !telemetry }
             end
             else begin
               say "iteration %d: no further suggestions — converged"
                 iterations;
+              push { base with it_note = "converged" };
               { final = prog; iterations; incorrect_iterations = incorrect;
-                converged = true; log = List.rev !log }
+                converged = true; telemetry = List.rev !telemetry }
             end
           end
           else begin
@@ -286,11 +366,178 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
                   apply_action p sg.Suggest.s_action)
                 prog suggestions
             in
+            push
+              { base with
+                it_suggestions =
+                  List.map
+                    (fun (sg : Suggest.suggestion) ->
+                      (sg.Suggest.s_text, sg.Suggest.s_certain))
+                    suggestions };
             loop prog' ((prog, suggestions) :: history) iterations incorrect
           end
     end
   in
   loop prog [] 0 0
+
+(* ----------------------- telemetry rendering ----------------------- *)
+
+let iter_label i = Fmt.str "iteration %d" i.it_index
+
+(* Consecutive profiled iterations, for inter-iteration diffs. *)
+let profile_pairs r =
+  let profiled =
+    List.filter_map
+      (fun it -> Option.map (fun p -> (it, p)) it.it_profile)
+      r.telemetry
+  in
+  let rec pairs = function
+    | (ia, pa) :: ((ib, pb) :: _ as rest) ->
+        (ia, pa, ib, pb) :: pairs rest
+    | _ -> []
+  in
+  pairs profiled
+
+(** Iteration-by-iteration narrative of the Figure-2 loop, with the
+    profile delta of every consecutive pair of profiled iterations — the
+    per-step performance attribution that shows which edit paid off. *)
+let report ~name r =
+  let b = Buffer.create 4096 in
+  let pf fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  pf "interactive session report for %s\n" name;
+  let diffs =
+    List.map
+      (fun (ia, pa, ib, pb) ->
+        ( ib.it_index,
+          Obs.Diff.diff ~before_name:(iter_label ia)
+            ~after_name:(iter_label ib) ~before:pa ~after:pb () ))
+      (profile_pairs r)
+  in
+  List.iter
+    (fun it ->
+      let reports_txt =
+        String.concat ", "
+          (List.filter_map
+             (fun (k, n) -> if n > 0 then Some (Fmt.str "%s %d" k n) else None)
+             it.it_report_counts)
+      in
+      pf "iteration %d: outputs %s; reports: %s; %d transfer(s), %d \
+          byte(s)%s%s\n"
+        it.it_index
+        (if it.it_outputs_ok then "ok" else "DIVERGED")
+        (if reports_txt = "" then "none" else reports_txt)
+        it.it_transfers it.it_bytes
+        (match it.it_profile with
+        | Some p -> Fmt.str "; profiled total %.9f s" p.Obs.Profile.p_total
+        | None -> "")
+        (if it.it_note = "" then "" else "; " ^ it.it_note);
+      (match List.assoc_opt it.it_index diffs with
+      | Some d ->
+          pf "  profile delta vs previous profiled iteration: %+.9f s \
+              (%+.2f%%)\n"
+            d.Obs.Diff.d_delta
+            (100.0 *. d.Obs.Diff.d_delta
+            /. Float.max (Float.abs d.Obs.Diff.d_total_before) 1e-12);
+          List.iter
+            (fun c ->
+              if c.Obs.Diff.cd_delta <> 0.0 then
+                pf "    %-16s %+.9f s\n" c.Obs.Diff.cd_cat
+                  c.Obs.Diff.cd_delta)
+            d.Obs.Diff.d_totals;
+          List.iteri
+            (fun i (row : Obs.Diff.row_delta) ->
+              if i < 3 then
+                pf "    [%s] %s %+.9f s%s\n"
+                  (Obs.Diff.verdict_name row.Obs.Diff.rd_verdict)
+                  row.Obs.Diff.rd_directive row.Obs.Diff.rd_delta
+                  (match Obs.Diff.dominant_cat row with
+                  | Some c -> "  (" ^ c ^ ")"
+                  | None -> ""))
+            (Obs.Diff.movers d)
+      | None -> ());
+      List.iter
+        (fun (text, certain) ->
+          pf "  applied: %s [%s]\n" text
+            (if certain then "certain" else "verify"))
+        it.it_suggestions;
+      List.iter
+        (fun v -> pf "  restored wrong removal of %s\n" v)
+        it.it_wrong_restored)
+    r.telemetry;
+  pf "result: %s after %d iteration(s), %d incorrect\n"
+    (if r.converged then "converged" else "NOT converged")
+    r.iterations r.incorrect_iterations;
+  (match (r.telemetry, List.rev r.telemetry) with
+  | first :: _, last :: _ when first.it_profile <> None ->
+      pf "transfers: %d (%d bytes) -> %d (%d bytes)\n" first.it_transfers
+        first.it_bytes last.it_transfers last.it_bytes
+  | _ -> ());
+  Buffer.contents b
+
+(** Canonical deterministic JSON export of the telemetry: one record per
+    iteration with its embedded profile, plus the inter-iteration profile
+    diffs (schema [openarc.obs.session]). *)
+let to_json ~name r =
+  let js = Obs.Trace.json_str in
+  let b = Buffer.create 16384 in
+  let pf fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  pf "{\n";
+  pf "  \"schema\": %s,\n  \"version\": %d,\n"
+    (js (Obs.Trace.schema ^ ".session"))
+    Obs.Trace.version;
+  pf "  \"name\": %s,\n" (js name);
+  pf "  \"converged\": %b,\n  \"iterations\": %d,\n  \
+      \"incorrect_iterations\": %d,\n"
+    r.converged r.iterations r.incorrect_iterations;
+  pf "  \"records\": [\n";
+  let nrec = List.length r.telemetry in
+  List.iteri
+    (fun i it ->
+      pf "    {\"index\": %d, \"outputs_ok\": %b, \"reverted\": %b, \
+          \"note\": %s,\n"
+        it.it_index it.it_outputs_ok it.it_reverted (js it.it_note);
+      pf "     \"transfers\": %d, \"bytes\": %d,\n" it.it_transfers
+        it.it_bytes;
+      pf "     \"reports\": {%s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Fmt.str "%s: %d" (js k) n)
+              it.it_report_counts));
+      pf "     \"suggestions\": [%s],\n"
+        (String.concat ", "
+           (List.map
+              (fun (text, certain) ->
+                Fmt.str "{\"text\": %s, \"certain\": %b}" (js text) certain)
+              it.it_suggestions));
+      pf "     \"wrong_restored\": [%s],\n"
+        (String.concat ", " (List.map js it.it_wrong_restored));
+      pf "     \"events\": [%s],\n"
+        (String.concat ", " (List.map js it.it_events));
+      (match it.it_profile with
+      | Some p ->
+          pf "     \"profile\": %s}"
+            (String.trim
+               (Obs.Profile.to_json
+                  ~name:(Fmt.str "%s#it%d" name it.it_index)
+                  ~seed:42 p))
+      | None -> pf "     \"profile\": null}");
+      if i < nrec - 1 then pf ",";
+      pf "\n")
+    r.telemetry;
+  pf "  ],\n  \"deltas\": [\n";
+  let pairs = profile_pairs r in
+  let npairs = List.length pairs in
+  List.iteri
+    (fun i (ia, pa, ib, pb) ->
+      let d =
+        Obs.Diff.diff ~before_name:(iter_label ia)
+          ~after_name:(iter_label ib) ~before:pa ~after:pb ()
+      in
+      pf "    %s" (String.trim (Obs.Diff.to_json d));
+      if i < npairs - 1 then pf ",";
+      pf "\n")
+    pairs;
+  pf "  ]\n}\n";
+  Buffer.contents b
 
 (** Dynamic transfer statistics of a program: (transfer count, bytes moved).
     Used to quantify leftover (uncaught) redundancy against the manually

@@ -8,13 +8,46 @@ type policy =
   | Follow_all  (** apply certain and may-based suggestions (paper's user) *)
   | Conservative  (** apply only certain suggestions *)
 
+(** Structured telemetry of one loop iteration: profile snapshot of the
+    instrumented run, coherence report counts, suggestions applied,
+    dynamic transfer stats, and the verification outcome. *)
+type iteration = {
+  it_index : int;  (** 1-based *)
+  it_profile : Obs.Profile.t option;
+      (** per-directive snapshot; [None] when the run raised *)
+  it_report_counts : (string * int) list;
+      (** coherence report kind -> count, fixed kind order *)
+  it_suggestions : (string * bool) list;
+      (** applied suggestions (rendered text, certain?) *)
+  it_transfers : int;
+  it_bytes : int;
+  it_outputs_ok : bool;
+  it_wrong_restored : string list;
+      (** vars whose earlier removal was exposed as wrong and restored *)
+  it_reverted : bool;
+  it_note : string;  (** "converged", "reverted", "failed: ...", or "" *)
+  it_events : string list;  (** human-readable event lines *)
+}
+
 type result = {
   final : Minic.Ast.program;  (** program after optimization *)
   iterations : int;  (** total verification iterations (Table III) *)
   incorrect_iterations : int;
   converged : bool;
-  log : string list;  (** per-iteration summaries *)
+  telemetry : iteration list;  (** one record per iteration, in order *)
 }
+
+(** Flattened per-iteration event lines (the old [log] field). *)
+val log_lines : result -> string list
+
+(** Iteration-by-iteration narrative with inter-iteration profile diffs
+    ({!Obs.Diff}) — the Figure-2 loop made observable end to end. *)
+val report : name:string -> result -> string
+
+(** Canonical deterministic JSON export of the telemetry
+    (schema [openarc.obs.session]): per-iteration records with embedded
+    profiles, plus the consecutive profile diffs. *)
+val to_json : name:string -> result -> string
 
 (** Do a candidate run's designated outputs match the sequential reference
     (within a small tolerance absorbing tree-order reductions)? *)

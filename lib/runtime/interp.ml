@@ -681,9 +681,20 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
           Coherence.on_transfer ?range coh x.x_var x.x_dir ~site:x.x_site
         end;
         if (not !host_mode) && not (Hashtbl.mem host_only x.x_var) then begin
+          let h2d0 = metrics.Gpusim.Metrics.bytes_h2d
+          and d2h0 = metrics.Gpusim.Metrics.bytes_d2h in
           do_transfer x ~host ~range ~async;
           (* A completed transfer leaves host and device coherent. *)
-          Hashtbl.remove device_fresh x.x_var
+          Hashtbl.remove device_fresh x.x_var;
+          (* Byte traffic becomes trace counters, so profiles (and their
+             diffs) carry byte deltas alongside the time categories. *)
+          match obs with
+          | None -> ()
+          | Some tr ->
+              let dh = metrics.Gpusim.Metrics.bytes_h2d - h2d0
+              and dd = metrics.Gpusim.Metrics.bytes_d2h - d2h0 in
+              if dh > 0 then Obs.Trace.count tr "bytes_h2d" dh;
+              if dd > 0 then Obs.Trace.count tr "bytes_d2h" dd
         end
     | Tlaunch (kid, async) ->
         let k = tp.kernels.(kid) in

@@ -291,6 +291,109 @@ let test_device_faults () =
     Alcotest.(check bool) "json: seed" true (contains ~needle:"\"seed\": 42" j)
   end
 
+let test_diff_profile () =
+  if available then begin
+    let tmp () = Filename.temp_file "openarc_diff" ".json" in
+    let p1 = tmp () and p2 = tmp () and popt = tmp () in
+    let gen variant path =
+      let code, _ =
+        run_cmd
+          (Fmt.str "profile %s --json %s" variant (Filename.quote path))
+      in
+      Alcotest.(check int) (variant ^ ": profile exit 0") 0 code
+    in
+    gen "bench:jacobi" p1;
+    gen "bench:jacobi" p2;
+    gen "bench:jacobi:opt" popt;
+    (* two same-seed runs of the same program: all-zero delta, exit 0 *)
+    let code, out =
+      run_cmd
+        (Fmt.str "diff-profile %s %s" (Filename.quote p1)
+           (Filename.quote p2))
+    in
+    Alcotest.(check int) "identical pair: exit 0" 0 code;
+    Alcotest.(check bool) "identical pair: all-zero" true
+      (contains ~needle:"all-zero delta: the profiles are identical" out);
+    (* naive vs optimized: the win is attributed to transfers *)
+    let code, out =
+      run_cmd
+        (Fmt.str "diff-profile %s %s" (Filename.quote p1)
+           (Filename.quote popt))
+    in
+    Alcotest.(check int) "naive-vs-opt: exit 0" 0 code;
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Fmt.str "naive-vs-opt mentions %S" needle)
+          true (contains ~needle out))
+      [ "Mem Transfer"; "vanished"; "appeared"; "counters:" ];
+    (* --json emits the canonical diff document *)
+    let dj = tmp () in
+    let code, _ =
+      run_cmd
+        (Fmt.str "diff-profile %s %s --json %s" (Filename.quote p1)
+           (Filename.quote popt) (Filename.quote dj))
+    in
+    Alcotest.(check int) "diff --json: exit 0" 0 code;
+    Alcotest.(check bool) "diff json schema" true
+      (contains ~needle:"\"schema\": \"openarc.obs.profile-diff\""
+         (read_file dj));
+    (* malformed input: exit 2 *)
+    let bad = tmp () in
+    let oc = open_out bad in
+    output_string oc "{ not a profile\n";
+    close_out oc;
+    let code, _ =
+      run_cmd
+        (Fmt.str "diff-profile %s %s" (Filename.quote bad)
+           (Filename.quote p1))
+    in
+    Alcotest.(check int) "malformed profile: exit 2" 2 code;
+    let code, _ =
+      run_cmd (Fmt.str "diff-profile %s /nonexistent.json" (Filename.quote p1))
+    in
+    Alcotest.(check int) "missing file: exit 2" 2 code;
+    List.iter Sys.remove [ p1; p2; popt; dj; bad ]
+  end
+
+let test_session () =
+  check_cmd "session" "session bench:jacobi --outputs a,b,resid"
+    ~expect:[ "iteration 1"; "converged" ];
+  check_cmd "session --report" "session bench:jacobi --outputs a,b,resid \
+                                --report"
+    ~expect:
+      [ "interactive session report"; "profile delta"; "Mem Transfer";
+        "transfers:" ];
+  if available then begin
+    let json = Filename.temp_file "openarc_session" ".json" in
+    let code, _ =
+      run_cmd
+        (Fmt.str "session bench:jacobi --outputs a,b,resid --json %s"
+           (Filename.quote json))
+    in
+    Alcotest.(check int) "session --json: exit 0" 0 code;
+    let doc = read_file json in
+    Sys.remove json;
+    let v = Json_check.parse doc in
+    Alcotest.(check (option string)) "session schema"
+      (Some "openarc.obs.session")
+      (Option.map Json_check.str_exn (Json_check.member "schema" v));
+    let records =
+      Json_check.arr_exn (Option.get (Json_check.member "records" v))
+    in
+    Alcotest.(check bool) "session records present" true (records <> []);
+    (* byte-reproducible across processes: two invocations, same bytes *)
+    let json2 = Filename.temp_file "openarc_session" ".json" in
+    let _ =
+      run_cmd
+        (Fmt.str "session bench:jacobi --outputs a,b,resid --json %s"
+           (Filename.quote json2))
+    in
+    Alcotest.(check string) "session json byte-reproducible" doc
+      (read_file json2);
+    Sys.remove json2
+  end
+
 let test_fault_matrix () =
   check_cmd "fault-matrix"
     "fault-matrix --benches jacobi --kinds xfer-fail,bitflip"
@@ -314,6 +417,8 @@ let tests =
     Alcotest.test_case "fault matrix trace" `Quick test_fault_matrix_trace;
     Alcotest.test_case "lint" `Quick test_lint;
     Alcotest.test_case "device faults" `Quick test_device_faults;
+    Alcotest.test_case "diff profile" `Quick test_diff_profile;
+    Alcotest.test_case "session" `Slow test_session;
     Alcotest.test_case "fault matrix" `Quick test_fault_matrix;
     Alcotest.test_case "version" `Quick test_version;
     Alcotest.test_case "error handling" `Quick test_error_handling ]

@@ -26,4 +26,6 @@ let () =
       ("resilience", Test_resilience.tests);
       ("lint", Test_lint.tests);
       ("obs", Test_obs.tests);
-      ("cli", Test_cli.tests) ]
+      ("diff", Test_diff.tests);
+      ("cli", Test_cli.tests);
+      ("bench_cli", Test_bench_cli.tests) ]

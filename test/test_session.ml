@@ -118,6 +118,119 @@ let test_defer_suggestion_applied () =
   Alcotest.(check bool) "converged" true r.Openarc_core.Session.converged;
   Alcotest.(check bool) "in-loop downloads removed" true (after < before)
 
+(* ------------------------- telemetry ------------------------------- *)
+
+let test_telemetry_records () =
+  let prog = Parser.parse_string jacobi in
+  let r = Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ] prog in
+  let t = r.Openarc_core.Session.telemetry in
+  Alcotest.(check int) "one record per iteration"
+    r.Openarc_core.Session.iterations (List.length t);
+  List.iteri
+    (fun i it ->
+      Alcotest.(check int)
+        (Fmt.str "record %d is 1-based in order" i)
+        (i + 1) it.Openarc_core.Session.it_index;
+      Alcotest.(check bool)
+        (Fmt.str "record %d has a profile" i)
+        true
+        (it.Openarc_core.Session.it_profile <> None);
+      Alcotest.(check bool)
+        (Fmt.str "record %d counts all report kinds" i)
+        true
+        (List.length it.Openarc_core.Session.it_report_counts = 5))
+    t;
+  let first = List.hd t and last = List.nth t (List.length t - 1) in
+  Alcotest.(check bool) "first iteration applied suggestions" true
+    (first.Openarc_core.Session.it_suggestions <> []);
+  Alcotest.(check string) "last iteration converged" "converged"
+    last.Openarc_core.Session.it_note;
+  Alcotest.(check bool) "transfers shrank across the session" true
+    (last.Openarc_core.Session.it_transfers
+    < first.Openarc_core.Session.it_transfers);
+  Alcotest.(check bool) "bytes shrank across the session" true
+    (last.Openarc_core.Session.it_bytes
+    < first.Openarc_core.Session.it_bytes);
+  Alcotest.(check bool) "outputs verified on the last iteration" true
+    last.Openarc_core.Session.it_outputs_ok;
+  (* log_lines flattens the same events the telemetry carries *)
+  Alcotest.(check bool) "log_lines nonempty" true
+    (Openarc_core.Session.log_lines r <> [])
+
+let test_telemetry_wrong_suggestion () =
+  let prog = Parser.parse_string aliased in
+  let r = Openarc_core.Session.optimize ~outputs:[ "cs" ] prog in
+  Alcotest.(check bool) "a record names the restored var" true
+    (List.exists
+       (fun it -> it.Openarc_core.Session.it_wrong_restored <> [])
+       r.Openarc_core.Session.telemetry)
+
+let test_session_report () =
+  let prog = Parser.parse_string jacobi in
+  let r = Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ] prog in
+  let report = Openarc_core.Session.report ~name:"jacobi" r in
+  let contains ~needle s =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Fmt.str "report mentions %S" needle)
+        true
+        (contains ~needle report))
+    [ "interactive session report for jacobi"; "iteration 1"; "converged";
+      "transfers:"; "profile delta" ]
+
+let test_session_to_json () =
+  let prog = Parser.parse_string jacobi in
+  let r = Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ] prog in
+  let v = Json_check.parse (Openarc_core.Session.to_json ~name:"jacobi" r) in
+  Alcotest.(check (option string)) "schema" (Some "openarc.obs.session")
+    (Option.map Json_check.str_exn (Json_check.member "schema" v));
+  let records =
+    Json_check.arr_exn (Option.get (Json_check.member "records" v))
+  in
+  Alcotest.(check int) "records match iterations"
+    r.Openarc_core.Session.iterations (List.length records);
+  List.iter
+    (fun rv ->
+      Alcotest.(check bool) "record embeds a profile doc" true
+        (match Json_check.member "profile" rv with
+        | Some p ->
+            Json_check.member "schema" p
+            = Some (Json_check.Str "openarc.obs.profile")
+        | None -> false))
+    records;
+  let deltas =
+    Json_check.arr_exn (Option.get (Json_check.member "deltas" v))
+  in
+  Alcotest.(check int) "one delta per consecutive profiled pair"
+    (max 0 (List.length records - 1))
+    (List.length deltas);
+  List.iter
+    (fun dv ->
+      Alcotest.(check bool) "delta is a profile-diff doc" true
+        (Json_check.member "schema" dv
+        = Some (Json_check.Str "openarc.obs.profile-diff")))
+    deltas;
+  (* deterministic export: same program, same seed, same bytes — modulo
+     the statement ids baked into directive labels (the sid counter is
+     process-global, so a second in-process session numbers its inserted
+     data region differently; across processes the export is
+     byte-identical, which the CLI test checks) *)
+  let r2 =
+    Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ]
+      (Parser.parse_string jacobi)
+  in
+  let normalize s =
+    Str.global_replace (Str.regexp "data[0-9]+") "dataN" s
+  in
+  Alcotest.(check string) "reproducible modulo statement ids"
+    (normalize (Openarc_core.Session.to_json ~name:"jacobi" r))
+    (normalize (Openarc_core.Session.to_json ~name:"jacobi" r2))
+
 let tests =
   [ Alcotest.test_case "suggestions from naive run" `Quick
       test_suggestions_from_naive_run;
@@ -129,4 +242,9 @@ let tests =
     Alcotest.test_case "conservative policy" `Quick test_conservative_policy;
     Alcotest.test_case "already optimal" `Quick test_already_optimal;
     Alcotest.test_case "defer suggestion applied" `Quick
-      test_defer_suggestion_applied ]
+      test_defer_suggestion_applied;
+    Alcotest.test_case "telemetry records" `Quick test_telemetry_records;
+    Alcotest.test_case "telemetry wrong suggestion" `Quick
+      test_telemetry_wrong_suggestion;
+    Alcotest.test_case "session report" `Quick test_session_report;
+    Alcotest.test_case "session to_json" `Quick test_session_to_json ]
