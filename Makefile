@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke regress-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke regress-smoke wall-smoke check bench clean
 
 all: build
 
@@ -41,7 +41,16 @@ regress-smoke: build
 	$(DUNE) exec --no-build bench/main.exe -- \
 	  regress --benches jacobi,ep,srad --json regress-report.json
 
-check: build test lint fault-matrix profile-smoke regress-smoke
+# Wall-clock smoke: time a 3-benchmark subset under both execution
+# engines (median of 3) and require the compiled engine not to be slower
+# than the tree walker; wall-report.json carries the measurements (the
+# full sweep is `bench/main.exe wall`, which regenerates BENCH_wall.json).
+wall-smoke: build
+	$(DUNE) exec --no-build bench/main.exe -- \
+	  wall --benches jacobi,ep,srad --repeats 3 --min-speedup 1.0 \
+	  --json wall-report.json
+
+check: build test lint fault-matrix profile-smoke regress-smoke wall-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

@@ -881,3 +881,125 @@ let run_regress ?(baseline = profile_path) ?names ?json ppf =
         (List.length improved);
     0
   end
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock tier: real interpreter time, per benchmark and engine    *)
+(* ------------------------------------------------------------------ *)
+
+let wall_path = "BENCH_wall.json"
+
+let median_float = function
+  | [] -> 0.0
+  | xs ->
+      let sorted = List.sort compare xs in
+      List.nth sorted (List.length sorted / 2)
+
+(* Median-of-[repeats] wall-clock of one translated run.  Only
+   [Interp.run] is inside the timer: parse/translate cost is a separate
+   (micro-benchmarked) pipeline stage, and the compiled engine pays its
+   kernel compilation inside the run — so the comparison charges the
+   engine, not the front end. *)
+let wall_time ~repeats ~engine tp =
+  median_float
+    (List.init repeats (fun _ ->
+         let t0 = Unix.gettimeofday () in
+         ignore (Accrt.Interp.run ~coherence:false ~engine ~seed:42 tp);
+         Unix.gettimeofday () -. t0))
+
+let wall_entry ~repeats ~engines (b : Bench_def.t) =
+  let prog = parse b in
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  ( b.Bench_def.name,
+    List.map (fun e -> (e, wall_time ~repeats ~engine:e tp)) engines )
+
+let wall_speedup times =
+  match
+    ( List.assoc_opt Accrt.Engine.Tree times,
+      List.assoc_opt Accrt.Engine.Compiled times )
+  with
+  | Some t, Some c when c > 0.0 -> Some (t /. c)
+  | _ -> None
+
+let wall_doc ~repeats ~engines entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n\"schema\": \"openarc.obs.bench-wall\",\n\"version\": 1,\n\
+     \"seed\": 42,\n";
+  Buffer.add_string buf (Fmt.str "\"repeats\": %d,\n" repeats);
+  Buffer.add_string buf
+    (Fmt.str "\"engines\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun e -> Fmt.str "%S" (Accrt.Engine.to_string e))
+             engines)));
+  Buffer.add_string buf "\"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, times) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Fmt.str "{\"name\": %S" name);
+      List.iter
+        (fun (e, t) ->
+          Buffer.add_string buf
+            (Fmt.str ", \"%s_s\": %.6f" (Accrt.Engine.to_string e) t))
+        times;
+      (match wall_speedup times with
+      | Some s -> Buffer.add_string buf (Fmt.str ", \"speedup\": %.2f" s)
+      | None -> ());
+      Buffer.add_string buf "}")
+    entries;
+  Buffer.add_string buf "\n],\n";
+  let speedups = List.filter_map (fun (_, t) -> wall_speedup t) entries in
+  if speedups <> [] then
+    Buffer.add_string buf
+      (Fmt.str "\"median_speedup\": %.2f\n" (median_float speedups))
+  else Buffer.add_string buf "\"median_speedup\": null\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* The wall tier: per-benchmark wall-clock medians for the selected
+   engines, the bench-wall JSON report, and (when both engines ran and
+   [min_speedup] is set) a gate on the suite's median speedup — the
+   wall-smoke CI check.  Returns the exit code. *)
+let run_wall ?(json = wall_path) ?names
+    ?(engines = [ Accrt.Engine.Tree; Accrt.Engine.Compiled ])
+    ?(repeats = 5) ?min_speedup ppf =
+  let benches = select names in
+  Fmt.pf ppf
+    "Interpreter wall-clock (median of %d, seed 42, source variant)@."
+    repeats;
+  hr ppf;
+  let entries = List.map (wall_entry ~repeats ~engines) benches in
+  List.iter
+    (fun (name, times) ->
+      Fmt.pf ppf "  %-12s" name;
+      List.iter
+        (fun (e, t) ->
+          Fmt.pf ppf "  %s %9.6f s" (Accrt.Engine.to_string e) t)
+        times;
+      (match wall_speedup times with
+      | Some s -> Fmt.pf ppf "  %6.2fx" s
+      | None -> ());
+      Fmt.pf ppf "@.")
+    entries;
+  let oc = open_out json in
+  output_string oc (wall_doc ~repeats ~engines entries);
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "wall report written to %s@." json;
+  let speedups = List.filter_map (fun (_, t) -> wall_speedup t) entries in
+  match (min_speedup, speedups) with
+  | None, _ | _, [] -> 0
+  | Some need, _ ->
+      let got = median_float speedups in
+      if got >= need then begin
+        Fmt.pf ppf "wall: median speedup %.2fx (>= %.2fx required)@." got
+          need;
+        0
+      end
+      else begin
+        Fmt.pf ppf
+          "WALL REGRESSION: median speedup %.2fx below required %.2fx@."
+          got need;
+        1
+      end

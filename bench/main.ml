@@ -2,11 +2,13 @@
     (Table I-III, Figures 1, 3, 4, plus the design ablations), then runs a
     Bechamel micro-benchmark suite over the compiler pipeline stages.
 
-    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|trend|regress|micro|all]]
+    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|trend|regress|wall|micro|all]]
     With no argument everything runs.  [trend] appends per-benchmark run
     summaries to BENCH_trend.jsonl; [regress] diffs the current sweep
     against the committed BENCH_profile.json under per-benchmark
-    tolerances and exits 1 with a culprit report on regression. *)
+    tolerances and exits 1 with a culprit report on regression; [wall]
+    measures real interpreter wall-clock per benchmark and engine
+    (median-of-N) and can gate on the tree-vs-compiled speedup. *)
 
 let ppf = Fmt.stdout
 
@@ -73,9 +75,11 @@ let run_micro () =
 let usage =
   "usage: main.exe \
    [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|\
-   profile|profile-smoke|trend|regress|micro|all] [options]\n\
+   profile|profile-smoke|trend|regress|wall|micro|all] [options]\n\
   \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
-  \  regress options: --baseline FILE  --benches A,B,..  --json FILE"
+  \  regress options: --baseline FILE  --benches A,B,..  --json FILE\n\
+  \  wall options:    --benches A,B,..  --repeats N  --json FILE\n\
+  \                   --engine tree|compiled|both  --min-speedup X"
 
 (* Tiny --flag VALUE parser for the trend/regress subcommands.  Any
    unknown flag or missing value is malformed input: usage to stderr,
@@ -152,6 +156,52 @@ let () =
         try
           Experiments.run_regress ~baseline:!baseline ?names:!benches
             ?json:!json ppf
+        with Failure msg ->
+          Fmt.epr "%s@." msg;
+          exit 2
+      in
+      if code <> 0 then exit code
+  | "wall" ->
+      (* Malformed values (bad engine name, non-numeric counts) are usage
+         errors: usage to stderr, exit 2 — same contract as unknown
+         flags. *)
+      let malformed msg =
+        Fmt.epr "%s@.%s@." msg usage;
+        exit 2
+      in
+      let benches = ref None in
+      let json = ref Experiments.wall_path in
+      let repeats = ref 5 in
+      let engines =
+        ref [ Accrt.Engine.Tree; Accrt.Engine.Compiled ]
+      in
+      let min_speedup = ref None in
+      parse_flags
+        [ ("--benches", fun v -> benches := split_benches v);
+          ("--json", fun v -> json := v);
+          ( "--repeats",
+            fun v ->
+              match int_of_string_opt v with
+              | Some n when n > 0 -> repeats := n
+              | _ -> malformed (Fmt.str "invalid repeat count '%s'" v) );
+          ( "--engine",
+            fun v ->
+              match (v, Accrt.Engine.of_string v) with
+              | "both", _ ->
+                  engines := [ Accrt.Engine.Tree; Accrt.Engine.Compiled ]
+              | _, Some e -> engines := [ e ]
+              | _, None -> malformed (Fmt.str "unknown engine '%s'" v) );
+          ( "--min-speedup",
+            fun v ->
+              match float_of_string_opt v with
+              | Some x when x > 0.0 -> min_speedup := Some x
+              | _ -> malformed (Fmt.str "invalid speedup bound '%s'" v) ) ]
+        rest;
+      let code =
+        try
+          Experiments.run_wall ~json:!json ?names:!benches
+            ~engines:!engines ~repeats:!repeats ?min_speedup:!min_speedup
+            ppf
         with Failure msg ->
           Fmt.epr "%s@." msg;
           exit 2

@@ -74,7 +74,8 @@ let shadow_ctx (ctx : Accrt.Eval.ctx) =
     per-kernel verdicts, the simulated cost of the verification run, and the
     cost of the pure sequential execution. *)
 let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
-    ?(env = None) ?cm ?obs ?(trace = false) prog =
+    ?(engine = Accrt.Engine.Tree) ?(env = None) ?cm ?obs ?(trace = false)
+    prog =
   (* Directive-containing callees are inlined so that kernel ids and the
      reference execution agree on one program. *)
   let prog, env =
@@ -135,6 +136,17 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
       (Gpusim.Costmodel.cpu_time cmodel ~ops:delta)
   in
 
+  (* Kernel-engine dispatch: under [Compiled], kernel bodies compile once
+     per verification run; the surrounding reference execution (and the
+     hook's sequential regions) share the same engine-selected reference. *)
+  let ecache = lazy (Accrt.Compile.create_cache prog) in
+  let exec_kernel sctx k =
+    match engine with
+    | Accrt.Engine.Tree -> Accrt.Kernel_exec.run sctx device k
+    | Accrt.Engine.Compiled ->
+        Accrt.Compile.run_kernel (Lazy.force ecache) sctx device k
+  in
+
   let verify_kernel (ctx : Accrt.Eval.ctx) k =
     Hashtbl.replace occurrences k.k_name
       (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences k.k_name));
@@ -153,7 +165,7 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
       arrays;
     (* Launch on the GPU against a shadow scalar context. *)
     let sctx = shadow_ctx ctx in
-    let r = Accrt.Kernel_exec.run sctx device k in
+    let r = exec_kernel sctx k in
     Gpusim.Device.launch device ~iterations:r.Accrt.Kernel_exec.iterations
       ~ops_per_iter:k.k_ops_per_iter ~async:queue ();
     (* Sequential reference execution of the original statement (overlaps
@@ -271,7 +283,7 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
   in
   let vctx =
     in_span Obs.Trace.Phase "verify" (fun () ->
-        Accrt.Eval.run_reference ~hook prog)
+        Accrt.Compile.reference ~engine ~hook prog)
   in
   (* Host work outside compute regions (regions were charged as they ran). *)
   Gpusim.Metrics.charge metrics Gpusim.Metrics.Cpu_time
@@ -279,7 +291,7 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
        ~ops:(max 0 (vctx.Accrt.Eval.ops - !charged_ops)));
 
   (* Pure sequential baseline for normalization. *)
-  let ref_ctx = Accrt.Eval.run_reference prog in
+  let ref_ctx = Accrt.Compile.reference ~engine prog in
 
   let reports =
     Array.to_list tp.kernels

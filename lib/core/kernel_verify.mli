@@ -33,12 +33,14 @@ val detected_errors : t -> kernel_report list
 
 (** Verify [prog]; [opts] controls translation (use
     {!Codegen.Options.fault_injection} for the Table II experiment);
+    [engine] selects the execution engine for both the reference run and
+    the simulated kernels (verdicts are engine-independent);
     [env] may pass a pre-computed type environment.  [obs] records a
     "verify" phase span with one [Kernel] span per verified occurrence and
     all metrics charges; [trace] additionally records the device timeline
     (exported as [Device] leaves when [obs] is also given). *)
 val verify :
-  ?opts:Codegen.Options.t -> ?config:Vconfig.t ->
+  ?opts:Codegen.Options.t -> ?config:Vconfig.t -> ?engine:Accrt.Engine.t ->
   ?env:Minic.Typecheck.env option -> ?cm:Gpusim.Costmodel.t ->
   ?obs:Obs.Trace.t -> ?trace:bool -> Minic.Ast.program -> t
 

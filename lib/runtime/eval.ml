@@ -23,7 +23,15 @@ type ctx = {
 let make ?(hook = None) prog env =
   { env; prog; ops = 0; stmt_hook = hook; call_hook = None }
 
-let is_acc_routine f = String.length f > 4 && String.sub f 0 4 = "acc_"
+(* Character-wise prefix test: this runs once per call expression on the
+   interpreter hot path, and [String.sub] would allocate a fresh 4-byte
+   string per call. *)
+let is_acc_routine f =
+  String.length f > 4
+  && String.unsafe_get f 0 = 'a'
+  && String.unsafe_get f 1 = 'c'
+  && String.unsafe_get f 2 = 'c'
+  && String.unsafe_get f 3 = '_'
 
 (* Host-only (reference execution) semantics of the OpenACC runtime
    routines: everything is synchronous and there is one host device. *)
@@ -40,6 +48,14 @@ exception Break_exc
 exception Continue_exc
 exception Return_exc of scalar option
 
+(* Comparison and logical results are always [Int 0] or [Int 1]; sharing
+   two preallocated scalars avoids boxing a fresh constructor per
+   comparison.  Both execution engines (the tree walker and the closure
+   compiler) fold their boolean-valued operators through [of_bool]. *)
+let int_false = Int 0
+let int_true = Int 1
+let of_bool b = if b then int_true else int_false
+
 let arith op a b =
   match (a, b) with
   | Int x, Int y -> (
@@ -49,14 +65,14 @@ let arith op a b =
       | Mul -> Int (x * y)
       | Div -> if y = 0 then error "integer division by zero" else Int (x / y)
       | Mod -> if y = 0 then error "integer modulo by zero" else Int (x mod y)
-      | Lt -> Int (if x < y then 1 else 0)
-      | Le -> Int (if x <= y then 1 else 0)
-      | Gt -> Int (if x > y then 1 else 0)
-      | Ge -> Int (if x >= y then 1 else 0)
-      | Eq -> Int (if x = y then 1 else 0)
-      | Ne -> Int (if x <> y then 1 else 0)
-      | Land -> Int (if x <> 0 && y <> 0 then 1 else 0)
-      | Lor -> Int (if x <> 0 || y <> 0 then 1 else 0))
+      | Lt -> of_bool (x < y)
+      | Le -> of_bool (x <= y)
+      | Gt -> of_bool (x > y)
+      | Ge -> of_bool (x >= y)
+      | Eq -> of_bool (x = y)
+      | Ne -> of_bool (x <> y)
+      | Land -> of_bool (x <> 0 && y <> 0)
+      | Lor -> of_bool (x <> 0 || y <> 0))
   | _ ->
       let x = to_float a and y = to_float b in
       (match op with
@@ -65,14 +81,14 @@ let arith op a b =
       | Mul -> Flt (x *. y)
       | Div -> Flt (x /. y)
       | Mod -> error "'%%' requires integer operands"
-      | Lt -> Int (if x < y then 1 else 0)
-      | Le -> Int (if x <= y then 1 else 0)
-      | Gt -> Int (if x > y then 1 else 0)
-      | Ge -> Int (if x >= y then 1 else 0)
-      | Eq -> Int (if x = y then 1 else 0)
-      | Ne -> Int (if x <> y then 1 else 0)
-      | Land -> Int (if x <> 0. && y <> 0. then 1 else 0)
-      | Lor -> Int (if x <> 0. || y <> 0. then 1 else 0))
+      | Lt -> of_bool (x < y)
+      | Le -> of_bool (x <= y)
+      | Gt -> of_bool (x > y)
+      | Ge -> of_bool (x >= y)
+      | Eq -> of_bool (x = y)
+      | Ne -> of_bool (x <> y)
+      | Land -> of_bool (x <> 0. && y <> 0.)
+      | Lor -> of_bool (x <> 0. || y <> 0.))
 
 let is_float_buf = function Gpusim.Buf.Fbuf _ -> true | Gpusim.Buf.Ibuf _ -> false
 
@@ -117,14 +133,13 @@ let rec eval ctx e : scalar =
             (Array.length vw.vshape))
   | Eunop (Neg, a) -> (
       match eval ctx a with Int n -> Int (-n) | Flt f -> Flt (-.f))
-  | Eunop (Not, a) -> Int (if truthy (eval ctx a) then 0 else 1)
+  | Eunop (Not, a) -> of_bool (not (truthy (eval ctx a)))
   | Ebinop (Land, a, b) ->
       (* Short-circuit, as in C. *)
-      if truthy (eval ctx a) then Int (if truthy (eval ctx b) then 1 else 0)
-      else Int 0
+      if truthy (eval ctx a) then of_bool (truthy (eval ctx b)) else int_false
   | Ebinop (Lor, a, b) ->
-      if truthy (eval ctx a) then Int 1
-      else Int (if truthy (eval ctx b) then 1 else 0)
+      if truthy (eval ctx a) then int_true
+      else of_bool (truthy (eval ctx b))
   | Ebinop (op, a, b) -> arith op (eval ctx a) (eval ctx b)
   | Ecall (f, args) -> call ctx f args
   | Econd (c, a, b) -> if truthy (eval ctx c) then eval ctx a else eval ctx b

@@ -26,8 +26,43 @@ exception Break_exc
 exception Continue_exc
 exception Return_exc of Value.scalar option
 
+(** [true] for names of OpenACC runtime-library routines ([acc_*]);
+    character-wise so the hot path allocates nothing. *)
+val is_acc_routine : string -> bool
+
+(** Host-only (reference execution) semantics of the [acc_*] routines. *)
+val host_acc_routine : string -> Value.scalar list -> Value.scalar
+
+(** Shared comparison results: boolean-valued operators of both execution
+    engines fold through [of_bool], so they never box a fresh scalar. *)
+val int_false : Value.scalar
+
+val int_true : Value.scalar
+val of_bool : bool -> Value.scalar
+
 (** C-like arithmetic on scalars (ints stay ints, mixing promotes). *)
 val arith : Minic.Ast.binop -> Value.scalar -> Value.scalar -> Value.scalar
+
+val is_float_buf : Gpusim.Buf.t -> bool
+
+(** A view into (part of) a flattened array: what a partially-indexed
+    multi-dimensional array denotes. *)
+type aview = { vbuf : Gpusim.Buf.t; voff : int; vshape : int array }
+
+(** @raise Value.Runtime_error when the slot is not materialized. *)
+val view_of_slot : string -> Value.slot -> aview
+
+(** Take one subscript step (with the bounds check) into a view. *)
+val view_step : string -> aview -> int -> aview
+
+(** Root name of an array expression, for error messages. *)
+val view_name : Minic.Ast.expr -> string
+
+(** Default value of a scalar declaration without initializer. *)
+val zero_of_typ : Minic.Ast.typ -> Value.scalar
+
+(** Element kind of a (possibly nested) array/pointer type. *)
+val base_is_float : Minic.Ast.typ -> bool
 
 val eval : ctx -> Minic.Ast.expr -> Value.scalar
 val exec : ctx -> Minic.Ast.stmt -> unit

@@ -42,9 +42,9 @@ let host_scalar o name = Value.get_scalar o.ctx.Eval.env name
 
 exception Stop
 
-let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
-    ?plan ?(resilience = Resilience.none) ?obs ?audit
-    (tp : Codegen.Tprog.t) =
+let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
+    ?(seed = 42) ?(trace = false) ?cm ?plan
+    ?(resilience = Resilience.none) ?obs ?audit (tp : Codegen.Tprog.t) =
   let device = Gpusim.Device.create ?cm ~seed ~trace ?plan () in
   let metrics = device.Gpusim.Device.metrics in
   let coh =
@@ -85,6 +85,29 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
   let api = Acc_api.create device in
   ctx.Eval.call_hook <- Some (Acc_api.hook api);
   Eval.init_globals ctx;
+
+  (* Closure-compilation engine: kernel bodies compile once (cached by
+     kernel id) and run over register frames; host statement leaves
+     compile in mirror mode (cached by translated-statement id), keeping
+     the environment name-addressable for everything around them.  The
+     recovery paths (CPU fallback, recovery validation) stay on the tree
+     walker under either engine: recovery deliberately re-executes
+     through the independent engine. *)
+  let ecache = lazy (Compile.create_cache tp.source) in
+  let exec_kernel k =
+    match engine with
+    | Engine.Tree -> Kernel_exec.run ctx device k
+    | Engine.Compiled ->
+        let cache = Lazy.force ecache in
+        if Compile.cached cache k then bump "engine_compile_hits"
+        else begin
+          bump "engine_compiles";
+          in_span Obs.Trace.Phase "compile-kernel"
+            ~loc:(Minic.Loc.to_string k.k_loc) ~directive:k.k_name
+            (fun () -> Compile.prepare cache k)
+        end;
+        Compile.run_kernel cache ctx device k
+  in
 
   let cmodel = device.Gpusim.Device.cm in
   let last_ops = ref ctx.Eval.ops in
@@ -459,7 +482,7 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
     let rec attempt n =
       match
         Gpusim.Device.begin_launch device ~label:k.k_name;
-        let r = Kernel_exec.run ctx device k in
+        let r = exec_kernel k in
         let width =
           let g, w, v = k.k_dims in
           match List.filter_map (Option.map eval_int) [ g; w; v ] with
@@ -559,7 +582,10 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
   let rec exec_t (s : tstmt) =
     match s.tkind with
     | Thost st ->
-        Eval.exec ctx st;
+        (match engine with
+        | Engine.Tree -> Eval.exec ctx st
+        | Engine.Compiled ->
+            Compile.host_stmt (Lazy.force ecache) ctx s.tid st);
         charge_host ()
     | Tblock b -> Value.scoped env (fun () -> exec_ts b)
     | Tif (c, b1, b2) ->
@@ -757,9 +783,10 @@ let run ?(coherence = true) ?granularity ?(seed = 42) ?(trace = false) ?cm
 
 (** Convenience: compile and run a source string (uninstrumented unless
     [instrument] is set). *)
-let run_string ?opts ?(instrument = false) ?mode ?granularity ?coherence
-    ?seed ?cm ?plan ?resilience ?obs ?audit src =
+let run_string ?opts ?(instrument = false) ?mode ?engine ?granularity
+    ?coherence ?seed ?cm ?plan ?resilience ?obs ?audit src =
   let tp = Codegen.Translate.compile_string ?opts src in
   let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
   let coherence = Option.value coherence ~default:instrument in
-  run ~coherence ?granularity ?seed ?cm ?plan ?resilience ?obs ?audit tp
+  run ~coherence ?engine ?granularity ?seed ?cm ?plan ?resilience ?obs
+    ?audit tp

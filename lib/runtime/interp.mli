@@ -34,7 +34,10 @@ val host_scalar : outcome -> string -> Value.scalar
 exception Stop
 
 (** Execute a translated program.  [coherence] enables the §III-B runtime
-    (meaningful on instrumented programs); [granularity] picks whole-array
+    (meaningful on instrumented programs); [engine] selects the kernel
+    execution engine — {!Engine.Tree} (default) walks the AST,
+    {!Engine.Compiled} runs closure-compiled kernel bodies (cached per
+    kernel, bit-identical results); [granularity] picks whole-array
     (default, as the paper) or interval tracking; [trace] records the
     execution timeline; [seed] drives the deterministic jitter and fault
     streams; [plan] arms device faults; [resilience] picks the recovery
@@ -50,7 +53,8 @@ exception Stop
     every coherence status transition.
     @raise Resilience.Unrecovered when the policy's budget is exhausted. *)
 val run :
-  ?coherence:bool -> ?granularity:Coherence.granularity -> ?seed:int ->
+  ?coherence:bool -> ?engine:Engine.t ->
+  ?granularity:Coherence.granularity -> ?seed:int ->
   ?trace:bool -> ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
   ?resilience:Resilience.policy -> ?obs:Obs.Trace.t -> ?audit:Obs.Audit.t ->
   Codegen.Tprog.t -> outcome
@@ -58,6 +62,7 @@ val run :
 (** Compile and run a source string (instrumented when [instrument]). *)
 val run_string :
   ?opts:Codegen.Options.t -> ?instrument:bool -> ?mode:Codegen.Checkgen.mode ->
+  ?engine:Engine.t ->
   ?granularity:Coherence.granularity -> ?coherence:bool -> ?seed:int ->
   ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
   ?resilience:Resilience.policy -> ?obs:Obs.Trace.t -> ?audit:Obs.Audit.t ->

@@ -19,6 +19,10 @@ val combine : Minic.Ast.redop -> Value.scalar -> Value.scalar -> Value.scalar
 (** Pairwise (tree-order) combination of per-thread partials. *)
 val tree_reduce : Minic.Ast.redop -> Value.scalar list -> Value.scalar option
 
+(** All names appearing in a kernel (loop header first, then body), in the
+    deterministic order both engines bind kernel-entry state in. *)
+val kernel_names : Codegen.Tprog.kernel -> string list
+
 (** Execute a kernel against the device, reading initial scalars from — and
     committing results to — the host environment of the given context. *)
 val run : Eval.ctx -> Gpusim.Device.t -> Codegen.Tprog.kernel -> result

@@ -41,11 +41,40 @@ type t = { globals : frame; mutable frames : frame list }
 
 let create () = { globals = Hashtbl.create 16; frames = [ Hashtbl.create 16 ] }
 
-let push env = env.frames <- Hashtbl.create 8 :: env.frames
+(* A small pool of recycled scope frames.  [push]/[pop] pairs run once per
+   executed scope — loop iterations included — so they sit on the
+   interpreter's hottest path; reusing the hashtables avoids an allocation
+   per scope.  A pooled frame is [Hashtbl.reset] before reuse, which
+   restores its initial size-8 geometry, so it is observably identical to a
+   fresh [Hashtbl.create 8].  Frames popped by [pop] are never retained by
+   callers (scopes hand values out through shared cells), which is what
+   makes recycling safe. *)
+let frame_pool : frame list ref = ref []
+let frame_pool_len = ref 0
+let frame_pool_max = 64
+
+let acquire_frame () =
+  match !frame_pool with
+  | f :: rest ->
+      frame_pool := rest;
+      decr frame_pool_len;
+      f
+  | [] -> Hashtbl.create 8
+
+let release_frame f =
+  if !frame_pool_len < frame_pool_max then begin
+    Hashtbl.reset f;
+    frame_pool := f :: !frame_pool;
+    incr frame_pool_len
+  end
+
+let push env = env.frames <- acquire_frame () :: env.frames
 
 let pop env =
   match env.frames with
-  | _ :: rest -> env.frames <- rest
+  | f :: rest ->
+      env.frames <- rest;
+      release_frame f
   | [] -> invalid_arg "Value.pop: empty frame stack"
 
 (** Run [f] in a fresh scope. *)

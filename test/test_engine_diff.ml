@@ -1,0 +1,176 @@
+(* Differential engine equivalence: the closure-compiled engine must be
+   observably *bit-identical* to the tree walker — same outputs (to the
+   bit), same [ops] accounting, same trace counters (minus the engine's
+   own [engine_*] compile counters), same coherence reports, and same
+   verification verdicts — across the full twelve-benchmark suite, plus a
+   fault-matrix slice exercising the resilient runtime under both
+   engines.  This contract is what lets the wall-clock benchmark tier
+   (and users) swap engines freely. *)
+
+open Minic
+
+let tree = Accrt.Engine.Tree
+let compiled = Accrt.Engine.Compiled
+
+(* Bitwise scalar identity: stricter than (=) on floats (distinguishes
+   -0.0 from 0.0, identifies equal NaNs). *)
+let scalar_bits = function
+  | Accrt.Value.Int n -> (0, Int64.of_int n)
+  | Accrt.Value.Flt x -> (1, Int64.bits_of_float x)
+
+let binding_identical b1 b2 =
+  match (b1, b2) with
+  | Some (Accrt.Value.Scalar c1), Some (Accrt.Value.Scalar c2) ->
+      scalar_bits c1.Accrt.Value.v = scalar_bits c2.Accrt.Value.v
+  | Some (Accrt.Value.Array { buf = Some a1; _ }),
+    Some (Accrt.Value.Array { buf = Some a2; _ }) ->
+      Gpusim.Buf.equal a1 a2
+  | Some (Accrt.Value.Array { buf = None; _ }),
+    Some (Accrt.Value.Array { buf = None; _ })
+  | None, None ->
+      true
+  | _ -> false
+
+let check_outputs what env1 env2 outputs =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Fmt.str "%s: output '%s' bit-identical" what name)
+        true
+        (binding_identical (Accrt.Value.lookup env1 name)
+           (Accrt.Value.lookup env2 name)))
+    outputs
+
+(* The engine's own compile counters are the one intentional observable
+   difference; everything else must agree exactly. *)
+let counters tr =
+  Obs.Trace.counters tr
+  |> List.filter (fun (n, _) ->
+         not (String.length n >= 7 && String.sub n 0 7 = "engine_"))
+  |> List.sort compare
+
+let stats_tuple (s : Accrt.Resilience.stats) =
+  ( s.Accrt.Resilience.retries,
+    s.Accrt.Resilience.retransfers,
+    s.Accrt.Resilience.reexecs,
+    s.Accrt.Resilience.fallbacks,
+    s.Accrt.Resilience.verified,
+    s.Accrt.Resilience.unrecovered,
+    s.Accrt.Resilience.device_lost )
+
+let diff_variant (b : Suite.Bench_def.t) variant src =
+  let what = Fmt.str "%s/%s" b.name variant in
+  let prog = Parser.parse_string ~file:b.name src in
+  (* 1. Sequential reference: tree walker vs compiled mirror engine. *)
+  let rt = Accrt.Eval.run_reference prog in
+  let rc = Accrt.Compile.reference ~engine:compiled prog in
+  Alcotest.(check int)
+    (what ^ ": reference ops identical")
+    rt.Accrt.Eval.ops rc.Accrt.Eval.ops;
+  check_outputs (what ^ " reference") rt.Accrt.Eval.env rc.Accrt.Eval.env
+    b.outputs;
+  (* 2. Translated-program interpreter, uninstrumented. *)
+  let tenv = Typecheck.check prog in
+  let tp = Codegen.Translate.translate tenv prog in
+  let run engine =
+    let tr = Obs.Trace.create () in
+    let o = Accrt.Interp.run ~coherence:false ~engine ~seed:42 ~obs:tr tp in
+    (o, tr)
+  in
+  let ot, trt = run tree in
+  let oc, trc = run compiled in
+  Alcotest.(check int)
+    (what ^ ": interpreter ops identical")
+    ot.Accrt.Interp.ctx.Accrt.Eval.ops oc.Accrt.Interp.ctx.Accrt.Eval.ops;
+  check_outputs (what ^ " interpreter") ot.Accrt.Interp.ctx.Accrt.Eval.env
+    oc.Accrt.Interp.ctx.Accrt.Eval.env b.outputs;
+  Alcotest.(check bool)
+    (what ^ ": trace counters identical (sans engine_*)")
+    true
+    (counters trt = counters trc);
+  (* 3. Instrumented run: the coherence verdicts must agree exactly. *)
+  let ti = Codegen.Checkgen.instrument tp in
+  let oi_t = Accrt.Interp.run ~coherence:true ~engine:tree ~seed:42 ti in
+  let oi_c = Accrt.Interp.run ~coherence:true ~engine:compiled ~seed:42 ti in
+  check_outputs (what ^ " instrumented")
+    oi_t.Accrt.Interp.ctx.Accrt.Eval.env oi_c.Accrt.Interp.ctx.Accrt.Eval.env
+    b.outputs;
+  Alcotest.(check bool)
+    (what ^ ": coherence reports identical")
+    true
+    (Accrt.Interp.reports oi_t = Accrt.Interp.reports oi_c)
+
+let bench_case (b : Suite.Bench_def.t) =
+  Alcotest.test_case b.name `Quick (fun () ->
+      diff_variant b "unopt" b.source;
+      diff_variant b "opt" b.optimized)
+
+(* Verification verdicts — including injected faults — are engine-free. *)
+let test_verify_diff () =
+  List.iter
+    (fun name ->
+      let b = Option.get (Suite.Registry.find name) in
+      let prog = Parser.parse_string ~file:b.name b.source in
+      let strip (r : Openarc_core.Kernel_verify.kernel_report) =
+        ( r.Openarc_core.Kernel_verify.kr_kernel.Codegen.Tprog.k_name,
+          r.kr_occurrences, r.kr_mismatches, r.kr_assertion_failures )
+      in
+      let vt =
+        Openarc_core.Kernel_verify.verify
+          ~opts:Codegen.Options.fault_injection ~engine:tree prog
+      in
+      let vc =
+        Openarc_core.Kernel_verify.verify
+          ~opts:Codegen.Options.fault_injection ~engine:compiled prog
+      in
+      Alcotest.(check bool)
+        (name ^ ": verification verdicts identical")
+        true
+        (List.map strip vt.Openarc_core.Kernel_verify.reports
+        = List.map strip vc.Openarc_core.Kernel_verify.reports);
+      Alcotest.(check int)
+        (name ^ ": sequential ops identical")
+        vt.Openarc_core.Kernel_verify.sequential_ops
+        vc.Openarc_core.Kernel_verify.sequential_ops)
+    [ "JACOBI"; "EP"; "BACKPROP" ]
+
+(* Fault-matrix slice: the resilient runtime (retry, re-execution with
+   validation, CPU fallback, host mode) recovers identically under both
+   engines. *)
+let test_fault_diff () =
+  let b = Option.get (Suite.Registry.find "JACOBI") in
+  let prog = Parser.parse_string ~file:b.name b.source in
+  let tenv = Typecheck.check prog in
+  let tp = Codegen.Translate.translate tenv prog in
+  List.iter
+    (fun kind ->
+      let run engine =
+        let plan =
+          Gpusim.Fault_plan.create ~seed:7
+            [ Gpusim.Fault_plan.mk_rule ~prob:0.5 kind ]
+        in
+        Accrt.Interp.run ~coherence:false ~engine ~seed:42 ~plan
+          ~resilience:Accrt.Resilience.full tp
+      in
+      let ot = run tree in
+      let oc = run compiled in
+      let what =
+        Fmt.str "JACOBI under %s" (Gpusim.Fault_plan.kind_name kind)
+      in
+      check_outputs what ot.Accrt.Interp.ctx.Accrt.Eval.env
+        oc.Accrt.Interp.ctx.Accrt.Eval.env b.outputs;
+      Alcotest.(check int) (what ^ ": ops identical")
+        ot.Accrt.Interp.ctx.Accrt.Eval.ops
+        oc.Accrt.Interp.ctx.Accrt.Eval.ops;
+      Alcotest.(check bool)
+        (what ^ ": recovery stats identical")
+        true
+        (stats_tuple ot.Accrt.Interp.resilience
+        = stats_tuple oc.Accrt.Interp.resilience))
+    [ Gpusim.Fault_plan.Xfer_fail; Gpusim.Fault_plan.Launch_fail;
+      Gpusim.Fault_plan.Bit_flip; Gpusim.Fault_plan.Device_lost ]
+
+let tests =
+  List.map bench_case Suite.Registry.all
+  @ [ Alcotest.test_case "verification verdicts" `Quick test_verify_diff;
+      Alcotest.test_case "fault matrix" `Quick test_fault_diff ]

@@ -121,8 +121,50 @@ let test_op_counting () =
   Alcotest.(check bool) "ops grow with work" true
     (c2.Accrt.Eval.ops > c1.Accrt.Eval.ops + 300)
 
+(* Pin the Int/Flt promotion rules of [Eval.arith] by constructor, not
+   just by value: arithmetic keeps ints integral and promotes on any
+   float operand; comparison and logical results are always *Int* 0/1
+   (and, with the allocation-free fast path, physically the two shared
+   scalars — so neither engine ever boxes a boolean). *)
+let test_promotion_rules () =
+  let open Minic.Ast in
+  let a = Accrt.Eval.arith in
+  let check name expected got =
+    Alcotest.(check bool) name true (expected = got)
+  in
+  check "int + int stays int" (Accrt.Value.Int 7)
+    (a Add (Accrt.Value.Int 3) (Accrt.Value.Int 4));
+  check "int + float promotes" (Accrt.Value.Flt 7.5)
+    (a Add (Accrt.Value.Int 3) (Accrt.Value.Flt 4.5));
+  check "float * int promotes" (Accrt.Value.Flt 8.0)
+    (a Mul (Accrt.Value.Flt 2.0) (Accrt.Value.Int 4));
+  check "int / int truncates" (Accrt.Value.Int 3)
+    (a Div (Accrt.Value.Int 7) (Accrt.Value.Int 2));
+  check "float / int is float division" (Accrt.Value.Flt 3.5)
+    (a Div (Accrt.Value.Flt 7.0) (Accrt.Value.Int 2));
+  check "int < int is Int 1" (Accrt.Value.Int 1)
+    (a Lt (Accrt.Value.Int 3) (Accrt.Value.Int 4));
+  check "float < float is Int 1" (Accrt.Value.Int 1)
+    (a Lt (Accrt.Value.Flt 3.0) (Accrt.Value.Flt 4.0));
+  check "mixed == compares as float, yields Int" (Accrt.Value.Int 1)
+    (a Eq (Accrt.Value.Int 3) (Accrt.Value.Flt 3.0));
+  check "false comparison is Int 0" (Accrt.Value.Int 0)
+    (a Gt (Accrt.Value.Flt 1.0) (Accrt.Value.Flt 2.0));
+  check "logical and on floats is Int" (Accrt.Value.Int 1)
+    (a Land (Accrt.Value.Flt 0.5) (Accrt.Value.Flt 2.0));
+  check "logical or on ints is Int" (Accrt.Value.Int 0)
+    (a Lor (Accrt.Value.Int 0) (Accrt.Value.Int 0));
+  (* the fast path: boolean results are the two shared scalars *)
+  Alcotest.(check bool) "true results share one scalar" true
+    (a Lt (Accrt.Value.Int 3) (Accrt.Value.Int 4)
+    == a Ge (Accrt.Value.Flt 4.0) (Accrt.Value.Flt 3.0));
+  Alcotest.(check bool) "false results share one scalar" true
+    (a Lt (Accrt.Value.Int 4) (Accrt.Value.Int 3)
+    == a Ge (Accrt.Value.Flt 3.0) (Accrt.Value.Flt 4.0))
+
 let tests =
   [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "promotion rules" `Quick test_promotion_rules;
     Alcotest.test_case "short circuit" `Quick test_short_circuit;
     Alcotest.test_case "control flow" `Quick test_control_flow;
     Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;

@@ -22,10 +22,12 @@ let () =
       ("inline", Test_inline.tests);
       ("features", Test_features.tests);
       ("suite", Test_suite.tests);
+      ("engine_diff", Test_engine_diff.tests);
       ("fault_plan", Test_fault_plan.tests);
       ("resilience", Test_resilience.tests);
       ("lint", Test_lint.tests);
       ("obs", Test_obs.tests);
       ("diff", Test_diff.tests);
       ("cli", Test_cli.tests);
-      ("bench_cli", Test_bench_cli.tests) ]
+      ("bench_cli", Test_bench_cli.tests);
+      ("wall_cli", Test_wall_cli.tests) ]
