@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke regress-smoke wall-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke check bench clean
 
 all: build
 
@@ -34,6 +34,13 @@ fault-matrix: build
 profile-smoke: build
 	$(DUNE) exec --no-build bench/main.exe profile-smoke
 
+# Symbolic-tier byte-stability: regenerate the full symbolic-equivalence
+# sweep (default + fault builds of all 12 benchmarks) and require it to
+# match the committed BENCH_symeq.json byte-for-byte.  A kernel silently
+# dropping out of the affine fragment shows up here as a diff.
+symeq-smoke: build
+	$(DUNE) exec --no-build bench/main.exe symeq-smoke
+
 # Regression sentinel smoke: diff a 3-benchmark sweep against the
 # committed BENCH_profile.json baseline; exits nonzero with a
 # per-directive culprit report (regress-report.json) on regression.
@@ -50,7 +57,7 @@ wall-smoke: build
 	  wall --benches jacobi,ep,srad --repeats 3 --min-speedup 1.0 \
 	  --json wall-report.json
 
-check: build test lint fault-matrix profile-smoke regress-smoke wall-smoke
+check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

@@ -1003,3 +1003,122 @@ let run_wall ?(json = wall_path) ?names
           got need;
         1
       end
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic-equivalence sweep (tier-0 coverage across the suite)       *)
+(* ------------------------------------------------------------------ *)
+
+(* For every benchmark, run the symbolic checker over both the faithful
+   build and the Table II fault build (clauses stripped, recognition
+   off).  The canonical JSON is fully deterministic — verdict text
+   included — so the committed BENCH_symeq.json is a byte-for-byte
+   coverage baseline: a fragment regression (a kernel silently dropping
+   from proved to unknown) shows up as a diff. *)
+
+let symeq_path = "BENCH_symeq.json"
+
+let symeq_entry (b : Bench_def.t) =
+  let default = Symeq.Engine.check_program (parse b) in
+  let fault =
+    Symeq.Engine.check_program ~opts:Codegen.Options.fault_injection
+      (Openarc_core.Faults.strip_parallelism_clauses (parse b))
+  in
+  (default, fault)
+
+let symeq_doc entries =
+  let bench_json ((b : Bench_def.t), (default : Symeq.Engine.t), fault) =
+    Fmt.str
+      "{\"name\": %s, \"fully_proved\": %b, \"default\": %s, \"fault\": %s}"
+      (Obs.Trace.json_str b.name)
+      (default.Symeq.Engine.proved = List.length default.Symeq.Engine.kernels)
+      (Symeq.Report.to_json { Symeq.Report.program = b.name; result = default })
+      (Symeq.Report.to_json
+         { Symeq.Report.program = b.name ^ "-fault"; result = fault })
+  in
+  let total f = List.fold_left (fun acc (_, d, _) -> acc + f d) 0 entries in
+  let fully =
+    List.length
+      (List.filter
+         (fun (_, (d : Symeq.Engine.t), _) ->
+           d.Symeq.Engine.proved = List.length d.Symeq.Engine.kernels)
+         entries)
+  in
+  let fault_disproved =
+    List.fold_left
+      (fun acc (_, _, (f : Symeq.Engine.t)) -> acc + f.Symeq.Engine.disproved)
+      0 entries
+  in
+  Fmt.str
+    "{\"schema\": \"openarc.obs.symeq-sweep\", \"version\": 1, \
+     \"benchmarks\": [%s], \"totals\": {\"benchmarks\": %d, \
+     \"fully_proved\": %d, \"kernels\": %d, \"proved\": %d, \
+     \"disproved\": %d, \"unknown\": %d, \"fault_disproved\": %d}}\n"
+    (String.concat ", " (List.map bench_json entries))
+    (List.length entries) fully
+    (total (fun d -> List.length d.Symeq.Engine.kernels))
+    (total (fun d -> d.Symeq.Engine.proved))
+    (total (fun d -> d.Symeq.Engine.disproved))
+    (total (fun d -> d.Symeq.Engine.unknown))
+    fault_disproved
+
+let run_symeq ?(json = symeq_path) ppf =
+  Fmt.pf ppf "Symbolic equivalence sweep (tier-0, affine fragment)@.";
+  hr ppf;
+  Fmt.pf ppf "%-12s %28s %28s@." "" "default build P/D/U"
+    "fault build P/D/U";
+  let entries =
+    List.map
+      (fun (b : Bench_def.t) ->
+        let default, fault = symeq_entry b in
+        let pdu (r : Symeq.Engine.t) =
+          Fmt.str "%d/%d/%d" r.Symeq.Engine.proved r.Symeq.Engine.disproved
+            r.Symeq.Engine.unknown
+        in
+        Fmt.pf ppf "%-12s %28s %28s%s@." b.name (pdu default) (pdu fault)
+          (if default.Symeq.Engine.proved
+              = List.length default.Symeq.Engine.kernels
+           then "  [all proved]"
+           else "");
+        (b, default, fault))
+      benchmarks
+  in
+  let doc = symeq_doc entries in
+  let oc = open_out json in
+  output_string oc doc;
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "symbolic sweep written to %s@." json;
+  Fmt.pf ppf
+    "(a proved kernel skips the numeric comparison tier; the fault build \
+     reproduces Table II's clause-stripping, where every active fault \
+     must be disproved)@."
+
+(* Byte-stability gate for CI: regenerate the whole document and require
+   it to match the committed baseline exactly. *)
+let run_symeq_smoke ppf =
+  let committed =
+    match open_in_bin symeq_path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith "missing %s (run 'bench/main.exe symeq' and commit \
+                      the result)" symeq_path
+  in
+  let entries =
+    List.map
+      (fun (b : Bench_def.t) ->
+        let default, fault = symeq_entry b in
+        (b, default, fault))
+      benchmarks
+  in
+  let regenerated = symeq_doc entries in
+  if regenerated = committed then
+    Fmt.pf ppf "symeq smoke: %d benchmarks byte-stable against %s@."
+      (List.length entries) symeq_path
+  else
+    Fmt.failwith
+      "symeq smoke failed: regenerate with 'bench/main.exe symeq' and \
+       inspect the diff"

@@ -2,7 +2,7 @@
     (Table I-III, Figures 1, 3, 4, plus the design ablations), then runs a
     Bechamel micro-benchmark suite over the compiler pipeline stages.
 
-    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|profile|profile-smoke|trend|regress|wall|micro|all]]
+    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|profile|profile-smoke|trend|regress|wall|micro|all]]
     With no argument everything runs.  [trend] appends per-benchmark run
     summaries to BENCH_trend.jsonl; [regress] diffs the current sweep
     against the committed BENCH_profile.json under per-benchmark
@@ -74,7 +74,7 @@ let run_micro () =
 
 let usage =
   "usage: main.exe \
-   [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|\
+   [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|\
    profile|profile-smoke|trend|regress|wall|micro|all] [options]\n\
   \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
   \  regress options: --baseline FILE  --benches A,B,..  --json FILE\n\
@@ -124,6 +124,12 @@ let () =
   | "granularity" -> Experiments.run_granularity ppf
   | "sweep" -> Experiments.run_sweep ppf
   | "faults" -> Experiments.run_faults ~json:"BENCH_faults.json" ppf
+  | "symeq" -> Experiments.run_symeq ppf
+  | "symeq-smoke" -> (
+      try Experiments.run_symeq_smoke ppf
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
   | "profile" -> Experiments.run_profile ppf
   | "profile-smoke" -> (
       try Experiments.run_profile_smoke ppf
@@ -210,6 +216,8 @@ let () =
   | "micro" -> run_micro ()
   | "all" ->
       Experiments.run_all ppf;
+      Fmt.pf ppf "@.";
+      Experiments.run_symeq ppf;
       run_micro ()
   | other ->
       Fmt.epr "unknown experiment '%s'@.%s@." other usage;

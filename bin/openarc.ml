@@ -479,7 +479,23 @@ let verify_cmd =
              ~doc:"Write the verification span/charge stream as JSONL \
                    (schema openarc.obs v1)")
   in
-  let run file fault options show_transformed trace events =
+  let symbolic =
+    Arg.(value & flag
+         & info [ "symbolic" ]
+             ~doc:"Run the tier-0 symbolic equivalence check first: \
+                   kernels proved equivalent over the affine fragment \
+                   skip the numeric comparison run; the rest fall back \
+                   to it")
+  in
+  let symeq_json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "symeq-json" ] ~docv:"FILE"
+             ~doc:"Write the symbolic verdicts as canonical JSON \
+                   (schema openarc.obs.symeq v1); implies $(b,--symbolic)")
+  in
+  let run file fault options show_transformed trace events symbolic
+      symeq_json =
     handle (fun () ->
         let obs =
           if events <> None then Some (Obs.Trace.create ()) else None
@@ -499,10 +515,24 @@ let verify_cmd =
                      variable, as OpenARC does *)
                   Openarc_core.Vconfig.from_env ()
             in
+            let symbolic = symbolic || symeq_json <> None in
             let v =
               Openarc_core.Kernel_verify.verify ~opts:(opts_of_fault fault)
-                ~config ?obs ~trace:(trace <> None) prog
+                ~config ?obs ~trace:(trace <> None) ~symbolic prog
             in
+            (match v.Openarc_core.Kernel_verify.symeq with
+            | Some result ->
+                Fmt.pr "%a@.@." Symeq.Report.pp
+                  { Symeq.Report.program = file; result };
+                (match symeq_json with
+                | Some path ->
+                    write_file path
+                      (Symeq.Report.to_json
+                         { Symeq.Report.program = file; result }
+                       ^ "\n");
+                    Fmt.pr "symbolic verdicts written to %s@." path
+                | None -> ())
+            | None -> ());
             List.iter
               (fun r -> Fmt.pr "%a@." Openarc_core.Kernel_verify.pp_report r)
               v.Openarc_core.Kernel_verify.reports;
@@ -527,7 +557,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Verify translated kernels against the sequential reference")
     Term.(const run $ file_arg $ fault_arg $ options $ show_transformed
-          $ trace $ events)
+          $ trace $ events $ symbolic $ symeq_json)
 
 (* ----------------------------- optimize ---------------------------- *)
 
@@ -879,7 +909,10 @@ let () =
   let doc = "OpenARC reproduction: OpenACC debugging and optimization" in
   let info = Cmd.info "openarc" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval'
+    (* [~term_err:2]: argument-parsing errors (unknown flags, bad
+       operands) are malformed input, exit code 2 — not cmdliner's
+       default 124. *)
+    (Cmd.eval' ~term_err:2
        (Cmd.group info
           [ compile_cmd; run_cmd; profile_cmd; verify_cmd; optimize_cmd;
             session_cmd; diff_profile_cmd; lint_cmd; fault_matrix_cmd;

@@ -1,0 +1,80 @@
+(** Affine subscript analysis shared by the race linter and the symbolic
+    equivalence tier.
+
+    A parallel kernel loop is characterized by its induction variable and
+    a set of [varying] names (anything whose value differs from iteration
+    to iteration).  Each subscript dimension of an array access is then
+    classified as iteration-invariant, induction-affine (base + constant
+    offset, with the induction variable's linear coefficient when known),
+    or opaque.  Two affine access summaries can be tested for a
+    cross-iteration overlap by solving for a common nonzero iteration
+    shift per dimension. *)
+
+open Minic.Ast
+
+(** {1 Expression utilities} *)
+
+val expr_vars : Varset.t -> expr -> Varset.t
+(** [expr_vars acc e] adds every variable mentioned in [e] to [acc]. *)
+
+val vars_of : expr -> Varset.t
+
+val split_offset : expr -> expr * int
+(** Split [e] into an affine base and a constant offset: [e = base + k]. *)
+
+val fingerprint : expr -> string
+(** Canonical fingerprint of an expression (pretty-printed form), for
+    comparing subscript bases syntactically. *)
+
+val iv_coeff : string -> expr -> int option
+(** [iv_coeff iv e] is the coefficient of [iv] in [e] when [e] is linear
+    in it; [None] when the dependence is not analyzably linear
+    ([i * n], [(i + 1) % n], ...). *)
+
+(** {1 Per-dimension classification} *)
+
+(** How one subscript dimension behaves across iterations of the
+    parallel loop. *)
+type dim =
+  | Dinv of string  (** same element on every iteration (fingerprint) *)
+  | Daff of { base : string; off : int; coeff : int option }
+      (** induction-derived base + constant offset; [coeff] is the
+          induction variable's linear coefficient when known *)
+  | Dopaque  (** varies, but not analyzably (inner loops, computed) *)
+
+val classify_dim : iv:string -> varying:Varset.t -> expr -> dim
+
+(** {1 Whole-access summary} *)
+
+(** Iteration-invariant only when every dimension is; opaque as soon as
+    one dimension is (an inner-loop subscript makes cross-iteration
+    overlap undecidable here, e.g. the column of a row-parallel
+    stencil). *)
+type affine = { base : string; offs : int list; coeffs : int option list }
+
+type summary = Invariant | Affine of affine | Opaque
+
+val classify_access : iv:string -> varying:Varset.t -> expr list -> summary
+
+val conflicting : affine -> affine -> bool
+(** Can access [a] at iteration [x] and access [b] at iteration [x + d],
+    [d <> 0], touch the same element?  Requires identical per-dimension
+    bases; then every dimension demands [coeff_k * d = off_b_k - off_a_k].
+    A dimension with an unknown coefficient is conservatively satisfiable
+    whenever it needs a shift at all.  [temp[dst][i][j]] never conflicts
+    with [temp[src][i][j]] (different bases); [sm[i][d - i]] never
+    conflicts with [sm[i - 1][d - i - 1]] (coefficients +1/-1 admit no
+    common shift); [a[i]] conflicts with [a[i + 1]] (d = 1). *)
+
+(** {1 Array access walk} *)
+
+type access = { a_arr : string; a_subs : expr list; a_write : bool }
+
+val expr_root_subs : expr list -> expr -> (string * expr list) option
+(** Subscripts of an access whose base is a plain variable,
+    outermost-first. *)
+
+val lvalue_root_subs : expr list -> lvalue -> (string * expr list) option
+
+val accesses_of_block : stmt list -> access list
+(** Every array access in the block, reads and writes, in source order. *)

@@ -156,6 +156,65 @@ let reduction_scalars k =
 (** All arrays a kernel touches. *)
 let kernel_arrays k = Varset.union k.k_arrays_read k.k_arrays_written
 
+(** {1 Kernel-body normalization hooks}
+
+    Static analyses over kernel bodies (the race linter, the symbolic
+    equivalence tier) need the iteration space of a kernel loop in a
+    normalized form rather than the raw header statements. *)
+
+(* Is [st] the canonical unit-step increment [v = v + 1] of [var]? *)
+let unit_step var st =
+  match st.Ast.skind with
+  | Ast.Sassign (Ast.Lvar v, Ast.Ebinop (Ast.Add, Ast.Evar v', Ast.Eint 1))
+  | Ast.Sassign (Ast.Lvar v, Ast.Ebinop (Ast.Add, Ast.Eint 1, Ast.Evar v'))
+    ->
+      v = var && v' = var
+  | _ -> false
+
+(** Normalized bounds of a unit-stride kernel loop: [Some (lo, hi)] with
+    [hi] exclusive when the header has the shape [for (v = lo; v < hi;
+    v++)] (or [<=], folded into an exclusive bound).  [None] when the
+    header is outside this shape — callers must fall back to dynamic
+    reasoning. *)
+let loop_bounds (l : kloop) =
+  let stepped =
+    match l.kl_step with Some st -> unit_step l.kl_var st | None -> false
+  in
+  if not stepped then None
+  else
+    match l.kl_cond with
+    | Ast.Ebinop (Ast.Lt, Ast.Evar v, hi) when v = l.kl_var ->
+        Some (l.kl_init, hi)
+    | Ast.Ebinop (Ast.Le, Ast.Evar v, hi) when v = l.kl_var ->
+        Some (l.kl_init, Ast.Ebinop (Ast.Add, hi, Ast.Eint 1))
+    | _ -> None
+
+(** Same normalization for an inner sequential [for] of a kernel body:
+    [Some (var, lo, hi)] when the statement is [for (var = lo; var < hi;
+    var++)] (declaration or assignment initializer, [<]/[<=] bound, unit
+    step). *)
+let for_bounds init cond step =
+  let var_lo =
+    match init with
+    | Some { Ast.skind = Ast.Sdecl (_, v, Some lo); _ } -> Some (v, lo)
+    | Some { Ast.skind = Ast.Sassign (Ast.Lvar v, lo); _ } -> Some (v, lo)
+    | _ -> None
+  in
+  match var_lo with
+  | None -> None
+  | Some (v, lo) -> (
+      let stepped =
+        match step with Some st -> unit_step v st | None -> false
+      in
+      if not stepped then None
+      else
+        match cond with
+        | Some (Ast.Ebinop (Ast.Lt, Ast.Evar v', hi)) when v' = v ->
+            Some (v, lo, hi)
+        | Some (Ast.Ebinop (Ast.Le, Ast.Evar v', hi)) when v' = v ->
+            Some (v, lo, Ast.Ebinop (Ast.Add, hi, Ast.Eint 1))
+        | _ -> None)
+
 (** {1 Traversal} *)
 
 let rec iter_tstmts f stmts = List.iter (iter_tstmt f) stmts

@@ -132,6 +132,20 @@ val reduction_scalars : kernel -> (string * Ast.redop) list
 (** All arrays a kernel touches. *)
 val kernel_arrays : kernel -> Varset.t
 
+(** {1 Kernel-body normalization hooks} *)
+
+(** Normalized bounds of a unit-stride kernel loop: [Some (lo, hi)] with
+    [hi] exclusive when the header has the shape [for (v = lo; v < hi;
+    v++)] (or [<=], folded into an exclusive bound). *)
+val loop_bounds : kloop -> (Ast.expr * Ast.expr) option
+
+(** Same normalization for an inner sequential [for] of a kernel body:
+    [Some (var, lo, hi)] when the statement is [for (var = lo; var < hi;
+    var++)] ([<=] folded into an exclusive bound, unit step). *)
+val for_bounds :
+  Ast.stmt option -> Ast.expr option -> Ast.stmt option ->
+  (string * Ast.expr * Ast.expr) option
+
 (** {1 Traversal} *)
 
 val iter_tstmts : (tstmt -> unit) -> tstmt list -> unit

@@ -28,6 +28,8 @@ type kernel_report = {
   kr_occurrences : int;  (** dynamic launches verified *)
   kr_mismatches : mismatch list;  (** aggregated over occurrences *)
   kr_assertion_failures : string list;
+  kr_symbolic : Symeq.Engine.verdict option;
+      (** tier-0 symbolic verdict, when the symbolic tier ran *)
 }
 
 type t = {
@@ -35,6 +37,8 @@ type t = {
   metrics : Gpusim.Metrics.t;
   timeline : Gpusim.Timeline.t;  (** device events (with [trace]) *)
   sequential_ops : int;  (** pure-reference op count, for normalization *)
+  symeq : Symeq.Engine.t option;
+      (** symbolic-tier verdicts for every kernel (with [symbolic]) *)
 }
 
 let kernel_ok r = r.kr_mismatches = [] && r.kr_assertion_failures = []
@@ -75,7 +79,7 @@ let shadow_ctx (ctx : Accrt.Eval.ctx) =
     cost of the pure sequential execution. *)
 let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
     ?(engine = Accrt.Engine.Tree) ?(env = None) ?cm ?obs ?(trace = false)
-    prog =
+    ?(symbolic = false) prog =
   (* Directive-containing callees are inlined so that kernel ids and the
      reference execution agree on one program. *)
   let prog, env =
@@ -108,6 +112,39 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
     match obs with
     | None -> f ()
     | Some tr -> Obs.Trace.with_span tr kind name ?loc ?directive f
+  in
+
+  (* Tier 0: symbolic equivalence.  A [Proved] kernel needs no numeric
+     comparison run — its occurrences execute sequentially only; the
+     other verdicts fall through to the numeric comparator. *)
+  let symeq =
+    if not symbolic then None
+    else
+      Some
+        (in_span Obs.Trace.Phase "symeq" (fun () ->
+             let r = Symeq.Engine.check_tprog tp in
+             (match obs with
+             | None -> ()
+             | Some tr ->
+                 Obs.Trace.count tr "symeq.proved" r.Symeq.Engine.proved;
+                 Obs.Trace.count tr "symeq.disproved"
+                   r.Symeq.Engine.disproved;
+                 Obs.Trace.count tr "symeq.unknown" r.Symeq.Engine.unknown);
+             r))
+  in
+  let symbolic_verdict k =
+    Option.bind symeq (fun r ->
+        List.find_map
+          (fun kv ->
+            if kv.Symeq.Engine.kv_name = k.k_name then
+              Some kv.Symeq.Engine.kv_verdict
+            else None)
+          r.Symeq.Engine.kernels)
+  in
+  let proved k =
+    match symbolic_verdict k with
+    | Some (Symeq.Engine.Proved _) -> true
+    | _ -> false
   in
 
   (* Per-kernel aggregation. *)
@@ -268,10 +305,16 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
         | Some kernels ->
             List.iter
               (fun k ->
-                if Vconfig.selects config k.k_name then
-                  verify_kernel ctx k
+                let selected = Vconfig.selects config k.k_name in
+                if selected && not (proved k) then verify_kernel ctx k
                 else begin
-                  (* Unselected kernels run sequentially only. *)
+                  (* Unselected kernels — and kernels the symbolic tier
+                     already proved equivalent — run sequentially only. *)
+                  if selected then
+                    Hashtbl.replace occurrences k.k_name
+                      (1
+                      + Option.value ~default:0
+                          (Hashtbl.find_opt occurrences k.k_name));
                   let ops0 = ctx.Accrt.Eval.ops in
                   Accrt.Value.scoped ctx.Accrt.Eval.env (fun () ->
                       Accrt.Eval.exec ctx k.k_source);
@@ -306,15 +349,19 @@ let verify ?(opts = Codegen.Options.default) ?(config = Vconfig.default)
                     (Hashtbl.find_opt mismatches k.k_name));
              kr_assertion_failures =
                Option.value ~default:[]
-                 (Hashtbl.find_opt assertion_failures k.k_name) })
+                 (Hashtbl.find_opt assertion_failures k.k_name);
+             kr_symbolic = symbolic_verdict k })
   in
   { reports; metrics; timeline = device.Gpusim.Device.timeline;
-    sequential_ops = ref_ctx.Accrt.Eval.ops }
+    sequential_ops = ref_ctx.Accrt.Eval.ops; symeq }
 
 let pp_report ppf r =
   if kernel_ok r then
-    Fmt.pf ppf "[OK]   %s (%d occurrence(s))" r.kr_kernel.k_name
+    Fmt.pf ppf "[OK]   %s (%d occurrence(s))%s" r.kr_kernel.k_name
       r.kr_occurrences
+      (match r.kr_symbolic with
+      | Some (Symeq.Engine.Proved _) -> " [symbolically proved]"
+      | _ -> "")
   else begin
     Fmt.pf ppf "[FAIL] %s (%d occurrence(s)):" r.kr_kernel.k_name
       r.kr_occurrences;

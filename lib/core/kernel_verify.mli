@@ -19,6 +19,8 @@ type kernel_report = {
   kr_occurrences : int;  (** dynamic launches verified *)
   kr_mismatches : mismatch list;
   kr_assertion_failures : string list;
+  kr_symbolic : Symeq.Engine.verdict option;
+      (** tier-0 symbolic verdict, when the symbolic tier ran *)
 }
 
 type t = {
@@ -26,6 +28,8 @@ type t = {
   metrics : Gpusim.Metrics.t;  (** Figure 3's cost breakdown *)
   timeline : Gpusim.Timeline.t;  (** device events (with [trace]) *)
   sequential_ops : int;  (** pure-reference op count, for normalization *)
+  symeq : Symeq.Engine.t option;
+      (** symbolic-tier verdicts for every kernel (with [symbolic]) *)
 }
 
 val kernel_ok : kernel_report -> bool
@@ -38,10 +42,19 @@ val detected_errors : t -> kernel_report list
     [env] may pass a pre-computed type environment.  [obs] records a
     "verify" phase span with one [Kernel] span per verified occurrence and
     all metrics charges; [trace] additionally records the device timeline
-    (exported as [Device] leaves when [obs] is also given). *)
+    (exported as [Device] leaves when [obs] is also given).
+
+    [symbolic] enables the tier-0 symbolic equivalence check
+    ({!Symeq.Engine}): kernels it proves equivalent skip the numeric
+    comparison run entirely (their occurrences execute sequentially
+    only), [Unknown] kernels fall back to the numeric comparator, and
+    [Disproved] kernels still run numerically so the two tiers can be
+    cross-checked.  With [obs], the tier runs under a "symeq" phase span
+    and records [symeq.proved]/[symeq.disproved]/[symeq.unknown]
+    counters. *)
 val verify :
   ?opts:Codegen.Options.t -> ?config:Vconfig.t -> ?engine:Accrt.Engine.t ->
   ?env:Minic.Typecheck.env option -> ?cm:Gpusim.Costmodel.t ->
-  ?obs:Obs.Trace.t -> ?trace:bool -> Minic.Ast.program -> t
+  ?obs:Obs.Trace.t -> ?trace:bool -> ?symbolic:bool -> Minic.Ast.program -> t
 
 val pp_report : Format.formatter -> kernel_report -> unit

@@ -1,0 +1,221 @@
+(** Polynomial normal forms over symbolic atoms.  See nf.mli. *)
+
+type atom =
+  | Ainit of string
+  | Acarry of string
+  | Aiter of string
+  | Aread of string * t list
+  | Acall of string * t list
+  | Aop of Minic.Ast.binop * t * t
+  | Aif of t * t
+  | Abig of Minic.Ast.redop * string * t * t * t
+  | Afold of {
+      fp : string;
+      out : string;
+      iter : string;
+      lo : t;
+      hi : t;
+      args : (string * t) list;
+    }
+
+and term = { coeff : float; atoms : atom list }
+and t = { const : float; terms : term list }
+
+(* Structural comparison is canonical: atoms contain only floats, strings,
+   lists and variants. *)
+let compare_atom (a : atom) (b : atom) = Stdlib.compare a b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let const k = { const = k; terms = [] }
+let zero = const 0.0
+let one = const 1.0
+let is_zero f = f.const = 0.0 && f.terms = []
+
+let atom a = { const = 0.0; terms = [ { coeff = 1.0; atoms = [ a ] } ] }
+let init v = atom (Ainit v)
+let carry v = atom (Acarry v)
+let iter v = atom (Aiter v)
+
+(* Merge terms with equal atom multisets, dropping zero coefficients. *)
+let norm_terms terms =
+  let sorted =
+    List.sort (fun t1 t2 -> Stdlib.compare t1.atoms t2.atoms) terms
+  in
+  let rec merge = function
+    | t1 :: t2 :: rest when t1.atoms = t2.atoms ->
+        merge ({ t1 with coeff = t1.coeff +. t2.coeff } :: rest)
+    | t1 :: rest ->
+        if t1.coeff = 0.0 then merge rest else t1 :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let add a b =
+  { const = a.const +. b.const; terms = norm_terms (a.terms @ b.terms) }
+
+let scale k f =
+  if k = 0.0 then zero
+  else
+    { const = k *. f.const;
+      terms =
+        norm_terms
+          (List.map (fun t -> { t with coeff = k *. t.coeff }) f.terms) }
+
+let neg f = scale (-1.0) f
+let sub a b = add a (neg b)
+
+let mul a b =
+  let term_mul t1 t2 =
+    { coeff = t1.coeff *. t2.coeff;
+      atoms = List.sort compare_atom (t1.atoms @ t2.atoms) }
+  in
+  let cross =
+    List.concat_map (fun t1 -> List.map (term_mul t1) b.terms) a.terms
+  in
+  let a_const_b = (scale a.const b).terms in
+  let b_const_a = (scale b.const a).terms in
+  { const = a.const *. b.const;
+    terms = norm_terms (cross @ a_const_b @ b_const_a) }
+
+let cond c a b =
+  if equal a b then a
+  else
+    let delta = sub a b in
+    add b (atom (Aif (c, delta)))
+
+(* ----------------------------- traversal ---------------------------- *)
+
+let rec mentions p f = List.exists (term_mentions p) f.terms
+
+and term_mentions p t = List.exists (atom_mentions p) t.atoms
+
+and atom_mentions p a =
+  p a
+  ||
+  match a with
+  | Ainit _ | Acarry _ | Aiter _ -> false
+  | Aread (_, subs) | Acall (_, subs) -> List.exists (mentions p) subs
+  | Aop (_, x, y) -> mentions p x || mentions p y
+  | Aif (c, d) -> mentions p c || mentions p d
+  | Abig (_, _, lo, hi, body) ->
+      mentions p lo || mentions p hi || mentions p body
+  | Afold { lo; hi; args; _ } ->
+      mentions p lo || mentions p hi
+      || List.exists (fun (_, f) -> mentions p f) args
+
+let mentions_init v f =
+  mentions (function Ainit v' -> v' = v | _ -> false) f
+
+let mentions_carry f = mentions (function Acarry _ -> true | _ -> false) f
+
+(* [f = self + g] with [g] free of [self], the shape of a sum-accumulator
+   transfer. *)
+let split_on self_atom deep_check f =
+  let is_self t = t.atoms = [ self_atom ] in
+  let selfs, rest = List.partition is_self f.terms in
+  match selfs with
+  | [ t ] when t.coeff = 1.0 ->
+      let g = { const = f.const; terms = rest } in
+      if deep_check g then None else Some g
+  | _ -> None
+
+let split_init v f = split_on (Ainit v) (mentions_init v) f
+
+let split_carry v f =
+  split_on (Acarry v)
+    (mentions (function Acarry v' -> v' = v | _ -> false))
+    f
+
+let rec map_poly fa f =
+  List.fold_left
+    (fun acc t ->
+      add acc
+        (List.fold_left
+           (fun p a -> mul p (map_atom fa a))
+           (const t.coeff) t.atoms))
+    (const f.const) f.terms
+
+and map_atom fa a =
+  match fa a with
+  | Some repl -> repl
+  | None -> (
+      let r = map_poly fa in
+      atom
+        (match a with
+        | Ainit _ | Acarry _ | Aiter _ -> a
+        | Aread (n, subs) -> Aread (n, List.map r subs)
+        | Acall (n, args) -> Acall (n, List.map r args)
+        | Aop (op, x, y) -> Aop (op, r x, r y)
+        | Aif (c, d) -> Aif (r c, r d)
+        | Abig (op, it, lo, hi, body) -> Abig (op, it, r lo, r hi, r body)
+        | Afold fo ->
+            Afold
+              { fo with
+                lo = r fo.lo;
+                hi = r fo.hi;
+                args = List.map (fun (n, f) -> (n, r f)) fo.args }))
+
+let subst_iter it repl f =
+  map_poly
+    (function Aiter v when v = it -> Some repl | _ -> None)
+    f
+
+(* ----------------------------- printing ----------------------------- *)
+
+let big_sym = function
+  | Minic.Ast.Rsum -> "\xce\xa3" (* Σ *)
+  | Minic.Ast.Rprod -> "\xce\xa0" (* Π *)
+  | Minic.Ast.Rmax -> "max"
+  | Minic.Ast.Rmin -> "min"
+  | Minic.Ast.Rland -> "\xe2\x88\x80" (* ∀ *)
+  | Minic.Ast.Rlor -> "\xe2\x88\x83" (* ∃ *)
+
+let rec pp ppf f =
+  if f.terms = [] then Fmt.pf ppf "%g" f.const
+  else begin
+    let first = ref true in
+    let sep () = if !first then first := false else Fmt.pf ppf " + " in
+    if f.const <> 0.0 then begin
+      sep ();
+      Fmt.pf ppf "%g" f.const
+    end;
+    List.iter
+      (fun t ->
+        sep ();
+        pp_term ppf t)
+      f.terms
+  end
+
+and pp_term ppf t =
+  if t.atoms = [] then Fmt.pf ppf "%g" t.coeff
+  else begin
+    if t.coeff <> 1.0 then Fmt.pf ppf "%g*" t.coeff;
+    Fmt.list ~sep:(Fmt.any "*") pp_atom ppf t.atoms
+  end
+
+and pp_atom ppf = function
+  | Ainit v -> Fmt.pf ppf "%s@0" v
+  | Acarry v -> Fmt.pf ppf "%s@carry" v
+  | Aiter v -> Fmt.string ppf v
+  | Aread (a, subs) ->
+      Fmt.pf ppf "%s%a" a
+        (Fmt.list ~sep:Fmt.nop (fun ppf s -> Fmt.pf ppf "[%a]" pp s))
+        subs
+  | Acall (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") pp) args
+  | Aop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp a (Minic.Pretty.binop_str op) pp b
+  | Aif (c, d) -> Fmt.pf ppf "(%a ? %a : 0)" pp c pp d
+  | Abig (op, it, lo, hi, body) ->
+      Fmt.pf ppf "%s{%s in [%a,%a)}(%a)" (big_sym op) it pp lo pp hi pp
+        body
+  | Afold { fp; out; iter; lo; hi; args } ->
+      Fmt.pf ppf "fold.%s[%s]{%s in [%a,%a)}(%a)"
+        (String.sub (Digest.to_hex (Digest.string fp)) 0 8)
+        out iter pp lo pp hi
+        (Fmt.list ~sep:(Fmt.any ", ")
+           (fun ppf (n, f) -> Fmt.pf ppf "%s@0=%a" n pp f))
+        args
+
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,92 @@
+(** Polynomial normal forms for the symbolic equivalence tier.
+
+    A value is a polynomial over {e atoms}: a constant plus a sorted list
+    of terms, each a float coefficient times a sorted multiset of atoms.
+    Atoms are the symbolic leaves — kernel-entry scalar values, loop
+    iterators, array reads, uninterpreted pure calls, non-polynomial
+    operators, guarded deltas, big-operator summations, and opaque (but
+    deterministic) inner-loop folds.  Two normal forms are equal exactly
+    when they denote the same real-valued function of the leaves; integer
+    wrap-around and float rounding are idealized away, which is the same
+    idealization the paper's error margin exists to absorb. *)
+
+type atom =
+  | Ainit of string  (** kernel-entry value of a scalar *)
+  | Acarry of string
+      (** inner-loop summarization marker: the scalar's value at entry of
+          the current inner iteration.  Internal to the engine's trial
+          execution — never escapes into a reported normal form. *)
+  | Aiter of string  (** a bound loop iterator (parallel or inner) *)
+  | Aread of string * t list  (** array element read *)
+  | Acall of string * t list  (** uninterpreted pure call *)
+  | Aop of Minic.Ast.binop * t * t
+      (** non-polynomial operator: division, modulo, comparisons,
+          logical connectives *)
+  | Aif of t * t  (** guarded delta: [cond ? delta : 0] *)
+  | Abig of Minic.Ast.redop * string * t * t * t
+      (** [⊕_{it = lo}^{hi - 1} body]: a recognized inner accumulation *)
+  | Afold of {
+      fp : string;  (** canonical text of the folded loop statement *)
+      out : string;  (** which scalar's final value this atom denotes *)
+      iter : string;
+      lo : t;
+      hi : t;
+      args : (string * t) list;
+          (** loop-entry values of the scalars the fold reads, by name *)
+    }  (** opaque but deterministic inner loop *)
+
+and term = { coeff : float; atoms : atom list }
+and t = { const : float; terms : term list }
+
+(** {1 Construction} *)
+
+val const : float -> t
+val zero : t
+val one : t
+val atom : atom -> t
+val init : string -> t
+val carry : string -> t
+val iter : string -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val cond : t -> t -> t -> t
+(** [cond c a b] is [c ? a : b], canonicalized to [b + (c ? a - b : 0)]
+    so that guarded accumulations keep their polynomial spine. *)
+
+(** {1 Inspection} *)
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val compare : t -> t -> int
+
+val mentions : (atom -> bool) -> t -> bool
+(** Does any atom anywhere in the normal form (including inside nested
+    atom payloads) satisfy the predicate? *)
+
+val mentions_init : string -> t -> bool
+(** Does the normal form read the kernel-entry value of [v]? *)
+
+val split_init : string -> t -> t option
+(** [split_init v f] is [Some g] when [f = v₀ + g] with [g] free of
+    [v₀] — the shape of a sum-accumulator transfer — and [None]
+    otherwise. *)
+
+val mentions_carry : t -> bool
+(** Does the normal form contain any trial-execution carry marker? *)
+
+val split_carry : string -> t -> t option
+(** [split_carry v f] is [Some g] when [f = carry(v) + g] with [g] free
+    of [carry(v)]: the transfer of one inner-loop iteration is a pure
+    accumulation into [v]. *)
+
+val subst_iter : string -> t -> t -> t
+(** [subst_iter it repl f] replaces every [Aiter it] atom by [repl]. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

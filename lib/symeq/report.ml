@@ -1,0 +1,130 @@
+(** Canonical JSON for symbolic-equivalence verdicts.  See report.mli. *)
+
+module P = Obs.Pjson
+
+type t = { program : string; result : Engine.t }
+
+let schema = "openarc.obs.symeq"
+let version = 1
+let jstr = Obs.Trace.json_str
+
+(* ----------------------------- emission ------------------------------ *)
+
+let kernel_json (k : Engine.kernel_verdict) =
+  let common = Fmt.str "\"kernel\": %s, \"verdict\": %s" (jstr k.kv_name)
+      (jstr (Engine.verdict_name k.kv_verdict))
+  in
+  match k.kv_verdict with
+  | Engine.Proved c ->
+      Fmt.str "{%s, \"objects\": [%s], \"hypotheses\": [%s], \"notes\": [%s]}"
+        common
+        (String.concat ", "
+           (List.map
+              (fun (name, form) ->
+                Fmt.str "{\"name\": %s, \"form\": %s}" (jstr name) (jstr form))
+              c.Engine.c_objects))
+        (String.concat ", " (List.map jstr c.Engine.c_hypotheses))
+        (String.concat ", " (List.map jstr c.Engine.c_notes))
+  | Engine.Disproved r ->
+      Fmt.str
+        "{%s, \"object\": %s, \"device\": %s, \"sequential\": %s, \
+         \"index\": %s, \"witness\": %s}"
+        common (jstr r.Engine.r_object) (jstr r.Engine.r_device)
+        (jstr r.Engine.r_sequential)
+        (match r.Engine.r_index with
+        | Some i -> string_of_int i
+        | None -> "null")
+        (jstr r.Engine.r_witness)
+  | Engine.Unknown why -> Fmt.str "{%s, \"reason\": %s}" common (jstr why)
+
+let to_json t =
+  Fmt.str
+    "{\"schema\": %s, \"version\": %d, \"program\": %s, \"kernels\": [%s], \
+     \"coverage\": {\"kernels\": %d, \"proved\": %d, \"disproved\": %d, \
+     \"unknown\": %d}}"
+    (jstr schema) version (jstr t.program)
+    (String.concat ", " (List.map kernel_json t.result.Engine.kernels))
+    (List.length t.result.Engine.kernels)
+    t.result.Engine.proved t.result.Engine.disproved t.result.Engine.unknown
+
+(* ----------------------------- validation ---------------------------- *)
+
+exception Invalid of string
+
+let need what = function
+  | Some v -> v
+  | None -> raise (Invalid ("missing or ill-typed " ^ what))
+
+let get_str name j = need name (Option.bind (P.member name j) P.str)
+let get_num name j = need name (Option.bind (P.member name j) P.num)
+let get_arr name j = need name (Option.bind (P.member name j) P.arr)
+let get_int name j = int_of_float (get_num name j)
+
+let str_list name j = List.map (fun v -> need name (P.str v)) (get_arr name j)
+
+let kernel_of_json j =
+  let name = get_str "kernel" j in
+  let verdict =
+    match get_str "verdict" j with
+    | "proved" ->
+        Engine.Proved
+          { Engine.c_objects =
+              List.map
+                (fun o -> (get_str "name" o, get_str "form" o))
+                (get_arr "objects" j);
+            c_hypotheses = str_list "hypotheses" j;
+            c_notes = str_list "notes" j }
+    | "disproved" ->
+        Engine.Disproved
+          { Engine.r_object = get_str "object" j;
+            r_device = get_str "device" j;
+            r_sequential = get_str "sequential" j;
+            r_index =
+              (match P.member "index" j with
+              | Some P.Null -> None
+              | Some v -> Some (int_of_float (need "index" (P.num v)))
+              | None -> raise (Invalid "missing index"));
+            r_witness = get_str "witness" j }
+    | "unknown" -> Engine.Unknown (get_str "reason" j)
+    | v -> raise (Invalid ("unknown verdict tag '" ^ v ^ "'"))
+  in
+  { Engine.kv_name = name; kv_verdict = verdict }
+
+let of_json s =
+  match P.parse_result s with
+  | Error e -> Error e
+  | Ok j -> (
+      try
+        (match P.member "schema" j with
+        | Some (P.Str tag) when tag = schema -> ()
+        | Some (P.Str tag) ->
+            raise (Invalid (Fmt.str "wrong schema tag %S (want %S)" tag schema))
+        | _ -> raise (Invalid "missing schema tag"));
+        if get_int "version" j <> version then
+          raise (Invalid "unsupported schema version");
+        let kernels = List.map kernel_of_json (get_arr "kernels" j) in
+        let cov = need "coverage" (P.member "coverage" j) in
+        let count p =
+          List.length
+            (List.filter (fun k -> p k.Engine.kv_verdict) kernels)
+        in
+        let result =
+          { Engine.kernels;
+            proved = count (function Engine.Proved _ -> true | _ -> false);
+            disproved =
+              count (function Engine.Disproved _ -> true | _ -> false);
+            unknown = count (function Engine.Unknown _ -> true | _ -> false) }
+        in
+        (* The recorded coverage must agree with the verdict list. *)
+        if
+          get_int "kernels" cov <> List.length kernels
+          || get_int "proved" cov <> result.Engine.proved
+          || get_int "disproved" cov <> result.Engine.disproved
+          || get_int "unknown" cov <> result.Engine.unknown
+        then raise (Invalid "coverage counters disagree with verdict list");
+        Ok { program = get_str "program" j; result }
+      with Invalid why -> Error why)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>symbolic equivalence — %s@,%a@]" t.program Engine.pp
+    t.result

@@ -21,6 +21,12 @@ let contains ~needle s =
   let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
   go 0
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
 let check_cmd name args ~expect =
   if not available then ()
   else begin
@@ -63,6 +69,64 @@ let test_verify () =
                                main_kernel0"
     ~expect:[ "async(1)"; "#pragma acc wait(1)" ]
 
+let test_verify_symbolic () =
+  check_cmd "verify --symbolic" "verify bench:jacobi --symbolic"
+    ~expect:
+      [ "[PROVED]"; "2 proved, 0 disproved, 0 unknown";
+        "[symbolically proved]"; "0 kernel(s) with detected errors" ];
+  check_cmd "verify --symbolic fault" "verify bench:ep --fault-injection \
+                                       --symbolic"
+    ~expect:[ "[DISPROVED]"; "[FAIL] main_kernel1" ];
+  if available then begin
+    let json = Filename.temp_file "openarc_symeq" ".json" in
+    let code, _ =
+      run_cmd
+        (Fmt.str "verify bench:jacobi --symeq-json %s"
+           (Filename.quote json))
+    in
+    Alcotest.(check int) "verify --symeq-json: exit 0" 0 code;
+    let ic = open_in_bin json in
+    let doc = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove json;
+    Alcotest.(check bool) "symeq json: schema" true
+      (contains ~needle:"\"schema\": \"openarc.obs.symeq\"" doc);
+    (* the document is the canonical one: it parses and round-trips *)
+    match Symeq.Report.of_json doc with
+    | Error e -> Alcotest.fail ("symeq json rejected: " ^ e)
+    | Ok t ->
+        Alcotest.(check int) "symeq json: all kernels proved"
+          (List.length t.Symeq.Report.result.Symeq.Engine.kernels)
+          t.Symeq.Report.result.Symeq.Engine.proved
+  end
+
+let test_unknown_flag () =
+  (* argument-parsing errors are malformed input: usage on stderr, exit
+     2 (not cmdliner's default 124) *)
+  if available then begin
+    let out = Filename.temp_file "openarc_cli" ".out" in
+    let err = Filename.temp_file "openarc_cli" ".err" in
+    let code =
+      Sys.command
+        (Fmt.str "%s verify bench:jacobi --no-such-flag > %s 2> %s" exe
+           (Filename.quote out) (Filename.quote err))
+    in
+    let stdout_text = read_file out and stderr_text = read_file err in
+    Sys.remove out;
+    Sys.remove err;
+    Alcotest.(check int) "unknown flag: exit 2" 2 code;
+    Alcotest.(check bool) "unknown flag: named on stderr" true
+      (contains ~needle:"--no-such-flag" stderr_text);
+    Alcotest.(check bool) "unknown flag: usage on stderr" true
+      (contains ~needle:"Usage: openarc verify" stderr_text);
+    Alcotest.(check string) "unknown flag: stdout silent" "" stdout_text;
+    let code =
+      Sys.command
+        (Fmt.str "%s no-such-command > /dev/null 2> /dev/null" exe)
+    in
+    Alcotest.(check int) "unknown subcommand: exit 2" 2 code
+  end
+
 let test_optimize () =
   check_cmd "optimize" "optimize bench:jacobi --outputs a,b,resid"
     ~expect:[ "converged"; "transfers:" ]
@@ -83,12 +147,6 @@ let test_trace () =
     Alcotest.(check bool) "trace: chrome json" true
       (contains ~needle:"\"ph\": \"X\"" json)
   end
-
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
 
 let test_profile () =
   check_cmd "profile" "profile bench:jacobi"
@@ -410,6 +468,8 @@ let tests =
     Alcotest.test_case "compile" `Quick test_compile;
     Alcotest.test_case "run" `Quick test_run;
     Alcotest.test_case "verify" `Quick test_verify;
+    Alcotest.test_case "verify symbolic" `Quick test_verify_symbolic;
+    Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
     Alcotest.test_case "optimize" `Slow test_optimize;
     Alcotest.test_case "trace" `Quick test_trace;
     Alcotest.test_case "profile" `Quick test_profile;

@@ -26,6 +26,7 @@ let () =
       ("fault_plan", Test_fault_plan.tests);
       ("resilience", Test_resilience.tests);
       ("lint", Test_lint.tests);
+      ("symeq", Test_symeq.tests);
       ("obs", Test_obs.tests);
       ("diff", Test_diff.tests);
       ("cli", Test_cli.tests);

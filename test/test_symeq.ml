@@ -1,0 +1,270 @@
+(* Symbolic-equivalence tier (tier 0 of kernel verification).
+
+   Three contracts, checked across the whole bundled suite:
+   - coverage: the affine fragment proves at least 8 of the 12 benchmarks
+     with every kernel [Proved], and never disproves a faithful build;
+   - agreement: on the Table II fault builds the symbolic verdict never
+     contradicts the numeric comparator — every [Disproved] kernel is
+     numerically detected and every [Proved] kernel is numerically clean;
+   - serialization: the canonical JSON document round-trips byte-for-byte
+     and malformed documents are rejected. *)
+
+open Suite
+
+let parse (b : Bench_def.t) =
+  Minic.Parser.parse_string ~file:b.Bench_def.name b.Bench_def.source
+
+let fault_prog b =
+  Openarc_core.Faults.strip_parallelism_clauses (parse b)
+
+let default_result b = Symeq.Engine.check_program (parse b)
+
+let fault_result b =
+  Symeq.Engine.check_program ~opts:Codegen.Options.fault_injection
+    (fault_prog b)
+
+let is_proved = function Symeq.Engine.Proved _ -> true | _ -> false
+let is_disproved = function Symeq.Engine.Disproved _ -> true | _ -> false
+
+let contains ~needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------------------- coverage ------------------------------ *)
+
+let test_suite_coverage () =
+  let fully_proved = ref 0 in
+  List.iter
+    (fun (b : Bench_def.t) ->
+      let r = default_result b in
+      Alcotest.(check int)
+        (b.name ^ ": one verdict per kernel")
+        (List.length r.Symeq.Engine.kernels)
+        (r.Symeq.Engine.proved + r.Symeq.Engine.disproved
+        + r.Symeq.Engine.unknown);
+      (* a faithful build must never be disproved *)
+      Alcotest.(check int) (b.name ^ ": no disproved kernels") 0
+        r.Symeq.Engine.disproved;
+      if r.Symeq.Engine.proved = List.length r.Symeq.Engine.kernels then
+        incr fully_proved)
+    Registry.all;
+  Alcotest.(check bool)
+    (Fmt.str "at least 8 of %d benchmarks fully proved (got %d)"
+       (List.length Registry.all) !fully_proved)
+    true
+    (!fully_proved >= 8)
+
+let test_certificates () =
+  (* spot-check a proved certificate's printable form *)
+  let r = default_result Jacobi.bench in
+  List.iter
+    (fun (k : Symeq.Engine.kernel_verdict) ->
+      match k.kv_verdict with
+      | Symeq.Engine.Proved c ->
+          Alcotest.(check bool)
+            (k.kv_name ^ ": certificate names the written object")
+            true
+            (c.Symeq.Engine.c_objects <> []);
+          List.iter
+            (fun (_, form) ->
+              Alcotest.(check bool)
+                (k.kv_name ^ ": closed form is quantified")
+                true
+                (contains ~needle:"\xe2\x88\x80" form))
+            c.Symeq.Engine.c_objects
+      | _ -> Alcotest.fail (k.kv_name ^ ": jacobi kernel not proved"))
+    r.Symeq.Engine.kernels
+
+(* --------------------- tier-0 / numeric agreement -------------------- *)
+
+(* Numeric ground truth for a translated program: kernel name -> ok. *)
+let numeric_ok ?opts prog =
+  let v = Openarc_core.Kernel_verify.verify ?opts prog in
+  List.map
+    (fun (r : Openarc_core.Kernel_verify.kernel_report) ->
+      ( r.kr_kernel.Codegen.Tprog.k_name,
+        Openarc_core.Kernel_verify.kernel_ok r ))
+    v.Openarc_core.Kernel_verify.reports
+
+let check_agreement name symbolic numeric =
+  List.iter
+    (fun (k : Symeq.Engine.kernel_verdict) ->
+      match List.assoc_opt k.kv_name numeric with
+      | None ->
+          Alcotest.fail
+            (Fmt.str "%s: %s has a symbolic verdict but no numeric report"
+               name k.kv_name)
+      | Some ok -> (
+          match k.kv_verdict with
+          | Symeq.Engine.Proved _ ->
+              Alcotest.(check bool)
+                (Fmt.str "%s/%s: proved kernel is numerically clean" name
+                   k.kv_name)
+                true ok
+          | Symeq.Engine.Disproved _ ->
+              Alcotest.(check bool)
+                (Fmt.str "%s/%s: disproved kernel is numerically detected"
+                   name k.kv_name)
+                false ok
+          | Symeq.Engine.Unknown _ -> ()))
+    symbolic.Symeq.Engine.kernels
+
+let test_agreement_default () =
+  List.iter
+    (fun (b : Bench_def.t) ->
+      check_agreement b.name (default_result b) (numeric_ok (parse b)))
+    Registry.all
+
+let test_agreement_fault () =
+  let disproved = ref 0 in
+  List.iter
+    (fun (b : Bench_def.t) ->
+      let s = fault_result b in
+      disproved := !disproved + s.Symeq.Engine.disproved;
+      check_agreement (b.name ^ "-fault") s
+        (numeric_ok ~opts:Codegen.Options.fault_injection (fault_prog b)))
+    Registry.all;
+  (* Table II's four active faults, no more and no fewer, are refuted *)
+  Alcotest.(check int) "fault builds: exactly 4 kernels disproved" 4
+    !disproved
+
+let test_refutation_witness () =
+  (* CG's stripped reduction: the refutation names the accumulator and a
+     concrete distinguishing index *)
+  let s = fault_result Cg.bench in
+  let k =
+    List.find
+      (fun (k : Symeq.Engine.kernel_verdict) -> is_disproved k.kv_verdict)
+      s.Symeq.Engine.kernels
+  in
+  match k.kv_verdict with
+  | Symeq.Engine.Disproved r ->
+      Alcotest.(check bool) "refuted object named" true (r.r_object <> "");
+      Alcotest.(check bool) "device form given" true (r.r_device <> "");
+      Alcotest.(check bool) "sequential form given" true
+        (r.r_sequential <> "");
+      Alcotest.(check (option int)) "witness index" (Some 0) r.r_index
+  | _ -> assert false
+
+(* ----------------- tier-0 integration in Kernel_verify --------------- *)
+
+let test_tier0_skips_numeric () =
+  let prog = parse Jacobi.bench in
+  let tr = Obs.Trace.create () in
+  let v = Openarc_core.Kernel_verify.verify ~obs:tr ~symbolic:true prog in
+  (match v.Openarc_core.Kernel_verify.symeq with
+  | None -> Alcotest.fail "symbolic tier did not run"
+  | Some s ->
+      Alcotest.(check int) "all jacobi kernels proved"
+        (List.length s.Symeq.Engine.kernels)
+        s.Symeq.Engine.proved);
+  List.iter
+    (fun (r : Openarc_core.Kernel_verify.kernel_report) ->
+      Alcotest.(check bool)
+        (r.kr_kernel.Codegen.Tprog.k_name ^ ": symbolic verdict attached")
+        true
+        (match r.kr_symbolic with
+        | Some v -> is_proved v
+        | None -> false);
+      Alcotest.(check bool)
+        (r.kr_kernel.Codegen.Tprog.k_name ^ ": numerically clean")
+        true
+        (Openarc_core.Kernel_verify.kernel_ok r))
+    v.Openarc_core.Kernel_verify.reports;
+  (* proved kernels never launch on the device: the only simulated-GPU
+     cost of the whole verification is zero kernel launches *)
+  Alcotest.(check int) "no device launches for proved kernels" 0
+    v.Openarc_core.Kernel_verify.metrics.Gpusim.Metrics.kernel_launches;
+  (* and the tier is observable *)
+  let jsonl = Obs.Trace.to_jsonl tr in
+  Alcotest.(check bool) "symeq phase span recorded" true
+    (contains ~needle:"\"symeq\"" jsonl);
+  Alcotest.(check bool) "symeq.proved counter recorded" true
+    (contains ~needle:"symeq.proved" jsonl)
+
+let test_without_symbolic_unchanged () =
+  let prog = parse Jacobi.bench in
+  let v = Openarc_core.Kernel_verify.verify prog in
+  Alcotest.(check bool) "no symeq result by default" true
+    (v.Openarc_core.Kernel_verify.symeq = None);
+  List.iter
+    (fun (r : Openarc_core.Kernel_verify.kernel_report) ->
+      Alcotest.(check bool) "no per-kernel verdict by default" true
+        (r.kr_symbolic = None))
+    v.Openarc_core.Kernel_verify.reports
+
+(* --------------------------- serialization --------------------------- *)
+
+let report b =
+  { Symeq.Report.program = b.Bench_def.name; result = default_result b }
+
+let fault_report b =
+  { Symeq.Report.program = b.Bench_def.name ^ "-fault";
+    result = fault_result b }
+
+let roundtrip name t =
+  let j = Symeq.Report.to_json t in
+  match Symeq.Report.of_json j with
+  | Error e -> Alcotest.fail (Fmt.str "%s: rejected own output: %s" name e)
+  | Ok t' ->
+      Alcotest.(check string) (name ^ ": byte-identical after round trip") j
+        (Symeq.Report.to_json t')
+
+let test_json_roundtrip () =
+  (* every benchmark, both builds: proved, disproved, and unknown verdicts
+     all survive the round trip *)
+  List.iter
+    (fun b ->
+      roundtrip b.Bench_def.name (report b);
+      roundtrip (b.Bench_def.name ^ "-fault") (fault_report b))
+    Registry.all
+
+let expect_rejected name doc =
+  match Symeq.Report.of_json doc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail (name ^ ": malformed document accepted")
+
+let replace ~sub ~by s =
+  let n = String.length sub and m = String.length s in
+  let rec find i = if i + n > m then None
+    else if String.sub s i n = sub then Some i else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (m - i - n)
+  | None -> Alcotest.fail (Fmt.str "fixture does not contain %S" sub)
+
+let test_json_rejects_malformed () =
+  let j = Symeq.Report.to_json (report Jacobi.bench) in
+  expect_rejected "truncated" (String.sub j 0 (String.length j - 5));
+  expect_rejected "empty" "";
+  expect_rejected "not json" "plain text";
+  expect_rejected "wrong schema tag"
+    (replace ~sub:"openarc.obs.symeq" ~by:"openarc.obs.profile" j);
+  expect_rejected "missing schema"
+    (replace ~sub:"\"schema\": \"openarc.obs.symeq\"" ~by:"\"schema\": 3" j);
+  expect_rejected "bad version"
+    (replace ~sub:"\"version\": 1" ~by:"\"version\": 99" j);
+  expect_rejected "unknown verdict tag"
+    (replace ~sub:"\"verdict\": \"proved\"" ~by:"\"verdict\": \"maybe\"" j);
+  expect_rejected "coverage mismatch"
+    (replace ~sub:"\"proved\": 2" ~by:"\"proved\": 1" j);
+  (* a disproved fixture: the witness index must be present *)
+  let jf = Symeq.Report.to_json (fault_report Cg.bench) in
+  expect_rejected "missing witness index"
+    (replace ~sub:"\"index\": 0, " ~by:"" jf)
+
+let tests =
+  [ Alcotest.test_case "suite coverage" `Quick test_suite_coverage;
+    Alcotest.test_case "certificates" `Quick test_certificates;
+    Alcotest.test_case "agreement (default builds)" `Slow
+      test_agreement_default;
+    Alcotest.test_case "agreement (fault builds)" `Slow test_agreement_fault;
+    Alcotest.test_case "refutation witness" `Quick test_refutation_witness;
+    Alcotest.test_case "tier-0 skips numeric run" `Quick
+      test_tier0_skips_numeric;
+    Alcotest.test_case "opt-in only" `Quick test_without_symbolic_unchanged;
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects malformed" `Quick
+      test_json_rejects_malformed ]
