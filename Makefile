@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke check bench clean
 
 all: build
 
@@ -24,9 +24,11 @@ lint: build
 # Resilience smoke: every fault kind x recovery policy on a small subset
 # of the suite must recover verified-correct (the full sweep is
 # `bench/main.exe faults`, which regenerates BENCH_faults.json).
+# --devices 2,4 adds the device-loss-with-failover rows: a member killed
+# at a kernel-launch gate whose shard must re-execute on the survivors.
 fault-matrix: build
 	$(DUNE) exec --no-build bin/openarc.exe -- \
-	  fault-matrix --benches jacobi,ep,srad --seed 42
+	  fault-matrix --benches jacobi,ep,srad --seed 42 --devices 2,4
 
 # Profiler byte-stability: regenerate a 3-benchmark subset of the
 # per-directive profile and require it to match the committed
@@ -57,7 +59,15 @@ wall-smoke: build
 	  wall --benches jacobi,ep,srad --repeats 3 --min-speedup 1.0 \
 	  --json wall-report.json
 
-check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke
+# Device-set scaling byte-stability: regenerate the 1/2/4/8-device
+# simulated-time sweep and require it to match the committed
+# BENCH_scale.json byte-for-byte (including its monotonicity counts),
+# then run one seeded 2-device device-loss cell whose lost shard must
+# fail over to the survivor and verify against the sequential reference.
+scale-smoke: build
+	$(DUNE) exec --no-build bench/main.exe scale-smoke
+
+check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

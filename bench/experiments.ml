@@ -517,12 +517,12 @@ let profile_path = "BENCH_profile.json"
 let profile_categories =
   List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
 
-let profile_entry (b : Bench_def.t) =
+let profile_entry ?(devices = 1) (b : Bench_def.t) =
   let prog = parse b in
   let env = Minic.Typecheck.check prog in
   let tp = Codegen.Translate.translate env prog in
   let tr = Obs.Trace.create () in
-  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~obs:tr tp in
+  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~devices ~obs:tr tp in
   let total = Gpusim.Metrics.total_time (Accrt.Interp.metrics o) in
   let p = Obs.Profile.of_trace ~categories:profile_categories tr in
   if not (Obs.Profile.conserves p ~total) then
@@ -629,23 +629,24 @@ let select = function
 (* The current sweep side of a diff re-parses its own canonical JSON so
    both sides of every comparison went through the same %.9f rounding:
    a clean tree diffs against the committed baseline to exactly zero. *)
-let current_profile b =
-  let name, total, entry = profile_entry b in
+let current_profile ?devices b =
+  let name, total, entry = profile_entry ?devices b in
   match Obs.Diff.profile_of_json entry with
   | Ok (p, _, _) -> (name, total, p)
   | Error e ->
       Fmt.failwith "internal: generated profile for %s unparseable: %s" name
         e
 
-let trend_line ~label name (p : Obs.Profile.t) =
+let trend_line ~label ?(devices = 1) name (p : Obs.Profile.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Fmt.str
        "{\"schema\": %s, \"version\": %d, \"name\": %s, \"seed\": 42, \
-        \"label\": %s, \"total\": %.9f, \"totals\": {"
+        \"devices\": %d, \"label\": %s, \"total\": %.9f, \"totals\": {"
        (Obs.Trace.json_str (Obs.Trace.schema ^ ".bench-trend"))
        Obs.Trace.version
        (Obs.Trace.json_str name)
+       devices
        (Obs.Trace.json_str label)
        p.Obs.Profile.p_total);
   List.iteri
@@ -663,16 +664,17 @@ let trend_line ~label name (p : Obs.Profile.t) =
   Buffer.add_string buf "}}";
   Buffer.contents buf
 
-let run_trend ?(out = trend_path) ?names ?(label = "") ppf =
+let run_trend ?(out = trend_path) ?names ?(label = "") ?(devices = 1) ppf =
   let bs = select names in
-  Fmt.pf ppf "Bench trend sweep (seed 42, source variant)@.";
+  Fmt.pf ppf "Bench trend sweep (seed 42, %d device(s), source variant)@."
+    devices;
   hr ppf;
   let lines =
     List.map
       (fun b ->
-        let name, total, p = current_profile b in
+        let name, total, p = current_profile ~devices b in
         Fmt.pf ppf "  %-12s %12.9f s@." name total;
-        trend_line ~label name p)
+        trend_line ~label ~devices name p)
       bs
   in
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 out in
@@ -1003,6 +1005,191 @@ let run_wall ?(json = wall_path) ?names
           got need;
         1
       end
+
+(* ------------------------------------------------------------------ *)
+(* Scale tier: simulated-time speedup across device-set sizes          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each benchmark runs at 1/2/4/8 simulated devices (seed 42, coherence
+   off) and reports total simulated time plus the speedup over the
+   single-device run.  The simulator is deterministic, so the canonical
+   JSON is byte-stable and the committed BENCH_scale.json doubles as a
+   regression baseline: a scheduling change that makes adding devices
+   slow a benchmark down shows up as a diff and as a monotonicity
+   failure. *)
+
+let scale_path = "BENCH_scale.json"
+
+let scale_counts = [ 1; 2; 4; 8 ]
+
+let scale_time ~devices tp =
+  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~devices tp in
+  Gpusim.Metrics.total_time (Accrt.Interp.metrics o)
+
+let scale_entry (b : Bench_def.t) =
+  let prog = parse b in
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  ( b.Bench_def.name,
+    List.map (fun n -> (n, scale_time ~devices:n tp)) scale_counts )
+
+let scale_speedup times n =
+  match (List.assoc_opt 1 times, List.assoc_opt n times) with
+  | Some t1, Some tn when tn > 0.0 -> t1 /. tn
+  | _ -> 0.0
+
+(* Monotone non-degrading through 4 devices: adding members never grows
+   the simulated time (exact — the simulator is deterministic; the tiny
+   epsilon only absorbs decimal printing). *)
+let scale_monotone times =
+  let t n = List.assoc n times in
+  t 2 <= t 1 +. 1e-12 && t 4 <= t 2 +. 1e-12
+
+let scale_entry_json (name, times) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "{\"name\": %S" name);
+  List.iter
+    (fun (n, t) -> Buffer.add_string buf (Fmt.str ", \"t%d_s\": %.9f" n t))
+    times;
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Fmt.str ", \"speedup%d\": %.4f" n (scale_speedup times n)))
+    (List.filter (fun n -> n > 1) scale_counts);
+  Buffer.add_string buf
+    (Fmt.str ", \"monotone_1_4\": %b}" (scale_monotone times));
+  Buffer.contents buf
+
+let scale_doc entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n\"schema\": \"openarc.obs.bench-scale\",\n\"version\": 1,\n\
+     \"seed\": 42,\n";
+  Buffer.add_string buf
+    (Fmt.str "\"devices\": [%s],\n"
+       (String.concat ", " (List.map string_of_int scale_counts)));
+  Buffer.add_string buf "\"benchmarks\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (scale_entry_json e))
+    entries;
+  Buffer.add_string buf "\n],\n";
+  Buffer.add_string buf
+    (Fmt.str "\"monotone_1_4\": %d\n}\n"
+       (List.length
+          (List.filter (fun (_, times) -> scale_monotone times) entries)));
+  Buffer.contents buf
+
+(* Transfer-bound benchmarks cannot speed up from extra devices (the
+   broadcast upload costs what one device's upload costs), so the gate
+   asks most — not all — of the suite to scale monotonically. *)
+let scale_min_monotone = 8
+
+let run_scale ?(json = scale_path) ppf =
+  Fmt.pf ppf
+    "Device-set scaling (simulated time, seed 42, source variant)@.";
+  hr ppf;
+  Fmt.pf ppf "  %-12s" "";
+  List.iter (fun n -> Fmt.pf ppf " %8s" (Fmt.str "%ddev" n)) scale_counts;
+  Fmt.pf ppf "  speedup 1->4@.";
+  let entries = List.map scale_entry benchmarks in
+  List.iter
+    (fun (name, times) ->
+      Fmt.pf ppf "  %-12s" name;
+      List.iter (fun (_, t) -> Fmt.pf ppf " %8.6f" t) times;
+      Fmt.pf ppf "  %5.2fx %s@." (scale_speedup times 4)
+        (if scale_monotone times then "" else "[degrades]"))
+    entries;
+  let oc = open_out json in
+  output_string oc (scale_doc entries);
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "scale report written to %s@." json;
+  let mono =
+    List.length (List.filter (fun (_, t) -> scale_monotone t) entries)
+  in
+  if mono >= scale_min_monotone then begin
+    Fmt.pf ppf
+      "scale: %d/%d benchmark(s) monotone non-degrading through 4 \
+       devices (>= %d required)@."
+      mono (List.length entries) scale_min_monotone;
+    0
+  end
+  else begin
+    Fmt.pf ppf
+      "SCALE REGRESSION: only %d/%d benchmark(s) monotone non-degrading \
+       through 4 devices (>= %d required)@."
+      mono (List.length entries) scale_min_monotone;
+    1
+  end
+
+(* Scale smoke for CI: the whole document must regenerate byte-for-byte
+   against the committed baseline (which also re-checks the monotonicity
+   counts it records), and one seeded device-loss cell must fail over to
+   the surviving member and still produce verified-correct outputs. *)
+let run_scale_smoke ppf =
+  let committed =
+    match open_in_bin scale_path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith "missing %s (run 'bench/main.exe scale' and commit \
+                      the result)" scale_path
+  in
+  let entries = List.map scale_entry benchmarks in
+  let regenerated = scale_doc entries in
+  if regenerated <> committed then
+    Fmt.failwith
+      "scale smoke failed: %s is stale; regenerate with 'bench/main.exe \
+       scale' and inspect the diff"
+      scale_path;
+  Fmt.pf ppf "scale smoke: %d benchmarks byte-stable against %s@."
+    (List.length entries) scale_path;
+  (* Failover cell: kill member 1 of a 2-device set at the first
+     kernel's launch gate; the fallback-less retry policy must re-execute
+     the lost shard on the survivor and verify it against the sequential
+     reference. *)
+  let b = List.find (fun b -> b.Bench_def.name = "JACOBI") benchmarks in
+  let prog = parse b in
+  let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  let target = tp.Codegen.Tprog.kernels.(0).Codegen.Tprog.k_name in
+  let plan =
+    Gpusim.Fault_plan.create ~seed:42
+      [ Gpusim.Fault_plan.mk_rule ~target ~count:1 ~dev:1
+          Gpusim.Fault_plan.Device_lost ]
+  in
+  let o =
+    Accrt.Interp.run ~coherence:false ~seed:42 ~devices:2 ~plan
+      ~resilience:Accrt.Resilience.retry tp
+  in
+  let st = o.Accrt.Interp.resilience in
+  let correct =
+    Openarc_core.Session.outputs_match ~outputs:b.Bench_def.outputs
+      ~reference o
+  in
+  if
+    st.Accrt.Resilience.devices_lost = 1
+    && st.Accrt.Resilience.failovers >= 1
+    && st.Accrt.Resilience.verified >= 1
+    && st.Accrt.Resilience.unrecovered = 0
+    && correct
+  then
+    Fmt.pf ppf
+      "scale smoke: device-loss failover cell ok (%d shard(s) \
+       re-executed, %d verified, outputs correct)@."
+      st.Accrt.Resilience.failovers st.Accrt.Resilience.verified
+  else
+    Fmt.failwith
+      "scale smoke failed: device-loss failover cell (lost=%d failovers=%d \
+       verified=%d unrecovered=%d correct=%b)"
+      st.Accrt.Resilience.devices_lost st.Accrt.Resilience.failovers
+      st.Accrt.Resilience.verified st.Accrt.Resilience.unrecovered correct
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic-equivalence sweep (tier-0 coverage across the suite)       *)

@@ -75,8 +75,10 @@ let run_micro () =
 let usage =
   "usage: main.exe \
    [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|\
-   profile|profile-smoke|trend|regress|wall|micro|all] [options]\n\
+   profile|profile-smoke|scale|scale-smoke|trend|regress|wall|micro|all] \
+   [options]\n\
   \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
+  \                   --devices N\n\
   \  regress options: --baseline FILE  --benches A,B,..  --json FILE\n\
   \  wall options:    --benches A,B,..  --repeats N  --json FILE\n\
   \                   --engine tree|compiled|both  --min-speedup X"
@@ -136,16 +138,34 @@ let () =
       with Failure msg ->
         Fmt.epr "%s@." msg;
         exit 1)
+  | "scale" ->
+      let code = Experiments.run_scale ppf in
+      if code <> 0 then exit code
+  | "scale-smoke" -> (
+      try Experiments.run_scale_smoke ppf
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
   | "trend" ->
       let out = ref Experiments.trend_path in
       let benches = ref None in
       let label = ref "" in
+      let devices = ref 1 in
       parse_flags
         [ ("--out", fun v -> out := v);
           ("--benches", fun v -> benches := split_benches v);
-          ("--label", fun v -> label := v) ]
+          ("--label", fun v -> label := v);
+          ( "--devices",
+            fun v ->
+              match int_of_string_opt v with
+              | Some n when n >= 1 -> devices := n
+              | _ ->
+                  Fmt.epr "invalid device count '%s'@.%s@." v usage;
+                  exit 2 ) ]
         rest;
-      (try Experiments.run_trend ~out:!out ?names:!benches ~label:!label ppf
+      (try
+         Experiments.run_trend ~out:!out ?names:!benches ~label:!label
+           ~devices:!devices ppf
        with Failure msg ->
          Fmt.epr "%s@." msg;
          exit 2)

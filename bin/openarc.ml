@@ -136,6 +136,42 @@ let seed_arg =
            ~doc:"Deterministic seed for device jitter and fault injection \
                  (the same seed reproduces a faulty run exactly)")
 
+let devices_arg =
+  Arg.(value & opt int 1
+       & info [ "devices" ] ~docv:"N"
+           ~doc:"Size of the simulated device set (default 1: the single \
+                 standalone device). With N > 1 the runtime broadcasts \
+                 uploads, shards parallel kernels across members, and \
+                 fails a lost member's shards over to the survivors")
+
+let schedule_arg =
+  let sched_conv =
+    Arg.enum
+      [ ("block", Gpusim.Device_set.Block);
+        ("cyclic", Gpusim.Device_set.Cyclic) ]
+  in
+  Arg.(value & opt sched_conv Gpusim.Device_set.Block
+       & info [ "schedule" ] ~docv:"SCHED"
+           ~doc:"How parallel-loop iteration spaces split across the \
+                 device set: 'block' (contiguous chunks, default) or \
+                 'cyclic' (round-robin)")
+
+(* A fault rule aimed at device ordinal d needs at least d+1 devices;
+   out-of-range ids are malformed input (exit 2), not silent no-ops. *)
+let check_devices ~devices plan =
+  if devices < 1 then
+    Fmt.failwith "invalid --devices: %d (must be >= 1)" devices;
+  match plan with
+  | None -> ()
+  | Some p -> (
+      match Gpusim.Fault_plan.max_dev p with
+      | Some d when d >= devices ->
+          Fmt.failwith
+            "invalid --device-faults spec: rule targets device %d but only \
+             %d device(s) are configured (need --devices >= %d)"
+            d devices (d + 1)
+      | _ -> ())
+
 let engine_arg =
   let engine_conv =
     Arg.enum
@@ -219,8 +255,9 @@ let run_cmd =
              ~doc:"Inject device faults: comma-separated \
                    KIND[:TARGET][@PROB][xCOUNT] rules with KIND in bitflip, \
                    xfer-fail, xfer-partial, xfer-corrupt, launch-fail, \
-                   launch-timeout, oom, device-lost (e.g. \
-                   'bitflip:a@0.5x3,device-lost')")
+                   launch-timeout, oom, device-lost; an optional #DEV \
+                   suffix pins a rule to one device-set member (e.g. \
+                   'bitflip:a@0.5x3,device-lost#1')")
   in
   let resilience =
     Arg.(value & opt string "none"
@@ -236,9 +273,10 @@ let run_cmd =
              ~doc:"Write the fault/recovery report as JSON to FILE")
   in
   let run file fault instrument trace fine device_faults resilience seed
-      engine faults_json =
+      engine devices schedule faults_json =
     handle (fun () ->
         let plan = plan_of_spec ~seed device_faults in
+        check_devices ~devices plan;
         let policy = policy_of_name resilience in
         let _, c = prepare ~fault (load_source file) in
         let tp = c.Openarc_core.Compiler.tprog in
@@ -250,7 +288,8 @@ let run_cmd =
         in
         let o =
           Accrt.Interp.run ~coherence:instrument ~engine ~granularity ~seed
-            ~trace:(trace <> None) ?plan ~resilience:policy tp
+            ~trace:(trace <> None) ?plan ~resilience:policy ~devices
+            ~schedule tp
         in
         (match trace with
         | Some path ->
@@ -298,7 +337,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a program on the simulated accelerator")
     Term.(const run $ file_arg $ fault_arg $ instrument $ trace $ fine
           $ device_faults $ resilience $ seed_arg $ engine_arg
-          $ faults_json)
+          $ devices_arg $ schedule_arg $ faults_json)
 
 (* ------------------------------ profile ---------------------------- *)
 
@@ -376,10 +415,11 @@ let profile_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Write a Chrome-trace JSON timeline of the device events")
   in
-  let run file fault instrument fine device_faults resilience seed json
-      flame events trace =
+  let run file fault instrument fine device_faults resilience seed devices
+      schedule json flame events trace =
     handle_code (fun () ->
         let plan = plan_of_spec ~seed device_faults in
+        check_devices ~devices plan;
         let policy = policy_of_name resilience in
         let tr = Obs.Trace.create () in
         let audit = Obs.Audit.create () in
@@ -396,7 +436,8 @@ let profile_cmd =
         in
         let o =
           Accrt.Interp.run ~coherence:instrument ~granularity ~seed
-            ~trace:true ?plan ~resilience:policy ~obs:tr ~audit tp
+            ~trace:true ?plan ~resilience:policy ~devices ~schedule ~obs:tr
+            ~audit tp
         in
         Obs.Trace.end_span tr session;
         let metrics = Accrt.Interp.metrics o in
@@ -442,8 +483,8 @@ let profile_cmd =
              attribution (the paper's Figure 3/4 breakdown), coherence \
              audit log, and flamegraph export")
     Term.(const run $ file_arg $ fault_arg $ instrument $ fine
-          $ device_faults $ resilience $ seed_arg $ json $ flame $ events
-          $ trace)
+          $ device_faults $ resilience $ seed_arg $ devices_arg
+          $ schedule_arg $ json $ flame $ events $ trace)
 
 (* ------------------------------ verify ----------------------------- *)
 
@@ -647,8 +688,10 @@ let session_cmd =
              ~doc:"Write the session telemetry (per-iteration records, \
                    embedded profiles, profile deltas) as canonical JSON")
   in
-  let run file outputs max_iterations conservative report json =
+  let run file outputs max_iterations conservative devices schedule report
+      json =
     handle (fun () ->
+        check_devices ~devices None;
         let prog =
           Minic.Parser.parse_string ~file:"<input>" (load_source file)
         in
@@ -658,8 +701,8 @@ let session_cmd =
           else Openarc_core.Session.Follow_all
         in
         let r =
-          Openarc_core.Session.optimize ~policy ~max_iterations ~outputs
-            prog
+          Openarc_core.Session.optimize ~policy ~max_iterations ~devices
+            ~schedule ~outputs prog
         in
         if report then
           Fmt.pr "%s" (Openarc_core.Session.report ~name:file r)
@@ -694,7 +737,7 @@ let session_cmd =
              counts, applied suggestions, verification outcomes, and \
              inter-iteration profile diffs")
     Term.(const run $ file_arg $ outputs $ max_iterations $ conservative
-          $ report $ json)
+          $ devices_arg $ schedule_arg $ report $ json)
 
 (* ---------------------------- diff-profile -------------------------- *)
 
@@ -838,7 +881,16 @@ let fault_matrix_cmd =
              ~doc:"Write a merged Chrome trace of every cell's device \
                    timeline (one process per bench/fault/policy cell)")
   in
-  let run benches kinds seed json trace =
+  let devices =
+    Arg.(value
+         & opt (some string) None
+         & info [ "devices" ] ~docv:"COUNTS"
+             ~doc:"Comma-separated device-set sizes (each > 1, e.g. '2,4') \
+                   to additionally sweep device-loss-with-failover rows \
+                   on: one member is killed at a kernel-launch gate and \
+                   its shard must fail over to the survivors")
+  in
+  let run benches kinds seed devices json trace =
     handle_code (fun () ->
         let subjects =
           (match benches with
@@ -866,9 +918,24 @@ let fault_matrix_cmd =
                 (split s))
             kinds
         in
+        let device_counts =
+          match devices with
+          | None -> []
+          | Some s ->
+              List.map
+                (fun n ->
+                  match int_of_string_opt n with
+                  | Some v when v > 1 -> v
+                  | _ ->
+                      Fmt.failwith
+                        "invalid --devices count '%s' (each must be an \
+                         integer > 1)"
+                        n)
+                (split s)
+        in
         let m =
-          Openarc_core.Fault_matrix.run ~seed ?kinds ~trace:(trace <> None)
-            subjects
+          Openarc_core.Fault_matrix.run ~seed ?kinds ~device_counts
+            ~trace:(trace <> None) subjects
         in
         Fmt.pr "%a@." Openarc_core.Fault_matrix.pp m;
         (match json with
@@ -888,7 +955,7 @@ let fault_matrix_cmd =
        ~doc:"Sweep fault kinds x recovery policies over the benchmark \
              suite, asserting every combination recovers verified-correct \
              or degrades to CPU fallback")
-    Term.(const run $ benches $ kinds $ seed_arg $ json $ trace)
+    Term.(const run $ benches $ kinds $ seed_arg $ devices $ json $ trace)
 
 (* ---------------------------- benchmarks --------------------------- *)
 

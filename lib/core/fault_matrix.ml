@@ -19,10 +19,12 @@ type cell = {
   c_bench : string;
   c_kind : Gpusim.Fault_plan.kind;
   c_policy : string;
+  c_devices : int;  (** device-set size the cell ran with (1 = classic) *)
   c_injected : int;
   c_retries : int;  (** transfer/alloc retries + checksum re-transfers *)
   c_reexecs : int;
   c_fallbacks : int;
+  c_failovers : int;  (** shards re-executed on surviving devices *)
   c_verified : int;
   c_correct : bool;  (** outputs match the sequential reference *)
   c_recovered : bool;  (** run completed without an unrecovered fault *)
@@ -52,7 +54,7 @@ let policies_for kind =
   else [ Accrt.Resilience.full ]
 
 let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds)
-    ?(trace = false) subjects =
+    ?(device_counts = []) ?(trace = false) subjects =
   let cells = ref [] in
   let traces = ref [] in
   List.iter
@@ -61,9 +63,60 @@ let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds)
       let c = Compiler.compile_program prog in
       let tp = c.Compiler.tprog in
       let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
-      let baseline = Accrt.Interp.run ~coherence:false ~seed tp in
-      let base_time =
+      let base_time_for devices =
+        let baseline =
+          Accrt.Interp.run ~coherence:false ~seed ~devices tp
+        in
         Gpusim.Metrics.total_time (Accrt.Interp.metrics baseline)
+      in
+      let base_time = base_time_for 1 in
+      let run_cell ~kind ~policy ~devices ~plan ~label ~base_time =
+        let cell =
+          match
+            Accrt.Interp.run ~coherence:false ~seed ~trace ~plan ~devices
+              ~resilience:policy tp
+          with
+          | o ->
+              if trace then
+                traces :=
+                  (label, o.Accrt.Interp.device.Gpusim.Device.timeline)
+                  :: !traces;
+              let st = o.Accrt.Interp.resilience in
+              let time =
+                Gpusim.Metrics.total_time (Accrt.Interp.metrics o)
+              in
+              { c_bench = s.s_name; c_kind = kind;
+                c_policy = policy.Accrt.Resilience.p_name;
+                c_devices = devices;
+                c_injected = Gpusim.Fault_plan.injected plan;
+                c_retries =
+                  st.Accrt.Resilience.retries
+                  + st.Accrt.Resilience.retransfers;
+                c_reexecs = st.Accrt.Resilience.reexecs;
+                c_fallbacks = st.Accrt.Resilience.fallbacks;
+                c_failovers = st.Accrt.Resilience.failovers;
+                c_verified = st.Accrt.Resilience.verified;
+                c_correct =
+                  Session.outputs_match ~outputs:s.s_outputs ~reference o;
+                c_recovered = st.Accrt.Resilience.unrecovered = 0;
+                c_device_lost = st.Accrt.Resilience.device_lost;
+                c_overhead =
+                  (if base_time > 0.0 then time /. base_time else 1.0);
+              }
+          | exception
+              ( Accrt.Resilience.Unrecovered _
+              | Gpusim.Device.Device_fault _ ) ->
+              { c_bench = s.s_name; c_kind = kind;
+                c_policy = policy.Accrt.Resilience.p_name;
+                c_devices = devices;
+                c_injected = Gpusim.Fault_plan.injected plan;
+                c_retries = 0; c_reexecs = 0; c_fallbacks = 0;
+                c_failovers = 0; c_verified = 0; c_correct = false;
+                c_recovered = false;
+                c_device_lost = plan.Gpusim.Fault_plan.lost;
+                c_overhead = 0.0 }
+        in
+        cells := cell :: !cells
       in
       List.iter
         (fun kind ->
@@ -78,53 +131,40 @@ let run ?(seed = 42) ?(kinds = Gpusim.Fault_plan.all_kinds)
                   (Gpusim.Fault_plan.kind_name kind)
                   policy.Accrt.Resilience.p_name
               in
-              let cell =
-                match
-                  Accrt.Interp.run ~coherence:false ~seed ~trace ~plan
-                    ~resilience:policy tp
-                with
-                | o ->
-                    if trace then
-                      traces :=
-                        (label,
-                         o.Accrt.Interp.device.Gpusim.Device.timeline)
-                        :: !traces;
-                    let st = o.Accrt.Interp.resilience in
-                    let time =
-                      Gpusim.Metrics.total_time (Accrt.Interp.metrics o)
-                    in
-                    { c_bench = s.s_name; c_kind = kind;
-                      c_policy = policy.Accrt.Resilience.p_name;
-                      c_injected = Gpusim.Fault_plan.injected plan;
-                      c_retries =
-                        st.Accrt.Resilience.retries
-                        + st.Accrt.Resilience.retransfers;
-                      c_reexecs = st.Accrt.Resilience.reexecs;
-                      c_fallbacks = st.Accrt.Resilience.fallbacks;
-                      c_verified = st.Accrt.Resilience.verified;
-                      c_correct =
-                        Session.outputs_match ~outputs:s.s_outputs
-                          ~reference o;
-                      c_recovered = st.Accrt.Resilience.unrecovered = 0;
-                      c_device_lost = st.Accrt.Resilience.device_lost;
-                      c_overhead =
-                        (if base_time > 0.0 then time /. base_time else 1.0);
-                    }
-                | exception
-                    ( Accrt.Resilience.Unrecovered _
-                    | Gpusim.Device.Device_fault _ ) ->
-                    { c_bench = s.s_name; c_kind = kind;
-                      c_policy = policy.Accrt.Resilience.p_name;
-                      c_injected = Gpusim.Fault_plan.injected plan;
-                      c_retries = 0; c_reexecs = 0; c_fallbacks = 0;
-                      c_verified = 0; c_correct = false;
-                      c_recovered = false;
-                      c_device_lost = plan.Gpusim.Fault_plan.lost;
-                      c_overhead = 0.0 }
-              in
-              cells := cell :: !cells)
+              run_cell ~kind ~policy ~devices:1 ~plan ~label ~base_time)
             (policies_for kind))
-        kinds)
+        kinds;
+      (* Device-loss x policy x device-count rows: kill one member at a
+         kernel-launch gate, so a shard is genuinely in flight and must
+         fail over to the survivors (validated by the §III-A comparator).
+         With survivors available, even the fallback-less [retry] policy
+         must recover these. *)
+      List.iter
+        (fun devices ->
+          let base_time = base_time_for devices in
+          let target =
+            if Array.length tp.Codegen.Tprog.kernels > 0 then
+              Some tp.Codegen.Tprog.kernels.(0).Codegen.Tprog.k_name
+            else None
+          in
+          List.iter
+            (fun lost_dev ->
+              List.iter
+                (fun policy ->
+                  let plan =
+                    Gpusim.Fault_plan.create ~seed
+                      [ Gpusim.Fault_plan.mk_rule ?target ~count:1
+                          ~dev:lost_dev Gpusim.Fault_plan.Device_lost ]
+                  in
+                  let label =
+                    Fmt.str "%s/device-lost#%d@%ddev/%s" s.s_name lost_dev
+                      devices policy.Accrt.Resilience.p_name
+                  in
+                  run_cell ~kind:Gpusim.Fault_plan.Device_lost ~policy
+                    ~devices ~plan ~label ~base_time)
+                [ Accrt.Resilience.retry; Accrt.Resilience.full ])
+            [ 0; devices - 1 ])
+        (List.filter (fun n -> n > 1) device_counts))
     subjects;
   { seed; cells = List.rev !cells; traces = List.rev !traces }
 
@@ -134,12 +174,16 @@ let pp_cell ppf c =
   Fmt.pf ppf "%-10s %-14s %-6s %s  inj=%d retry=%d reexec=%d fb=%d ver=%d \
               %s overhead=%.2fx"
     c.c_bench
-    (Gpusim.Fault_plan.kind_name c.c_kind)
+    (if c.c_devices > 1 then
+       Fmt.str "%s@%ddev" (Gpusim.Fault_plan.kind_name c.c_kind) c.c_devices
+     else Gpusim.Fault_plan.kind_name c.c_kind)
     c.c_policy
     (if cell_ok c then "[OK]  " else "[FAIL]")
     c.c_injected c.c_retries c.c_reexecs c.c_fallbacks c.c_verified
-    (if c.c_device_lost then "lost->host" else
-       if c.c_fallbacks > 0 then "fallback" else "recovered")
+    (if c.c_device_lost then "lost->host"
+     else if c.c_failovers > 0 then "failover"
+     else if c.c_fallbacks > 0 then "fallback"
+     else "recovered")
     c.c_overhead
 
 let pp ppf t =
@@ -158,15 +202,15 @@ let json_str s = Fmt.str "\"%s\"" (String.concat "\\\"" (String.split_on_char '"
 let to_json t =
   let cell c =
     Fmt.str
-      "{\"bench\": %s, \"fault\": %s, \"policy\": %s, \"injected\": %d, \
-       \"retries\": %d, \"reexecs\": %d, \"fallbacks\": %d, \"verified\": \
-       %d, \"correct\": %b, \"recovered\": %b, \"device_lost\": %b, \
-       \"overhead\": %.6f}"
+      "{\"bench\": %s, \"fault\": %s, \"policy\": %s, \"devices\": %d, \
+       \"injected\": %d, \"retries\": %d, \"reexecs\": %d, \"fallbacks\": \
+       %d, \"failovers\": %d, \"verified\": %d, \"correct\": %b, \
+       \"recovered\": %b, \"device_lost\": %b, \"overhead\": %.6f}"
       (json_str c.c_bench)
       (json_str (Gpusim.Fault_plan.kind_name c.c_kind))
-      (json_str c.c_policy) c.c_injected c.c_retries c.c_reexecs
-      c.c_fallbacks c.c_verified c.c_correct c.c_recovered c.c_device_lost
-      c.c_overhead
+      (json_str c.c_policy) c.c_devices c.c_injected c.c_retries c.c_reexecs
+      c.c_fallbacks c.c_failovers c.c_verified c.c_correct c.c_recovered
+      c.c_device_lost c.c_overhead
   in
   let ok = all_ok t in
   let fallback_cells =

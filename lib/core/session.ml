@@ -156,7 +156,8 @@ let rec apply_action prog (a : Suggest.action) =
     mismatch) in the next profiled run; the scripted programmer re-inserts
     the transfer, freezes further removal suggestions for that variable, and
     the detour is recorded as an incorrect iteration. *)
-let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
+let optimize ?(policy = Follow_all) ?(max_iterations = 12) ?(devices = 1)
+    ?schedule ~outputs prog =
   (* Work on the inlined program so report sites and directive edits refer
      to the same statements. *)
   let prog =
@@ -238,7 +239,7 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ~outputs prog =
           let env = Minic.Typecheck.check prog in
           let tp = Codegen.Translate.translate env prog in
           let tp = Codegen.Checkgen.instrument tp in
-          Ok (Accrt.Interp.run ~coherence:true ~obs:tr tp)
+          Ok (Accrt.Interp.run ~coherence:true ~devices ?schedule ~obs:tr tp)
         with e -> Error (Printexc.to_string e)
       in
       match outcome_or_err with

@@ -59,9 +59,14 @@ val outputs_match :
 val apply_action : Minic.Ast.program -> Suggest.action -> Minic.Ast.program
 
 (** Run the loop on [prog]; [outputs] are the names checked against the
-    sequential reference after each edit round (the §IV-C safety net). *)
+    sequential reference after each edit round (the §IV-C safety net).
+    [devices]/[schedule] size the simulated device set for every profiled
+    run (see {!Accrt.Interp.run}), so the coherence reports driving the
+    loop include per-device staleness — e.g. cross-device redundant
+    transfers. *)
 val optimize :
-  ?policy:policy -> ?max_iterations:int -> outputs:string list ->
+  ?policy:policy -> ?max_iterations:int -> ?devices:int ->
+  ?schedule:Gpusim.Device_set.schedule -> outputs:string list ->
   Minic.Ast.program -> result
 
 (** Dynamic transfer statistics of a program: (transfer count, bytes). *)

@@ -124,3 +124,23 @@ let equal b1 b2 =
   | Fbuf a, Fbuf b -> a = b
   | Ibuf a, Ibuf b -> a = b
   | (Fbuf _ | Ibuf _), _ -> false
+
+(* Last-writer merge for sharded kernels: an element a shard wrote differs
+   from the pre-launch snapshot; fold exactly those into the merge target.
+   Bitwise float comparison, so NaNs and signed zeros merge faithfully. *)
+let merge_diff ~reference ~src ~dst =
+  match (reference, src, dst) with
+  | Fbuf r, Fbuf s, Fbuf d ->
+      if Array.length r <> Array.length s || Array.length s <> Array.length d
+      then invalid_arg "Buf.merge_diff: shape mismatch";
+      for i = 0 to Array.length s - 1 do
+        if Int64.bits_of_float s.(i) <> Int64.bits_of_float r.(i) then
+          d.(i) <- s.(i)
+      done
+  | Ibuf r, Ibuf s, Ibuf d ->
+      if Array.length r <> Array.length s || Array.length s <> Array.length d
+      then invalid_arg "Buf.merge_diff: shape mismatch";
+      for i = 0 to Array.length s - 1 do
+        if s.(i) <> r.(i) then d.(i) <- s.(i)
+      done
+  | (Fbuf _ | Ibuf _), _, _ -> invalid_arg "Buf.merge_diff: shape mismatch"

@@ -48,3 +48,8 @@ val flip_bit : t -> idx:int -> bit:int -> unit
 val checksum : ?range:int * int -> t -> int64
 
 val equal : t -> t -> bool
+
+(** Last-writer merge for sharded kernels: every element of [src] that
+    differs (bitwise) from [reference] — the pre-launch snapshot — is copied
+    into [dst].  All three buffers must share shape. *)
+val merge_diff : reference:t -> src:t -> dst:t -> unit

@@ -9,6 +9,7 @@
 type stream = { mutable avail : float  (** completion time of queued work *) }
 
 type t = {
+  id : int;  (** ordinal within a {!Device_set} (0 when standalone) *)
   cm : Costmodel.t;
   metrics : Metrics.t;
   timeline : Timeline.t;
@@ -20,11 +21,13 @@ type t = {
   mutable peak_bytes : int;
 }
 
-let create ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false) ?plan () =
+let create ?(id = 0) ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false)
+    ?plan () =
   let plan =
     match plan with Some p -> p | None -> Fault_plan.none ()
   in
-  { cm; metrics = Metrics.create (); timeline = Timeline.create ~enabled:trace ();
+  { id; cm; metrics = Metrics.create ();
+    timeline = Timeline.create ~enabled:trace ();
     mem = Hashtbl.create 32;
     streams = Hashtbl.create 4; rng = Rng.create seed; plan;
     allocated_bytes = 0; peak_bytes = 0 }

@@ -9,6 +9,7 @@
 type stream = { mutable avail : float }
 
 type t = {
+  id : int;  (** ordinal within a {!Device_set} (0 when standalone) *)
   cm : Costmodel.t;
   metrics : Metrics.t;
   timeline : Timeline.t;
@@ -35,8 +36,8 @@ type fault_info = {
 exception Device_fault of fault_info
 
 val create :
-  ?cm:Costmodel.t -> ?seed:int -> ?trace:bool -> ?plan:Fault_plan.t ->
-  unit -> t
+  ?id:int -> ?cm:Costmodel.t -> ?seed:int -> ?trace:bool ->
+  ?plan:Fault_plan.t -> unit -> t
 
 (** Has the device {e not} been lost to a [Device_lost] fault? *)
 val alive : t -> bool

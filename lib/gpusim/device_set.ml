@@ -1,0 +1,121 @@
+(** A fleet of simulated devices behind one scheduler.
+
+    Each member device owns its memory space, streams, timeline, metrics and
+    fault gates; the set splits [parallel loop] iteration spaces across the
+    alive members block- or cyclic-wise (the JACC splitting strategies).
+    Device 0 is the {e primary}: its metrics object is the host clock, and a
+    one-device set behaves exactly like the standalone device it wraps.
+
+    Fault plans are partitioned by each rule's [#DEV] selector
+    ({!Fault_plan.partition}); {!flush_events} folds every member's injected
+    events back into the base plan so reports and reproduction recipes stay
+    complete in multi-device runs. *)
+
+type schedule = Block | Cyclic
+
+let schedule_name = function Block -> "block" | Cyclic -> "cyclic"
+
+let schedule_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "block" -> Ok Block
+  | "cyclic" -> Ok Cyclic
+  | other ->
+      Error (Fmt.str "unknown schedule '%s' (expected block|cyclic)" other)
+
+type t = {
+  devices : Device.t array;
+  schedule : schedule;
+  base_plan : Fault_plan.t option;
+      (** the un-partitioned plan, kept for event reporting *)
+}
+
+let create ?cm ?(seed = 42) ?(trace = false) ?plan ?(schedule = Block) n =
+  if n < 1 then invalid_arg "Device_set.create: need at least one device";
+  let plans =
+    match plan with
+    | None -> Array.init n (fun _ -> None)
+    | Some p -> Array.map Option.some (Fault_plan.partition ~seed ~devices:n p)
+  in
+  let devices =
+    Array.init n (fun id ->
+        Device.create ~id ?cm
+          ~seed:(if id = 0 then seed else seed + (7919 * id))
+          ~trace ?plan:plans.(id) ())
+  in
+  { devices; schedule; base_plan = plan }
+
+(** Wrap an existing standalone device as a one-member set. *)
+let of_device ?(schedule = Block) dev =
+  { devices = [| dev |]; schedule; base_plan = Some dev.Device.plan }
+
+let size t = Array.length t.devices
+let primary t = t.devices.(0)
+let device t i = t.devices.(i)
+
+let alive_ids t =
+  Array.to_list t.devices
+  |> List.filter Device.alive
+  |> List.map (fun d -> d.Device.id)
+
+let num_alive t =
+  Array.fold_left (fun n d -> if Device.alive d then n + 1 else n) 0 t.devices
+
+let all_lost t = num_alive t = 0
+
+let first_alive t =
+  let rec go i =
+    if i >= Array.length t.devices then None
+    else if Device.alive t.devices.(i) then Some t.devices.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(** Fold every member's injected fault events (time-ordered) and loss state
+    back into the base plan, so a partitioned multi-device run reports like
+    a single-device one.  Idempotent; a no-op for one-member sets, whose
+    base plan {e is} the device's plan. *)
+let flush_events t =
+  match t.base_plan with
+  | None -> ()
+  | Some base when Array.length t.devices <= 1 -> ignore base
+  | Some base ->
+      let evs =
+        Array.fold_left
+          (fun acc d -> acc @ Fault_plan.events d.Device.plan)
+          [] t.devices
+      in
+      let evs =
+        List.stable_sort
+          (fun a b ->
+            compare a.Fault_plan.e_time b.Fault_plan.e_time)
+          evs
+      in
+      base.Fault_plan.events <- List.rev evs;
+      if Array.exists (fun d -> not (Device.alive d)) t.devices then
+        base.Fault_plan.lost <- true
+
+(* --------------------------- iteration split --------------------------- *)
+
+(** Participant index owning iteration ordinal [i] of a [total]-iteration
+    loop split across [parts] participants.  Block: contiguous
+    ceil(total/parts) chunks; cyclic: round-robin by ordinal. *)
+let owner schedule ~parts ~total i =
+  if parts <= 1 then 0
+  else
+    match schedule with
+    | Cyclic -> i mod parts
+    | Block ->
+        let chunk = (total + parts - 1) / parts in
+        min (i / chunk) (parts - 1)
+
+(** Number of ordinals of a [total]-iteration loop owned by participant
+    [part] (for per-shard cost accounting). *)
+let shard_size schedule ~parts ~total part =
+  if parts <= 1 then total
+  else
+    match schedule with
+    | Cyclic -> ((total - part - 1) / parts) + if part < total then 1 else 0
+    | Block ->
+        let chunk = (total + parts - 1) / parts in
+        let lo = part * chunk in
+        if lo >= total then 0 else min chunk (total - lo)

@@ -1,0 +1,52 @@
+(** A fleet of simulated devices behind one scheduler.
+
+    Each member owns its memory space, streams, timeline, metrics and fault
+    gates; the set splits [parallel loop] iteration spaces across alive
+    members block- or cyclic-wise.  Device 0 is the {e primary}: its metrics
+    object is the host clock, and a one-member set behaves exactly like the
+    standalone device it wraps. *)
+
+type schedule = Block | Cyclic
+
+val schedule_name : schedule -> string
+val schedule_of_string : string -> (schedule, string) result
+
+type t = {
+  devices : Device.t array;
+  schedule : schedule;
+  base_plan : Fault_plan.t option;
+      (** the un-partitioned plan, kept for event reporting *)
+}
+
+(** Create [n] devices.  A fault [plan] is partitioned by [#DEV] selector
+    ({!Fault_plan.partition}); device 0 keeps the seed's own RNG stream so a
+    one-device set reproduces the standalone device exactly. *)
+val create :
+  ?cm:Costmodel.t -> ?seed:int -> ?trace:bool -> ?plan:Fault_plan.t ->
+  ?schedule:schedule -> int -> t
+
+(** Wrap an existing standalone device as a one-member set. *)
+val of_device : ?schedule:schedule -> Device.t -> t
+
+val size : t -> int
+val primary : t -> Device.t
+val device : t -> int -> Device.t
+
+(** Ordinals of members still on the bus, ascending. *)
+val alive_ids : t -> int list
+
+val num_alive : t -> int
+val all_lost : t -> bool
+val first_alive : t -> Device.t option
+
+(** Fold every member's injected fault events (time-ordered) and loss state
+    back into the base plan, so multi-device runs report like single-device
+    ones.  Idempotent. *)
+val flush_events : t -> unit
+
+(** Participant index owning iteration ordinal [i] of a [total]-iteration
+    loop split across [parts] participants. *)
+val owner : schedule -> parts:int -> total:int -> int -> int
+
+(** Number of ordinals owned by participant [part]. *)
+val shard_size : schedule -> parts:int -> total:int -> int -> int

@@ -10,14 +10,17 @@
 
     Spec grammar (comma-separated rules):
     {v
-      RULE  := KIND [ ':' TARGET ] [ '@' PROB ] [ 'x' COUNT ]
+      RULE  := KIND [ ':' TARGET ] [ '@' PROB ] [ 'x' COUNT ] [ '#' DEV ]
       KIND  := bitflip | xfer-fail | xfer-partial | xfer-corrupt
              | launch-fail | launch-timeout | oom | device-lost
       PROB  := float in (0, 1]          (default 1.0)
       COUNT := positive int | '*'       (default 1; '*' = unlimited)
+      DEV   := device ordinal >= 0      (default: device 0)
     v}
-    Examples: ["xfer-fail x2"], ["bitflip:a@0.5x*"], ["device-lost"],
-    ["oomx3,launch-fail:main_kernel0"]. *)
+    Examples: ["xfer-fail x2"], ["bitflip:a@0.5x*"], ["device-lost#1"],
+    ["oomx3,launch-fail:main_kernel0"].  The [#DEV] selector arms the rule
+    against one member of a multi-device set ({!Device_set}); rules without
+    a selector arm against device 0, matching the single-device runtime. *)
 
 type kind =
   | Bit_flip  (** transient bit flip in a resident device buffer *)
@@ -57,6 +60,7 @@ type rule = {
   r_target : string option;  (** buffer/kernel name; [None] = any *)
   r_prob : float;
   r_count : int;  (** max injections; negative = unlimited *)
+  r_dev : int option;  (** device ordinal in a device set; [None] = dev 0 *)
   mutable r_fired : int;
 }
 
@@ -74,8 +78,9 @@ type t = {
   mutable lost : bool;  (** a [Device_lost] fault has fired *)
 }
 
-let mk_rule ?target ?(prob = 1.0) ?(count = 1) r_kind =
-  { r_kind; r_target = target; r_prob = prob; r_count = count; r_fired = 0 }
+let mk_rule ?target ?(prob = 1.0) ?(count = 1) ?dev r_kind =
+  { r_kind; r_target = target; r_prob = prob; r_count = count; r_dev = dev;
+    r_fired = 0 }
 
 let create ?(seed = 42) rules =
   { rng = Rng.split (Rng.create seed); rules; events = []; lost = false }
@@ -117,6 +122,33 @@ let fire t k ~target ~op ~time =
 
 (* ------------------------------ specs ------------------------------ *)
 
+(** Largest device ordinal any rule names; [None] when every rule is
+    device-0 implicit.  The CLI validates this against [--devices]. *)
+let max_dev t =
+  List.fold_left
+    (fun acc r ->
+      match (r.r_dev, acc) with
+      | None, acc -> acc
+      | Some d, None -> Some d
+      | Some d, Some m -> Some (max d m))
+    None t.rules
+
+(** The device ordinal a rule is armed against (default 0). *)
+let rule_dev r = match r.r_dev with None -> 0 | Some d -> d
+
+(** Split a plan across [devices] members of a device set: device [d]
+    receives the rules armed against it, with an RNG stream derived from
+    [seed] and [d] (device 0 keeps the stream of [seed] itself, so a
+    single-device run of a selector-free spec is unchanged).  The returned
+    plans share nothing; each device's gates consult only its own. *)
+let partition ~seed ~devices t =
+  Array.init devices (fun d ->
+      let rules =
+        List.filter (fun r -> rule_dev r = d) t.rules
+        |> List.map (fun r -> { r with r_fired = 0 })
+      in
+      create ~seed:(if d = 0 then seed else seed + (1000003 * d)) rules)
+
 let spec_of_rule r =
   let target = match r.r_target with None -> "" | Some t -> ":" ^ t in
   let prob = if r.r_prob >= 1.0 then "" else Fmt.str "@%g" r.r_prob in
@@ -125,7 +157,8 @@ let spec_of_rule r =
     else if r.r_count < 0 then "x*"
     else Fmt.str "x%d" r.r_count
   in
-  kind_name r.r_kind ^ target ^ prob ^ count
+  let dev = match r.r_dev with None -> "" | Some d -> Fmt.str "#%d" d in
+  kind_name r.r_kind ^ target ^ prob ^ count ^ dev
 
 let to_spec t = String.concat "," (List.map spec_of_rule t.rules)
 
@@ -133,7 +166,17 @@ let parse_rule s =
   let s = String.trim s in
   if s = "" then Error "empty rule"
   else begin
-    (* split the trailing xCOUNT, then @PROB, then :TARGET *)
+    (* split the trailing #DEV, then xCOUNT, then @PROB, then :TARGET *)
+    let s, dev =
+      match String.rindex_opt s '#' with
+      | Some i -> (
+          let tail = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt tail with
+          | Some d when d >= 0 -> (String.trim (String.sub s 0 i), Ok (Some d))
+          | Some _ | None ->
+              (s, Error (Fmt.str "device ordinal must be >= 0 in %S" s)))
+      | None -> (s, Ok None)
+    in
     let body, count =
       match String.rindex_opt s 'x' with
       | Some i when i > 0 -> (
@@ -165,13 +208,14 @@ let parse_rule s =
           (String.sub body 0 i,
            Some (String.sub body (i + 1) (String.length body - i - 1)))
     in
-    match (kind_of_name (String.trim body), prob, count) with
-    | _, Error e, _ | _, _, Error e -> Error e
-    | None, _, _ ->
+    match (kind_of_name (String.trim body), prob, count, dev) with
+    | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e -> Error e
+    | None, _, _, _ ->
         Error
           (Fmt.str "unknown fault kind %S (expected %s)" (String.trim body)
              (String.concat "|" (List.map kind_name all_kinds)))
-    | Some k, Ok prob, Ok count -> Ok (mk_rule ?target ~prob ~count k)
+    | Some k, Ok prob, Ok count, Ok dev ->
+        Ok (mk_rule ?target ~prob ~count ?dev k)
   end
 
 let of_spec ?seed spec =

@@ -6,10 +6,11 @@
     exactly reproducible from [--seed] plus the spec string.
 
     Spec grammar (comma-separated):
-    [KIND[:TARGET][@PROB][xCOUNT]] with [KIND] one of [bitflip], [xfer-fail],
-    [xfer-partial], [xfer-corrupt], [launch-fail], [launch-timeout], [oom],
-    [device-lost]; [PROB] in (0,1] (default 1); [COUNT] a positive int or
-    ['*'] for unlimited (default 1). *)
+    [KIND[:TARGET][@PROB][xCOUNT][#DEV]] with [KIND] one of [bitflip],
+    [xfer-fail], [xfer-partial], [xfer-corrupt], [launch-fail],
+    [launch-timeout], [oom], [device-lost]; [PROB] in (0,1] (default 1);
+    [COUNT] a positive int or ['*'] for unlimited (default 1); [DEV] a
+    device ordinal in a {!Device_set} (default 0). *)
 
 type kind =
   | Bit_flip
@@ -34,6 +35,7 @@ type rule = {
   r_target : string option;  (** buffer/kernel name; [None] = any *)
   r_prob : float;
   r_count : int;  (** max injections; negative = unlimited *)
+  r_dev : int option;  (** device ordinal in a device set; [None] = dev 0 *)
   mutable r_fired : int;
 }
 
@@ -51,8 +53,21 @@ type t = {
   mutable lost : bool;
 }
 
-val mk_rule : ?target:string -> ?prob:float -> ?count:int -> kind -> rule
+val mk_rule :
+  ?target:string -> ?prob:float -> ?count:int -> ?dev:int -> kind -> rule
+
 val create : ?seed:int -> rule list -> t
+
+(** Largest device ordinal named by any rule's [#DEV] selector. *)
+val max_dev : t -> int option
+
+(** The device ordinal a rule is armed against (default 0). *)
+val rule_dev : rule -> int
+
+(** Split a plan across the [devices] members of a device set; device [d]
+    receives the rules armed against it with a seed-derived RNG stream
+    (device 0 keeps [seed]'s own stream). *)
+val partition : seed:int -> devices:int -> t -> t array
 
 (** The empty plan: no faults ever fire. *)
 val none : unit -> t

@@ -17,13 +17,13 @@ let acc_device_not_host = 3
 let acc_device_nvidia = 4
 
 type state = {
-  device : Gpusim.Device.t;
+  set : Gpusim.Device_set.t;
   mutable device_type : int;
   mutable device_num : int;
   mutable initialized : bool;
 }
 
-let create device =
+let create set =
   let device_type =
     match Sys.getenv_opt "ACC_DEVICE_TYPE" with
     | Some "host" -> acc_device_host
@@ -35,23 +35,32 @@ let create device =
     | Some s -> ( try int_of_string s with _ -> 0)
     | None -> 0
   in
-  { device; device_type; device_num; initialized = false }
+  { set; device_type; device_num; initialized = false }
+
+(** The member device [device_num] designates (primary out of range). *)
+let current st =
+  if st.device_num >= 0 && st.device_num < Gpusim.Device_set.size st.set
+  then Gpusim.Device_set.device st.set st.device_num
+  else Gpusim.Device_set.primary st.set
+
+(* The host clock is always the primary's metrics, whichever member the
+   program selected. *)
+let host_clock st =
+  (Gpusim.Device_set.primary st.set).Gpusim.Device.metrics
+    .Gpusim.Metrics.host_clock
 
 (** Is a stream's queued work complete at the current simulated time? *)
 let async_done st q =
-  match Hashtbl.find_opt st.device.Gpusim.Device.streams q with
+  let device = current st in
+  match Hashtbl.find_opt device.Gpusim.Device.streams q with
   | None -> true
-  | Some s ->
-      s.Gpusim.Device.avail
-      <= st.device.Gpusim.Device.metrics.Gpusim.Metrics.host_clock
+  | Some s -> s.Gpusim.Device.avail <= host_clock st
 
 let all_async_done st =
+  let device = current st in
   Hashtbl.fold
-    (fun _ s acc ->
-      acc
-      && s.Gpusim.Device.avail
-         <= st.device.Gpusim.Device.metrics.Gpusim.Metrics.host_clock)
-    st.device.Gpusim.Device.streams true
+    (fun _ s acc -> acc && s.Gpusim.Device.avail <= host_clock st)
+    device.Gpusim.Device.streams true
 
 (** The routine table: name -> (arity, implementation).  Every routine
     returns an [int] scalar (void routines return 0), so they are usable in
@@ -64,23 +73,25 @@ let routines st : (string * (int * (scalar list -> scalar))) list =
         health through the standard routine. *)
      int1 (fun t ->
          if t = acc_device_host then 1
-         else if Gpusim.Device.alive st.device then 1
-         else 0));
+         else Gpusim.Device_set.num_alive st.set));
     ("acc_set_device_type",
      int1 (fun t -> st.device_type <- t; 0));
     ("acc_get_device_type", int0 (fun () -> st.device_type));
     ("acc_set_device_num",
      (2, fun args ->
-        st.device_num <- to_int (List.nth args 0);
+        (* Honour only ordinals the device set actually has. *)
+        let n = to_int (List.nth args 0) in
+        if n >= 0 && n < Gpusim.Device_set.size st.set then
+          st.device_num <- n;
         Int 0));
     ("acc_get_device_num", int1 (fun _ -> st.device_num));
     ("acc_async_test", int1 (fun q -> if async_done st q then 1 else 0));
     ("acc_async_test_all",
      int0 (fun () -> if all_async_done st then 1 else 0));
     ("acc_async_wait",
-     int1 (fun q -> Gpusim.Device.wait st.device (Some q); 0));
+     int1 (fun q -> Gpusim.Device.wait (current st) (Some q); 0));
     ("acc_async_wait_all",
-     int0 (fun () -> Gpusim.Device.wait st.device None; 0));
+     int0 (fun () -> Gpusim.Device.wait (current st) None; 0));
     ("acc_init", int1 (fun _ -> st.initialized <- true; 0));
     ("acc_shutdown", int1 (fun _ -> st.initialized <- false; 0));
     ("acc_on_device",

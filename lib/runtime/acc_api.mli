@@ -1,7 +1,13 @@
 (** The OpenACC V1.0 runtime library routines ([acc_init],
     [acc_get_num_devices], [acc_async_test], ...), callable from Mini-C and
-    backed by the simulated device; honours the [ACC_DEVICE_TYPE] and
-    [ACC_DEVICE_NUM] environment variables. *)
+    backed by the simulated device set; honours the [ACC_DEVICE_TYPE] and
+    [ACC_DEVICE_NUM] environment variables.
+
+    Multi-device corners follow the device set: [acc_get_num_devices]
+    counts only members still on the bus (a lost device is no longer
+    countable), and [acc_set_device_num] / [acc_get_device_num] select the
+    member the async routines address — out-of-range ordinals are
+    ignored. *)
 
 val acc_device_none : int
 val acc_device_default : int
@@ -10,13 +16,16 @@ val acc_device_not_host : int
 val acc_device_nvidia : int
 
 type state = {
-  device : Gpusim.Device.t;
+  set : Gpusim.Device_set.t;
   mutable device_type : int;
   mutable device_num : int;
   mutable initialized : bool;
 }
 
-val create : Gpusim.Device.t -> state
+val create : Gpusim.Device_set.t -> state
+
+(** The member [device_num] designates (primary when out of range). *)
+val current : state -> Gpusim.Device.t
 
 (** Is stream [q]'s queued work complete at the current simulated time? *)
 val async_done : state -> int -> bool

@@ -61,10 +61,17 @@ type dev_state = {
   mutable may_iv : Intervals.t;  (** fine mode: may-stale element ranges *)
 }
 
-type var_state = { cpu : dev_state; gpu : dev_state; mutable len : int }
+type var_state = {
+  cpu : dev_state;
+  gpu : dev_state;  (** device 0's copy; physically [gpus.(0)] *)
+  gpus : dev_state array;  (** one state per device-set member *)
+  mutable len : int;
+}
 
 type t = {
   granularity : granularity;
+  ndevices : int;  (** device-set size; 1 = the paper's single device *)
+  alive_gpus : bool array;  (** per-device liveness, updated on loss *)
   states : (string, var_state) Hashtbl.t;
   mutable reports : report list;  (** reversed *)
   mutable loop_stack : (string * int) list;  (** innermost first *)
@@ -78,8 +85,11 @@ type t = {
   mutable cur_point : string;  (** program point of that call *)
 }
 
-let create ?(granularity = Coarse) ?audit ?(now = fun () -> 0.0) () =
-  { granularity; states = Hashtbl.create 32; reports = []; loop_stack = [];
+let create ?(granularity = Coarse) ?audit ?(now = fun () -> 0.0)
+    ?(devices = 1) () =
+  let devices = max 1 devices in
+  { granularity; ndevices = devices; alive_gpus = Array.make devices true;
+    states = Hashtbl.create 32; reports = []; loop_stack = [];
     checks_executed = 0; interval_ops = 0; audit; now; cur_op = "";
     cur_point = "" }
 
@@ -90,7 +100,11 @@ let state t v =
   match Hashtbl.find_opt t.states v with
   | Some s -> s
   | None ->
-      let s = { cpu = fresh_dev (); gpu = fresh_dev (); len = max_int / 2 } in
+      let gpu = fresh_dev () in
+      let gpus =
+        Array.init t.ndevices (fun d -> if d = 0 then gpu else fresh_dev ())
+      in
+      let s = { cpu = fresh_dev (); gpu; gpus; len = max_int / 2 } in
       Hashtbl.add t.states v s;
       s
 
@@ -101,7 +115,40 @@ let dev_state t v dev =
   let s = state t v in
   match dev with Cpu -> s.cpu | Gpu -> s.gpu
 
-let get t v dev = (dev_state t v dev).status
+(* Per-device copies we still consider part of the set: alive members, or
+   every member once all are lost (the degenerate host-mode case). *)
+let live_gpu_ids t =
+  let ids = ref [] in
+  for d = t.ndevices - 1 downto 0 do
+    if t.alive_gpus.(d) then ids := d :: !ids
+  done;
+  if !ids = [] then List.init t.ndevices (fun d -> d) else !ids
+
+let severity = function Not_stale -> 0 | May_stale -> 1 | Stale -> 2
+
+let of_severity = function 0 -> Not_stale | 1 -> May_stale | _ -> Stale
+
+(** Status of one member device's copy of [v]. *)
+let gpu_status t v d = (state t v).gpus.(d).status
+
+(* The set-wide GPU status is the pessimistic join over live copies: a read
+   executed by every member is missing data if any member's copy is stale.
+   With one device this is exactly the member's own status. *)
+let join_gpu t v =
+  List.fold_left
+    (fun acc d -> max acc (severity (gpu_status t v d)))
+    0 (live_gpu_ids t)
+  |> of_severity
+
+(* Best live copy: the one a download would be served from. *)
+let best_gpu t v =
+  List.fold_left
+    (fun acc d -> min acc (severity (gpu_status t v d)))
+    2 (live_gpu_ids t)
+  |> of_severity
+
+let get t v dev =
+  match dev with Cpu -> (state t v).cpu.status | Gpu -> join_gpu t v
 
 let audit_dev = function Cpu -> Obs.Audit.Cpu | Gpu -> Obs.Audit.Gpu
 
@@ -111,18 +158,34 @@ let audit_status = function
   | Stale -> Obs.Audit.Stale
 
 (* Every observable status transition flows through here, so the audit log
-   captures all of them with the op/point context set by the entry point. *)
-let set t v dev st =
-  let ds = dev_state t v dev in
+   captures all of them with the op/point context set by the entry point.
+   The audit records the primary (device 0) lattice; secondary members of a
+   device set transition silently. *)
+let set_state t v dev ~audited ds st =
   if ds.status <> st then begin
     (match t.audit with
-    | Some a ->
+    | Some a when audited ->
         Obs.Audit.record a ~time:(t.now ()) ~var:v ~dev:(audit_dev dev)
           ~from_:(audit_status ds.status) ~to_:(audit_status st)
           ~op:t.cur_op ~point:t.cur_point ~loops:(List.rev t.loop_stack)
-    | None -> ());
+    | Some _ | None -> ());
     ds.status <- st
   end
+
+(* A [Gpu] update addresses the whole device set: every live member's copy
+   moves together (the single-device lattice is the one-member case). *)
+let set t v dev st =
+  match dev with
+  | Cpu -> set_state t v Cpu ~audited:true (dev_state t v Cpu) st
+  | Gpu ->
+      let s = state t v in
+      List.iter
+        (fun d -> set_state t v Gpu ~audited:(d = 0) s.gpus.(d) st)
+        (live_gpu_ids t)
+
+(** Move one member device's copy of [v] (multi-device refinement). *)
+let set_gpu t v d st =
+  set_state t v Gpu ~audited:(d = 0) (state t v).gpus.(d) st
 
 let set_ctx t op point =
   t.cur_op <- op;
@@ -281,7 +344,12 @@ let on_transfer ?range t v dir ~site =
   in
   match t.granularity with
   | Coarse ->
-      (match get t v src with
+      (* The source of a download is the best live copy (that is the one the
+         runtime serves it from); with one device this is its own status. *)
+      let src_status =
+        match src with Cpu -> get t v Cpu | Gpu -> best_gpu t v
+      in
+      (match src_status with
       | Stale ->
           (* An outdated source makes the transfer incorrect; a simultaneous
              redundancy verdict would be contradictory, so it is
@@ -290,18 +358,46 @@ let on_transfer ?range t v dir ~site =
             (Fmt.str "copying %s %s in %s transfers an outdated value" v
                dir_desc site.site_label)
       | May_stale | Not_stale -> (
-          match get t v tgt with
-          | Not_stale ->
-              report t Redundant v ~site ~sid:site.site_sid
-                (Fmt.str "copying %s %s in %s is redundant" v dir_desc
-                   site.site_label)
-          | May_stale ->
-              report t May_redundant v ~site ~sid:site.site_sid
-                (Fmt.str
-                   "copying %s %s in %s may be redundant (target value \
-                    appears dead)"
-                   v dir_desc site.site_label)
-          | Stale -> ()));
+          (* An upload broadcasts to every live member of the device set;
+             when their statuses diverge, redundancy is judged per member
+             (cross-device redundant transfers).  A uniform set — always
+             the case with one device — keeps the single-device verdicts. *)
+          let per_device =
+            match tgt with
+            | Cpu -> None
+            | Gpu -> (
+                match live_gpu_ids t with
+                | [] | [ _ ] -> None
+                | ids ->
+                    let sts = List.map (fun d -> (d, gpu_status t v d)) ids in
+                    if List.for_all (fun (_, s) -> s = snd (List.hd sts)) sts
+                    then None
+                    else Some sts)
+          in
+          match per_device with
+          | Some sts ->
+              List.iter
+                (fun (d, st) ->
+                  if st = Not_stale then
+                    report t Redundant v ~site ~sid:site.site_sid
+                      (Fmt.str
+                         "copying %s %s in %s is redundant on device %d \
+                          (its copy is already current)"
+                         v dir_desc site.site_label d))
+                sts
+          | None -> (
+              match get t v tgt with
+              | Not_stale ->
+                  report t Redundant v ~site ~sid:site.site_sid
+                    (Fmt.str "copying %s %s in %s is redundant" v dir_desc
+                       site.site_label)
+              | May_stale ->
+                  report t May_redundant v ~site ~sid:site.site_sid
+                    (Fmt.str
+                       "copying %s %s in %s may be redundant (target value \
+                        appears dead)"
+                       v dir_desc site.site_label)
+              | Stale -> ())));
       (* Whole-array granularity: even a partial copy marks the target
          fresh — the imprecision the Fine mode removes. *)
       set t v tgt Not_stale
@@ -335,6 +431,36 @@ let on_free t v =
       let lo, hi = the_range t v None in
       mark_stale t v Gpu ~lo ~hi);
   set t v Gpu Stale
+
+(* ---------------- multi-device refinement (coarse statuses) ------------- *)
+
+(* The entry points below are driven by the device-set runtime, which knows
+   which members actually executed a kernel or received a peer sync.  They
+   refine the per-member coarse statuses; fine-mode interval tracking stays
+   set-wide. *)
+
+(** A kernel committed [v] on exactly [devs]: their copies are fresh, every
+    other live member's copy is stale. *)
+let note_kernel_write t v ~devs =
+  set_ctx t "kernel-commit" "";
+  List.iter
+    (fun d ->
+      set_gpu t v d (if List.mem d devs then Not_stale else Stale))
+    (live_gpu_ids t)
+
+(** A peer/broadcast sync refreshed [v] on [devs] (no report: the runtime
+    initiated it, the program did not ask for a transfer). *)
+let note_gpu_fresh t v ~devs =
+  set_ctx t "peer-sync" "";
+  List.iter (fun d -> if t.alive_gpus.(d) then set_gpu t v d Not_stale) devs
+
+(** Device [d] dropped off the bus: its resident copies are gone. *)
+let on_device_lost t d =
+  set_ctx t "device-lost" "";
+  if d >= 0 && d < t.ndevices then begin
+    Hashtbl.iter (fun v _ -> set_gpu t v d Stale) t.states;
+    t.alive_gpus.(d) <- false
+  end
 
 let reports t = List.rev t.reports
 

@@ -35,10 +35,17 @@ type dev_state = {
   mutable may_iv : Intervals.t;
 }
 
-type var_state = { cpu : dev_state; gpu : dev_state; mutable len : int }
+type var_state = {
+  cpu : dev_state;
+  gpu : dev_state;  (** device 0's copy; physically [gpus.(0)] *)
+  gpus : dev_state array;  (** one state per device-set member *)
+  mutable len : int;
+}
 
 type t = {
   granularity : granularity;
+  ndevices : int;  (** device-set size; 1 = the paper's single device *)
+  alive_gpus : bool array;  (** per-device liveness, updated on loss *)
   states : (string, var_state) Hashtbl.t;
   mutable reports : report list;
   mutable loop_stack : (string * int) list;
@@ -50,18 +57,43 @@ type t = {
   mutable cur_point : string;  (** program point of that call *)
 }
 
-(** [audit], when given, receives one entry per observable status
-    transition, stamped by [now] (default: the constant 0). *)
+(** [audit], when given, receives one entry per observable status transition
+    of the primary (device 0) lattice, stamped by [now] (default: the
+    constant 0).  [devices] sizes the per-member GPU lattice (default 1). *)
 val create :
   ?granularity:granularity -> ?audit:Obs.Audit.t -> ?now:(unit -> float) ->
-  unit -> t
+  ?devices:int -> unit -> t
 
 (** Record the element count of a variable (ranges whole-array events in
     fine mode). *)
 val register_len : t -> string -> int -> unit
 
+(** [get t v Gpu] is the pessimistic join (worst status) over the live
+    members' copies of [v]; with one device, exactly that member's status. *)
 val get : t -> string -> Codegen.Tprog.device -> Codegen.Tprog.status
+
+(** A [Gpu] update addresses the whole device set: every live member's copy
+    moves together. *)
 val set : t -> string -> Codegen.Tprog.device -> Codegen.Tprog.status -> unit
+
+(** {1 Per-device refinement} (driven by the device-set runtime) *)
+
+(** Status of member device [d]'s copy. *)
+val gpu_status : t -> string -> int -> Codegen.Tprog.status
+
+(** Move one member device's copy. *)
+val set_gpu : t -> string -> int -> Codegen.Tprog.status -> unit
+
+(** A kernel committed [v] on exactly [devs]: their copies become fresh,
+    every other live member's copy stale. *)
+val note_kernel_write : t -> string -> devs:int list -> unit
+
+(** A runtime-initiated peer/broadcast sync refreshed [v] on [devs]. *)
+val note_gpu_fresh : t -> string -> devs:int list -> unit
+
+(** Device [d] dropped off the bus: its resident copies are gone (stale),
+    and it leaves the join. *)
+val on_device_lost : t -> int -> unit
 
 (** {1 Loop context} (for report attribution) *)
 

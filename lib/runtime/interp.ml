@@ -23,6 +23,7 @@ open Codegen.Tprog
 type outcome = {
   ctx : Eval.ctx;  (** final host state *)
   device : Gpusim.Device.t;
+  devset : Gpusim.Device_set.t;  (** the device set [device] is primary of *)
   coherence : Coherence.t;
   tprog : Codegen.Tprog.t;
   site_execs : (int, int) Hashtbl.t;  (** transfer-site id -> executions *)
@@ -44,13 +45,29 @@ exception Stop
 
 let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     ?(seed = 42) ?(trace = false) ?cm ?plan
-    ?(resilience = Resilience.none) ?obs ?audit (tp : Codegen.Tprog.t) =
-  let device = Gpusim.Device.create ?cm ~seed ~trace ?plan () in
+    ?(resilience = Resilience.none) ?(devices = 1) ?schedule ?obs ?audit
+    (tp : Codegen.Tprog.t) =
+  if devices < 1 then invalid_arg "Interp.run: devices must be >= 1";
+  (* A one-member run creates the standalone device exactly as it always
+     did and merely wraps it, so [devices = 1] takes the identical code
+     path (and RNG stream) as the pre-device-set runtime. *)
+  let devset =
+    if devices = 1 then
+      Gpusim.Device_set.of_device ?schedule
+        (Gpusim.Device.create ?cm ~seed ~trace ?plan ())
+    else Gpusim.Device_set.create ?cm ~seed ~trace ?plan ?schedule devices
+  in
+  let device = Gpusim.Device_set.primary devset in
+  let multi = Gpusim.Device_set.size devset > 1 in
+  (* Fold member fault events back into the base plan even when a fault
+     escapes (the fault matrix reads the plan off exception paths). *)
+  Fun.protect ~finally:(fun () -> Gpusim.Device_set.flush_events devset)
+  @@ fun () ->
   let metrics = device.Gpusim.Device.metrics in
   let coh =
     Coherence.create ?granularity ?audit
       ~now:(fun () -> metrics.Gpusim.Metrics.host_clock)
-      ()
+      ~devices ()
   in
   (* Observability: spans are stamped by the simulated host clock; every
      metrics charge becomes a trace event (the conservation invariant);
@@ -82,7 +99,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
   let env = Value.create () in
   let ctx = Eval.make tp.source env in
   (* Attach the OpenACC runtime-library routines to the device. *)
-  let api = Acc_api.create device in
+  let api = Acc_api.create devset in
   ctx.Eval.call_hook <- Some (Acc_api.hook api);
   Eval.init_globals ctx;
 
@@ -94,9 +111,9 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
      walker under either engine: recovery deliberately re-executes
      through the independent engine. *)
   let ecache = lazy (Compile.create_cache tp.source) in
-  let exec_kernel k =
+  let exec_kernel dev k =
     match engine with
-    | Engine.Tree -> Kernel_exec.run ctx device k
+    | Engine.Tree -> Kernel_exec.run ctx dev k
     | Engine.Compiled ->
         let cache = Lazy.force ecache in
         if Compile.cached cache k then bump "engine_compile_hits"
@@ -106,7 +123,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
             ~loc:(Minic.Loc.to_string k.k_loc) ~directive:k.k_name
             (fun () -> Compile.prepare cache k)
         end;
-        Compile.run_kernel cache ctx device k
+        Compile.run_kernel cache ctx dev k
   in
 
   let cmodel = device.Gpusim.Device.cm in
@@ -185,24 +202,56 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     if policy.Resilience.cpu_fallback then enter_host_mode fault
     else unrecovered fault
   in
+  (* ------------------- device-set (multi-device) state ------------------ *)
+  (* Member devices currently holding the freshest copy of each root, in
+     device order (functional tracking, independent of the coherence
+     runtime so it works with verification disabled). *)
+  let fresh_on : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  (* Gather downloads rotate across the members holding a fresh copy: every
+     member's DMA engine charges its own clock, so the host-visible cost of
+     result gathering shrinks as the set grows (the scaling the bench scale
+     tier measures). *)
+  let gather_rr = ref 0 in
+  let alive_members () =
+    List.map (Gpusim.Device_set.device devset)
+      (Gpusim.Device_set.alive_ids devset)
+  in
+  (* One member dropped off the bus: its copies are gone; survivors carry
+     on.  Losing the last member degrades the whole run ({!on_lost}). *)
+  let on_member_lost d fault =
+    stats.Resilience.devices_lost <- stats.Resilience.devices_lost + 1;
+    record ~fault ~action:"device-drop" ~ok:true;
+    Coherence.on_device_lost coh d;
+    Hashtbl.filter_map_inplace
+      (fun _ ids ->
+        match List.filter (fun x -> x <> d) ids with
+        | [] -> None
+        | ids -> Some ids)
+      fresh_on;
+    if Gpusim.Device_set.all_lost devset then on_lost fault
+  in
   (* Keep an array on the host for the rest of the run. *)
   let demote_to_host v =
     if Hashtbl.mem device_fresh v then restore_mirror v;
     Hashtbl.remove device_fresh v;
     Hashtbl.remove mirrors v;
-    if Gpusim.Device.is_allocated device v then Gpusim.Device.free device v;
+    List.iter
+      (fun dev ->
+        if Gpusim.Device.is_allocated dev v then Gpusim.Device.free dev v)
+      (if multi then alive_members () else [ device ]);
+    Hashtbl.remove fresh_on v;
     Hashtbl.replace host_only v ()
   in
   (* After a successful launch the written roots are freshest on the
      device; under a fallback-capable policy, mirror them so device loss
      cannot destroy data (the checkpoint upkeep the report accounts for). *)
-  let refresh_mirrors written =
+  let refresh_mirrors dev written =
     Analysis.Varset.iter
       (fun v ->
-        if Gpusim.Device.is_allocated device v then begin
+        if Gpusim.Device.is_allocated dev v then begin
           Hashtbl.replace device_fresh v ();
           if policy.Resilience.cpu_fallback then begin
-            let b = Gpusim.Device.buffer device v in
+            let b = Gpusim.Device.buffer dev v in
             (match Hashtbl.find_opt mirrors v with
             | Some m when Gpusim.Buf.length m = Gpusim.Buf.length b ->
                 Gpusim.Buf.blit ~src:b ~dst:m
@@ -217,23 +266,22 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
 
   (* ----------------------- resilient transfers ---------------------- *)
   let checksum_range ~range buf = Gpusim.Buf.checksum ?range buf in
-  let do_transfer x ~host ~range ~async =
+  let do_transfer ?(dev = device) ?(on_dev_lost = on_lost) x ~host ~range
+      ~async =
     let var = x.x_var in
     let label = x.x_site.site_label in
     let op = match x.x_dir with H2D -> "upload" | D2H -> "download" in
     let dev_op () =
       match x.x_dir with
-      | H2D ->
-          Gpusim.Device.upload device var ~host ?range ?async ~label ()
-      | D2H ->
-          Gpusim.Device.download device var ~host ?range ?async ~label ()
+      | H2D -> Gpusim.Device.upload dev var ~host ?range ?async ~label ()
+      | D2H -> Gpusim.Device.download dev var ~host ?range ?async ~label ()
     in
     (* End-to-end verification: source and destination checksums must
        agree, or the copy is redone ([Xfer_corrupt]'s only detector). *)
     let checksum_ok () =
       (not policy.Resilience.checksum)
       ||
-      (let dbuf = Gpusim.Device.buffer device var in
+      (let dbuf = Gpusim.Device.buffer dev var in
        let elems =
          match range with
          | Some (_, len) -> len
@@ -269,8 +317,9 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
              && (policy.Resilience.cpu_fallback
                 || policy.Resilience.max_retries > 0) ->
           (* Host mode makes the host copy authoritative, so the transfer
-             itself needs no replay. *)
-          on_lost fault
+             itself needs no replay; a member loss is replayed by the
+             caller on a surviving member. *)
+          on_dev_lost fault
       | exception Gpusim.Device.Device_fault fault
         when Gpusim.Fault_plan.transient fault.Gpusim.Device.f_kind
              && policy.Resilience.max_retries > 0 ->
@@ -314,34 +363,46 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         | _ -> ())
       ckpt;
     cpu_exec k;
-    if (not !host_mode) && Gpusim.Device.alive device then
+    if
+      (not !host_mode)
+      &&
+      if multi then Gpusim.Device_set.first_alive devset <> None
+      else Gpusim.Device.alive device
+    then
       Analysis.Varset.iter
         (fun v ->
-          if Gpusim.Device.is_allocated device v then begin
-            let host = Value.array_buf env v in
-            let rec push n =
-              try
-                Gpusim.Device.upload device v ~host
-                  ~label:(k.k_name ^ ".recover") ()
-              with
-              | Gpusim.Device.Device_fault fault
-                when fault.Gpusim.Device.f_kind
-                     = Gpusim.Fault_plan.Device_lost ->
-                  on_lost fault
-              | Gpusim.Device.Device_fault fault
-                when Gpusim.Fault_plan.transient fault.Gpusim.Device.f_kind
-                ->
-                  if n < policy.Resilience.max_retries then begin
-                    stats.Resilience.retries <-
-                      stats.Resilience.retries + 1;
-                    charge_recovery (backoff_delay n);
-                    push (n + 1)
-                  end
-                  else demote_to_host v
-            in
-            push 0;
-            Hashtbl.remove device_fresh v
-          end)
+          List.iter
+            (fun dev ->
+              if Gpusim.Device.is_allocated dev v then begin
+                let host = Value.array_buf env v in
+                let rec push n =
+                  try
+                    Gpusim.Device.upload dev v ~host
+                      ~label:(k.k_name ^ ".recover") ()
+                  with
+                  | Gpusim.Device.Device_fault fault
+                    when fault.Gpusim.Device.f_kind
+                         = Gpusim.Fault_plan.Device_lost ->
+                      if multi then
+                        on_member_lost dev.Gpusim.Device.id fault
+                      else on_lost fault
+                  | Gpusim.Device.Device_fault fault
+                    when Gpusim.Fault_plan.transient
+                           fault.Gpusim.Device.f_kind ->
+                      if n < policy.Resilience.max_retries then begin
+                        stats.Resilience.retries <-
+                          stats.Resilience.retries + 1;
+                        charge_recovery (backoff_delay n);
+                        push (n + 1)
+                      end
+                      else demote_to_host v
+                in
+                push 0;
+                Hashtbl.remove device_fresh v
+              end)
+            (if multi then alive_members () else [ device ]);
+          if multi && not (Hashtbl.mem host_only v) then
+            Hashtbl.replace fresh_on v (Gpusim.Device_set.alive_ids devset))
         (kernel_arrays k)
   in
   (* Validate a recovery with the §III-A comparator: execute the original
@@ -349,7 +410,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
      (scalar entry values, pre-launch device arrays) and compare every
      written array and committed scalar against the recovered device
      results under a small error margin. *)
-  let validate_recovery k ~ckpt ~scalar_values =
+  let validate_recovery dev k ~ckpt ~scalar_values =
     (* One shadow copy per checkpointed root, shared by every binding that
        aliases it (pointer-swap programs). *)
     let shadow_bufs = List.map (fun (v, b) -> (v, Gpusim.Buf.copy b)) ckpt in
@@ -393,8 +454,8 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         (fun v ->
           match Value.lookup env' v with
           | Some (Value.Array { buf = Some reference; _ })
-            when Gpusim.Device.is_allocated device v ->
-              let got = Gpusim.Device.buffer device v in
+            when Gpusim.Device.is_allocated dev v ->
+              let got = Gpusim.Device.buffer dev v in
               charge_recovery
                 (Gpusim.Costmodel.compare_time cmodel
                    ~elems:(Gpusim.Buf.length reference));
@@ -482,7 +543,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     let rec attempt n =
       match
         Gpusim.Device.begin_launch device ~label:k.k_name;
-        let r = exec_kernel k in
+        let r = exec_kernel device k in
         let width =
           let g, w, v = k.k_dims in
           match List.filter_map (Option.map eval_int) [ g; w; v ] with
@@ -497,7 +558,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
           (* Clean execution.  A recovery (n > 0) must additionally pass
              the sequential-reference comparison before it counts. *)
           if n > 0 && policy.Resilience.validate then begin
-            if validate_recovery k ~ckpt ~scalar_values then
+            if validate_recovery device k ~ckpt ~scalar_values then
               stats.Resilience.verified <- stats.Resilience.verified + 1
             else begin
               let fault =
@@ -508,7 +569,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
               escalate n fault
             end
           end;
-          refresh_mirrors k.k_arrays_written
+          refresh_mirrors device k.k_arrays_written
       | detected :: _ ->
           (* ECC caught a bit flip in a written buffer: the results are
              poisoned, so recover exactly like a failed launch. *)
@@ -550,8 +611,331 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     in
     attempt 0
   in
+
+  (* ------------------ multi-device (device-set) launches ----------------- *)
+  (* Escalation out of a failed multi-device launch: degrade the whole
+     kernel to the sequential region (or propagate, per policy). *)
+  let exception Degrade of Gpusim.Device.fault_info in
+  let kernel_width k =
+    let g, w, v = k.k_dims in
+    match List.filter_map (Option.map eval_int) [ g; w; v ] with
+    | [] -> None
+    | dims -> Some (List.fold_left ( * ) 1 dims)
+  in
+  (* Bring every alive member's copy of the kernel's arrays current before
+     a launch: a functional peer blit from a fresh member, modeled as
+     overlapped peer DMA (charged to no clock), and noted in the
+     per-device lattice. *)
+  let sync_inputs k =
+    Analysis.Varset.iter
+      (fun v ->
+        match Hashtbl.find_opt fresh_on v with
+        | None | Some [] -> ()
+        | Some (f :: _ as fresh) ->
+            let src =
+              Gpusim.Device.buffer (Gpusim.Device_set.device devset f) v
+            in
+            let refreshed = ref [] in
+            List.iter
+              (fun d ->
+                if not (List.mem d fresh) then begin
+                  let dev = Gpusim.Device_set.device devset d in
+                  if Gpusim.Device.is_allocated dev v then begin
+                    Gpusim.Buf.blit ~src ~dst:(Gpusim.Device.buffer dev v);
+                    refreshed := d :: !refreshed
+                  end
+                end)
+              (Gpusim.Device_set.alive_ids devset);
+            (match !refreshed with
+            | [] -> ()
+            | refreshed ->
+                bump "peer_syncs";
+                Hashtbl.replace fresh_on v
+                  (List.sort_uniq compare (fresh @ refreshed));
+                if coherence then
+                  Coherence.note_gpu_fresh coh v ~devs:refreshed))
+      (kernel_arrays k)
+  in
+  (* Snapshot the kernel's device inputs from a fresh member.  Always taken
+     in multi mode: besides checkpointed recovery it is the merge reference
+     that separates each shard's writes.  The §III-A-style checkpoint cost
+     is charged only when the policy actually checkpoints. *)
+  let snapshot_inputs k ~charge =
+    match Gpusim.Device_set.first_alive devset with
+    | None -> []
+    | Some dev ->
+        List.filter_map
+          (fun v ->
+            if Gpusim.Device.is_allocated dev v then begin
+              let b = Gpusim.Device.buffer dev v in
+              if charge then
+                charge_recovery
+                  (Gpusim.Costmodel.compare_time cmodel
+                     ~elems:(Gpusim.Buf.length b));
+              Some (v, Gpusim.Buf.copy b)
+            end
+            else None)
+          (Analysis.Varset.elements (kernel_arrays k))
+  in
+  (* Execute an unsharded kernel (seq, straight-line, or lone survivor) on
+     one member, failing over to the next alive member on device loss. *)
+  let launch_one_member dev0 k async ~ckpt ~scalars ~scalar_values =
+    let written = Analysis.Varset.elements k.k_arrays_written in
+    let width = kernel_width k in
+    let failed_over = ref false in
+    let restore_ckpt dev =
+      List.iter
+        (fun (v, b) ->
+          if Gpusim.Device.is_allocated dev v then
+            Gpusim.Buf.blit ~src:b ~dst:(Gpusim.Device.buffer dev v))
+        ckpt;
+      List.iter (fun (c, v0) -> c.Value.v <- v0) scalars
+    in
+    let rec attempt dev n =
+      match
+        Gpusim.Device.begin_launch dev ~label:k.k_name;
+        let r = exec_kernel dev k in
+        Gpusim.Device.launch dev ~iterations:r.Kernel_exec.iterations
+          ~ops_per_iter:k.k_ops_per_iter ?width ?async ~label:k.k_name ();
+        Gpusim.Device.scrub dev written
+      with
+      | [] ->
+          if (n > 0 || !failed_over) && policy.Resilience.validate then begin
+            if validate_recovery dev k ~ckpt ~scalar_values then
+              stats.Resilience.verified <- stats.Resilience.verified + 1
+            else begin
+              let fault =
+                { Gpusim.Device.f_kind = Gpusim.Fault_plan.Launch_fail;
+                  f_target = k.k_name; f_op = "recovery-validation" }
+              in
+              record ~fault ~action:"re-execute" ~ok:false;
+              raise (Degrade fault)
+            end
+          end;
+          (* The written roots are fresh only on the executing member: the
+             per-device divergence the cross-device coherence reports (and
+             later peer syncs) stem from. *)
+          let id = dev.Gpusim.Device.id in
+          List.iter (fun v -> Hashtbl.replace fresh_on v [ id ]) written;
+          if coherence then
+            List.iter
+              (fun v -> Coherence.note_kernel_write coh v ~devs:[ id ])
+              written;
+          refresh_mirrors dev k.k_arrays_written
+      | detected :: _ -> recover dev n detected
+      | exception Gpusim.Device.Device_fault fault -> recover dev n fault
+    and recover dev n fault =
+      match fault.Gpusim.Device.f_kind with
+      | Gpusim.Fault_plan.Device_lost
+        when policy.Resilience.reexec || policy.Resilience.cpu_fallback -> (
+          on_member_lost dev.Gpusim.Device.id fault;
+          if !host_mode then cpu_fallback_exec k ~ckpt ~scalars
+          else
+            match Gpusim.Device_set.first_alive devset with
+            | None -> raise (Degrade fault)
+            | Some dev' ->
+                stats.Resilience.failovers <-
+                  stats.Resilience.failovers + 1;
+                failed_over := true;
+                record ~fault ~action:"failover" ~ok:true;
+                restore_ckpt dev';
+                charge_recovery (backoff_delay n);
+                attempt dev' n)
+      | k' when Gpusim.Fault_plan.transient k' && policy.Resilience.reexec
+        ->
+          if n < policy.Resilience.max_retries then begin
+            stats.Resilience.reexecs <- stats.Resilience.reexecs + 1;
+            record ~fault ~action:"re-execute" ~ok:true;
+            restore_ckpt dev;
+            charge_recovery (backoff_delay n);
+            attempt dev (n + 1)
+          end
+          else raise (Degrade fault)
+      | k'
+        when Gpusim.Fault_plan.transient k'
+             && (policy.Resilience.cpu_fallback
+                || policy.Resilience.max_retries > 0) ->
+          raise (Degrade fault)
+      | _ -> raise (Gpusim.Device.Device_fault fault)
+    in
+    attempt dev0 0
+  in
+  (* Split a parallel-loop kernel across the alive members.  Each member
+     runs its shard against its own buffers; a member dying mid-launch has
+     its in-flight shard discarded and re-executed on a survivor; written
+     arrays are merged against the pre-launch snapshot (last writer in
+     device order wins, but shards are disjoint by construction) and
+     broadcast back; recoveries are validated by the §III-A comparator. *)
+  let launch_sharded k async ~ckpt ~scalar_values =
+    let session = Kernel_exec.start ctx k in
+    let total = Kernel_exec.total_iterations session in
+    let parts = Array.of_list (Gpusim.Device_set.alive_ids devset) in
+    let nparts = Array.length parts in
+    let schedule = devset.Gpusim.Device_set.schedule in
+    let assign i = Gpusim.Device_set.owner schedule ~parts:nparts ~total i in
+    let written = Analysis.Varset.elements k.k_arrays_written in
+    let width = kernel_width k in
+    let executor = Array.copy parts in
+    let recovered = ref false in
+    let restore_written dev =
+      List.iter
+        (fun (v, b) ->
+          if
+            List.mem v written && Gpusim.Device.is_allocated dev v
+          then Gpusim.Buf.blit ~src:b ~dst:(Gpusim.Device.buffer dev v))
+        ckpt
+    in
+    let survivor_for p =
+      match Gpusim.Device_set.alive_ids devset with
+      | [] -> None
+      | alive -> Some (List.nth alive (p mod List.length alive))
+    in
+    let rec exec_part p n =
+      let dev = Gpusim.Device_set.device devset executor.(p) in
+      match
+        Gpusim.Device.begin_launch dev ~label:k.k_name;
+        let execs =
+          Kernel_exec.run_shard session dev ~owns:(fun i -> assign i = p)
+        in
+        Gpusim.Device.launch dev ~iterations:execs
+          ~ops_per_iter:k.k_ops_per_iter ?width ?async ~label:k.k_name ();
+        Gpusim.Device.scrub dev written
+      with
+      | [] -> ()
+      | detected :: _ -> recover_part p n detected
+      | exception Gpusim.Device.Device_fault fault -> recover_part p n fault
+    and recover_part p n fault =
+      match fault.Gpusim.Device.f_kind with
+      | Gpusim.Fault_plan.Device_lost
+        when policy.Resilience.reexec || policy.Resilience.cpu_fallback -> (
+          on_member_lost executor.(p) fault;
+          if !host_mode then raise (Degrade fault)
+          else
+            match survivor_for p with
+            | None -> raise (Degrade fault)
+            | Some d' ->
+                executor.(p) <- d';
+                stats.Resilience.failovers <-
+                  stats.Resilience.failovers + 1;
+                recovered := true;
+                record ~fault ~action:"failover" ~ok:true;
+                charge_recovery (backoff_delay n);
+                exec_part p n)
+      | k' when Gpusim.Fault_plan.transient k' && policy.Resilience.reexec
+        ->
+          if n < policy.Resilience.max_retries then begin
+            stats.Resilience.reexecs <- stats.Resilience.reexecs + 1;
+            recovered := true;
+            record ~fault ~action:"re-execute" ~ok:true;
+            restore_written (Gpusim.Device_set.device devset executor.(p));
+            charge_recovery (backoff_delay n);
+            exec_part p (n + 1)
+          end
+          else raise (Degrade fault)
+      | k'
+        when Gpusim.Fault_plan.transient k'
+             && (policy.Resilience.cpu_fallback
+                || policy.Resilience.max_retries > 0) ->
+          raise (Degrade fault)
+      | _ -> raise (Gpusim.Device.Device_fault fault)
+    in
+    for p = 0 to nparts - 1 do
+      exec_part p 0
+    done;
+    (* Merge each member's disjoint shard writes against the pre-launch
+       snapshot and broadcast the result (overlapped peer DMA: charged to
+       no clock), so every survivor holds the full array. *)
+    let alive = Gpusim.Device_set.alive_ids devset in
+    List.iter
+      (fun v ->
+        match List.assoc_opt v ckpt with
+        | None -> ()
+        | Some reference ->
+            let merged = Gpusim.Buf.copy reference in
+            List.iter
+              (fun d ->
+                let dev = Gpusim.Device_set.device devset d in
+                if Gpusim.Device.is_allocated dev v then
+                  Gpusim.Buf.merge_diff ~reference
+                    ~src:(Gpusim.Device.buffer dev v) ~dst:merged)
+              alive;
+            List.iter
+              (fun d ->
+                let dev = Gpusim.Device_set.device devset d in
+                if Gpusim.Device.is_allocated dev v then
+                  Gpusim.Buf.blit ~src:merged
+                    ~dst:(Gpusim.Device.buffer dev v))
+              alive;
+            Hashtbl.replace fresh_on v alive;
+            if coherence then Coherence.note_kernel_write coh v ~devs:alive)
+      written;
+    Kernel_exec.commit session;
+    (if !recovered && policy.Resilience.validate then
+       match Gpusim.Device_set.first_alive devset with
+       | None -> ()
+       | Some dev ->
+           if validate_recovery dev k ~ckpt ~scalar_values then
+             stats.Resilience.verified <- stats.Resilience.verified + 1
+           else begin
+             let fault =
+               { Gpusim.Device.f_kind = Gpusim.Fault_plan.Launch_fail;
+                 f_target = k.k_name; f_op = "recovery-validation" }
+             in
+             record ~fault ~action:"re-execute" ~ok:false;
+             raise (Degrade fault)
+           end);
+    match Gpusim.Device_set.first_alive devset with
+    | Some dev -> refresh_mirrors dev k.k_arrays_written
+    | None -> ()
+  in
+  let launch_multi k async =
+    let arrays = Analysis.Varset.elements (kernel_arrays k) in
+    if List.exists (Hashtbl.mem host_only) arrays then begin
+      let ckpt = snapshot_inputs k ~charge:false in
+      cpu_fallback_exec k ~ckpt ~scalars:[]
+    end
+    else begin
+      sync_inputs k;
+      let checkpointing =
+        policy.Resilience.reexec || policy.Resilience.cpu_fallback
+      in
+      let ckpt = snapshot_inputs k ~charge:checkpointing in
+      let scalars =
+        if checkpointing then
+          List.filter_map
+            (fun name ->
+              match Value.lookup env name with
+              | Some (Value.Scalar c) -> Some (c, c.Value.v)
+              | _ -> None)
+            (committed_names k)
+        else []
+      in
+      let scalar_values =
+        List.filter_map
+          (fun name ->
+            match Value.lookup env name with
+            | Some (Value.Scalar c) -> Some (name, c.Value.v)
+            | _ -> None)
+          (committed_names k)
+      in
+      try
+        match alive_members () with
+        | [] -> cpu_exec k
+        | _ :: _ :: _ when Kernel_exec.shardable k ->
+            launch_sharded k async ~ckpt ~scalar_values
+        | dev :: _ ->
+            launch_one_member dev k async ~ckpt ~scalars ~scalar_values
+      with Degrade fault ->
+        if policy.Resilience.cpu_fallback then begin
+          record ~fault ~action:"cpu-fallback" ~ok:true;
+          cpu_fallback_exec k ~ckpt ~scalars
+        end
+        else unrecovered fault
+    end
+  in
   let launch_resilient k async =
     if !host_mode then cpu_exec k
+    else if multi then launch_multi k async
     else begin
       let arrays = Analysis.Varset.elements (kernel_arrays k) in
       if List.exists (Hashtbl.mem host_only) arrays then begin
@@ -631,44 +1015,66 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
              with Eval.Break_exc -> ());
             Coherence.exit_loop coh)
     | Talloc (v, site) ->
-        (* present-or-create: keep an existing buffer resident *)
-        if
+        (* present-or-create: keep an existing buffer resident.  A device
+           set broadcasts the allocation to every alive member. *)
+        let need_alloc =
           (not !host_mode)
           && (not (Hashtbl.mem host_only v))
-          && not (Gpusim.Device.is_allocated device v)
-        then begin
+          &&
+          if multi then
+            List.exists
+              (fun dev -> not (Gpusim.Device.is_allocated dev v))
+              (alive_members ())
+          else not (Gpusim.Device.is_allocated device v)
+        in
+        if need_alloc then begin
           charge_host ();
           in_span Obs.Trace.Alloc site.site_label
             ~loc:(Minic.Loc.to_string site.site_loc)
             ~directive:site.site_label
           @@ fun () ->
           let host = Value.array_buf env v in
-          let rec attempt n =
-            try Gpusim.Device.alloc device v ~like:host with
-            | Gpusim.Device.Device_fault fault
-              when fault.Gpusim.Device.f_kind = Gpusim.Fault_plan.Device_lost
-                   && (policy.Resilience.cpu_fallback
-                      || policy.Resilience.max_retries > 0) ->
-                on_lost fault
-            | Gpusim.Device.Device_fault fault
-              when fault.Gpusim.Device.f_kind = Gpusim.Fault_plan.Oom
-                   && policy.Resilience.max_retries > 0 ->
-                if n < policy.Resilience.max_retries then begin
-                  stats.Resilience.retries <- stats.Resilience.retries + 1;
-                  record ~fault ~action:"retry" ~ok:true;
-                  charge_recovery (backoff_delay n);
-                  attempt (n + 1)
-                end
-                else if policy.Resilience.cpu_fallback then begin
-                  (* Keep this array host-resident; kernels touching it
-                     take the CPU-fallback path. *)
-                  record ~fault ~action:"host-demote"
-                    ~ok:true;
-                  Hashtbl.replace host_only v ()
-                end
-                else unrecovered fault
+          let alloc_on dev =
+            let rec attempt n =
+              try Gpusim.Device.alloc dev v ~like:host with
+              | Gpusim.Device.Device_fault fault
+                when fault.Gpusim.Device.f_kind
+                     = Gpusim.Fault_plan.Device_lost
+                     && (policy.Resilience.cpu_fallback
+                        || policy.Resilience.max_retries > 0) ->
+                  if multi then on_member_lost dev.Gpusim.Device.id fault
+                  else on_lost fault
+              | Gpusim.Device.Device_fault fault
+                when fault.Gpusim.Device.f_kind = Gpusim.Fault_plan.Oom
+                     && policy.Resilience.max_retries > 0 ->
+                  if n < policy.Resilience.max_retries then begin
+                    stats.Resilience.retries <- stats.Resilience.retries + 1;
+                    record ~fault ~action:"retry" ~ok:true;
+                    charge_recovery (backoff_delay n);
+                    attempt (n + 1)
+                  end
+                  else if policy.Resilience.cpu_fallback then begin
+                    (* Keep this array host-resident; kernels touching it
+                       take the CPU-fallback path. *)
+                    record ~fault ~action:"host-demote"
+                      ~ok:true;
+                    demote_to_host v
+                  end
+                  else unrecovered fault
+            in
+            attempt 0
           in
-          attempt 0
+          if multi then
+            List.iter
+              (fun dev ->
+                if
+                  (not !host_mode)
+                  && (not (Hashtbl.mem host_only v))
+                  && Gpusim.Device.alive dev
+                  && not (Gpusim.Device.is_allocated dev v)
+                then alloc_on dev)
+              (alive_members ())
+          else alloc_on device
         end
     | Tfree (v, site) ->
         charge_host ();
@@ -676,13 +1082,18 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
           ~loc:(Minic.Loc.to_string site.site_loc)
           ~directive:site.site_label
         @@ fun () ->
-        if
-          (not !host_mode) && Gpusim.Device.is_allocated device v
-        then
-          Gpusim.Device.free device v;
+        (if multi then
+           List.iter
+             (fun dev ->
+               if Gpusim.Device.is_allocated dev v then
+                 Gpusim.Device.free dev v)
+             (if !host_mode then [] else alive_members ())
+         else if (not !host_mode) && Gpusim.Device.is_allocated device v
+         then Gpusim.Device.free device v);
         Hashtbl.remove host_only v;
         Hashtbl.remove device_fresh v;
         Hashtbl.remove mirrors v;
+        Hashtbl.remove fresh_on v;
         if coherence then Coherence.on_free coh v
     | Txfer x ->
         let range =
@@ -709,7 +1120,77 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         if (not !host_mode) && not (Hashtbl.mem host_only x.x_var) then begin
           let h2d0 = metrics.Gpusim.Metrics.bytes_h2d
           and d2h0 = metrics.Gpusim.Metrics.bytes_d2h in
-          do_transfer x ~host ~range ~async;
+          (if not multi then do_transfer x ~host ~range ~async
+           else
+             match x.x_dir with
+             | H2D ->
+                 (* Broadcast: every alive member refreshes its copy; each
+                    charges its own DMA engine, so the wall-clock cost is
+                    the primary's transfer (parallel broadcast). *)
+                 List.iter
+                   (fun dev ->
+                     if
+                       (not !host_mode)
+                       && (not (Hashtbl.mem host_only x.x_var))
+                       && Gpusim.Device.alive dev
+                       && Gpusim.Device.is_allocated dev x.x_var
+                     then
+                       do_transfer ~dev
+                         ~on_dev_lost:(fun fault ->
+                           on_member_lost dev.Gpusim.Device.id fault)
+                         x ~host ~range ~async)
+                   (alive_members ());
+                 if
+                   (not !host_mode)
+                   && not (Hashtbl.mem host_only x.x_var)
+                 then
+                   Hashtbl.replace fresh_on x.x_var
+                     (Gpusim.Device_set.alive_ids devset)
+             | D2H ->
+                 (* Download from a member holding a fresh copy, rotating
+                    across the fresh set (every fresh copy is bit-identical
+                    by construction, so the gather is charged to rotating
+                    DMA engines); a member dying mid-download is replayed
+                    on the next candidate. *)
+                 let rec pull () =
+                   let candidates =
+                     match Hashtbl.find_opt fresh_on x.x_var with
+                     | Some (_ :: _ as ids) ->
+                         List.filter_map
+                           (fun d ->
+                             let dev = Gpusim.Device_set.device devset d in
+                             if
+                               Gpusim.Device.alive dev
+                               && Gpusim.Device.is_allocated dev x.x_var
+                             then Some dev
+                             else None)
+                           ids
+                     | Some [] | None -> (
+                         match Gpusim.Device_set.first_alive devset with
+                         | Some dev -> [ dev ]
+                         | None -> [])
+                   in
+                   match candidates with
+                   | [] -> ()
+                   | _ :: _ ->
+                       let dev =
+                         List.nth candidates
+                           (!gather_rr mod List.length candidates)
+                       in
+                       incr gather_rr;
+                       if Gpusim.Device.is_allocated dev x.x_var then begin
+                         do_transfer ~dev
+                           ~on_dev_lost:(fun fault ->
+                             on_member_lost dev.Gpusim.Device.id fault)
+                           x ~host ~range ~async;
+                         if
+                           (not (Gpusim.Device.alive dev))
+                           && (not !host_mode)
+                           && not (Hashtbl.mem host_only x.x_var)
+                         then pull ()
+                       end
+                 in
+                 pull ());
           (* A completed transfer leaves host and device coherent. *)
           Hashtbl.remove device_fresh x.x_var;
           (* Byte traffic becomes trace counters, so profiles (and their
@@ -734,7 +1215,11 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         let q = eval_async e in
         charge_host ();
         in_span Obs.Trace.Wait "wait" @@ fun () ->
-        Gpusim.Device.wait device q
+        if multi then
+          Array.iter
+            (fun dev -> Gpusim.Device.wait dev q)
+            devset.Gpusim.Device_set.devices
+        else Gpusim.Device.wait device q
     | Tcheck c ->
         if coherence then begin
           charge_host ();
@@ -776,17 +1261,26 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
       charge_host ();
       (* Drain outstanding async work and release device memory (both are
          no-ops on a lost device). *)
-      Gpusim.Device.wait device None;
-      Gpusim.Device.free_all device);
-  { ctx; device; coherence = coh; tprog = tp; site_execs; sites;
+      if multi then
+        Array.iter
+          (fun dev ->
+            Gpusim.Device.wait dev None;
+            Gpusim.Device.free_all dev)
+          devset.Gpusim.Device_set.devices
+      else begin
+        Gpusim.Device.wait device None;
+        Gpusim.Device.free_all device
+      end);
+  { ctx; device; devset; coherence = coh; tprog = tp; site_execs; sites;
     resilience = stats }
 
 (** Convenience: compile and run a source string (uninstrumented unless
     [instrument] is set). *)
 let run_string ?opts ?(instrument = false) ?mode ?engine ?granularity
-    ?coherence ?seed ?cm ?plan ?resilience ?obs ?audit src =
+    ?coherence ?seed ?cm ?plan ?resilience ?devices ?schedule ?obs ?audit
+    src =
   let tp = Codegen.Translate.compile_string ?opts src in
   let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
   let coherence = Option.value coherence ~default:instrument in
-  run ~coherence ?engine ?granularity ?seed ?cm ?plan ?resilience ?obs
-    ?audit tp
+  run ~coherence ?engine ?granularity ?seed ?cm ?plan ?resilience ?devices
+    ?schedule ?obs ?audit tp

@@ -13,6 +13,7 @@
 type outcome = {
   ctx : Eval.ctx;  (** final host state *)
   device : Gpusim.Device.t;
+  devset : Gpusim.Device_set.t;  (** the device set [device] is primary of *)
   coherence : Coherence.t;
   tprog : Codegen.Tprog.t;
   site_execs : (int, int) Hashtbl.t;  (** transfer-site id -> executions *)
@@ -44,6 +45,15 @@ exception Stop
     policy (default {!Resilience.none}: faults propagate as
     {!Gpusim.Device.Device_fault}).
 
+    [devices] sizes the simulated device set (default 1: the standalone
+    device, on the exact pre-device-set code path); [schedule] picks how
+    [parallel loop] iteration spaces split across members (default
+    {!Gpusim.Device_set.Block}).  With [devices > 1] the runtime broadcasts
+    allocations and uploads, shards parallel kernels across alive members,
+    lazily peer-syncs kernel inputs, and — under a recovering policy —
+    fails a dying member's shards over to survivors, validating every
+    recovery against the sequential reference.
+
     [obs], when given, receives the run as a span tree stamped by the
     simulated clock — a "run" phase span with one child span per kernel
     launch / transfer / alloc / free / wait / check, [Recovery] leaves for
@@ -56,8 +66,9 @@ val run :
   ?coherence:bool -> ?engine:Engine.t ->
   ?granularity:Coherence.granularity -> ?seed:int ->
   ?trace:bool -> ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
-  ?resilience:Resilience.policy -> ?obs:Obs.Trace.t -> ?audit:Obs.Audit.t ->
-  Codegen.Tprog.t -> outcome
+  ?resilience:Resilience.policy -> ?devices:int ->
+  ?schedule:Gpusim.Device_set.schedule -> ?obs:Obs.Trace.t ->
+  ?audit:Obs.Audit.t -> Codegen.Tprog.t -> outcome
 
 (** Compile and run a source string (instrumented when [instrument]). *)
 val run_string :
@@ -65,5 +76,6 @@ val run_string :
   ?engine:Engine.t ->
   ?granularity:Coherence.granularity -> ?coherence:bool -> ?seed:int ->
   ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
-  ?resilience:Resilience.policy -> ?obs:Obs.Trace.t -> ?audit:Obs.Audit.t ->
-  string -> outcome
+  ?resilience:Resilience.policy -> ?devices:int ->
+  ?schedule:Gpusim.Device_set.schedule -> ?obs:Obs.Trace.t ->
+  ?audit:Obs.Audit.t -> string -> outcome

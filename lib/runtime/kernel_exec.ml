@@ -285,3 +285,250 @@ let run (host_ctx : Eval.ctx) device (k : kernel) : result =
   Analysis.Varset.iter commit_plain extra_induction;
 
   { iterations = !iterations; ops = kctx.Eval.ops }
+
+(* ------------------- multi-device (sharded) execution ------------------- *)
+
+(* A parallel (non-seq) loop kernel can be split across a device set; seq
+   and straight-line kernels are pinned to one member by the runtime. *)
+let shardable k =
+  match k.k_loop with Some _ -> not k.k_seq | None -> false
+
+(** A sharded execution of one kernel across a device set.  Every shard
+    steps the full loop driver but executes only the iteration ordinals it
+    owns, against its own device's buffers.  Scalar results are staged
+    per-shard and published only when the shard completes without a device
+    fault — a dying device's in-flight contribution is discarded wholesale —
+    and are tagged with their iteration ordinal, so reductions combine in
+    exactly the single-device tree order no matter how the space was split
+    or how many failover passes re-executed lost ordinals. *)
+type session = {
+  s_host : Eval.ctx;
+  s_k : kernel;
+  s_names : string list;
+  s_entry : (string, scalar) Hashtbl.t;  (** kernel-entry scalar values *)
+  s_extra : Analysis.Varset.t;  (** outer induction vars (beyond the loop) *)
+  s_red : (string, (int * scalar) list ref) Hashtbl.t;
+      (** reduction partials, ordinal-tagged *)
+  s_last : (string, int * scalar) Hashtbl.t;
+      (** private/raced commits: highest-ordinal writer wins *)
+  mutable s_exit : scalar option;  (** loop variable's exit value *)
+  mutable s_total : int;  (** iteration-space size *)
+}
+
+let entry_value_of s v =
+  match Hashtbl.find_opt s.s_entry v with Some x -> x | None -> Int 0
+
+(* Scratch context over kernel-entry scalar copies and the host's array
+   slots: enough to evaluate the loop driver without touching any device. *)
+let scratch_ctx s =
+  let base : Value.frame = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match Value.lookup s.s_host.Eval.env n with
+      | Some (Array slot) -> Hashtbl.replace base n (Array slot)
+      | Some (Scalar c) -> Hashtbl.replace base n (Scalar { v = c.v })
+      | None -> ())
+    s.s_names;
+  let kenv : Value.t =
+    { Value.globals = Hashtbl.create 1; frames = [ base ] }
+  in
+  (base, Eval.make s.s_host.Eval.prog kenv)
+
+let start (host_ctx : Eval.ctx) (k : kernel) : session =
+  if not (shardable k) then
+    invalid_arg "Kernel_exec.start: kernel is not shardable";
+  let names = kernel_names k in
+  let entry = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match Value.lookup host_ctx.Eval.env n with
+      | Some (Scalar c) -> Hashtbl.replace entry n c.v
+      | Some (Array _) | None -> ())
+    names;
+  let extra =
+    Analysis.Varset.filter
+      (fun v ->
+        Hashtbl.mem entry v
+        && (not (List.mem_assoc v k.k_scalars))
+        && (match k.k_loop with Some l -> v <> l.kl_var | None -> true))
+      k.k_induction
+  in
+  let s =
+    { s_host = host_ctx; s_k = k; s_names = names; s_entry = entry;
+      s_extra = extra; s_red = Hashtbl.create 4; s_last = Hashtbl.create 8;
+      s_exit = None; s_total = 0 }
+  in
+  List.iter
+    (fun (v, c) ->
+      match c with
+      | Sc_reduction _ -> Hashtbl.replace s.s_red v (ref [])
+      | Sc_private | Sc_firstprivate | Sc_raced _ -> ())
+    k.k_scalars;
+  (* Driver-only pass: size the iteration space and capture the loop
+     variable's sequential exit value, without any device involved. *)
+  (match k.k_loop with
+  | None -> s.s_total <- 1
+  | Some l ->
+      let base, kctx = scratch_ctx s in
+      let driver = { v = Eval.eval kctx l.kl_init } in
+      Hashtbl.replace base l.kl_var (Scalar driver);
+      let n = ref 0 in
+      while truthy (Eval.eval kctx l.kl_cond) do
+        incr n;
+        match l.kl_step with
+        | Some st -> Eval.exec kctx st
+        | None -> ()
+      done;
+      s.s_exit <- Some driver.v;
+      s.s_total <- !n);
+  s
+
+let total_iterations s = s.s_total
+
+(** Execute the ordinals selected by [owns] on [device], against its
+    buffers.  Returns the number of iterations executed.  Raises
+    [Gpusim.Device.Device_fault] if the device dies; staged scalar results
+    of the aborted shard are discarded. *)
+let run_shard s device ~owns =
+  let k = s.s_k in
+  let l =
+    match k.k_loop with
+    | Some l when not k.k_seq -> l
+    | Some _ | None -> invalid_arg "Kernel_exec.run_shard: not shardable"
+  in
+  let host_env = s.s_host.Eval.env in
+  let base : Value.frame = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match Value.lookup host_env n with
+      | Some (Array slot) ->
+          let root = slot.root in
+          let dbuf = Gpusim.Device.buffer device root in
+          Hashtbl.replace base n
+            (Array { buf = Some dbuf; root; shape = Value.shape_of slot })
+      | Some (Scalar _) ->
+          Hashtbl.replace base n (Scalar { v = entry_value_of s n })
+      | None -> ())
+    s.s_names;
+  let kenv : Value.t =
+    { Value.globals = Hashtbl.create 1; frames = [ base ] }
+  in
+  let kctx = Eval.make s.s_host.Eval.prog kenv in
+  let class_of = k.k_scalars in
+  let fresh_thread_frame () =
+    let frame = Hashtbl.create 8 in
+    List.iter
+      (fun (v, c) ->
+        let init =
+          match c with
+          | Sc_reduction op -> identity op (entry_value_of s v)
+          | Sc_private | Sc_firstprivate | Sc_raced _ -> entry_value_of s v
+        in
+        Hashtbl.replace frame v (Scalar { v = init }))
+      class_of;
+    Analysis.Varset.iter
+      (fun v -> Hashtbl.replace frame v (Scalar { v = entry_value_of s v }))
+      s.s_extra;
+    frame
+  in
+  (* Staged results, published only on clean shard completion. *)
+  let staged_red : (string, (int * scalar) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun (v, c) ->
+      match c with
+      | Sc_reduction _ -> Hashtbl.replace staged_red v (ref [])
+      | Sc_private | Sc_firstprivate | Sc_raced _ -> ())
+    class_of;
+  let staged_last : (string, int * scalar) Hashtbl.t = Hashtbl.create 8 in
+  let record ordinal frame =
+    Hashtbl.iter
+      (fun v b ->
+        match b with
+        | Scalar c -> (
+            match List.assoc_opt v class_of with
+            | Some (Sc_reduction _) -> (
+                match Hashtbl.find_opt staged_red v with
+                | Some r -> r := (ordinal, c.v) :: !r
+                | None -> ())
+            | Some _ -> Hashtbl.replace staged_last v (ordinal, c.v)
+            | None ->
+                if Analysis.Varset.mem v s.s_extra then
+                  Hashtbl.replace staged_last v (ordinal, c.v))
+        | Array _ -> ())
+      frame
+  in
+  let executed = ref 0 in
+  let ordinal = ref 0 in
+  let driver = { v = Eval.eval kctx l.kl_init } in
+  Hashtbl.replace base l.kl_var (Scalar driver);
+  while truthy (Eval.eval kctx l.kl_cond) do
+    if owns !ordinal then begin
+      incr executed;
+      let frame = fresh_thread_frame () in
+      kenv.frames <- frame :: kenv.frames;
+      Value.scoped kenv (fun () -> Eval.exec_block kctx l.kl_body);
+      kenv.frames <- List.tl kenv.frames;
+      record !ordinal frame
+    end;
+    incr ordinal;
+    match l.kl_step with
+    | Some st -> Eval.exec kctx st
+    | None -> ()
+  done;
+  (* Clean completion: publish the staged scalar results. *)
+  Hashtbl.iter
+    (fun v r ->
+      match Hashtbl.find_opt s.s_red v with
+      | Some dst -> dst := !r @ !dst
+      | None -> ())
+    staged_red;
+  Hashtbl.iter
+    (fun v (o, x) ->
+      match Hashtbl.find_opt s.s_last v with
+      | Some (o', _) when o' > o -> ()
+      | Some _ | None -> Hashtbl.replace s.s_last v (o, x))
+    staged_last;
+  !executed
+
+(** Commit the merged scalar results to the host environment, in the same
+    order and combination scheme as single-device {!run}. *)
+let commit s =
+  let k = s.s_k in
+  let host_env = s.s_host.Eval.env in
+  List.iter
+    (fun (v, c) ->
+      match Value.lookup host_env v with
+      | Some (Scalar host_cell) -> (
+          match c with
+          | Sc_reduction op -> (
+              let parts =
+                match Hashtbl.find_opt s.s_red v with
+                | Some r ->
+                    List.sort (fun (a, _) (b, _) -> compare a b) !r
+                    |> List.map snd
+                | None -> []
+              in
+              match tree_reduce op parts with
+              | Some total ->
+                  host_cell.v <- combine op (entry_value_of s v) total
+              | None -> ())
+          | Sc_private | Sc_firstprivate | Sc_raced _ -> (
+              match Hashtbl.find_opt s.s_last v with
+              | Some (_, value) -> host_cell.v <- value
+              | None -> ()))
+      | Some (Array _) | None -> ())
+    k.k_scalars;
+  (match k.k_loop with
+  | Some l -> (
+      match (Value.lookup host_env l.kl_var, s.s_exit) with
+      | Some (Scalar cell), Some v -> cell.v <- v
+      | _ -> ())
+  | None -> ());
+  Analysis.Varset.iter
+    (fun v ->
+      match (Value.lookup host_env v, Hashtbl.find_opt s.s_last v) with
+      | Some (Scalar host_cell), Some (_, value) -> host_cell.v <- value
+      | _ -> ())
+    s.s_extra

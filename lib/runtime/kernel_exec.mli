@@ -26,3 +26,33 @@ val kernel_names : Codegen.Tprog.kernel -> string list
 (** Execute a kernel against the device, reading initial scalars from — and
     committing results to — the host environment of the given context. *)
 val run : Eval.ctx -> Gpusim.Device.t -> Codegen.Tprog.kernel -> result
+
+(** {1 Multi-device (sharded) execution}
+
+    A parallel-loop kernel is split across a device set: every shard steps
+    the full loop driver but executes only the iteration ordinals it owns,
+    against its own device's buffers.  Scalar results are staged per shard,
+    published only on clean completion (a dying device's in-flight
+    contribution is discarded), and ordinal-tagged so reductions combine in
+    exactly the single-device tree order regardless of the split or of
+    failover re-execution passes. *)
+
+(** Can this kernel be split? (parallel loop, not [seq], not straight-line) *)
+val shardable : Codegen.Tprog.kernel -> bool
+
+type session
+
+(** Sizes the iteration space with a device-free driver-only pass.
+    @raise Invalid_argument when the kernel is not {!shardable}. *)
+val start : Eval.ctx -> Codegen.Tprog.kernel -> session
+
+val total_iterations : session -> int
+
+(** Execute the ordinals selected by [owns] on [device].  Returns the
+    number of iterations executed.
+    @raise Gpusim.Device.Device_fault if the device dies mid-shard (its
+    staged results are discarded). *)
+val run_shard : session -> Gpusim.Device.t -> owns:(int -> bool) -> int
+
+(** Commit merged scalar results to the host environment. *)
+val commit : session -> unit

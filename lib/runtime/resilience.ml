@@ -58,15 +58,19 @@ type stats = {
   mutable retransfers : int;  (** checksum-mismatch re-transfers *)
   mutable reexecs : int;  (** kernel re-executions from checkpoint *)
   mutable fallbacks : int;  (** kernels degraded to the sequential region *)
+  mutable failovers : int;
+      (** shards of a lost device re-executed on surviving devices *)
+  mutable devices_lost : int;  (** device-set members lost to [Device_lost] *)
   mutable verified : int;  (** recoveries validated against the reference *)
   mutable unrecovered : int;
-  mutable device_lost : bool;
+  mutable device_lost : bool;  (** the run degraded to host mode *)
   mutable log : entry list;  (** reversed; use {!log_entries} *)
 }
 
 let fresh_stats () =
-  { retries = 0; retransfers = 0; reexecs = 0; fallbacks = 0; verified = 0;
-    unrecovered = 0; device_lost = false; log = [] }
+  { retries = 0; retransfers = 0; reexecs = 0; fallbacks = 0; failovers = 0;
+    devices_lost = 0; verified = 0; unrecovered = 0; device_lost = false;
+    log = [] }
 
 let log_entries s = List.rev s.log
 
@@ -90,7 +94,8 @@ let () =
              f.Gpusim.Device.f_target f.Gpusim.Device.f_op)
     | _ -> None)
 
-let recoveries s = s.retries + s.retransfers + s.reexecs + s.fallbacks
+let recoveries s =
+  s.retries + s.retransfers + s.reexecs + s.fallbacks + s.failovers
 
 (* ------------------------------ report ------------------------------ *)
 
@@ -116,6 +121,10 @@ let pp_report ~seed ~plan ~policy ~metrics ppf s =
     "@,recovery: %d retries, %d re-transfers, %d re-executions, %d CPU \
      fallbacks"
     s.retries s.retransfers s.reexecs s.fallbacks;
+  if s.failovers > 0 || s.devices_lost > 0 then
+    Fmt.pf ppf
+      "@,failover: %d device(s) lost, %d shard(s) re-executed on survivors"
+      s.devices_lost s.failovers;
   Fmt.pf ppf "@,verified: %d recovery(ies) matched the sequential reference"
     s.verified;
   if s.device_lost then Fmt.pf ppf "@,device lost: continued in host mode";
@@ -165,15 +174,16 @@ let report_json ~seed ~plan ~policy ~metrics s =
   Fmt.str
     "{\"seed\": %d,\n \"policy\": %s,\n \"plan\": %s,\n \"injected\": %d,\n \
      \"events\": [%s],\n \"recovery\": {\"retries\": %d, \"retransfers\": \
-     %d, \"reexecs\": %d, \"fallbacks\": %d, \"verified\": %d, \
-     \"unrecovered\": %d, \"device_lost\": %b},\n \"recovery_time\": %.9f,\n \
+     %d, \"reexecs\": %d, \"fallbacks\": %d, \"failovers\": %d, \
+     \"devices_lost\": %d, \"verified\": %d, \"unrecovered\": %d, \
+     \"device_lost\": %b},\n \"recovery_time\": %.9f,\n \
      \"log\": [%s]}"
     seed
     (json_str policy.p_name)
     (json_str (Gpusim.Fault_plan.to_spec plan))
     (List.length events)
     (String.concat ", " (List.map event events))
-    s.retries s.retransfers s.reexecs s.fallbacks s.verified s.unrecovered
-    s.device_lost
+    s.retries s.retransfers s.reexecs s.fallbacks s.failovers s.devices_lost
+    s.verified s.unrecovered s.device_lost
     (Gpusim.Metrics.time_of metrics Gpusim.Metrics.Fault_recovery)
     (String.concat ",\n   " (List.map entry (log_entries s)))

@@ -46,9 +46,12 @@ type stats = {
   mutable retransfers : int;  (** checksum-mismatch re-transfers *)
   mutable reexecs : int;  (** kernel re-executions from checkpoint *)
   mutable fallbacks : int;  (** kernels degraded to the sequential region *)
+  mutable failovers : int;
+      (** shards of a lost device re-executed on surviving devices *)
+  mutable devices_lost : int;  (** device-set members lost to [Device_lost] *)
   mutable verified : int;  (** recoveries validated against the reference *)
   mutable unrecovered : int;
-  mutable device_lost : bool;
+  mutable device_lost : bool;  (** the run degraded to host mode *)
   mutable log : entry list;  (** reversed; use {!log_entries} *)
 }
 

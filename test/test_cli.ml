@@ -131,6 +131,32 @@ let test_optimize () =
   check_cmd "optimize" "optimize bench:jacobi --outputs a,b,resid"
     ~expect:[ "converged"; "transfers:" ]
 
+let test_multi_device () =
+  check_cmd "run --devices" "run bench:jacobi --devices 2"
+    ~expect:[ "launches"; "Mem Transfer" ];
+  check_cmd "run --schedule cyclic" "run bench:jacobi --devices 2 \
+                                     --schedule cyclic"
+    ~expect:[ "launches" ];
+  check_cmd "run failover"
+    "run bench:jacobi --devices 2 --device-faults \
+     'device-lost:main_kernel0#1' --resilience retry"
+    ~expect:[ "failover: 1 device(s) lost" ];
+  if available then begin
+    (* malformed device counts and out-of-range #DEV selectors are usage
+       errors: exit 2, never a crash or a silent single-device run *)
+    let code, out = run_cmd "run bench:jacobi --devices 0" in
+    Alcotest.(check int) "--devices 0: exit 2" 2 code;
+    Alcotest.(check bool) "--devices 0: message" true
+      (contains ~needle:"invalid --devices" out);
+    let code, out =
+      run_cmd
+        "run bench:jacobi --devices 2 --device-faults 'device-lost#3'"
+    in
+    Alcotest.(check int) "out-of-range #DEV: exit 2" 2 code;
+    Alcotest.(check bool) "out-of-range #DEV: names the fix" true
+      (contains ~needle:"need --devices >= 4" out)
+  end
+
 let test_trace () =
   if available then begin
     let tracefile = Filename.temp_file "openarc_trace" ".json" in
@@ -471,6 +497,7 @@ let tests =
     Alcotest.test_case "verify symbolic" `Quick test_verify_symbolic;
     Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
     Alcotest.test_case "optimize" `Slow test_optimize;
+    Alcotest.test_case "multi-device" `Quick test_multi_device;
     Alcotest.test_case "trace" `Quick test_trace;
     Alcotest.test_case "profile" `Quick test_profile;
     Alcotest.test_case "verify trace" `Quick test_verify_trace;

@@ -149,6 +149,125 @@ let coherence_invariant =
       ignore before;
       List.length (Accrt.Coherence.reports t) = mid)
 
+(* ---------------------- per-device lattice ------------------------- *)
+
+(* The pessimistic join: [get _ Gpu] is the worst live member's status,
+   and a lost member leaves the join. *)
+let test_gpu_join () =
+  let t = Accrt.Coherence.create ~devices:3 () in
+  Accrt.Coherence.check_write t "v" Cpu;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up");
+  Alcotest.(check bool) "all fresh after broadcast" true
+    (Accrt.Coherence.get t "v" Gpu = Not_stale);
+  Accrt.Coherence.set_gpu t "v" 1 May_stale;
+  Alcotest.(check bool) "join is may-stale" true
+    (Accrt.Coherence.get t "v" Gpu = May_stale);
+  Accrt.Coherence.set_gpu t "v" 2 Stale;
+  Alcotest.(check bool) "join is stale" true
+    (Accrt.Coherence.get t "v" Gpu = Stale);
+  (* members leave the join as they drop off the bus *)
+  Accrt.Coherence.on_device_lost t 2;
+  Alcotest.(check bool) "lost member out of the join" true
+    (Accrt.Coherence.get t "v" Gpu = May_stale);
+  Accrt.Coherence.on_device_lost t 1;
+  Alcotest.(check bool) "only the primary left" true
+    (Accrt.Coherence.get t "v" Gpu = Not_stale);
+  (* a kernel commit on a subset refreshes it and stales the others *)
+  let t2 = Accrt.Coherence.create ~devices:2 () in
+  Accrt.Coherence.check_write t2 "v" Cpu;
+  Accrt.Coherence.on_transfer t2 "v" H2D ~site:(site "up");
+  Accrt.Coherence.note_kernel_write t2 "v" ~devs:[ 0 ];
+  Alcotest.(check bool) "writer fresh" true
+    (Accrt.Coherence.gpu_status t2 "v" 0 = Not_stale);
+  Alcotest.(check bool) "bystander stale" true
+    (Accrt.Coherence.gpu_status t2 "v" 1 = Stale);
+  Accrt.Coherence.note_gpu_fresh t2 "v" ~devs:[ 1 ];
+  Alcotest.(check bool) "peer sync refreshes" true
+    (Accrt.Coherence.gpu_status t2 "v" 1 = Not_stale)
+
+(* N = 1 join property: a one-member lattice is the paper's single-device
+   automaton — same statuses, same verdicts, for any event sequence. *)
+let single_device_join_identity =
+  QCheck.Test.make ~count:300
+    ~name:"coherence devices:1 == single-device lattice"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_bound 20)
+           (oneofl
+              [ `Cw_cpu; `Cw_gpu; `Cr_cpu; `Cr_gpu; `Up; `Down; `Free;
+                `Reset_may; `Reset_not; `Kwrite; `Gfresh ])))
+    (fun events ->
+      let t1 = Accrt.Coherence.create ~devices:1 () in
+      let t0 = Accrt.Coherence.create () in
+      let step t = function
+        | `Cw_cpu -> Accrt.Coherence.check_write t "v" Cpu
+        | `Cw_gpu -> Accrt.Coherence.check_write t "v" Gpu
+        | `Cr_cpu -> Accrt.Coherence.check_read t "v" Cpu
+        | `Cr_gpu -> Accrt.Coherence.check_read t "v" Gpu
+        | `Up -> Accrt.Coherence.on_transfer t "v" H2D ~site:(site "u")
+        | `Down -> Accrt.Coherence.on_transfer t "v" D2H ~site:(site "d")
+        | `Free -> Accrt.Coherence.on_free t "v"
+        | `Reset_may -> Accrt.Coherence.reset_status t "v" Cpu May_stale
+        | `Reset_not -> Accrt.Coherence.reset_status t "v" Gpu Not_stale
+        | `Kwrite -> Accrt.Coherence.note_kernel_write t "v" ~devs:[ 0 ]
+        | `Gfresh -> Accrt.Coherence.note_gpu_fresh t "v" ~devs:[ 0 ]
+      in
+      List.iter
+        (fun e ->
+          step t1 e;
+          step t0 e;
+          if Accrt.Coherence.get t1 "v" Gpu <> Accrt.Coherence.get t0 "v" Gpu
+          then QCheck.Test.fail_report "GPU statuses diverged";
+          if Accrt.Coherence.get t1 "v" Cpu <> Accrt.Coherence.get t0 "v" Cpu
+          then QCheck.Test.fail_report "CPU statuses diverged";
+          (* the join of one member is exactly that member's status *)
+          if
+            Accrt.Coherence.get t1 "v" Gpu
+            <> Accrt.Coherence.gpu_status t1 "v" 0
+          then QCheck.Test.fail_report "join of one <> member status")
+        events;
+      kinds t1 = kinds t0)
+
+(* Cross-device redundancy golden: when member statuses diverge, an
+   upload is judged per member and names the device whose copy was
+   already current. *)
+let test_cross_device_redundant () =
+  let t = Accrt.Coherence.create ~devices:2 () in
+  Accrt.Coherence.check_write t "v" Cpu;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up1");
+  (* a uniform fresh set keeps the single-device verdict *)
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up2");
+  (match Accrt.Coherence.reports t with
+  | [ r ] ->
+      Alcotest.(check string) "uniform set, plain verdict"
+        "copying v from host to device in up2 is redundant"
+        r.Accrt.Coherence.r_desc
+  | rs -> Alcotest.failf "expected one report, got %d" (List.length rs));
+  (* member 1 falls behind: the re-broadcast is useful there but
+     redundant on member 0 — and the report says which *)
+  Accrt.Coherence.set_gpu t "v" 1 Stale;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up3");
+  (match List.rev (Accrt.Coherence.reports t) with
+  | r :: _ ->
+      Alcotest.(check bool) "kind" true
+        (r.Accrt.Coherence.r_kind = Accrt.Coherence.Redundant);
+      Alcotest.(check string) "per-device verdict"
+        "copying v from host to device in up3 is redundant on device 0 (its \
+         copy is already current)"
+        r.Accrt.Coherence.r_desc
+  | [] -> Alcotest.fail "expected a report");
+  Alcotest.(check int) "two reports so far" 2
+    (List.length (Accrt.Coherence.reports t));
+  (* after losing member 1 the set is uniform again: plain verdict *)
+  Accrt.Coherence.on_device_lost t 1;
+  Accrt.Coherence.on_transfer t "v" H2D ~site:(site "up4");
+  match List.rev (Accrt.Coherence.reports t) with
+  | r :: _ ->
+      Alcotest.(check string) "survivor-only verdict"
+        "copying v from host to device in up4 is redundant"
+        r.Accrt.Coherence.r_desc
+  | [] -> Alcotest.fail "expected a report"
+
 let tests =
   [ Alcotest.test_case "clean sequence" `Quick test_clean_sequence;
     Alcotest.test_case "missing transfer" `Quick test_missing;
@@ -159,4 +278,8 @@ let tests =
     Alcotest.test_case "may-missing on write" `Quick test_may_missing_on_write;
     Alcotest.test_case "free stales device copy" `Quick test_free_stales_gpu;
     Alcotest.test_case "loop context in reports" `Quick test_loop_context;
-    QCheck_alcotest.to_alcotest coherence_invariant ]
+    QCheck_alcotest.to_alcotest coherence_invariant;
+    Alcotest.test_case "per-device join" `Quick test_gpu_join;
+    QCheck_alcotest.to_alcotest single_device_join_identity;
+    Alcotest.test_case "cross-device redundant" `Quick
+      test_cross_device_redundant ]

@@ -105,6 +105,56 @@ let bench_case (b : Suite.Bench_def.t) =
       diff_variant b "unopt" b.source;
       diff_variant b "opt" b.optimized)
 
+(* A one-member device set is the pre-existing single-device runtime:
+   [~devices:1] must be observably bit-identical to not passing the
+   option at all — outputs, [ops] accounting, trace counters, and the
+   simulated clock — under both engines and both schedules. *)
+let diff_devices1 (b : Suite.Bench_def.t) =
+  let prog = Parser.parse_string ~file:b.name b.source in
+  let tenv = Typecheck.check prog in
+  let tp = Codegen.Translate.translate tenv prog in
+  List.iter
+    (fun engine ->
+      let run ?devices ?schedule () =
+        let tr = Obs.Trace.create () in
+        let o =
+          Accrt.Interp.run ~coherence:false ~engine ~seed:42 ?devices
+            ?schedule ~obs:tr tp
+        in
+        (o, tr)
+      in
+      let o0, tr0 = run () in
+      List.iter
+        (fun schedule ->
+          let o1, tr1 = run ~devices:1 ~schedule () in
+          let what =
+            Fmt.str "%s/%s/%s --devices 1" b.name (Accrt.Engine.to_string engine)
+              (Gpusim.Device_set.schedule_name schedule)
+          in
+          check_outputs what o0.Accrt.Interp.ctx.Accrt.Eval.env
+            o1.Accrt.Interp.ctx.Accrt.Eval.env b.outputs;
+          Alcotest.(check int)
+            (what ^ ": ops identical")
+            o0.Accrt.Interp.ctx.Accrt.Eval.ops
+            o1.Accrt.Interp.ctx.Accrt.Eval.ops;
+          Alcotest.(check bool)
+            (what ^ ": trace counters identical")
+            true
+            (counters tr0 = counters tr1);
+          Alcotest.(check bool)
+            (what ^ ": simulated clock identical")
+            true
+            (Int64.bits_of_float
+               (Gpusim.Metrics.total_time (Accrt.Interp.metrics o0))
+            = Int64.bits_of_float
+                (Gpusim.Metrics.total_time (Accrt.Interp.metrics o1))))
+        [ Gpusim.Device_set.Block; Gpusim.Device_set.Cyclic ])
+    [ tree; compiled ]
+
+let devices1_case (b : Suite.Bench_def.t) =
+  Alcotest.test_case (b.name ^ " --devices 1") `Quick (fun () ->
+      diff_devices1 b)
+
 (* Verification verdicts — including injected faults — are engine-free. *)
 let test_verify_diff () =
   List.iter
@@ -172,5 +222,6 @@ let test_fault_diff () =
 
 let tests =
   List.map bench_case Suite.Registry.all
+  @ List.map devices1_case Suite.Registry.all
   @ [ Alcotest.test_case "verification verdicts" `Quick test_verify_diff;
       Alcotest.test_case "fault matrix" `Quick test_fault_diff ]

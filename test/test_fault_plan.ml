@@ -48,6 +48,69 @@ let test_spec_parse () =
   let p = ok_plan " bitflip , launch-fail:main_kernel0 ,oom@0.25x* " in
   Alcotest.(check int) "three rules" 3 (List.length p.Fault_plan.rules)
 
+let test_spec_dev_selector () =
+  (* no selector: rule is armed against device 0 but r_dev stays None so
+     to_spec does not invent a '#0' suffix *)
+  (match (ok_plan "device-lost").Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check (option int)) "no selector" None r.Fault_plan.r_dev;
+      Alcotest.(check int) "defaults to dev 0" 0 (Fault_plan.rule_dev r)
+  | _ -> Alcotest.fail "one rule");
+  (match (ok_plan "device-lost#1").Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check (option int)) "#1 parsed" (Some 1) r.Fault_plan.r_dev;
+      Alcotest.(check int) "rule_dev" 1 (Fault_plan.rule_dev r)
+  | _ -> Alcotest.fail "one rule");
+  (* selector composes with every other suffix *)
+  (match (ok_plan "bitflip:a@0.5x3#2").Fault_plan.rules with
+  | [ r ] ->
+      Alcotest.(check (option string)) "target" (Some "a") r.Fault_plan.r_target;
+      Alcotest.(check (float 0.)) "prob" 0.5 r.Fault_plan.r_prob;
+      Alcotest.(check int) "count" 3 r.Fault_plan.r_count;
+      Alcotest.(check (option int)) "dev" (Some 2) r.Fault_plan.r_dev
+  | _ -> Alcotest.fail "one rule");
+  (* max_dev is the largest ordinal any rule names; None without selectors *)
+  Alcotest.(check (option int)) "max_dev none" None
+    (Fault_plan.max_dev (ok_plan "bitflip,oom"));
+  Alcotest.(check (option int)) "max_dev" (Some 3)
+    (Fault_plan.max_dev (ok_plan "bitflip#3,device-lost#1,oom"))
+
+let test_partition () =
+  let p = ok_plan "device-lost#1,bitflip:a#1,oomx2,xfer-failx*#2" in
+  let parts = Fault_plan.partition ~seed:7 ~devices:3 p in
+  Alcotest.(check int) "three member plans" 3 (Array.length parts);
+  let kinds t =
+    List.map (fun r -> r.Fault_plan.r_kind) t.Fault_plan.rules
+  in
+  (* each rule lands only on the member its selector names *)
+  Alcotest.(check bool) "dev0 gets unselected rules" true
+    (kinds parts.(0) = [ Fault_plan.Oom ]);
+  Alcotest.(check bool) "dev1 gets its two rules" true
+    (kinds parts.(1) = [ Fault_plan.Device_lost; Fault_plan.Bit_flip ]);
+  Alcotest.(check bool) "dev2 gets its rule" true
+    (kinds parts.(2) = [ Fault_plan.Xfer_fail ]);
+  (* budgets travel with the rule *)
+  (match parts.(0).Fault_plan.rules with
+  | [ r ] -> Alcotest.(check int) "count preserved" 2 r.Fault_plan.r_count
+  | _ -> Alcotest.fail "one rule on dev0");
+  (* device 0 keeps the seed's own stream: a probabilistic rule fires
+     identically whether the plan was partitioned or not *)
+  let draw t =
+    List.init 40 (fun _ ->
+        Fault_plan.fire t Fault_plan.Bit_flip ~target:"a" ~op:"t" ~time:0.0)
+  in
+  let solo =
+    Fault_plan.create ~seed:7
+      [ Fault_plan.mk_rule ~prob:0.5 ~count:(-1) Fault_plan.Bit_flip ]
+  in
+  let split =
+    (Fault_plan.partition ~seed:7 ~devices:2
+       (Fault_plan.create ~seed:7
+          [ Fault_plan.mk_rule ~prob:0.5 ~count:(-1) Fault_plan.Bit_flip ])).(0)
+  in
+  Alcotest.(check (list bool)) "dev0 stream unchanged by partition"
+    (draw solo) (draw split)
+
 let test_spec_roundtrip () =
   List.iter
     (fun spec ->
@@ -55,12 +118,15 @@ let test_spec_roundtrip () =
       Alcotest.(check string) (Fmt.str "roundtrip %S" spec) spec
         (Fault_plan.to_spec p))
     [ "bitflip:a@0.5x3"; "device-lost"; "oomx3"; "xfer-fail:ax*";
-      "launch-timeout:main_kernel0"; "bitflip,xfer-partial@0.25" ]
+      "launch-timeout:main_kernel0"; "bitflip,xfer-partial@0.25";
+      "device-lost#1"; "bitflip:a@0.5x3#2"; "oomx*#3";
+      "device-lost#0,device-lost#1" ]
 
 let test_spec_malformed () =
   List.iter check_error
     [ ""; "bogus"; "bitflip@2"; "bitflip@0"; "bitflip@-1"; "bitflipx0";
-      "bitflip@abc"; "frobnicate:a@0.5"; " , " ]
+      "bitflip@abc"; "frobnicate:a@0.5"; " , "; "bitflip#"; "bitflip#x";
+      "bitflip#-1"; "device-lost#1.5" ]
 
 let fire p k ~target =
   Fault_plan.fire p k ~target ~op:"test" ~time:0.0
@@ -148,6 +214,8 @@ let tests =
   [ Alcotest.test_case "spec parse" `Quick test_spec_parse;
     Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
     Alcotest.test_case "spec malformed" `Quick test_spec_malformed;
+    Alcotest.test_case "spec device selector" `Quick test_spec_dev_selector;
+    Alcotest.test_case "partition across devices" `Quick test_partition;
     Alcotest.test_case "fire budget" `Quick test_fire_budget;
     Alcotest.test_case "fire target" `Quick test_fire_target;
     Alcotest.test_case "fire deterministic" `Quick test_fire_deterministic;

@@ -257,6 +257,108 @@ let test_metrics () =
   Gpusim.Metrics.reset m;
   Alcotest.check feq "reset" 0.0 (Gpusim.Metrics.total_time m)
 
+(* --------------------------- Device_set --------------------------- *)
+
+(* Block and cyclic splits must partition the iteration space: every
+   ordinal has exactly one owner in range, per-part ordinal counts match
+   shard_size, and shard sizes sum back to the total. *)
+let split_partitions =
+  let open QCheck in
+  Test.make ~count:300 ~name:"Device_set split partitions the space"
+    (triple (int_range 1 100) (int_range 1 8) bool)
+    (fun (total, parts, cyclic) ->
+      let schedule =
+        if cyclic then Gpusim.Device_set.Cyclic else Gpusim.Device_set.Block
+      in
+      let counts = Array.make parts 0 in
+      for i = 0 to total - 1 do
+        let o = Gpusim.Device_set.owner schedule ~parts ~total i in
+        if o < 0 || o >= parts then
+          Test.fail_reportf "owner %d out of range for i=%d" o i;
+        counts.(o) <- counts.(o) + 1
+      done;
+      let sum = ref 0 in
+      for p = 0 to parts - 1 do
+        let sz = Gpusim.Device_set.shard_size schedule ~parts ~total p in
+        if sz <> counts.(p) then
+          Test.fail_reportf "shard_size %d <> owned count %d for part %d" sz
+            counts.(p) p;
+        sum := !sum + sz
+      done;
+      !sum = total)
+
+let test_device_set_schedules () =
+  let owner s i = Gpusim.Device_set.owner s ~parts:3 ~total:10 i in
+  (* block: contiguous ceil(10/3)=4-wide chunks *)
+  Alcotest.(check (list int)) "block owners"
+    [ 0; 0; 0; 0; 1; 1; 1; 1; 2; 2 ]
+    (List.init 10 (owner Gpusim.Device_set.Block));
+  (* cyclic: round-robin by ordinal *)
+  Alcotest.(check (list int)) "cyclic owners"
+    [ 0; 1; 2; 0; 1; 2; 0; 1; 2; 0 ]
+    (List.init 10 (owner Gpusim.Device_set.Cyclic));
+  (* one participant owns everything regardless of schedule *)
+  Alcotest.(check int) "solo owner" 0
+    (Gpusim.Device_set.owner Gpusim.Device_set.Cyclic ~parts:1 ~total:10 7);
+  Alcotest.(check int) "solo shard" 10
+    (Gpusim.Device_set.shard_size Gpusim.Device_set.Block ~parts:1 ~total:10 0);
+  (* schedule names round-trip; unknown names are rejected *)
+  List.iter
+    (fun s ->
+      match
+        Gpusim.Device_set.schedule_of_string (Gpusim.Device_set.schedule_name s)
+      with
+      | Ok s' -> Alcotest.(check bool) "schedule roundtrip" true (s = s')
+      | Error e -> Alcotest.failf "schedule rejected: %s" e)
+    [ Gpusim.Device_set.Block; Gpusim.Device_set.Cyclic ];
+  (match Gpusim.Device_set.schedule_of_string "diagonal" with
+  | Ok _ -> Alcotest.fail "bogus schedule accepted"
+  | Error _ -> ())
+
+let test_device_set_members () =
+  let set = Gpusim.Device_set.create ~seed:5 3 in
+  Alcotest.(check int) "size" 3 (Gpusim.Device_set.size set);
+  Alcotest.(check int) "all alive" 3 (Gpusim.Device_set.num_alive set);
+  Alcotest.(check (list int)) "alive ids" [ 0; 1; 2 ]
+    (Gpusim.Device_set.alive_ids set);
+  Alcotest.(check bool) "primary is device 0" true
+    (Gpusim.Device_set.primary set == Gpusim.Device_set.device set 0);
+  (* member ids are their ordinals *)
+  for i = 0 to 2 do
+    Alcotest.(check int) "member id" i
+      (Gpusim.Device_set.device set i).Gpusim.Device.id
+  done;
+  (* losing the primary: the survivors carry on, first_alive skips it *)
+  let p =
+    Gpusim.Fault_plan.create ~seed:5
+      [ Gpusim.Fault_plan.mk_rule Gpusim.Fault_plan.Device_lost ]
+  in
+  let set =
+    Gpusim.Device_set.create ~seed:5 ~plan:p 2
+  in
+  let d0 = Gpusim.Device_set.device set 0 in
+  (try Gpusim.Device.begin_launch d0 ~label:"k" with
+  | Gpusim.Device.Device_fault _ -> ());
+  Alcotest.(check bool) "primary lost" false (Gpusim.Device.alive d0);
+  Alcotest.(check int) "one alive" 1 (Gpusim.Device_set.num_alive set);
+  Alcotest.(check (list int)) "survivor id" [ 1 ]
+    (Gpusim.Device_set.alive_ids set);
+  (match Gpusim.Device_set.first_alive set with
+  | Some d -> Alcotest.(check int) "first alive" 1 d.Gpusim.Device.id
+  | None -> Alcotest.fail "survivor expected");
+  Alcotest.(check bool) "not all lost" false (Gpusim.Device_set.all_lost set);
+  (* the injected loss folds back into the base plan for reporting *)
+  Gpusim.Device_set.flush_events set;
+  Alcotest.(check bool) "base plan latched lost" true p.Gpusim.Fault_plan.lost;
+  Alcotest.(check int) "base plan sees the event" 1 (Gpusim.Fault_plan.injected p)
+
+let test_device_set_of_device () =
+  let dev = Gpusim.Device.create () in
+  let set = Gpusim.Device_set.of_device dev in
+  Alcotest.(check int) "one member" 1 (Gpusim.Device_set.size set);
+  Alcotest.(check bool) "wraps the same device" true
+    (Gpusim.Device_set.primary set == dev)
+
 let tests =
   [ Alcotest.test_case "buf basics" `Quick test_buf_basics;
     Alcotest.test_case "buf blit" `Quick test_buf_blit;
@@ -272,4 +374,8 @@ let tests =
     Alcotest.test_case "chrome process name" `Quick test_chrome_process_name;
     Alcotest.test_case "metrics pp golden" `Quick test_metrics_pp_golden;
     Alcotest.test_case "metrics charge hook" `Quick test_metrics_charge_hook;
-    Alcotest.test_case "metrics" `Quick test_metrics ]
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    QCheck_alcotest.to_alcotest split_partitions;
+    Alcotest.test_case "device set schedules" `Quick test_device_set_schedules;
+    Alcotest.test_case "device set members" `Quick test_device_set_members;
+    Alcotest.test_case "device set of_device" `Quick test_device_set_of_device ]

@@ -13,9 +13,9 @@ let plan spec =
   | Ok p -> p
   | Error e -> Alcotest.failf "bad spec %S: %s" spec e
 
-let run ?instrument ?resilience ?spec src =
+let run ?instrument ?resilience ?spec ?devices ?schedule src =
   let plan = Option.map plan spec in
-  Interp.run_string ?instrument ?plan ?resilience src
+  Interp.run_string ?instrument ?plan ?resilience ?devices ?schedule src
 
 let arr o name i = Gpusim.Buf.get_float (Interp.host_array o name) i
 
@@ -204,6 +204,102 @@ let test_acc_num_devices_after_loss () =
   Alcotest.(check bool) "alive" true (Gpusim.Device.alive device);
   Alcotest.(check bool) "lost" false (Gpusim.Device.alive lost)
 
+(* ---------------------- device-set failover ------------------------ *)
+
+(* A member dies at its shard's launch gate: the survivors re-execute the
+   lost shard and the recovery verifies against the sequential
+   reference — under both schedules and both recovering policies. *)
+let test_failover_reexecutes_shard () =
+  List.iter
+    (fun (schedule, policy) ->
+      let o =
+        run ~resilience:policy ~spec:"device-lost:main_kernel0#1" ~devices:2
+          ~schedule simple_src
+      in
+      check_simple o;
+      let st = stats o in
+      Alcotest.(check int) "one member lost" 1 st.Resilience.devices_lost;
+      Alcotest.(check bool) "shard failed over" true
+        (st.Resilience.failovers >= 1);
+      Alcotest.(check bool) "recovery verified" true
+        (st.Resilience.verified >= 1);
+      Alcotest.(check int) "no unrecovered" 0 st.Resilience.unrecovered;
+      Alcotest.(check bool) "failover time charged" true
+        (Gpusim.Metrics.time_of (Interp.metrics o) Gpusim.Metrics.Fault_recovery
+         > 0.0))
+    [ (Gpusim.Device_set.Block, Resilience.retry);
+      (Gpusim.Device_set.Cyclic, Resilience.retry);
+      (Gpusim.Device_set.Block, Resilience.full) ]
+
+(* A secondary member dying does not break later kernels: the survivors
+   keep the coherent copy and the chained program still checks out. *)
+let test_failover_chained_kernels () =
+  let o =
+    run ~resilience:Resilience.retry ~spec:"device-lost:main_kernel0#1"
+      ~devices:2 chained_src
+  in
+  check_chained o;
+  Alcotest.(check int) "no unrecovered" 0 (stats o).Resilience.unrecovered
+
+(* Every member dies: [full] degrades the whole program to host mode and
+   still produces correct outputs; [retry] has nowhere left to run and
+   must fail loudly. *)
+let test_all_members_lost () =
+  let o =
+    run ~resilience:Resilience.full ~spec:"device-lost#0,device-lost#1"
+      ~devices:2 simple_src
+  in
+  check_simple o;
+  let st = stats o in
+  Alcotest.(check bool) "losses recorded" true (st.Resilience.devices_lost >= 1);
+  Alcotest.(check bool) "device lost" true st.Resilience.device_lost;
+  Alcotest.(check bool) "fell back to host" true (st.Resilience.fallbacks >= 1);
+  Alcotest.(check int) "no unrecovered" 0 st.Resilience.unrecovered;
+  match
+    run ~resilience:Resilience.retry ~spec:"device-lost#0,device-lost#1"
+      ~devices:2 simple_src
+  with
+  | _ -> Alcotest.fail "expected Unrecovered"
+  | exception Resilience.Unrecovered f ->
+      Alcotest.(check string) "kind" "device-lost"
+        (Gpusim.Fault_plan.kind_name f.Gpusim.Device.f_kind)
+
+(* ----------------------- Acc_api multi-device ---------------------- *)
+
+let test_acc_api_device_set_corners () =
+  let set = Gpusim.Device_set.create ~seed:3 3 in
+  let st = Acc_api.create set in
+  let call name args =
+    match Acc_api.hook st name args with
+    | Some (Value.Int n) -> n
+    | Some (Value.Flt _) -> Alcotest.failf "%s returned a float" name
+    | None -> Alcotest.failf "%s not handled" name
+  in
+  let nvidia = Acc_api.acc_device_nvidia in
+  Alcotest.(check int) "three accelerators" 3
+    (call "acc_get_num_devices" [ Value.Int nvidia ]);
+  Alcotest.(check int) "one host" 1
+    (call "acc_get_num_devices" [ Value.Int Acc_api.acc_device_host ]);
+  (* selecting a member redirects [current] *)
+  Alcotest.(check int) "set device 2" 0
+    (call "acc_set_device_num" [ Value.Int 2; Value.Int nvidia ]);
+  Alcotest.(check int) "get device num" 2
+    (call "acc_get_device_num" [ Value.Int nvidia ]);
+  Alcotest.(check bool) "current follows selection" true
+    (Acc_api.current st == Gpusim.Device_set.device set 2);
+  (* out-of-range ordinals are ignored, selection unchanged *)
+  ignore (call "acc_set_device_num" [ Value.Int 7; Value.Int nvidia ]);
+  ignore (call "acc_set_device_num" [ Value.Int (-1); Value.Int nvidia ]);
+  Alcotest.(check int) "selection survives bad ordinals" 2
+    (call "acc_get_device_num" [ Value.Int nvidia ]);
+  (* a lost member drops out of the count but host stays countable *)
+  let d1 = Gpusim.Device_set.device set 1 in
+  d1.Gpusim.Device.plan.Gpusim.Fault_plan.lost <- true;
+  Alcotest.(check int) "lost member not counted" 2
+    (call "acc_get_num_devices" [ Value.Int nvidia ]);
+  Alcotest.(check int) "host unaffected" 1
+    (call "acc_get_num_devices" [ Value.Int Acc_api.acc_device_host ])
+
 (* -------------------------- determinism ---------------------------- *)
 
 let test_reports_reproducible () =
@@ -285,7 +381,34 @@ let test_fault_matrix_small () =
     (Openarc_core.Fault_matrix.all_ok m);
   (* transient kinds sweep two policies, device-lost only [full] *)
   Alcotest.(check int) "cell count" (2 * ((7 * 2) + 1))
-    (List.length m.Openarc_core.Fault_matrix.cells)
+    (List.length m.Openarc_core.Fault_matrix.cells);
+  (* device-loss rows: primary and last member killed at a launch gate,
+     each under [retry] and [full] — every cell must fail over and verify
+     the recovery, not merely complete *)
+  let m2 =
+    Openarc_core.Fault_matrix.run ~seed:42 ~device_counts:[ 2 ] subjects
+  in
+  Alcotest.(check bool) "device-loss cells recover verified-correct" true
+    (Openarc_core.Fault_matrix.all_ok m2);
+  let failover_cells =
+    List.filter
+      (fun c -> c.Openarc_core.Fault_matrix.c_devices > 1)
+      m2.Openarc_core.Fault_matrix.cells
+  in
+  Alcotest.(check int) "2 lost ordinals x 2 policies per benchmark"
+    (2 * 2 * 2)
+    (List.length failover_cells);
+  List.iter
+    (fun c ->
+      let what =
+        Fmt.str "%s/%s" c.Openarc_core.Fault_matrix.c_bench
+          c.Openarc_core.Fault_matrix.c_policy
+      in
+      Alcotest.(check bool) (what ^ ": shard failed over") true
+        (c.Openarc_core.Fault_matrix.c_failovers >= 1);
+      Alcotest.(check bool) (what ^ ": recovery verified") true
+        (c.Openarc_core.Fault_matrix.c_verified >= 1))
+    failover_cells
 
 let tests =
   [ Alcotest.test_case "none policy propagates" `Quick
@@ -313,6 +436,13 @@ let tests =
       test_device_lost_mid_run_restores_mirrors;
     Alcotest.test_case "acc_get_num_devices" `Quick
       test_acc_num_devices_after_loss;
+    Alcotest.test_case "failover re-executes shard" `Quick
+      test_failover_reexecutes_shard;
+    Alcotest.test_case "failover chained kernels" `Quick
+      test_failover_chained_kernels;
+    Alcotest.test_case "all members lost" `Quick test_all_members_lost;
+    Alcotest.test_case "acc_api device-set corners" `Quick
+      test_acc_api_device_set_corners;
     Alcotest.test_case "reports reproducible" `Quick
       test_reports_reproducible;
     Alcotest.test_case "coherence equivalence" `Quick

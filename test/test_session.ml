@@ -118,6 +118,36 @@ let test_defer_suggestion_applied () =
   Alcotest.(check bool) "converged" true r.Openarc_core.Session.converged;
   Alcotest.(check bool) "in-loop downloads removed" true (after < before)
 
+let test_session_multi_device () =
+  (* The interactive loop runs unchanged on a device set: it converges to
+     the same directive structure and the optimized program still
+     verifies against the sequential reference. *)
+  let prog = Parser.parse_string jacobi in
+  let solo = Openarc_core.Session.optimize ~outputs:[ "a"; "cs" ] prog in
+  let multi =
+    Openarc_core.Session.optimize ~devices:2 ~outputs:[ "a"; "cs" ]
+      (Parser.parse_string jacobi)
+  in
+  Alcotest.(check bool) "converged" true multi.Openarc_core.Session.converged;
+  Alcotest.(check int) "same iteration count"
+    solo.Openarc_core.Session.iterations
+    multi.Openarc_core.Session.iterations;
+  Alcotest.(check int) "no incorrect suggestions" 0
+    multi.Openarc_core.Session.incorrect_iterations;
+  let after_solo, _ =
+    Openarc_core.Session.transfer_stats solo.Openarc_core.Session.final
+  in
+  let after_multi, _ =
+    Openarc_core.Session.transfer_stats multi.Openarc_core.Session.final
+  in
+  Alcotest.(check int) "same final directive structure" after_solo after_multi;
+  let reference = (Accrt.Eval.run_reference prog).Accrt.Eval.env in
+  let env = Typecheck.check multi.Openarc_core.Session.final in
+  let tp = Codegen.Translate.translate env multi.Openarc_core.Session.final in
+  let o = Accrt.Interp.run ~coherence:false ~devices:2 tp in
+  Alcotest.(check bool) "optimized outputs verify on two devices" true
+    (Openarc_core.Session.outputs_match ~outputs:[ "a"; "cs" ] ~reference o)
+
 (* ------------------------- telemetry ------------------------------- *)
 
 let test_telemetry_records () =
@@ -243,6 +273,8 @@ let tests =
     Alcotest.test_case "already optimal" `Quick test_already_optimal;
     Alcotest.test_case "defer suggestion applied" `Quick
       test_defer_suggestion_applied;
+    Alcotest.test_case "session on a device set" `Quick
+      test_session_multi_device;
     Alcotest.test_case "telemetry records" `Quick test_telemetry_records;
     Alcotest.test_case "telemetry wrong suggestion" `Quick
       test_telemetry_wrong_suggestion;
