@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke check bench clean
 
 all: build
 
@@ -67,7 +67,15 @@ wall-smoke: build
 scale-smoke: build
 	$(DUNE) exec --no-build bench/main.exe scale-smoke
 
-check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke
+# Imbalance-analyzer byte-stability: regenerate a fixed 3-benchmark
+# subset (seed 42, 4 devices) of the shard-imbalance analysis — one of
+# which must carry a schedule-switch verdict — and require each entry to
+# match the committed BENCH_imbalance.json verbatim (the full sweep is
+# `bench/main.exe imbalance`).
+imbalance-smoke: build
+	$(DUNE) exec --no-build bench/main.exe imbalance-smoke
+
+check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

@@ -517,12 +517,15 @@ let profile_path = "BENCH_profile.json"
 let profile_categories =
   List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
 
-let profile_entry ?(devices = 1) (b : Bench_def.t) =
+let profile_entry ?(devices = 1) ?(schedule = Gpusim.Device_set.Block)
+    (b : Bench_def.t) =
   let prog = parse b in
   let env = Minic.Typecheck.check prog in
   let tp = Codegen.Translate.translate env prog in
   let tr = Obs.Trace.create () in
-  let o = Accrt.Interp.run ~coherence:false ~seed:42 ~devices ~obs:tr tp in
+  let o =
+    Accrt.Interp.run ~coherence:false ~seed:42 ~devices ~schedule ~obs:tr tp
+  in
   let total = Gpusim.Metrics.total_time (Accrt.Interp.metrics o) in
   let p = Obs.Profile.of_trace ~categories:profile_categories tr in
   if not (Obs.Profile.conserves p ~total) then
@@ -629,24 +632,27 @@ let select = function
 (* The current sweep side of a diff re-parses its own canonical JSON so
    both sides of every comparison went through the same %.9f rounding:
    a clean tree diffs against the committed baseline to exactly zero. *)
-let current_profile ?devices b =
-  let name, total, entry = profile_entry ?devices b in
+let current_profile ?devices ?schedule b =
+  let name, total, entry = profile_entry ?devices ?schedule b in
   match Obs.Diff.profile_of_json entry with
   | Ok (p, _, _) -> (name, total, p)
   | Error e ->
       Fmt.failwith "internal: generated profile for %s unparseable: %s" name
         e
 
-let trend_line ~label ?(devices = 1) name (p : Obs.Profile.t) =
+let trend_line ~label ?(devices = 1) ?(schedule = "block") name
+    (p : Obs.Profile.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Fmt.str
        "{\"schema\": %s, \"version\": %d, \"name\": %s, \"seed\": 42, \
-        \"devices\": %d, \"label\": %s, \"total\": %.9f, \"totals\": {"
+        \"devices\": %d, \"schedule\": %s, \"label\": %s, \"total\": \
+        %.9f, \"totals\": {"
        (Obs.Trace.json_str (Obs.Trace.schema ^ ".bench-trend"))
        Obs.Trace.version
        (Obs.Trace.json_str name)
        devices
+       (Obs.Trace.json_str schedule)
        (Obs.Trace.json_str label)
        p.Obs.Profile.p_total);
   List.iteri
@@ -664,17 +670,21 @@ let trend_line ~label ?(devices = 1) name (p : Obs.Profile.t) =
   Buffer.add_string buf "}}";
   Buffer.contents buf
 
-let run_trend ?(out = trend_path) ?names ?(label = "") ?(devices = 1) ppf =
+let run_trend ?(out = trend_path) ?names ?(label = "") ?(devices = 1)
+    ?(schedule = Gpusim.Device_set.Block) ppf =
   let bs = select names in
-  Fmt.pf ppf "Bench trend sweep (seed 42, %d device(s), source variant)@."
-    devices;
+  let sched = Gpusim.Device_set.schedule_name schedule in
+  Fmt.pf ppf
+    "Bench trend sweep (seed 42, %d device(s), %s schedule, source \
+     variant)@."
+    devices sched;
   hr ppf;
   let lines =
     List.map
       (fun b ->
-        let name, total, p = current_profile ~devices b in
+        let name, total, p = current_profile ~devices ~schedule b in
         Fmt.pf ppf "  %-12s %12.9f s@." name total;
-        trend_line ~label ~devices name p)
+        trend_line ~label ~devices ~schedule:sched name p)
       bs
   in
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 out in
@@ -1022,16 +1032,54 @@ let scale_path = "BENCH_scale.json"
 
 let scale_counts = [ 1; 2; 4; 8 ]
 
-let scale_time ~devices tp =
+let scale_run ~devices tp =
   let o = Accrt.Interp.run ~coherence:false ~seed:42 ~devices tp in
-  Gpusim.Metrics.total_time (Accrt.Interp.metrics o)
+  (Gpusim.Metrics.total_time (Accrt.Interp.metrics o), o)
+
+(* Per-ordinal cost attribution at the headline fan-out (the speedup
+   column's denominator): each member's accumulated compute and transfer
+   seconds, plus its share of the modeled reduction-merge cost (a launch's
+   merge is attributed once to every member that executed a shard of it,
+   mirroring the per-member Merge spans of the trace). *)
+let scale_breakdown_devices = 4
+
+let scale_breakdown (o : Accrt.Interp.outcome) =
+  let mt = Gpusim.Device_set.member_times o.Accrt.Interp.devset in
+  let merge = Array.make (Array.length mt) 0.0 in
+  (match o.Accrt.Interp.imbalance with
+  | None -> ()
+  | Some il ->
+      List.iter
+        (fun (l : Obs.Imbalance.launch) ->
+          if l.Obs.Imbalance.l_merge > 0.0 then begin
+            let seen = Array.make (Array.length mt) false in
+            Array.iter
+              (fun (sh : Obs.Imbalance.shard) ->
+                let d = sh.Obs.Imbalance.sh_dev in
+                if d >= 0 && d < Array.length seen && not seen.(d) then begin
+                  seen.(d) <- true;
+                  merge.(d) <- merge.(d) +. l.Obs.Imbalance.l_merge
+                end)
+              l.Obs.Imbalance.l_shards
+          end)
+        (Obs.Imbalance.launches il));
+  Array.to_list
+    (Array.mapi (fun d (c, x) -> (d, c, x, merge.(d))) mt)
 
 let scale_entry (b : Bench_def.t) =
   let prog = parse b in
   let env = Minic.Typecheck.check prog in
   let tp = Codegen.Translate.translate env prog in
-  ( b.Bench_def.name,
-    List.map (fun n -> (n, scale_time ~devices:n tp)) scale_counts )
+  let breakdown = ref [] in
+  let times =
+    List.map
+      (fun n ->
+        let t, o = scale_run ~devices:n tp in
+        if n = scale_breakdown_devices then breakdown := scale_breakdown o;
+        (n, t))
+      scale_counts
+  in
+  (b.Bench_def.name, times, !breakdown)
 
 let scale_speedup times n =
   match (List.assoc_opt 1 times, List.assoc_opt n times) with
@@ -1045,7 +1093,7 @@ let scale_monotone times =
   let t n = List.assoc n times in
   t 2 <= t 1 +. 1e-12 && t 4 <= t 2 +. 1e-12
 
-let scale_entry_json (name, times) =
+let scale_entry_json (name, times, breakdown) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Fmt.str "{\"name\": %S" name);
   List.iter
@@ -1057,7 +1105,18 @@ let scale_entry_json (name, times) =
         (Fmt.str ", \"speedup%d\": %.4f" n (scale_speedup times n)))
     (List.filter (fun n -> n > 1) scale_counts);
   Buffer.add_string buf
-    (Fmt.str ", \"monotone_1_4\": %b}" (scale_monotone times));
+    (Fmt.str ", \"per_device%d\": [" scale_breakdown_devices);
+  List.iteri
+    (fun i (d, c, x, m) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Fmt.str
+           "{\"dev\": %d, \"compute_s\": %.9f, \"transfer_s\": %.9f, \
+            \"merge_s\": %.9f}"
+           d c x m))
+    breakdown;
+  Buffer.add_string buf
+    (Fmt.str "], \"monotone_1_4\": %b}" (scale_monotone times));
   Buffer.contents buf
 
 let scale_doc entries =
@@ -1078,7 +1137,7 @@ let scale_doc entries =
   Buffer.add_string buf
     (Fmt.str "\"monotone_1_4\": %d\n}\n"
        (List.length
-          (List.filter (fun (_, times) -> scale_monotone times) entries)));
+          (List.filter (fun (_, times, _) -> scale_monotone times) entries)));
   Buffer.contents buf
 
 (* Transfer-bound benchmarks cannot speed up from extra devices (the
@@ -1095,11 +1154,17 @@ let run_scale ?(json = scale_path) ppf =
   Fmt.pf ppf "  speedup 1->4@.";
   let entries = List.map scale_entry benchmarks in
   List.iter
-    (fun (name, times) ->
+    (fun (name, times, breakdown) ->
       Fmt.pf ppf "  %-12s" name;
       List.iter (fun (_, t) -> Fmt.pf ppf " %8.6f" t) times;
       Fmt.pf ppf "  %5.2fx %s@." (scale_speedup times 4)
-        (if scale_monotone times then "" else "[degrades]"))
+        (if scale_monotone times then "" else "[degrades]");
+      Fmt.pf ppf "  %-12s @%ddev" "" scale_breakdown_devices;
+      List.iter
+        (fun (d, c, x, m) ->
+          Fmt.pf ppf "  [%d] c=%.6f x=%.6f m=%.6f" d c x m)
+        breakdown;
+      Fmt.pf ppf "@.")
     entries;
   let oc = open_out json in
   output_string oc (scale_doc entries);
@@ -1107,7 +1172,7 @@ let run_scale ?(json = scale_path) ppf =
   hr ppf;
   Fmt.pf ppf "scale report written to %s@." json;
   let mono =
-    List.length (List.filter (fun (_, t) -> scale_monotone t) entries)
+    List.length (List.filter (fun (_, t, _) -> scale_monotone t) entries)
   in
   if mono >= scale_min_monotone then begin
     Fmt.pf ppf
@@ -1190,6 +1255,191 @@ let run_scale_smoke ppf =
        verified=%d unrecovered=%d correct=%b)"
       st.Accrt.Resilience.devices_lost st.Accrt.Resilience.failovers
       st.Accrt.Resilience.verified st.Accrt.Resilience.unrecovered correct
+
+(* ------------------------------------------------------------------ *)
+(* Imbalance tier: shard-cost attribution and schedule verdicts        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every benchmark runs at 4 devices under the default block schedule
+   (seed 42, coherence off); the shard log's analyzer re-costs the
+   recorded iteration weights under the cyclic split and issues a
+   keep/switch verdict.  For every "switch" the benchmark re-runs under
+   the recommendation and both measured totals are recorded — shard
+   launches are priced without jitter, so the measured delta reproduces
+   the analyzer's noise-free model exactly and the canonical JSON is
+   byte-stable (BENCH_imbalance.json is the committed baseline). *)
+
+let imbalance_path = "BENCH_imbalance.json"
+
+let imbalance_devices = 4
+
+let imbalance_entry (b : Bench_def.t) =
+  let prog = parse b in
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  let run schedule =
+    let o =
+      Accrt.Interp.run ~coherence:false ~seed:42
+        ~devices:imbalance_devices ~schedule tp
+    in
+    ( Gpusim.Metrics.total_time (Accrt.Interp.metrics o),
+      o.Accrt.Interp.imbalance )
+  in
+  let t_block, il = run Gpusim.Device_set.Block in
+  let il =
+    match il with
+    | Some il -> il
+    | None -> Fmt.failwith "no shard log for %s" b.Bench_def.name
+  in
+  let a = Obs.Imbalance.analyze il in
+  let switched =
+    if a.Obs.Imbalance.a_recommended <> "block" then begin
+      let t_alt, _ = run Gpusim.Device_set.Cyclic in
+      Some (t_alt, t_alt < t_block)
+    end
+    else None
+  in
+  (b.Bench_def.name, t_block, a, switched)
+
+let imbalance_entry_json (name, t_block, (a : Obs.Imbalance.analysis),
+                          switched) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Fmt.str
+       "{\"name\": %S, \"measured_block_s\": %.9f, \"recommended\": %S, \
+        \"gain\": %.4f"
+       name t_block a.Obs.Imbalance.a_recommended a.Obs.Imbalance.a_gain);
+  (match switched with
+  | Some (t_alt, improved) ->
+      Buffer.add_string buf
+        (Fmt.str ", \"measured_%s_s\": %.9f, \"improved\": %b"
+           a.Obs.Imbalance.a_recommended t_alt improved)
+  | None -> ());
+  Buffer.add_string buf
+    (Fmt.str ", \"analysis\": %s}"
+       (String.trim (Obs.Imbalance.to_json ~name ~seed:42 a)));
+  Buffer.contents buf
+
+let imbalance_doc entries =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    (Fmt.str
+       "{\n\"schema\": \"openarc.obs.bench-imbalance\",\n\"version\": 1,\n\
+        \"seed\": 42,\n\"devices\": %d,\n\"benchmarks\": [\n"
+       imbalance_devices);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (imbalance_entry_json e))
+    entries;
+  let switched =
+    List.length (List.filter (fun (_, _, _, s) -> s <> None) entries)
+  in
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, _, _, s) ->
+           match s with Some (_, true) -> true | _ -> false)
+         entries)
+  in
+  Buffer.add_string buf
+    (Fmt.str "\n],\n\"switched\": %d,\n\"improved\": %d\n}\n" switched
+       improved);
+  Buffer.contents buf
+
+(* The gate of this tier: at least one benchmark's verdict must differ
+   from the default schedule AND the re-run under the recommendation
+   must measure faster — the analyzer's advice has to be actionable, not
+   just plausible. *)
+let run_imbalance ?(json = imbalance_path) ppf =
+  Fmt.pf ppf
+    "Shard-imbalance analysis (seed 42, %d devices, block default)@."
+    imbalance_devices;
+  hr ppf;
+  let entries = List.map imbalance_entry benchmarks in
+  List.iter
+    (fun (name, t_block, (a : Obs.Imbalance.analysis), switched) ->
+      match switched with
+      | None -> Fmt.pf ppf "  %-12s %12.9f s  keep block@." name t_block
+      | Some (t_alt, improved) ->
+          Fmt.pf ppf "  %-12s %12.9f s  switch -> %s %12.9f s  %s@." name
+            t_block a.Obs.Imbalance.a_recommended t_alt
+            (if improved then "[improved]" else "[NOT improved]"))
+    entries;
+  let oc = open_out json in
+  output_string oc (imbalance_doc entries);
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "imbalance report written to %s@." json;
+  let improved =
+    List.filter
+      (fun (_, _, _, s) -> match s with Some (_, true) -> true | _ -> false)
+      entries
+  in
+  if improved <> [] then begin
+    Fmt.pf ppf
+      "imbalance: %d benchmark(s) with a measured-faster schedule switch \
+       (>= 1 required)@."
+      (List.length improved);
+    0
+  end
+  else begin
+    Fmt.pf ppf
+      "IMBALANCE REGRESSION: no benchmark with a measured-faster \
+       schedule switch (>= 1 required)@.";
+    1
+  end
+
+(* Imbalance smoke for CI: regenerate a fixed 3-benchmark subset — one
+   of which must be a switch verdict — and require each entry verbatim
+   in the committed baseline. *)
+let run_imbalance_smoke ppf =
+  let committed =
+    match open_in_bin imbalance_path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith
+          "missing %s (run 'bench/main.exe imbalance' and commit the \
+           result)"
+          imbalance_path
+  in
+  let names = [ "JACOBI"; "BFS"; "NW" ] in
+  let entries =
+    List.map
+      (fun n ->
+        imbalance_entry
+          (List.find (fun b -> b.Bench_def.name = n) benchmarks))
+      names
+  in
+  let ok =
+    List.for_all
+      (fun ((name, t_block, _, _) as e) ->
+        if contains ~needle:(imbalance_entry_json e) committed then begin
+          Fmt.pf ppf "  %-12s %12.9f s  matches baseline@." name t_block;
+          true
+        end
+        else begin
+          Fmt.pf ppf "  %-12s MISMATCH against %s@." name imbalance_path;
+          false
+        end)
+      entries
+  in
+  if not ok then
+    Fmt.failwith
+      "imbalance smoke failed: regenerate with 'bench/main.exe imbalance' \
+       and inspect the diff";
+  let switch = List.exists (fun (_, _, _, s) -> s <> None) entries in
+  if not switch then
+    Fmt.failwith
+      "imbalance smoke failed: no switch verdict in the %s subset"
+      (String.concat "," names);
+  Fmt.pf ppf
+    "imbalance smoke: %d/%d byte-stable, switch verdict present@."
+    (List.length names) (List.length names)
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic-equivalence sweep (tier-0 coverage across the suite)       *)

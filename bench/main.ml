@@ -75,10 +75,10 @@ let run_micro () =
 let usage =
   "usage: main.exe \
    [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|\
-   profile|profile-smoke|scale|scale-smoke|trend|regress|wall|micro|all] \
+   profile|profile-smoke|scale|scale-smoke|imbalance|imbalance-smoke|trend|regress|wall|micro|all] \
    [options]\n\
   \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
-  \                   --devices N\n\
+  \                   --devices N  --schedule block|cyclic\n\
   \  regress options: --baseline FILE  --benches A,B,..  --json FILE\n\
   \  wall options:    --benches A,B,..  --repeats N  --json FILE\n\
   \                   --engine tree|compiled|both  --min-speedup X"
@@ -146,11 +146,20 @@ let () =
       with Failure msg ->
         Fmt.epr "%s@." msg;
         exit 1)
+  | "imbalance" ->
+      let code = Experiments.run_imbalance ppf in
+      if code <> 0 then exit code
+  | "imbalance-smoke" -> (
+      try Experiments.run_imbalance_smoke ppf
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
   | "trend" ->
       let out = ref Experiments.trend_path in
       let benches = ref None in
       let label = ref "" in
       let devices = ref 1 in
+      let schedule = ref Gpusim.Device_set.Block in
       parse_flags
         [ ("--out", fun v -> out := v);
           ("--benches", fun v -> benches := split_benches v);
@@ -161,11 +170,18 @@ let () =
               | Some n when n >= 1 -> devices := n
               | _ ->
                   Fmt.epr "invalid device count '%s'@.%s@." v usage;
+                  exit 2 );
+          ( "--schedule",
+            fun v ->
+              match Gpusim.Device_set.schedule_of_string v with
+              | Ok s -> schedule := s
+              | Error e ->
+                  Fmt.epr "invalid schedule: %s@.%s@." e usage;
                   exit 2 ) ]
         rest;
       (try
          Experiments.run_trend ~out:!out ?names:!benches ~label:!label
-           ~devices:!devices ppf
+           ~devices:!devices ~schedule:!schedule ppf
        with Failure msg ->
          Fmt.epr "%s@." msg;
          exit 2)

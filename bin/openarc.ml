@@ -6,6 +6,9 @@
                    profiling (memory-transfer verification, §III-B)
     - [profile]  : span-based tracing with per-directive cost attribution
                    (Figure 3/4 breakdown), coherence audit log, flamegraph
+    - [analyze]  : shard-level imbalance analysis over a device set, with
+                   a block/cyclic schedule verdict from re-costing the
+                   recorded iteration weights
     - [verify]   : kernel verification against the sequential reference
                    (§III-A), with OpenARC-style [verificationOptions]
     - [optimize] : the interactive optimization loop of Figure 2, driven by
@@ -237,9 +240,11 @@ let run_cmd =
   let trace =
     Arg.(value
          & opt (some string) None
-         & info [ "trace" ] ~docv:"FILE"
+         & info [ "trace"; "trace-json" ] ~docv:"FILE"
              ~doc:"Write a Chrome-trace JSON timeline of the simulated \
-                   execution (open in chrome://tracing or Perfetto)")
+                   execution (open in chrome://tracing or Perfetto); with \
+                   --devices N the file has one lane per member plus a \
+                   host lane")
   in
   let fine =
     Arg.(value & flag
@@ -286,22 +291,43 @@ let run_cmd =
         let granularity =
           if fine then Accrt.Coherence.Fine else Accrt.Coherence.Coarse
         in
+        (* A multi-device trace gets the per-device lane exporter, which
+           needs an observability trace for the host lane; single-device
+           runs keep the exact legacy output. *)
+        let obs =
+          if devices > 1 && trace <> None then Some (Obs.Trace.create ())
+          else None
+        in
         let o =
           Accrt.Interp.run ~coherence:instrument ~engine ~granularity ~seed
             ~trace:(trace <> None) ?plan ~resilience:policy ~devices
-            ~schedule tp
+            ~schedule ?obs tp
         in
         (match trace with
         | Some path ->
+            let json, count =
+              match obs with
+              | Some tr ->
+                  let tls =
+                    Array.map
+                      (fun d -> d.Gpusim.Device.timeline)
+                      o.Accrt.Interp.devset.Gpusim.Device_set.devices
+                  in
+                  let host = Obs.Chrome.host_lane_events tr in
+                  ( Gpusim.Timeline.to_chrome_json_devices ~host tls,
+                    List.length host
+                    + Array.fold_left
+                        (fun acc tl -> acc + Gpusim.Timeline.count tl)
+                        0 tls )
+              | None ->
+                  let tl = o.Accrt.Interp.device.Gpusim.Device.timeline in
+                  (Gpusim.Timeline.to_chrome_json tl,
+                   Gpusim.Timeline.count tl)
+            in
             let oc = open_out path in
-            output_string oc
-              (Gpusim.Timeline.to_chrome_json
-                 o.Accrt.Interp.device.Gpusim.Device.timeline);
+            output_string oc json;
             close_out oc;
-            Fmt.pr "timeline (%d events) written to %s@."
-              (Gpusim.Timeline.count
-                 o.Accrt.Interp.device.Gpusim.Device.timeline)
-              path
+            Fmt.pr "timeline (%d events) written to %s@." count path
         | None -> ());
         Fmt.pr "%a@." Gpusim.Metrics.pp (Accrt.Interp.metrics o);
         (if plan <> None || policy.Accrt.Resilience.p_name <> "none" then
@@ -412,8 +438,10 @@ let profile_cmd =
   let trace =
     Arg.(value
          & opt (some string) None
-         & info [ "trace" ] ~docv:"FILE"
-             ~doc:"Write a Chrome-trace JSON timeline of the device events")
+         & info [ "trace"; "trace-json" ] ~docv:"FILE"
+             ~doc:"Write a Chrome-trace JSON timeline of the device \
+                   events; with --devices N the file has one lane per \
+                   member plus a host lane of directive spans")
   in
   let run file fault instrument fine device_faults resilience seed devices
       schedule json flame events trace =
@@ -471,8 +499,15 @@ let profile_cmd =
         (match trace with
         | Some path ->
             write_file path
-              (Gpusim.Timeline.to_chrome_json
-                 o.Accrt.Interp.device.Gpusim.Device.timeline);
+              (if devices > 1 then
+                 Gpusim.Timeline.to_chrome_json_devices
+                   ~host:(Obs.Chrome.host_lane_events tr)
+                   (Array.map
+                      (fun d -> d.Gpusim.Device.timeline)
+                      o.Accrt.Interp.devset.Gpusim.Device_set.devices)
+               else
+                 Gpusim.Timeline.to_chrome_json
+                   o.Accrt.Interp.device.Gpusim.Device.timeline);
             Fmt.pr "timeline written to %s@." path
         | None -> ());
         if conserved && replayed then 0 else 1)
@@ -485,6 +520,59 @@ let profile_cmd =
     Term.(const run $ file_arg $ fault_arg $ instrument $ fine
           $ device_faults $ resilience $ seed_arg $ devices_arg
           $ schedule_arg $ json $ flame $ events $ trace)
+
+(* ------------------------------ analyze ---------------------------- *)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the analysis as canonical JSON (schema \
+                   openarc.obs.imbalance, version 1) instead of the text \
+                   report")
+  in
+  let out =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON analysis to FILE (implies --json \
+                   formatting for the file; the text report still prints)")
+  in
+  let run file fault seed engine devices schedule json out =
+    handle_code (fun () ->
+        (* The analyzer compares schedules across a device set; a single
+           device has nothing to rebalance. *)
+        if devices < 2 then
+          Fmt.failwith
+            "invalid --devices: %d (analyze needs a device set; use \
+             --devices >= 2)"
+            devices;
+        check_devices ~devices None;
+        let _, c = prepare ~fault (load_source file) in
+        let tp = c.Openarc_core.Compiler.tprog in
+        let o = Accrt.Interp.run ~engine ~seed ~devices ~schedule tp in
+        match o.Accrt.Interp.imbalance with
+        | None -> Fmt.failwith "no shard log recorded (internal error)"
+        | Some il ->
+            let a = Obs.Imbalance.analyze il in
+            if json then print_string (Obs.Imbalance.to_json ~name:file ~seed a)
+            else Fmt.pr "%a" Obs.Imbalance.pp a;
+            (match out with
+            | Some path ->
+                write_file path (Obs.Imbalance.to_json ~name:file ~seed a);
+                if not json then Fmt.pr "analysis written to %s@." path
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run a program across a simulated device set and report \
+             shard-level cost imbalance per kernel — spread, \
+             idle-at-barrier, merge overhead — plus a block/cyclic \
+             schedule verdict from re-costing the recorded \
+             iteration-space weights under the alternative split")
+    Term.(const run $ file_arg $ fault_arg $ seed_arg $ engine_arg
+          $ devices_arg $ schedule_arg $ json $ out)
 
 (* ------------------------------ verify ----------------------------- *)
 
@@ -981,6 +1069,6 @@ let () =
        default 124. *)
     (Cmd.eval' ~term_err:2
        (Cmd.group info
-          [ compile_cmd; run_cmd; profile_cmd; verify_cmd; optimize_cmd;
-            session_cmd; diff_profile_cmd; lint_cmd; fault_matrix_cmd;
-            benchmarks_cmd ]))
+          [ compile_cmd; run_cmd; profile_cmd; analyze_cmd; verify_cmd;
+            optimize_cmd; session_cmd; diff_profile_cmd; lint_cmd;
+            fault_matrix_cmd; benchmarks_cmd ]))

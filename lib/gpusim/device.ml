@@ -289,20 +289,30 @@ let scrub dev names =
           else None)
     names
 
-(** Account for a kernel execution of [iterations] x [ops_per_iter]. The
-    functional execution is done by the runtime interpreter; this charges
-    simulated time. *)
-let launch dev ~iterations ~ops_per_iter ?width ?async ?(label = "kernel")
-    () =
+(** Account for a kernel execution of [iterations] x [ops_per_iter],
+    returning the charged (jitter-scaled) duration.  The functional
+    execution is done by the runtime interpreter; this charges simulated
+    time.  [time] overrides the cost-model base duration — the sharded
+    launch path prices each member's shard by its measured share of the
+    interpreted work — while the jitter draw and charge/timeline paths
+    stay identical to the standalone formula. *)
+let launch_timed dev ~iterations ~ops_per_iter ?width ?time ?(jitter = true)
+    ?async ?(label = "kernel") () =
   dev.metrics.Metrics.kernel_launches <-
     dev.metrics.Metrics.kernel_launches + 1;
   let duration =
-    Costmodel.kernel_time ?width dev.cm ~iterations ~ops_per_iter
+    match time with
+    | Some t -> t
+    | None -> Costmodel.kernel_time ?width dev.cm ~iterations ~ops_per_iter
   in
   (* Small run-to-run variance, as on real devices; this is what makes very
      light instrumentation occasionally measure as a negative overhead
-     (paper Figure 4). *)
-  let duration = duration *. (1.0 +. (0.06 *. noise dev)) in
+     (paper Figure 4).  [jitter:false] keeps the duration exactly as
+     priced — the sharded launch path uses it so a schedule's measured
+     wall time equals the analyzer's noise-free re-costing. *)
+  let duration =
+    if jitter then duration *. (1.0 +. (0.06 *. noise dev)) else duration
+  in
   let start =
     match async with
     | None ->
@@ -314,7 +324,24 @@ let launch dev ~iterations ~ops_per_iter ?width ?async ?(label = "kernel")
   Timeline.record dev.timeline ?stream:async
     ~kind:(Timeline.Ev_kernel { name = label; iterations })
     ~label:(Fmt.str "%s<<<%d>>>" label iterations)
-    ~start ~duration ()
+    ~start ~duration ();
+  duration
+
+(** [launch_timed] for callers that don't consume the duration; the RNG
+    draw sequence is identical. *)
+let launch dev ~iterations ~ops_per_iter ?width ?async ?label () =
+  ignore
+    (launch_timed dev ~iterations ~ops_per_iter ?width ?async ?label ()
+      : float)
+
+(** Push stream [q]'s completion time out by [dt] simulated seconds: the
+    completion barrier of a sharded async launch — the primary's queue
+    cannot drain before the slowest member's shard does. *)
+let delay_stream dev q dt =
+  if alive dev && dt > 0.0 then begin
+    let s = stream dev q in
+    s.avail <- Float.max s.avail dev.metrics.Metrics.host_clock +. dt
+  end
 
 (** Block the host until stream [q] (or all streams when [None]) drains.
     Waiting on a lost device returns immediately: there is no work left to

@@ -74,10 +74,26 @@ val download :
 val begin_launch : t -> label:string -> unit
 
 (** Account for a kernel execution (the functional work is done by the
-    runtime's kernel executor).  [width] caps parallel lanes. *)
+    runtime's kernel executor), returning the charged duration.  [width]
+    caps parallel lanes; [time] overrides the cost-model base duration —
+    the sharded launch path prices each member's shard by its measured
+    share of the interpreted work; [jitter] (default [true]) applies the
+    run-to-run variance factor — sharded launches disable it so measured
+    wall time matches the schedule analyzer's noise-free re-costing. *)
+val launch_timed :
+  t -> iterations:int -> ops_per_iter:int -> ?width:int -> ?time:float ->
+  ?jitter:bool -> ?async:int -> ?label:string -> unit -> float
+
+(** {!launch_timed} for callers that don't consume the duration; the RNG
+    draw sequence is identical. *)
 val launch :
   t -> iterations:int -> ops_per_iter:int -> ?width:int -> ?async:int ->
   ?label:string -> unit -> unit
+
+(** Push stream [q]'s completion time out by [dt] simulated seconds (the
+    completion barrier of a sharded async launch).  No-op on a lost
+    device or for [dt <= 0]. *)
+val delay_stream : t -> int -> float -> unit
 
 (** ECC scrub of the named device buffers after a kernel execution:
     injects any armed [Bit_flip] faults (flipping a real bit in device

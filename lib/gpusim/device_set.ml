@@ -94,6 +94,17 @@ let flush_events t =
       if Array.exists (fun d -> not (Device.alive d)) t.devices then
         base.Fault_plan.lost <- true
 
+(** Per-member accumulated time by ordinal: [(compute, transfer)]
+    seconds from each member's own accumulator — compute is the
+    synchronous kernel/wait category, transfer the PCIe category.  The
+    device-side breakdown the scale bench reports per ordinal. *)
+let member_times t =
+  Array.map
+    (fun d ->
+      ( Metrics.time_of d.Device.metrics Metrics.Async_wait,
+        Metrics.time_of d.Device.metrics Metrics.Mem_transfer ))
+    t.devices
+
 (* --------------------------- iteration split --------------------------- *)
 
 (** Participant index owning iteration ordinal [i] of a [total]-iteration

@@ -44,6 +44,10 @@ val first_alive : t -> Device.t option
     ones.  Idempotent. *)
 val flush_events : t -> unit
 
+(** Per-member accumulated [(compute, transfer)] seconds by ordinal
+    (kernel/wait vs PCIe categories of each member's own accumulator). *)
+val member_times : t -> (float * float) array
+
 (** Participant index owning iteration ordinal [i] of a [total]-iteration
     loop split across [parts] participants. *)
 val owner : schedule -> parts:int -> total:int -> int -> int

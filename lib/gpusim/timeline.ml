@@ -99,6 +99,31 @@ let chrome_events ?(pid = 1) t =
         (e.ev_start *. 1e6) (e.ev_duration *. 1e6) pid tid)
     (events t)
 
+(** One Chrome lane per device-set member: every event of [t] rendered
+    onto the single track [tid] (stream substructure collapses into the
+    member's lane).  Zero-duration fault events — device loss, injected
+    faults — render as thread-scoped instant ("i") marks so they stay
+    visible at any zoom. *)
+let chrome_device_events ?(pid = 1) ~tid t =
+  List.map
+    (fun e ->
+      match e.ev_kind with
+      | Ev_fault _ when e.ev_duration = 0.0 ->
+          Fmt.str
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"ts\": \
+             %.3f, \"s\": \"t\", \"pid\": %d, \"tid\": %d}"
+            (escape e.ev_label)
+            (kind_name e.ev_kind)
+            (e.ev_start *. 1e6) pid tid
+      | _ ->
+          Fmt.str
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": \
+             %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %d}"
+            (escape e.ev_label)
+            (kind_name e.ev_kind)
+            (e.ev_start *. 1e6) (e.ev_duration *. 1e6) pid tid)
+    (events t)
+
 (** Chrome metadata event naming process [pid] (used when merging the
     timelines of several runs into one trace). *)
 let chrome_process_name ~pid name =
@@ -117,6 +142,28 @@ let to_chrome_json t =
       Buffer.add_string buf "  ";
       Buffer.add_string buf line)
     (chrome_events t);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(** Multi-lane Chrome-trace JSON for a device set: the pre-rendered
+    [host] event objects on lane [tid 0], then member [d]'s timeline on
+    lane [tid d + 1].  Same document framing as {!to_chrome_json}. *)
+let to_chrome_json_devices ?(host = []) timelines =
+  let lanes =
+    host
+    @ List.concat
+        (List.mapi
+           (fun d t -> chrome_device_events ~tid:(d + 1) t)
+           (Array.to_list timelines))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf line)
+    lanes;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 

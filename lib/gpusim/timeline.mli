@@ -42,10 +42,20 @@ val summary : t -> (string * float) list
     ([tid] 0 = host, stream [q] = [q + 1]).  [pid] defaults to 1. *)
 val chrome_events : ?pid:int -> t -> string list
 
+(** One Chrome lane per device-set member: every event rendered onto the
+    single track [tid]; zero-duration fault events (device loss) render
+    as thread-scoped instant ("i") marks. *)
+val chrome_device_events : ?pid:int -> tid:int -> t -> string list
+
 (** Chrome metadata event naming process [pid] (for merged traces). *)
 val chrome_process_name : pid:int -> string -> string
 
 (** Chrome "trace event format" JSON (chrome://tracing, Perfetto). *)
 val to_chrome_json : t -> string
+
+(** Multi-lane Chrome-trace JSON for a device set: pre-rendered [host]
+    event objects on lane [tid 0] (see [Obs.Chrome.host_lane_events]),
+    then member [d]'s timeline on lane [tid d + 1]. *)
+val to_chrome_json_devices : ?host:string list -> t array -> string
 
 val pp : Format.formatter -> t -> unit

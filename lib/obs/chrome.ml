@@ -1,0 +1,56 @@
+(** Host-lane Chrome-trace events from an observability trace.
+
+    Multi-device Chrome exports render one [tid] lane per device-set
+    member plus a host lane ([tid 0]).  The device lanes come straight
+    from each member's [Gpusim.Timeline]; this module renders the host
+    lane from the trace's host-side spans — kernels, transfer sites,
+    alloc/free, waits, coherence checks as complete ("X") events and
+    recovery actions as thread-scoped instant ("i") marks — using the
+    same byte conventions as the timeline exporter so both kinds of lane
+    interleave in one JSON document. *)
+
+(* Mirrors [Gpusim.Timeline]'s event formatting: microsecond timestamps
+   with three decimals, pid 1. *)
+let complete ~name ~cat ~ts ~dur ~tid =
+  Fmt.str
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
+     \"dur\": %.3f, \"pid\": 1, \"tid\": %d}"
+    (Trace.json_escape name) (Trace.json_escape cat) (ts *. 1e6)
+    (dur *. 1e6) tid
+
+let instant ~name ~cat ~ts ~tid =
+  Fmt.str
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"ts\": %.3f, \
+     \"s\": \"t\", \"pid\": 1, \"tid\": %d}"
+    (Trace.json_escape name) (Trace.json_escape cat) (ts *. 1e6) tid
+
+(* Host-lane span kinds: simulated-time work the host clock sees.
+   Session/Phase/Region spans are structural (they would span the whole
+   lane), Device leafs belong to the device lanes. *)
+let host_kind = function
+  | Trace.Kernel | Trace.Transfer | Trace.Alloc | Trace.Free | Trace.Wait
+  | Trace.Check | Trace.Merge ->
+      true
+  | Trace.Session | Trace.Phase | Trace.Region | Trace.Recovery
+  | Trace.Device ->
+      false
+
+let host_lane_events tr =
+  List.filter_map
+    (fun (sp : Trace.span) ->
+      match sp.Trace.sp_end with
+      | _ when sp.Trace.sp_dev <> None -> None
+      | _ when sp.Trace.sp_kind = Trace.Recovery ->
+          Some
+            (instant ~name:sp.Trace.sp_name
+               ~cat:(Trace.kind_name sp.Trace.sp_kind)
+               ~ts:sp.Trace.sp_start ~tid:0)
+      | Some finish when host_kind sp.Trace.sp_kind ->
+          Some
+            (complete ~name:sp.Trace.sp_name
+               ~cat:(Trace.kind_name sp.Trace.sp_kind)
+               ~ts:sp.Trace.sp_start
+               ~dur:(finish -. sp.Trace.sp_start)
+               ~tid:0)
+      | _ -> None)
+    (Trace.spans tr)

@@ -1,0 +1,16 @@
+(** Host-lane Chrome-trace events from an observability trace, rendered
+    with the same byte conventions as the [Gpusim.Timeline] exporter so
+    host and device lanes interleave in one JSON document. *)
+
+(** A complete ("X") event on [tid]; [ts]/[dur] in simulated seconds. *)
+val complete :
+  name:string -> cat:string -> ts:float -> dur:float -> tid:int -> string
+
+(** A thread-scoped instant ("i") mark on [tid]. *)
+val instant : name:string -> cat:string -> ts:float -> tid:int -> string
+
+(** Pre-rendered host-lane ([tid 0]) event objects: closed host-side
+    work spans (kernel, transfer, alloc/free, wait, check, merge) as
+    complete events, recovery spans as instant marks.  Device-tagged
+    spans are skipped — they belong to the per-device lanes. *)
+val host_lane_events : Trace.t -> string list

@@ -313,6 +313,9 @@ let profile_of_value v =
               p_rows = rows;
               p_totals = totals;
               p_total = Pjson.num_exn (get "total");
+              (* Diffs compare host-clock attribution; a multi-device
+                 document's per-device tables are not re-parsed. *)
+              p_devices = [];
               p_counters = counters },
             name,
             seed )

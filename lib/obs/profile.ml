@@ -21,6 +21,9 @@ type t = {
   p_rows : row list;  (** first-charge order *)
   p_totals : (string * float) list;  (** per-category grand totals *)
   p_total : float;  (** folds [p_totals] in canonical order *)
+  p_devices : (int * row list) list;
+      (** per-device-ordinal tables from device-tagged charges, ordinal
+          ascending; empty on single-device runs *)
   p_counters : (string * int) list;
 }
 
@@ -42,6 +45,20 @@ let of_trace ~categories tr =
         order_rev := d :: !order_rev;
         a
   in
+  (* Per-device tables, from device-tagged charges.  Device 0 is the
+     primary: its charges advance the host clock, so they land in both
+     the host totals (conservation) and its own device table. *)
+  let dev_rows : (int * string, float array) Hashtbl.t = Hashtbl.create 16 in
+  let dev_order_rev = ref [] in
+  let dev_row_for d dir =
+    match Hashtbl.find_opt dev_rows (d, dir) with
+    | Some a -> a
+    | None ->
+        let a = Array.make ncat 0.0 in
+        Hashtbl.add dev_rows (d, dir) a;
+        dev_order_rev := (d, dir) :: !dev_order_rev;
+        a
+  in
   List.iter
     (fun ev ->
       match ev with
@@ -49,9 +66,21 @@ let of_trace ~categories tr =
           match Hashtbl.find_opt cat_idx c.c_category with
           | None -> ()
           | Some i ->
-              totals.(i) <- totals.(i) +. c.c_dt;
-              let a = row_for c.c_directive in
-              a.(i) <- a.(i) +. c.c_dt)
+              (* The host clock is the primary's accumulator: untagged
+                 charges and the primary's own (dev 0) replay into the
+                 conserved totals; secondary members only feed their
+                 device tables. *)
+              (match c.c_dev with
+              | None | Some 0 ->
+                  totals.(i) <- totals.(i) +. c.c_dt;
+                  let a = row_for c.c_directive in
+                  a.(i) <- a.(i) +. c.c_dt
+              | Some _ -> ());
+              (match c.c_dev with
+              | None -> ()
+              | Some d ->
+                  let a = dev_row_for d c.c_directive in
+                  a.(i) <- a.(i) +. c.c_dt))
       | Trace.E_begin _ | Trace.E_end _ -> ())
     (Trace.events tr);
   (* Attribute kind/loc from the first span carrying each directive. *)
@@ -65,21 +94,40 @@ let of_trace ~categories tr =
               Option.value ~default:"" sp.Trace.sp_loc )
       | _ -> ())
     (Trace.spans tr);
-  let mk_row d =
-    let a = Hashtbl.find rows d in
-    let kind, loc =
-      match Hashtbl.find_opt span_info d with
-      | Some info -> info
-      | None -> ("host", "")
-    in
-    { r_directive = d; r_kind = kind; r_loc = loc;
+  let info_for d =
+    match Hashtbl.find_opt span_info d with
+    | Some info -> info
+    | None -> ("host", "")
+  in
+  let row_of dir a =
+    let kind, loc = info_for dir in
+    { r_directive = dir; r_kind = kind; r_loc = loc;
       r_cats = List.mapi (fun i c -> (c, a.(i))) categories;
       r_total = Array.fold_left ( +. ) 0.0 a }
+  in
+  let mk_row d = row_of d (Hashtbl.find rows d) in
+  (* Device tables: ordinal ascending, rows in first-charge order. *)
+  let dev_order = List.rev !dev_order_rev in
+  let ordinals =
+    List.sort_uniq compare (List.map fst dev_order)
+  in
+  let devices =
+    List.map
+      (fun d ->
+        ( d,
+          List.filter_map
+            (fun (d', dir) ->
+              if d' = d then
+                Some (row_of dir (Hashtbl.find dev_rows (d, dir)))
+              else None)
+            dev_order ))
+      ordinals
   in
   { p_categories = categories;
     p_rows = List.rev_map mk_row !order_rev;
     p_totals = List.mapi (fun i c -> (c, totals.(i))) categories;
     p_total = Array.fold_left ( +. ) 0.0 totals;
+    p_devices = devices;
     p_counters = Trace.counters tr }
 
 (** Bit-exact: both sides fold the same additions in the same order. *)
@@ -109,7 +157,20 @@ let pp ppf p =
     p.p_rows;
   Fmt.pf ppf "%-*s  %10.6f" dir_w "TOTAL" p.p_total;
   List.iter (fun c -> Fmt.pf ppf "  %14.6f" (List.assoc c p.p_totals)) live;
-  Fmt.pf ppf "@."
+  Fmt.pf ppf "@.";
+  (* Per-device breakdown (multi-device runs only). *)
+  List.iter
+    (fun (d, rows) ->
+      Fmt.pf ppf "@.device %d:@." d;
+      List.iter
+        (fun r ->
+          Fmt.pf ppf "  %-*s  %10.6f" dir_w r.r_directive r.r_total;
+          List.iter
+            (fun c -> Fmt.pf ppf "  %14.6f" (List.assoc c r.r_cats))
+            live;
+          Fmt.pf ppf "@.")
+        rows)
+    p.p_devices
 
 (* ------------------------------ JSON ------------------------------ *)
 
@@ -151,6 +212,26 @@ let to_json ~name ~seed p =
       Buffer.add_char b '\n')
     p.p_rows;
   Buffer.add_string b "  ],\n";
+  (* The devices section appears only on multi-device runs, keeping the
+     single-device document bit-identical to the pre-device-aware one. *)
+  if p.p_devices <> [] then begin
+    Buffer.add_string b "  \"devices\": [\n";
+    List.iteri
+      (fun i (d, rows) ->
+        Buffer.add_string b (Fmt.str "    {\"dev\": %d, \"rows\": [\n" d);
+        List.iteri
+          (fun j r ->
+            Buffer.add_string b "      ";
+            Buffer.add_string b (row_json r);
+            if j < List.length rows - 1 then Buffer.add_char b ',';
+            Buffer.add_char b '\n')
+          rows;
+        Buffer.add_string b "    ]}";
+        if i < List.length p.p_devices - 1 then Buffer.add_char b ',';
+        Buffer.add_char b '\n')
+      p.p_devices;
+    Buffer.add_string b "  ],\n"
+  end;
   Buffer.add_string b "  \"counters\": {";
   Buffer.add_string b
     (String.concat ", "

@@ -19,6 +19,12 @@ type t = {
   p_rows : row list;  (** first-charge order *)
   p_totals : (string * float) list;  (** per-category grand totals *)
   p_total : float;  (** folds [p_totals] in canonical order *)
+  p_devices : (int * row list) list;
+      (** per-device-ordinal tables from device-tagged charges, ordinal
+          ascending; empty on single-device runs.  The grand totals
+          replay only host-clock charges (untagged ones plus the
+          primary's, ordinal 0), so [conserves] keeps holding against
+          the primary accumulator on multi-device runs *)
   p_counters : (string * int) list;
 }
 

@@ -29,6 +29,7 @@ type kind =
   | Check  (** coherence runtime check *)
   | Recovery  (** one resilience action (retry, re-transfer, fallback, ...) *)
   | Device  (** device-visible leaf imported from the {!Gpusim.Timeline} *)
+  | Merge  (** one per-member reduction-merge step of a sharded kernel *)
 
 let kind_name = function
   | Session -> "session"
@@ -42,6 +43,7 @@ let kind_name = function
   | Check -> "check"
   | Recovery -> "recovery"
   | Device -> "device"
+  | Merge -> "merge"
 
 type span = {
   sp_id : int;
@@ -52,6 +54,9 @@ type span = {
   sp_directive : string option;
       (** source-level directive attribution (kernel name, transfer-site
           label); charges made under this span roll up to it *)
+  sp_dev : int option;
+      (** device-set member ordinal this span executed on; [None] for
+          host-side spans and every single-device run *)
   mutable sp_attrs : (string * string) list;
   sp_start : float;  (** simulated seconds *)
   mutable sp_end : float option;
@@ -64,6 +69,9 @@ type charge = {
   c_span : int;  (** innermost open span, [-1] outside any span *)
   c_directive : string;
   c_category : string;  (** {!Gpusim.Metrics} category name *)
+  c_dev : int option;
+      (** device-set member ordinal whose accumulator took the charge;
+          [None] on single-device runs (the primary is the host clock) *)
   c_dt : float;
 }
 
@@ -90,22 +98,23 @@ let set_clock t clock = t.clock <- clock
 
 let push_event t e = t.events_rev <- e :: t.events_rev
 
-let fresh_span t kind name ?loc ?directive ?(attrs = []) ~start ~finish () =
+let fresh_span t kind name ?loc ?directive ?dev ?(attrs = []) ~start ~finish
+    () =
   let sp =
     { sp_id = t.next_id;
       sp_parent =
         (match t.stack with [] -> None | s :: _ -> Some s.sp_id);
       sp_kind = kind; sp_name = name; sp_loc = loc;
-      sp_directive = directive; sp_attrs = attrs; sp_start = start;
-      sp_end = finish }
+      sp_directive = directive; sp_dev = dev; sp_attrs = attrs;
+      sp_start = start; sp_end = finish }
   in
   t.next_id <- t.next_id + 1;
   t.spans_rev <- sp :: t.spans_rev;
   sp
 
-let start_span t kind name ?loc ?directive ?attrs () =
+let start_span t kind name ?loc ?directive ?dev ?attrs () =
   let sp =
-    fresh_span t kind name ?loc ?directive ?attrs ~start:(t.clock ())
+    fresh_span t kind name ?loc ?directive ?dev ?attrs ~start:(t.clock ())
       ~finish:None ()
   in
   t.stack <- sp :: t.stack;
@@ -123,15 +132,15 @@ let end_span t sp =
   t.stack <- pop t.stack;
   push_event t (E_end (sp, now))
 
-let with_span t kind name ?loc ?directive ?attrs f =
-  let sp = start_span t kind name ?loc ?directive ?attrs () in
+let with_span t kind name ?loc ?directive ?dev ?attrs f =
+  let sp = start_span t kind name ?loc ?directive ?dev ?attrs () in
   Fun.protect ~finally:(fun () -> end_span t sp) f
 
 let add_attr sp k v = sp.sp_attrs <- sp.sp_attrs @ [ (k, v) ]
 
-let leaf t kind name ?loc ?directive ?attrs ~start ~duration () =
+let leaf t kind name ?loc ?directive ?dev ?attrs ~start ~duration () =
   let sp =
-    fresh_span t kind name ?loc ?directive ?attrs ~start
+    fresh_span t kind name ?loc ?directive ?dev ?attrs ~start
       ~finish:(Some (start +. duration)) ()
   in
   push_event t (E_begin sp);
@@ -145,12 +154,12 @@ let current_directive t =
   in
   find t.stack
 
-let charge t ~category dt =
+let charge t ?dev ~category dt =
   let span = match t.stack with [] -> -1 | s :: _ -> s.sp_id in
   push_event t
     (E_charge
        { c_span = span; c_directive = current_directive t;
-         c_category = category; c_dt = dt })
+         c_category = category; c_dev = dev; c_dt = dt })
 
 let count t name n =
   (match Hashtbl.find_opt t.counter_tbl name with
@@ -201,7 +210,7 @@ let meta_line =
 let span_begin_line sp =
   Fmt.str
     "{\"type\": \"span_begin\", \"id\": %d, \"parent\": %s, \"kind\": %s, \
-     \"name\": %s%s%s, \"t\": %.9f}"
+     \"name\": %s%s%s%s, \"t\": %.9f}"
     sp.sp_id
     (match sp.sp_parent with None -> "null" | Some p -> string_of_int p)
     (json_str (kind_name sp.sp_kind))
@@ -212,6 +221,9 @@ let span_begin_line sp =
     (match sp.sp_directive with
     | None -> ""
     | Some d -> Fmt.str ", \"directive\": %s" (json_str d))
+    (match sp.sp_dev with
+    | None -> ""
+    | Some d -> Fmt.str ", \"dev\": %d" d)
     sp.sp_start
 
 let span_end_line sp at =
@@ -223,8 +235,12 @@ let span_end_line sp at =
 let charge_line c =
   Fmt.str
     "{\"type\": \"charge\", \"span\": %d, \"directive\": %s, \"category\": \
-     %s, \"dt\": %.12e}"
-    c.c_span (json_str c.c_directive) (json_str c.c_category) c.c_dt
+     %s%s, \"dt\": %.12e}"
+    c.c_span (json_str c.c_directive) (json_str c.c_category)
+    (match c.c_dev with
+    | None -> ""
+    | Some d -> Fmt.str ", \"dev\": %d" d)
+    c.c_dt
 
 let counter_line (name, v) =
   Fmt.str "{\"type\": \"counter\", \"name\": %s, \"value\": %d}"

@@ -22,6 +22,7 @@ type kind =
   | Check  (** coherence runtime check *)
   | Recovery  (** one resilience action (retry, re-transfer, fallback, ...) *)
   | Device  (** device-visible leaf imported from the {!Gpusim.Timeline} *)
+  | Merge  (** one per-member reduction-merge step of a sharded kernel *)
 
 val kind_name : kind -> string
 
@@ -34,6 +35,9 @@ type span = {
   sp_directive : string option;
       (** source-level directive attribution; charges under this span roll
           up to it *)
+  sp_dev : int option;
+      (** device-set member ordinal this span executed on; [None] for
+          host-side spans and every single-device run *)
   mutable sp_attrs : (string * string) list;
   sp_start : float;  (** simulated seconds *)
   mutable sp_end : float option;
@@ -46,6 +50,9 @@ type charge = {
   c_span : int;  (** innermost open span, [-1] outside any span *)
   c_directive : string;
   c_category : string;  (** {!Gpusim.Metrics} category name *)
+  c_dev : int option;
+      (** device-set member ordinal whose accumulator took the charge;
+          [None] on single-device runs (the primary is the host clock) *)
   c_dt : float;
 }
 
@@ -63,14 +70,14 @@ val create : ?clock:(unit -> float) -> unit -> t
 val set_clock : t -> (unit -> float) -> unit
 
 val start_span :
-  t -> kind -> string -> ?loc:string -> ?directive:string ->
+  t -> kind -> string -> ?loc:string -> ?directive:string -> ?dev:int ->
   ?attrs:(string * string) list -> unit -> span
 
 val end_span : t -> span -> unit
 
 (** Run [f] inside a fresh span; the span is closed even on exceptions. *)
 val with_span :
-  t -> kind -> string -> ?loc:string -> ?directive:string ->
+  t -> kind -> string -> ?loc:string -> ?directive:string -> ?dev:int ->
   ?attrs:(string * string) list -> (unit -> 'a) -> 'a
 
 val add_attr : span -> string -> string -> unit
@@ -78,7 +85,7 @@ val add_attr : span -> string -> string -> unit
 (** A pre-timed leaf span (e.g. a device timeline event), parented under
     the innermost open span. *)
 val leaf :
-  t -> kind -> string -> ?loc:string -> ?directive:string ->
+  t -> kind -> string -> ?loc:string -> ?directive:string -> ?dev:int ->
   ?attrs:(string * string) list -> start:float -> duration:float -> unit ->
   unit
 
@@ -86,8 +93,10 @@ val leaf :
     {!host_directive}. *)
 val current_directive : t -> string
 
-(** Record a cost-accounting charge against the innermost open span. *)
-val charge : t -> category:string -> float -> unit
+(** Record a cost-accounting charge against the innermost open span.
+    [dev] tags the charge with the device-set member ordinal that took it
+    (multi-device runs only; omitted charges belong to the host clock). *)
+val charge : t -> ?dev:int -> category:string -> float -> unit
 
 val count : t -> string -> int -> unit
 val incr : t -> string -> unit
@@ -110,5 +119,9 @@ val to_jsonl : t -> string
 (** JSON string literal (escaped and quoted) — shared by the sibling
     exporters. *)
 val json_str : string -> string
+
+(** The escaping alone, unquoted (for exporters that build their own
+    string literals). *)
+val json_escape : string -> string
 
 val pp : Format.formatter -> t -> unit

@@ -31,6 +31,9 @@ type outcome = {
     (int, Codegen.Tprog.site * string * Codegen.Tprog.xdir) Hashtbl.t;
       (** executed transfer sites with their variable and direction *)
   resilience : Resilience.stats;  (** fault-recovery accounting *)
+  imbalance : Obs.Imbalance.t option;
+      (** shard-level cost attribution of every sharded launch
+          (multi-device runs only) *)
 }
 
 let reports o = Coherence.reports o.coherence
@@ -71,21 +74,57 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
   in
   (* Observability: spans are stamped by the simulated host clock; every
      metrics charge becomes a trace event (the conservation invariant);
-     device-timeline events become [Device] leaf spans. *)
+     device-timeline events become [Device] leaf spans.  A one-member run
+     keeps the exact pre-device-set wiring — untagged charges on the
+     primary — so its trace is byte-identical to the standalone runtime; a
+     multi-member run observes {e every} member, tagging each charge and
+     timeline leaf with the owning ordinal. *)
   (match obs with
   | None -> ()
   | Some tr ->
       Obs.Trace.set_clock tr (fun () -> metrics.Gpusim.Metrics.host_clock);
-      Gpusim.Metrics.set_on_charge metrics (fun cat dt ->
-          Obs.Trace.charge tr
-            ~category:(Gpusim.Metrics.category_name cat)
-            dt);
-      Gpusim.Timeline.set_on_event device.Gpusim.Device.timeline (fun e ->
-          Obs.Trace.leaf tr Obs.Trace.Device
-            (Gpusim.Timeline.kind_name e.Gpusim.Timeline.ev_kind)
-            ~attrs:[ ("label", e.Gpusim.Timeline.ev_label) ]
-            ~start:e.Gpusim.Timeline.ev_start
-            ~duration:e.Gpusim.Timeline.ev_duration ()));
+      if not multi then begin
+        Gpusim.Metrics.set_on_charge metrics (fun cat dt ->
+            Obs.Trace.charge tr
+              ~category:(Gpusim.Metrics.category_name cat)
+              dt);
+        Gpusim.Timeline.set_on_event device.Gpusim.Device.timeline (fun e ->
+            Obs.Trace.leaf tr Obs.Trace.Device
+              (Gpusim.Timeline.kind_name e.Gpusim.Timeline.ev_kind)
+              ~attrs:[ ("label", e.Gpusim.Timeline.ev_label) ]
+              ~start:e.Gpusim.Timeline.ev_start
+              ~duration:e.Gpusim.Timeline.ev_duration ())
+      end
+      else
+        Array.iter
+          (fun d ->
+            let ord = d.Gpusim.Device.id in
+            Gpusim.Metrics.set_on_charge d.Gpusim.Device.metrics
+              (fun cat dt ->
+                Obs.Trace.charge tr ~dev:ord
+                  ~category:(Gpusim.Metrics.category_name cat)
+                  dt);
+            Gpusim.Timeline.set_on_event d.Gpusim.Device.timeline (fun e ->
+                Obs.Trace.leaf tr Obs.Trace.Device
+                  (Gpusim.Timeline.kind_name e.Gpusim.Timeline.ev_kind)
+                  ~dev:ord
+                  ~attrs:[ ("label", e.Gpusim.Timeline.ev_label) ]
+                  ~start:e.Gpusim.Timeline.ev_start
+                  ~duration:e.Gpusim.Timeline.ev_duration ()))
+          devset.Gpusim.Device_set.devices);
+  (* Shard-level cost attribution: every sharded launch's measured
+     iteration weights and charged durations, for the schedule analyzer.
+     A one-member run has nothing to attribute. *)
+  let ilog =
+    if multi then
+      Some
+        (Obs.Imbalance.create
+           ~devices:(Gpusim.Device_set.size devset)
+           ~schedule:
+             (Gpusim.Device_set.schedule_name
+                devset.Gpusim.Device_set.schedule))
+    else None
+  in
   let in_span kind name ?loc ?directive f =
     match obs with
     | None -> f ()
@@ -790,15 +829,22 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
       | [] -> None
       | alive -> Some (List.nth alive (p mod List.length alive))
     in
+    (* Phase 1 — functional execution: every shard runs (and is scrubbed /
+       failed over) before any time is charged, measuring the interpreted
+       ops of each iteration ordinal.  Charging is deferred to phase 2 so
+       each member's shard can be priced by its measured share of the
+       whole iteration space's cost-model time (work-conserving: the
+       slowest member never exceeds the single-device cost). *)
+    let weights = Array.make (max 1 total) 0 in
+    let shard_iters = Array.make nparts 0 in
+    let failed_over = Array.make nparts false in
     let rec exec_part p n =
       let dev = Gpusim.Device_set.device devset executor.(p) in
       match
         Gpusim.Device.begin_launch dev ~label:k.k_name;
-        let execs =
-          Kernel_exec.run_shard session dev ~owns:(fun i -> assign i = p)
-        in
-        Gpusim.Device.launch dev ~iterations:execs
-          ~ops_per_iter:k.k_ops_per_iter ?width ?async ~label:k.k_name ();
+        shard_iters.(p) <-
+          Kernel_exec.run_shard session ~weights dev
+            ~owns:(fun i -> assign i = p);
         Gpusim.Device.scrub dev written
       with
       | [] -> ()
@@ -818,6 +864,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
                 stats.Resilience.failovers <-
                   stats.Resilience.failovers + 1;
                 recovered := true;
+                failed_over.(p) <- true;
                 record ~fault ~action:"failover" ~ok:true;
                 charge_recovery (backoff_delay n);
                 exec_part p n)
@@ -842,10 +889,70 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     for p = 0 to nparts - 1 do
       exec_part p 0
     done;
+    (* Phase 2 — shard pricing: split the whole iteration space's
+       cost-model time (minus launch latency) across the shards in
+       proportion to their measured interpreted work, and charge each
+       executing member its share.  Max share <= 1, so a sharded launch
+       is never slower than the unsharded one; an uneven split (the
+       block/cyclic choice) shows up directly as the spread. *)
+    let w_total = Array.fold_left ( + ) 0 weights in
+    let overhead = cmodel.Gpusim.Costmodel.kernel_launch in
+    let full =
+      Gpusim.Costmodel.kernel_time ?width cmodel ~iterations:total
+        ~ops_per_iter:k.k_ops_per_iter
+    in
+    let unit_cost =
+      if w_total > 0 then
+        Float.max 0.0 (full -. overhead) /. float_of_int w_total
+      else 0.0
+    in
+    let shard_ops = Array.make nparts 0 in
+    for i = 0 to total - 1 do
+      let p = assign i in
+      shard_ops.(p) <- shard_ops.(p) + weights.(i)
+    done;
+    let shard_durs = Array.make nparts 0.0 in
+    for p = 0 to nparts - 1 do
+      let dev = Gpusim.Device_set.device devset executor.(p) in
+      let base = overhead +. (unit_cost *. float_of_int shard_ops.(p)) in
+      let t0 = dev.Gpusim.Device.metrics.Gpusim.Metrics.host_clock in
+      let dur =
+        Gpusim.Device.launch_timed dev ~iterations:shard_iters.(p)
+          ~ops_per_iter:k.k_ops_per_iter ?width ~time:base ~jitter:false
+          ?async ~label:k.k_name ()
+      in
+      shard_durs.(p) <- dur;
+      match obs with
+      | None -> ()
+      | Some tr ->
+          Obs.Trace.leaf tr Obs.Trace.Kernel
+            (Fmt.str "%s.shard%d" k.k_name p)
+            ~loc:(Minic.Loc.to_string k.k_loc) ~directive:k.k_name
+            ~dev:executor.(p)
+            ~attrs:
+              [ ("iterations", string_of_int shard_iters.(p));
+                ("ops", string_of_int shard_ops.(p));
+                ("failover", string_of_bool failed_over.(p)) ]
+            ~start:t0 ~duration:dur ()
+    done;
+    (* Completion barrier: the host resumes once the slowest member's
+       shards (failover re-executions included) have drained. *)
+    let busy = Array.make (Gpusim.Device_set.size devset) 0.0 in
+    for p = 0 to nparts - 1 do
+      busy.(executor.(p)) <- busy.(executor.(p)) +. shard_durs.(p)
+    done;
+    let maxbusy = Array.fold_left Float.max 0.0 busy in
+    let idle = Float.max 0.0 (maxbusy -. busy.(0)) in
+    if idle > 0.0 then (
+      match async with
+      | None -> Gpusim.Metrics.charge metrics Gpusim.Metrics.Async_wait idle
+      | Some q -> Gpusim.Device.delay_stream device q idle);
     (* Merge each member's disjoint shard writes against the pre-launch
        snapshot and broadcast the result (overlapped peer DMA: charged to
-       no clock), so every survivor holds the full array. *)
+       no clock, but modeled as one PCIe round per launch for the
+       analyzer), so every survivor holds the full array. *)
     let alive = Gpusim.Device_set.alive_ids devset in
+    let merge_bytes = ref 0 in
     List.iter
       (fun v ->
         match List.assoc_opt v ckpt with
@@ -866,9 +973,53 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
                   Gpusim.Buf.blit ~src:merged
                     ~dst:(Gpusim.Device.buffer dev v))
               alive;
+            merge_bytes := !merge_bytes + Gpusim.Buf.bytes reference;
             Hashtbl.replace fresh_on v alive;
             if coherence then Coherence.note_kernel_write coh v ~devs:alive)
       written;
+    let merge_cost =
+      if !merge_bytes = 0 then 0.0
+      else
+        cmodel.Gpusim.Costmodel.pcie_latency
+        +. float_of_int !merge_bytes
+           /. cmodel.Gpusim.Costmodel.pcie_bandwidth
+    in
+    (match obs with
+    | Some tr when merge_cost > 0.0 ->
+        List.iter
+          (fun d ->
+            let dev = Gpusim.Device_set.device devset d in
+            Obs.Trace.leaf tr Obs.Trace.Merge
+              (Fmt.str "%s.merge" k.k_name)
+              ~loc:(Minic.Loc.to_string k.k_loc) ~directive:k.k_name ~dev:d
+              ~attrs:[ ("bytes", string_of_int !merge_bytes) ]
+              ~start:dev.Gpusim.Device.metrics.Gpusim.Metrics.host_clock
+              ~duration:merge_cost ())
+          alive
+    | Some _ | None -> ());
+    (match ilog with
+    | None -> ()
+    | Some il ->
+        Obs.Imbalance.record il
+          { Obs.Imbalance.l_kernel = k.k_name;
+            l_loc = Minic.Loc.to_string k.k_loc;
+            l_parts = nparts;
+            l_total = total;
+            l_weights = weights;
+            l_unit = unit_cost;
+            l_overhead = overhead;
+            l_shards =
+              Array.init nparts (fun p ->
+                  { Obs.Imbalance.sh_part = p;
+                    sh_dev = executor.(p);
+                    sh_iters = shard_iters.(p);
+                    sh_ops = shard_ops.(p);
+                    sh_time = shard_durs.(p);
+                    sh_failover = failed_over.(p) });
+            l_barrier = idle;
+            l_wall = maxbusy;
+            l_merge = merge_cost;
+            l_merge_bytes = !merge_bytes });
     Kernel_exec.commit session;
     (if !recovered && policy.Resilience.validate then
        match Gpusim.Device_set.first_alive devset with
@@ -1120,6 +1271,25 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         if (not !host_mode) && not (Hashtbl.mem host_only x.x_var) then begin
           let h2d0 = metrics.Gpusim.Metrics.bytes_h2d
           and d2h0 = metrics.Gpusim.Metrics.bytes_d2h in
+          (* Per-member child spans: in multi mode each member's share of a
+             broadcast/gather is a [Transfer] leaf on its own lane, timed
+             by that member's accumulator. *)
+          let member_xfer dev =
+            let m = dev.Gpusim.Device.metrics in
+            let t0 = m.Gpusim.Metrics.host_clock in
+            do_transfer ~dev
+              ~on_dev_lost:(fun fault ->
+                on_member_lost dev.Gpusim.Device.id fault)
+              x ~host ~range ~async;
+            match obs with
+            | None -> ()
+            | Some tr ->
+                Obs.Trace.leaf tr Obs.Trace.Transfer x.x_site.site_label
+                  ~loc:(Minic.Loc.to_string x.x_site.site_loc)
+                  ~directive:x.x_site.site_label ~dev:dev.Gpusim.Device.id
+                  ~start:t0
+                  ~duration:(m.Gpusim.Metrics.host_clock -. t0) ()
+          in
           (if not multi then do_transfer x ~host ~range ~async
            else
              match x.x_dir with
@@ -1134,11 +1304,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
                        && (not (Hashtbl.mem host_only x.x_var))
                        && Gpusim.Device.alive dev
                        && Gpusim.Device.is_allocated dev x.x_var
-                     then
-                       do_transfer ~dev
-                         ~on_dev_lost:(fun fault ->
-                           on_member_lost dev.Gpusim.Device.id fault)
-                         x ~host ~range ~async)
+                     then member_xfer dev)
                    (alive_members ());
                  if
                    (not !host_mode)
@@ -1179,10 +1345,25 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
                        in
                        incr gather_rr;
                        if Gpusim.Device.is_allocated dev x.x_var then begin
-                         do_transfer ~dev
-                           ~on_dev_lost:(fun fault ->
-                             on_member_lost dev.Gpusim.Device.id fault)
-                           x ~host ~range ~async;
+                         member_xfer dev;
+                         (match ilog with
+                         | None -> ()
+                         | Some il ->
+                             let elems =
+                               match range with
+                               | Some (_, len) -> len
+                               | None -> Gpusim.Buf.length host
+                             in
+                             let per_elem =
+                               Gpusim.Buf.bytes host
+                               / max 1 (Gpusim.Buf.length host)
+                             in
+                             let bytes = elems * per_elem in
+                             Obs.Imbalance.note_gather il ~bytes
+                               ~time:
+                                 (cmodel.Gpusim.Costmodel.pcie_latency
+                                 +. float_of_int bytes
+                                    /. cmodel.Gpusim.Costmodel.pcie_bandwidth));
                          if
                            (not (Gpusim.Device.alive dev))
                            && (not !host_mode)
@@ -1272,7 +1453,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         Gpusim.Device.free_all device
       end);
   { ctx; device; devset; coherence = coh; tprog = tp; site_execs; sites;
-    resilience = stats }
+    resilience = stats; imbalance = ilog }
 
 (** Convenience: compile and run a source string (uninstrumented unless
     [instrument] is set). *)

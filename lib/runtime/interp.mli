@@ -21,6 +21,9 @@ type outcome = {
     (int, Codegen.Tprog.site * string * Codegen.Tprog.xdir) Hashtbl.t;
       (** executed transfer sites with their variable and direction *)
   resilience : Resilience.stats;  (** fault-recovery accounting *)
+  imbalance : Obs.Imbalance.t option;
+      (** shard-level cost attribution of every sharded launch
+          (multi-device runs only) *)
 }
 
 val reports : outcome -> Coherence.report list

@@ -386,10 +386,13 @@ let start (host_ctx : Eval.ctx) (k : kernel) : session =
 let total_iterations s = s.s_total
 
 (** Execute the ordinals selected by [owns] on [device], against its
-    buffers.  Returns the number of iterations executed.  Raises
+    buffers.  Returns the number of iterations executed.  [weights]
+    (sized [total_iterations]) receives the measured interpreted-op
+    count of every executed ordinal — the per-iteration work the
+    imbalance analyzer re-costs under alternative schedules.  Raises
     [Gpusim.Device.Device_fault] if the device dies; staged scalar results
     of the aborted shard are discarded. *)
-let run_shard s device ~owns =
+let run_shard s ?weights device ~owns =
   let k = s.s_k in
   let l =
     match k.k_loop with
@@ -468,7 +471,12 @@ let run_shard s device ~owns =
       incr executed;
       let frame = fresh_thread_frame () in
       kenv.frames <- frame :: kenv.frames;
+      let ops0 = kctx.Eval.ops in
       Value.scoped kenv (fun () -> Eval.exec_block kctx l.kl_body);
+      (match weights with
+      | Some w when !ordinal < Array.length w ->
+          w.(!ordinal) <- kctx.Eval.ops - ops0
+      | Some _ | None -> ());
       kenv.frames <- List.tl kenv.frames;
       record !ordinal frame
     end;

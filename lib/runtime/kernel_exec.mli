@@ -49,10 +49,14 @@ val start : Eval.ctx -> Codegen.Tprog.kernel -> session
 val total_iterations : session -> int
 
 (** Execute the ordinals selected by [owns] on [device].  Returns the
-    number of iterations executed.
+    number of iterations executed.  [weights] (sized
+    [total_iterations]) receives the measured interpreted-op count of
+    every executed ordinal, for shard-level cost attribution.
     @raise Gpusim.Device.Device_fault if the device dies mid-shard (its
     staged results are discarded). *)
-val run_shard : session -> Gpusim.Device.t -> owns:(int -> bool) -> int
+val run_shard :
+  session -> ?weights:int array -> Gpusim.Device.t -> owns:(int -> bool) ->
+  int
 
 (** Commit merged scalar results to the host environment. *)
 val commit : session -> unit

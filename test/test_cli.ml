@@ -478,6 +478,51 @@ let test_session () =
     Sys.remove json2
   end
 
+let test_analyze () =
+  check_cmd "analyze" "analyze bench:bfs --devices 4"
+    ~expect:
+      [ "shard imbalance analysis (4 device(s), schedule block)";
+        "main_kernel0"; "switch"; "cyclic"; "program predicted:" ];
+  if available then begin
+    (* --json emits the canonical document, byte-reproducible *)
+    let code, out = run_cmd "analyze bench:bfs --devices 4 --json" in
+    Alcotest.(check int) "analyze --json: exit 0" 0 code;
+    let v = Json_check.parse out in
+    Alcotest.(check (option string)) "json schema"
+      (Some "openarc.obs.imbalance")
+      (Option.map Json_check.str_exn (Json_check.member "schema" v));
+    Alcotest.(check (option string)) "BFS recommended cyclic"
+      (Some "cyclic")
+      (Option.map Json_check.str_exn (Json_check.member "recommended" v));
+    Alcotest.(check bool) "per-kernel verdicts present" true
+      (Json_check.arr_exn (Option.get (Json_check.member "kernels" v))
+      <> []);
+    let _, out2 = run_cmd "analyze bench:bfs --devices 4 --json" in
+    Alcotest.(check string) "analyze json byte-reproducible" out out2;
+    (* --out writes the same document next to the text report *)
+    let f = Filename.temp_file "openarc_analyze" ".json" in
+    let code, _ =
+      run_cmd
+        (Fmt.str "analyze bench:bfs --devices 4 --out %s"
+           (Filename.quote f))
+    in
+    Alcotest.(check int) "analyze --out: exit 0" 0 code;
+    Alcotest.(check string) "--out matches --json" out (read_file f);
+    Sys.remove f;
+    (* a single device is malformed input for the analyzer *)
+    let code, out = run_cmd "analyze bench:bfs --devices 1" in
+    Alcotest.(check int) "--devices 1: exit 2" 2 code;
+    Alcotest.(check bool) "--devices 1: names the fix" true
+      (contains ~needle:"--devices >= 2" out);
+    (* a uniform benchmark run under cyclic is told to keep it *)
+    let code, out =
+      run_cmd "analyze bench:jacobi --devices 4 --schedule cyclic"
+    in
+    Alcotest.(check int) "cyclic analyze: exit 0" 0 code;
+    Alcotest.(check bool) "uniform kernel keeps its schedule" true
+      (contains ~needle:"keep" out)
+  end
+
 let test_fault_matrix () =
   check_cmd "fault-matrix"
     "fault-matrix --benches jacobi --kinds xfer-fail,bitflip"
@@ -505,6 +550,7 @@ let tests =
     Alcotest.test_case "lint" `Quick test_lint;
     Alcotest.test_case "device faults" `Quick test_device_faults;
     Alcotest.test_case "diff profile" `Quick test_diff_profile;
+    Alcotest.test_case "analyze" `Quick test_analyze;
     Alcotest.test_case "session" `Slow test_session;
     Alcotest.test_case "fault matrix" `Quick test_fault_matrix;
     Alcotest.test_case "version" `Quick test_version;

@@ -51,6 +51,7 @@ let mk_profile ?(counters = []) rows =
     p_rows = rows;
     p_totals = totals;
     p_total = List.fold_left (fun a r -> a +. r.Obs.Profile.r_total) 0.0 rows;
+    p_devices = [];
     p_counters = counters }
 
 (* ------------------------- exact zero ------------------------------ *)
@@ -91,7 +92,7 @@ let test_self_diff_zero () =
 
 let empty =
   { Obs.Profile.p_categories = []; p_rows = []; p_totals = [];
-    p_total = 0.0; p_counters = [] }
+    p_total = 0.0; p_devices = []; p_counters = [] }
 
 let test_empty_profiles () =
   let d = Obs.Diff.diff ~before:empty ~after:empty () in

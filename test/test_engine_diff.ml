@@ -107,8 +107,12 @@ let bench_case (b : Suite.Bench_def.t) =
 
 (* A one-member device set is the pre-existing single-device runtime:
    [~devices:1] must be observably bit-identical to not passing the
-   option at all — outputs, [ops] accounting, trace counters, and the
-   simulated clock — under both engines and both schedules. *)
+   option at all — outputs, [ops] accounting, trace counters, the
+   simulated clock, the per-directive profile document, and the Chrome
+   trace — under both engines and both schedules. *)
+let profile_categories =
+  List.map Gpusim.Metrics.category_name Gpusim.Metrics.all_categories
+
 let diff_devices1 (b : Suite.Bench_def.t) =
   let prog = Parser.parse_string ~file:b.name b.source in
   let tenv = Typecheck.check prog in
@@ -118,10 +122,18 @@ let diff_devices1 (b : Suite.Bench_def.t) =
       let run ?devices ?schedule () =
         let tr = Obs.Trace.create () in
         let o =
-          Accrt.Interp.run ~coherence:false ~engine ~seed:42 ?devices
-            ?schedule ~obs:tr tp
+          Accrt.Interp.run ~coherence:false ~engine ~seed:42 ~trace:true
+            ?devices ?schedule ~obs:tr tp
         in
         (o, tr)
+      in
+      let profile_json tr =
+        Obs.Profile.to_json ~name:b.name ~seed:42
+          (Obs.Profile.of_trace ~categories:profile_categories tr)
+      in
+      let chrome (o : Accrt.Interp.outcome) =
+        Gpusim.Timeline.to_chrome_json
+          o.Accrt.Interp.device.Gpusim.Device.timeline
       in
       let o0, tr0 = run () in
       List.iter
@@ -147,7 +159,13 @@ let diff_devices1 (b : Suite.Bench_def.t) =
             (Int64.bits_of_float
                (Gpusim.Metrics.total_time (Accrt.Interp.metrics o0))
             = Int64.bits_of_float
-                (Gpusim.Metrics.total_time (Accrt.Interp.metrics o1))))
+                (Gpusim.Metrics.total_time (Accrt.Interp.metrics o1)));
+          Alcotest.(check string)
+            (what ^ ": profile document byte-identical")
+            (profile_json tr0) (profile_json tr1);
+          Alcotest.(check string)
+            (what ^ ": chrome trace byte-identical")
+            (chrome o0) (chrome o1))
         [ Gpusim.Device_set.Block; Gpusim.Device_set.Cyclic ])
     [ tree; compiled ]
 

@@ -255,6 +255,198 @@ let test_device_spans_and_counters () =
     | Some n -> n > 0
     | None -> false)
 
+(* ------------------------------ stats ------------------------------ *)
+
+(* The histogram merge is a pointwise bucket-count sum: associative and
+   commutative, so per-shard partials can fold in any order. *)
+let test_stats_merge_associative () =
+  let mk samples =
+    let s = Obs.Stats.create () in
+    List.iter (Obs.Stats.add s) samples;
+    s
+  in
+  let a = mk [ 1e-6; 2e-6; 3e-6; 0.0; -1.0 ] in
+  let b = mk [ 4e-6; 1e-3; 1e-3 ] in
+  let c = mk [ 7e-9; 0.5; 1e-6 ] in
+  let left = Obs.Stats.merge (Obs.Stats.merge a b) c in
+  let right = Obs.Stats.merge a (Obs.Stats.merge b c) in
+  Alcotest.(check bool)
+    "associative bucket-for-bucket" true
+    (Obs.Stats.buckets left = Obs.Stats.buckets right);
+  Alcotest.(check int) "count sums" 11 (Obs.Stats.count left);
+  Alcotest.(check bool)
+    "commutative" true
+    (Obs.Stats.buckets (Obs.Stats.merge a b)
+    = Obs.Stats.buckets (Obs.Stats.merge b a));
+  Alcotest.(check (float 1e-15))
+    "mean of merged = global mean"
+    ((1e-6 +. 2e-6 +. 3e-6 +. 0.0 -. 1.0 +. 4e-6 +. 1e-3 +. 1e-3 +. 7e-9
+     +. 0.5 +. 1e-6)
+    /. 11.0)
+    (Obs.Stats.mean left)
+
+(* Exact nearest-rank percentiles at the edges: empty (nan), a single
+   sample (every percentile of itself), and an N-sample ladder where the
+   ranks are computable by hand. *)
+let test_stats_percentiles () =
+  Alcotest.(check bool)
+    "empty population is nan" true
+    (Float.is_nan (Obs.Stats.percentile [||] 0.5));
+  let one = [| 42e-6 |] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Fmt.str "p%.0f of singleton" (100. *. q))
+        42e-6
+        (Obs.Stats.percentile one q))
+    [ 0.5; 0.95; 0.99; 1.0 ];
+  let n = 100 in
+  let samples =
+    Array.init n (fun i -> float_of_int (n - i) *. 1e-6)
+  in
+  Alcotest.(check (float 0.)) "p50 of 1..100" (50. *. 1e-6)
+    (Obs.Stats.percentile samples 0.5);
+  Alcotest.(check (float 0.)) "p95 of 1..100" (95. *. 1e-6)
+    (Obs.Stats.percentile samples 0.95);
+  Alcotest.(check (float 0.)) "p99 of 1..100" (99. *. 1e-6)
+    (Obs.Stats.percentile samples 0.99);
+  Alcotest.(check bool) "input left unsorted" true
+    (samples.(0) = 100. *. 1e-6)
+
+(* --------------------------- device lanes --------------------------- *)
+
+(* The multi-device Chrome export: one lane (tid) per device-set member
+   plus the host lane at tid 0, and device-loss/failover instant
+   events.  Parsed with the tests' own strict JSON parser. *)
+let test_trace_lanes () =
+  let tp = tprog_of "BFS" in
+  let devices = 3 in
+  let run plan =
+    let tr = Obs.Trace.create () in
+    let o =
+      Accrt.Interp.run ~coherence:false ~seed:42 ~trace:true ~devices
+        ?plan ~resilience:Accrt.Resilience.full ~obs:tr tp
+    in
+    Json_check.parse
+      (Gpusim.Timeline.to_chrome_json_devices
+         ~host:(Obs.Chrome.host_lane_events tr)
+         (Array.map
+            (fun d -> d.Gpusim.Device.timeline)
+            o.Accrt.Interp.devset.Gpusim.Device_set.devices))
+  in
+  let tids v =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+           Option.map
+             (fun t -> int_of_float (Json_check.num_exn t))
+             (Json_check.member "tid" e))
+         (Json_check.arr_exn v))
+  in
+  let v = run None in
+  Alcotest.(check (list int))
+    "one lane per member plus host"
+    (List.init (devices + 1) Fun.id)
+    (tids v);
+  Alcotest.(check bool)
+    "host lane carries directive spans" true
+    (List.exists
+       (fun e ->
+         Json_check.member "tid" e = Some (Json_check.Num 0.)
+         && Json_check.member "ph" e = Some (Json_check.Str "X"))
+       (Json_check.arr_exn v));
+  (* Lose member 1: its loss must surface as instant events — the fault
+     on the dying member's lane, the recovery decision on the host's. *)
+  let plan =
+    Gpusim.Fault_plan.create ~seed:42
+      [ Gpusim.Fault_plan.mk_rule ~count:1 ~dev:1
+          Gpusim.Fault_plan.Device_lost ]
+  in
+  let v = run (Some plan) in
+  let instants =
+    List.filter
+      (fun e -> Json_check.member "ph" e = Some (Json_check.Str "i"))
+      (Json_check.arr_exn v)
+  in
+  Alcotest.(check bool) "instant events present" true (instants <> []);
+  Alcotest.(check bool)
+    "device-loss instant on the lost member's lane" true
+    (List.exists
+       (fun e -> Json_check.member "tid" e = Some (Json_check.Num 2.))
+       instants);
+  Alcotest.(check bool)
+    "failover instant on the host lane" true
+    (List.exists
+       (fun e -> Json_check.member "tid" e = Some (Json_check.Num 0.))
+       instants)
+
+(* ---------------------------- imbalance ----------------------------- *)
+
+(* Triangular weights under 4 parts: block splitting piles the heavy
+   tail onto one shard, cyclic interleaves it — the analyzer must
+   re-cost the recorded weights accordingly and recommend the switch. *)
+let test_imbalance_recost () =
+  let parts = 4 and total = 64 in
+  let weights = Array.init total (fun i -> i) in
+  let unit = 1e-9 and overhead = 5e-6 in
+  let shard_ops p =
+    let acc = ref 0 in
+    Array.iteri
+      (fun i w ->
+        if Obs.Imbalance.owner ~schedule:"block" ~parts ~total i = p then
+          acc := !acc + w)
+      weights;
+    !acc
+  in
+  let l =
+    { Obs.Imbalance.l_kernel = "k0";
+      l_loc = "k0.c:1";
+      l_parts = parts;
+      l_total = total;
+      l_weights = weights;
+      l_unit = unit;
+      l_overhead = overhead;
+      l_shards =
+        Array.init parts (fun p ->
+            { Obs.Imbalance.sh_part = p;
+              sh_dev = p;
+              sh_iters = total / parts;
+              sh_ops = shard_ops p;
+              sh_time = overhead +. (unit *. float_of_int (shard_ops p));
+              sh_failover = false });
+      l_barrier = 0.0;
+      l_wall = overhead +. (unit *. float_of_int (shard_ops (parts - 1)));
+      l_merge = 0.0;
+      l_merge_bytes = 0 }
+  in
+  let wb = Obs.Imbalance.predict_work l ~schedule:"block" in
+  let wc = Obs.Imbalance.predict_work l ~schedule:"cyclic" in
+  (* Block's heaviest shard owns iterations 48..63: 888 ops.  Cyclic's
+     owns {3,7,...,63}: 528 ops. *)
+  Alcotest.(check (float 1e-15)) "block heaviest share" (888. *. unit) wb;
+  Alcotest.(check (float 1e-15)) "cyclic heaviest share" (528. *. unit) wc;
+  Alcotest.(check (float 1e-15))
+    "predict = overhead + work"
+    (overhead +. wb)
+    (Obs.Imbalance.predict l ~schedule:"block");
+  let t = Obs.Imbalance.create ~devices:parts ~schedule:"block" in
+  Obs.Imbalance.record t l;
+  let a = Obs.Imbalance.analyze t in
+  Alcotest.(check string) "recommends cyclic" "cyclic"
+    a.Obs.Imbalance.a_recommended;
+  (match a.Obs.Imbalance.a_kernels with
+  | [ r ] ->
+      Alcotest.(check string) "verdict switches" "switch"
+        r.Obs.Imbalance.r_verdict;
+      Alcotest.(check bool) "gain positive" true
+        (r.Obs.Imbalance.r_gain > 0.0)
+  | rs -> Alcotest.failf "expected 1 kernel report, got %d" (List.length rs));
+  (* The same weights run under cyclic must be told to keep it. *)
+  let t' = Obs.Imbalance.create ~devices:parts ~schedule:"cyclic" in
+  Obs.Imbalance.record t' l;
+  Alcotest.(check string) "cyclic keeps cyclic" "cyclic"
+    (Obs.Imbalance.analyze t').Obs.Imbalance.a_recommended
+
 let tests =
   [ Alcotest.test_case "span tree" `Quick test_span_tree;
     Alcotest.test_case "counters" `Quick test_counters;
@@ -266,4 +458,10 @@ let tests =
       test_profile_json_deterministic;
     Alcotest.test_case "recovery spans" `Quick test_recovery_spans;
     Alcotest.test_case "device spans & counters" `Quick
-      test_device_spans_and_counters ]
+      test_device_spans_and_counters;
+    Alcotest.test_case "stats merge associativity" `Quick
+      test_stats_merge_associative;
+    Alcotest.test_case "stats percentile edges" `Quick
+      test_stats_percentiles;
+    Alcotest.test_case "chrome device lanes" `Quick test_trace_lanes;
+    Alcotest.test_case "imbalance re-costing" `Quick test_imbalance_recost ]
