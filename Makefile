@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke memtrace-smoke check bench clean
 
 all: build
 
@@ -75,7 +75,16 @@ scale-smoke: build
 imbalance-smoke: build
 	$(DUNE) exec --no-build bench/main.exe imbalance-smoke
 
-check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke
+# Data-movement-ledger byte-stability: regenerate a fixed 3-benchmark
+# subset (seed 42, single device, instrumented) of the memtrace
+# analysis, require each entry to match the committed
+# BENCH_memtrace.json verbatim, and re-confirm the BACKPROP
+# counterfactual prediction against a measured diff-profile delta (the
+# full sweep is `bench/main.exe memtrace`).
+memtrace-smoke: build
+	$(DUNE) exec --no-build bench/main.exe memtrace-smoke
+
+check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke memtrace-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

@@ -605,6 +605,42 @@ let run_profile_smoke ppf =
       "profile smoke failed: regenerate with 'bench/main.exe profile' and \
        inspect the diff"
 
+(* One instrumented, coherence-on run of [prog] with a data-movement
+   ledger attached (seed 42): returns the ledger's counterfactual
+   analysis after asserting byte conservation — the ledger's counted
+   per-direction totals must equal the metrics accumulators summed over
+   every device-set member, integer [=], no tolerance. *)
+let ledger_run ?(devices = 1) ?(schedule = Gpusim.Device_set.Block) ~name
+    prog =
+  let env = Minic.Typecheck.check prog in
+  let tp = Codegen.Translate.translate env prog in
+  let tp = Codegen.Checkgen.instrument tp in
+  let lg =
+    Obs.Ledger.create ~devices
+      ~schedule:(Gpusim.Device_set.schedule_name schedule)
+  in
+  let o =
+    Accrt.Interp.run ~coherence:true ~seed:42 ~devices ~schedule ~ledger:lg
+      tp
+  in
+  let mh, md =
+    Array.fold_left
+      (fun (h, d) dev ->
+        let m = dev.Gpusim.Device.metrics in
+        (h + m.Gpusim.Metrics.bytes_h2d, d + m.Gpusim.Metrics.bytes_d2h))
+      (0, 0) o.Accrt.Interp.devset.Gpusim.Device_set.devices
+  in
+  let lh, ld = Obs.Ledger.totals lg in
+  if lh <> mh || ld <> md then
+    Fmt.failwith
+      "ledger conservation violated for %s: h2d %d vs metrics %d, d2h %d \
+       vs metrics %d"
+      name lh mh ld md;
+  let cm = o.Accrt.Interp.device.Gpusim.Device.cm in
+  ( Obs.Ledger.analyze lg ~pcie_latency:cm.Gpusim.Costmodel.pcie_latency
+      ~pcie_bandwidth:cm.Gpusim.Costmodel.pcie_bandwidth,
+    o )
+
 (* ------------------------------------------------------------------ *)
 (* Regression sentinel: trend accumulation and baseline diffing        *)
 (* ------------------------------------------------------------------ *)
@@ -640,21 +676,21 @@ let current_profile ?devices ?schedule b =
       Fmt.failwith "internal: generated profile for %s unparseable: %s" name
         e
 
-let trend_line ~label ?(devices = 1) ?(schedule = "block") name
-    (p : Obs.Profile.t) =
+let trend_line ~label ?(devices = 1) ?(schedule = "block")
+    ?(bytes_total = 0) ?(bytes_wasted = 0) name (p : Obs.Profile.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Fmt.str
        "{\"schema\": %s, \"version\": %d, \"name\": %s, \"seed\": 42, \
         \"devices\": %d, \"schedule\": %s, \"label\": %s, \"total\": \
-        %.9f, \"totals\": {"
+        %.9f, \"bytes_total\": %d, \"bytes_wasted\": %d, \"totals\": {"
        (Obs.Trace.json_str (Obs.Trace.schema ^ ".bench-trend"))
        Obs.Trace.version
        (Obs.Trace.json_str name)
        devices
        (Obs.Trace.json_str schedule)
        (Obs.Trace.json_str label)
-       p.Obs.Profile.p_total);
+       p.Obs.Profile.p_total bytes_total bytes_wasted);
   List.iteri
     (fun i (c, v) ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -683,8 +719,16 @@ let run_trend ?(out = trend_path) ?names ?(label = "") ?(devices = 1)
     List.map
       (fun b ->
         let name, total, p = current_profile ~devices ~schedule b in
-        Fmt.pf ppf "  %-12s %12.9f s@." name total;
-        trend_line ~label ~devices ~schedule:sched name p)
+        (* A second, instrumented run feeds the data-movement columns:
+           total counted bytes and the ledger's wasted-byte verdict. *)
+        let la, _ = ledger_run ~devices ~schedule ~name (parse b) in
+        Fmt.pf ppf "  %-12s %12.9f s  %d byte(s), %d wasted@." name total
+          (la.Obs.Ledger.a_h2d_bytes + la.Obs.Ledger.a_d2h_bytes)
+          la.Obs.Ledger.a_wasted_bytes;
+        trend_line ~label ~devices ~schedule:sched
+          ~bytes_total:
+            (la.Obs.Ledger.a_h2d_bytes + la.Obs.Ledger.a_d2h_bytes)
+          ~bytes_wasted:la.Obs.Ledger.a_wasted_bytes name p)
       bs
   in
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 out in
@@ -1439,6 +1483,212 @@ let run_imbalance_smoke ppf =
       (String.concat "," names);
   Fmt.pf ppf
     "imbalance smoke: %d/%d byte-stable, switch verdict present@."
+    (List.length names) (List.length names)
+
+(* ------------------------------------------------------------------ *)
+(* Memtrace tier: data-movement ledger and counterfactual savings      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every benchmark's source (naive) variant runs once, instrumented with
+   the coherence runtime and a data-movement ledger attached (seed 42,
+   one device, block schedule).  Each entry is the ledger's canonical
+   memtrace JSON: per-site cause attribution, redundancy/hoistability
+   counts, allocation watermarks, and the counterfactual rewrite
+   verdicts.  Everything is deterministic for the fixed seed, so the
+   committed BENCH_memtrace.json is a byte-for-byte baseline.
+
+   The tier's gate is the confirmation record: the analyzer's predicted
+   saving for the naive BACKPROP must be corroborated by the measured
+   Mem-Transfer delta between its naive and manually optimized variants
+   (the optimized variant applies exactly the hoist/present rewrites the
+   ledger recommends). *)
+
+let memtrace_path = "BENCH_memtrace.json"
+
+let memtrace_entry (b : Bench_def.t) =
+  let a, _ = ledger_run ~name:b.Bench_def.name (parse b) in
+  (b.Bench_def.name, a)
+
+let memtrace_entry_json (name, a) =
+  String.trim (Obs.Ledger.to_json ~name ~seed:42 a)
+
+(* Measured Mem-Transfer saving of the optimized variant over the naive
+   one (positive = the optimized variant moves less), via the same
+   profile-diff machinery the CLI's [diff-profile] exposes. *)
+let memtrace_measured_saving (b : Bench_def.t) =
+  let profile_of prog =
+    let env = Minic.Typecheck.check prog in
+    let tp = Codegen.Translate.translate env prog in
+    let tr = Obs.Trace.create () in
+    ignore (Accrt.Interp.run ~coherence:false ~seed:42 ~obs:tr tp);
+    Obs.Profile.of_trace ~categories:profile_categories tr
+  in
+  let d =
+    Obs.Diff.diff
+      ~before_name:b.Bench_def.name
+      ~after_name:(b.Bench_def.name ^ "-opt")
+      ~before:(profile_of (parse b))
+      ~after:(profile_of (parse_opt b))
+      ()
+  in
+  let mem_cat = Gpusim.Metrics.category_name Gpusim.Metrics.Mem_transfer in
+  match
+    List.find_opt
+      (fun c -> c.Obs.Diff.cd_cat = mem_cat)
+      d.Obs.Diff.d_totals
+  with
+  | Some c -> -.c.Obs.Diff.cd_delta
+  | None -> 0.0
+
+let memtrace_confirm_name = "BACKPROP"
+
+let memtrace_confirmation entries =
+  let a =
+    match List.assoc_opt memtrace_confirm_name entries with
+    | Some a -> a
+    | None -> Fmt.failwith "no memtrace entry for %s" memtrace_confirm_name
+  in
+  let b =
+    List.find
+      (fun b -> b.Bench_def.name = memtrace_confirm_name)
+      benchmarks
+  in
+  let predicted = a.Obs.Ledger.a_saved_s in
+  let measured = memtrace_measured_saving b in
+  (* The prediction is a noise-free re-costing; the measurement carries
+     per-transfer PCIe jitter and whatever else the hand-optimized
+     variant changed, so corroboration is a factor band, not equality. *)
+  let confirmed =
+    predicted > 0.0 && measured > 0.0
+    && measured >= 0.25 *. predicted
+    && measured <= 4.0 *. predicted
+  in
+  (predicted, measured, confirmed)
+
+let memtrace_confirmation_json (predicted, measured, confirmed) =
+  Fmt.str
+    "{\"name\": %S, \"predicted_saved_s\": %.9f, \"measured_saved_s\": \
+     %.9f, \"confirmed\": %b}"
+    memtrace_confirm_name predicted measured confirmed
+
+let memtrace_doc entries confirmation =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    "{\n\"schema\": \"openarc.obs.bench-memtrace\",\n\"version\": 1,\n\
+     \"seed\": 42,\n\"devices\": 1,\n\"benchmarks\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (memtrace_entry_json e))
+    entries;
+  let wasted =
+    List.fold_left
+      (fun acc (_, a) -> acc + a.Obs.Ledger.a_wasted_bytes)
+      0 entries
+  in
+  Buffer.add_string buf
+    (Fmt.str "\n],\n\"wasted_bytes\": %d,\n\"confirmation\": %s\n}\n"
+       wasted
+       (memtrace_confirmation_json confirmation));
+  Buffer.contents buf
+
+(* The gate of this tier: at least the designated benchmark's predicted
+   counterfactual saving must be measured on its hand-optimized variant —
+   the ledger's advice has to be actionable, not just plausible. *)
+let run_memtrace ?(json = memtrace_path) ppf =
+  Fmt.pf ppf
+    "Data-movement ledger sweep (seed 42, 1 device, source variant, \
+     instrumented)@.";
+  hr ppf;
+  let entries = List.map memtrace_entry benchmarks in
+  List.iter
+    (fun (name, a) ->
+      let apply =
+        List.length
+          (List.filter
+             (fun s -> s.Obs.Ledger.s_verdict = "apply")
+             a.Obs.Ledger.a_sites)
+      in
+      Fmt.pf ppf
+        "  %-12s %8d B h2d %8d B d2h %8d wasted  %d apply  conservation \
+         exact@."
+        name a.Obs.Ledger.a_h2d_bytes a.Obs.Ledger.a_d2h_bytes
+        a.Obs.Ledger.a_wasted_bytes apply)
+    entries;
+  let ((predicted, measured, confirmed) as confirmation) =
+    memtrace_confirmation entries
+  in
+  let oc = open_out json in
+  output_string oc (memtrace_doc entries confirmation);
+  close_out oc;
+  hr ppf;
+  Fmt.pf ppf "memtrace baseline written to %s@." json;
+  Fmt.pf ppf
+    "counterfactual confirmation (%s): predicted %.9f s, measured %.9f s \
+     on the optimized variant@."
+    memtrace_confirm_name predicted measured;
+  if confirmed then begin
+    Fmt.pf ppf "memtrace: prediction confirmed by measurement@.";
+    0
+  end
+  else begin
+    Fmt.pf ppf
+      "MEMTRACE REGRESSION: predicted saving not corroborated by the \
+       measured Mem-Transfer delta@.";
+    1
+  end
+
+(* Memtrace smoke for CI: regenerate a fixed 3-benchmark subset and
+   require each entry verbatim in the committed baseline, plus a
+   confirmed counterfactual for the designated benchmark. *)
+let run_memtrace_smoke ppf =
+  let committed =
+    match open_in_bin memtrace_path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith
+          "missing %s (run 'bench/main.exe memtrace' and commit the \
+           result)"
+          memtrace_path
+  in
+  let names = [ "BACKPROP"; "JACOBI"; "NW" ] in
+  let entries =
+    List.map
+      (fun n ->
+        memtrace_entry
+          (List.find (fun b -> b.Bench_def.name = n) benchmarks))
+      names
+  in
+  let ok =
+    List.for_all
+      (fun ((name, a) as e) ->
+        if contains ~needle:(memtrace_entry_json e) committed then begin
+          Fmt.pf ppf "  %-12s %8d wasted byte(s)  matches baseline@." name
+            a.Obs.Ledger.a_wasted_bytes;
+          true
+        end
+        else begin
+          Fmt.pf ppf "  %-12s MISMATCH against %s@." name memtrace_path;
+          false
+        end)
+      entries
+  in
+  if not ok then
+    Fmt.failwith
+      "memtrace smoke failed: regenerate with 'bench/main.exe memtrace' \
+       and inspect the diff";
+  let _, _, confirmed = memtrace_confirmation entries in
+  if not confirmed then
+    Fmt.failwith
+      "memtrace smoke failed: %s counterfactual not confirmed by the \
+       optimized variant's measured saving"
+      memtrace_confirm_name;
+  Fmt.pf ppf
+    "memtrace smoke: %d/%d byte-stable, counterfactual confirmed@."
     (List.length names) (List.length names)
 
 (* ------------------------------------------------------------------ *)

@@ -2,7 +2,7 @@
     (Table I-III, Figures 1, 3, 4, plus the design ablations), then runs a
     Bechamel micro-benchmark suite over the compiler pipeline stages.
 
-    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|profile|profile-smoke|trend|regress|wall|micro|all]]
+    Usage: [main.exe [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|profile|profile-smoke|imbalance|imbalance-smoke|memtrace|memtrace-smoke|trend|regress|wall|micro|all]]
     With no argument everything runs.  [trend] appends per-benchmark run
     summaries to BENCH_trend.jsonl; [regress] diffs the current sweep
     against the committed BENCH_profile.json under per-benchmark
@@ -75,7 +75,8 @@ let run_micro () =
 let usage =
   "usage: main.exe \
    [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|\
-   profile|profile-smoke|scale|scale-smoke|imbalance|imbalance-smoke|trend|regress|wall|micro|all] \
+   profile|profile-smoke|scale|scale-smoke|imbalance|imbalance-smoke|\
+   memtrace|memtrace-smoke|trend|regress|wall|micro|all] \
    [options]\n\
   \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
   \                   --devices N  --schedule block|cyclic\n\
@@ -151,6 +152,14 @@ let () =
       if code <> 0 then exit code
   | "imbalance-smoke" -> (
       try Experiments.run_imbalance_smoke ppf
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
+  | "memtrace" ->
+      let code = Experiments.run_memtrace ppf in
+      if code <> 0 then exit code
+  | "memtrace-smoke" -> (
+      try Experiments.run_memtrace_smoke ppf
       with Failure msg ->
         Fmt.epr "%s@." msg;
         exit 1)

@@ -298,10 +298,19 @@ let run_cmd =
           if devices > 1 && trace <> None then Some (Obs.Trace.create ())
           else None
         in
+        (* The ledger feeds the per-device allocated-bytes counter lanes
+           of the multi-device Chrome export. *)
+        let ledger =
+          if devices > 1 && trace <> None then
+            Some
+              (Obs.Ledger.create ~devices
+                 ~schedule:(Gpusim.Device_set.schedule_name schedule))
+          else None
+        in
         let o =
           Accrt.Interp.run ~coherence:instrument ~engine ~granularity ~seed
             ~trace:(trace <> None) ?plan ~resilience:policy ~devices
-            ~schedule ?obs tp
+            ~schedule ?obs ?ledger tp
         in
         (match trace with
         | Some path ->
@@ -313,7 +322,12 @@ let run_cmd =
                       (fun d -> d.Gpusim.Device.timeline)
                       o.Accrt.Interp.devset.Gpusim.Device_set.devices
                   in
-                  let host = Obs.Chrome.host_lane_events tr in
+                  let host =
+                    Obs.Chrome.host_lane_events tr
+                    @ (match ledger with
+                      | Some lg -> Obs.Ledger.chrome_counter_events lg
+                      | None -> [])
+                  in
                   ( Gpusim.Timeline.to_chrome_json_devices ~host tls,
                     List.length host
                     + Array.fold_left
@@ -462,10 +476,17 @@ let profile_cmd =
         let granularity =
           if fine then Accrt.Coherence.Fine else Accrt.Coherence.Coarse
         in
+        let ledger =
+          if devices > 1 && trace <> None then
+            Some
+              (Obs.Ledger.create ~devices
+                 ~schedule:(Gpusim.Device_set.schedule_name schedule))
+          else None
+        in
         let o =
           Accrt.Interp.run ~coherence:instrument ~granularity ~seed
             ~trace:true ?plan ~resilience:policy ~devices ~schedule ~obs:tr
-            ~audit tp
+            ?ledger ~audit tp
         in
         Obs.Trace.end_span tr session;
         let metrics = Accrt.Interp.metrics o in
@@ -501,7 +522,11 @@ let profile_cmd =
             write_file path
               (if devices > 1 then
                  Gpusim.Timeline.to_chrome_json_devices
-                   ~host:(Obs.Chrome.host_lane_events tr)
+                   ~host:
+                     (Obs.Chrome.host_lane_events tr
+                     @ (match ledger with
+                       | Some lg -> Obs.Ledger.chrome_counter_events lg
+                       | None -> []))
                    (Array.map
                       (fun d -> d.Gpusim.Device.timeline)
                       o.Accrt.Interp.devset.Gpusim.Device_set.devices)
@@ -571,6 +596,63 @@ let analyze_cmd =
              idle-at-barrier, merge overhead — plus a block/cyclic \
              schedule verdict from re-costing the recorded \
              iteration-space weights under the alternative split")
+    Term.(const run $ file_arg $ fault_arg $ seed_arg $ engine_arg
+          $ devices_arg $ schedule_arg $ json $ out)
+
+(* ----------------------------- memtrace ---------------------------- *)
+
+let memtrace_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the ledger analysis as canonical JSON (schema \
+                   openarc.obs.memtrace, version 1) instead of the text \
+                   report")
+  in
+  let out =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON analysis to FILE (implies --json \
+                   formatting for the file; the text report still prints)")
+  in
+  let run file fault seed engine devices schedule json out =
+    handle_code (fun () ->
+        check_devices ~devices None;
+        let _, c = prepare ~fault (load_source file) in
+        (* The redundancy attribution reads the §III-B coherence lattice,
+           so the program runs instrumented with the runtime enabled. *)
+        let tp = Codegen.Checkgen.instrument c.Openarc_core.Compiler.tprog in
+        let lg =
+          Obs.Ledger.create ~devices
+            ~schedule:(Gpusim.Device_set.schedule_name schedule)
+        in
+        let o =
+          Accrt.Interp.run ~coherence:true ~engine ~seed ~devices ~schedule
+            ~ledger:lg tp
+        in
+        let cm = o.Accrt.Interp.device.Gpusim.Device.cm in
+        let a =
+          Obs.Ledger.analyze lg
+            ~pcie_latency:cm.Gpusim.Costmodel.pcie_latency
+            ~pcie_bandwidth:cm.Gpusim.Costmodel.pcie_bandwidth
+        in
+        if json then print_string (Obs.Ledger.to_json ~name:file ~seed a)
+        else Fmt.pr "%a" Obs.Ledger.pp a;
+        (match out with
+        | Some path ->
+            write_file path (Obs.Ledger.to_json ~name:file ~seed a);
+            if not json then Fmt.pr "ledger written to %s@." path
+        | None -> ());
+        0)
+  in
+  Cmd.v
+    (Cmd.info "memtrace"
+       ~doc:"Run a program with the data-movement ledger attached and \
+             report per-array transfer attribution (typed causes, device \
+             ordinals, source directives), live allocation watermarks, \
+             and counterfactual hoist/present/merge savings re-costed \
+             under the gpusim transfer model")
     Term.(const run $ file_arg $ fault_arg $ seed_arg $ engine_arg
           $ devices_arg $ schedule_arg $ json $ out)
 
@@ -1069,6 +1151,6 @@ let () =
        default 124. *)
     (Cmd.eval' ~term_err:2
        (Cmd.group info
-          [ compile_cmd; run_cmd; profile_cmd; analyze_cmd; verify_cmd;
-            optimize_cmd; session_cmd; diff_profile_cmd; lint_cmd;
-            fault_matrix_cmd; benchmarks_cmd ]))
+          [ compile_cmd; run_cmd; profile_cmd; analyze_cmd; memtrace_cmd;
+            verify_cmd; optimize_cmd; session_cmd; diff_profile_cmd;
+            lint_cmd; fault_matrix_cmd; benchmarks_cmd ]))

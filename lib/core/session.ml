@@ -32,6 +32,12 @@ type iteration = {
       (** suggestions applied this iteration (rendered text, certain?) *)
   it_transfers : int;  (** transfers executed by the profiled run *)
   it_bytes : int;  (** bytes moved by the profiled run *)
+  it_bytes_by_cause : (string * int) list;
+      (** data-movement ledger: bytes by cause, first-use order *)
+  it_wasted_bytes : int;
+      (** bytes the ledger's counterfactual analyzer marks redundant or
+          hoistable this iteration *)
+  it_peak_bytes : int;  (** largest per-device allocation watermark *)
   it_outputs_ok : bool;  (** outputs matched the sequential reference *)
   it_wrong_restored : string list;
       (** variables whose earlier transfer removal this iteration exposed
@@ -180,6 +186,7 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ?(devices = 1)
   let blank_iteration index =
     { it_index = index; it_profile = None; it_report_counts = [];
       it_suggestions = []; it_transfers = 0; it_bytes = 0;
+      it_bytes_by_cause = []; it_wasted_bytes = 0; it_peak_bytes = 0;
       it_outputs_ok = false; it_wrong_restored = []; it_reverted = false;
       it_note = ""; it_events = [] }
   in
@@ -234,12 +241,22 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ?(devices = 1)
     else begin
       let iterations = iterations + 1 in
       let tr = Obs.Trace.create () in
+      (* One data-movement ledger per profiled iteration: its cause/waste
+         summary rides along in the telemetry record. *)
+      let lg =
+        Obs.Ledger.create ~devices
+          ~schedule:
+            (Gpusim.Device_set.schedule_name
+               (Option.value ~default:Gpusim.Device_set.Block schedule))
+      in
       let outcome_or_err =
         try
           let env = Minic.Typecheck.check prog in
           let tp = Codegen.Translate.translate env prog in
           let tp = Codegen.Checkgen.instrument tp in
-          Ok (Accrt.Interp.run ~coherence:true ~devices ?schedule ~obs:tr tp)
+          Ok
+            (Accrt.Interp.run ~coherence:true ~devices ?schedule ~obs:tr
+               ~ledger:lg tp)
         with e -> Error (Printexc.to_string e)
       in
       match outcome_or_err with
@@ -269,6 +286,12 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ?(devices = 1)
       | Ok outcome ->
           let correct = outputs_match ~outputs ~reference outcome in
           let m = Accrt.Interp.metrics outcome in
+          let la =
+            let cm = outcome.Accrt.Interp.device.Gpusim.Device.cm in
+            Obs.Ledger.analyze lg
+              ~pcie_latency:cm.Gpusim.Costmodel.pcie_latency
+              ~pcie_bandwidth:cm.Gpusim.Costmodel.pcie_bandwidth
+          in
           let base =
             { (blank_iteration iterations) with
               it_profile = Some (Obs.Profile.of_trace ~categories tr);
@@ -278,6 +301,9 @@ let optimize ?(policy = Follow_all) ?(max_iterations = 12) ?(devices = 1)
                 m.Gpusim.Metrics.transfers_h2d
                 + m.Gpusim.Metrics.transfers_d2h;
               it_bytes = Gpusim.Metrics.total_bytes m;
+              it_bytes_by_cause = la.Obs.Ledger.a_causes;
+              it_wasted_bytes = la.Obs.Ledger.a_wasted_bytes;
+              it_peak_bytes = Obs.Ledger.peak_bytes la;
               it_outputs_ok = correct }
           in
           let suggestions =
@@ -474,9 +500,13 @@ let report ~name r =
   | _ -> ());
   Buffer.contents b
 
+(** Schema version of {!to_json}: v2 added the per-iteration data-movement
+    ledger summary ([ledger] object per record). *)
+let json_version = 2
+
 (** Canonical deterministic JSON export of the telemetry: one record per
-    iteration with its embedded profile, plus the inter-iteration profile
-    diffs (schema [openarc.obs.session]). *)
+    iteration with its embedded profile and ledger summary, plus the
+    inter-iteration profile diffs (schema [openarc.obs.session]). *)
 let to_json ~name r =
   let js = Obs.Trace.json_str in
   let b = Buffer.create 16384 in
@@ -484,7 +514,7 @@ let to_json ~name r =
   pf "{\n";
   pf "  \"schema\": %s,\n  \"version\": %d,\n"
     (js (Obs.Trace.schema ^ ".session"))
-    Obs.Trace.version;
+    json_version;
   pf "  \"name\": %s,\n" (js name);
   pf "  \"converged\": %b,\n  \"iterations\": %d,\n  \
       \"incorrect_iterations\": %d,\n"
@@ -513,6 +543,13 @@ let to_json ~name r =
         (String.concat ", " (List.map js it.it_wrong_restored));
       pf "     \"events\": [%s],\n"
         (String.concat ", " (List.map js it.it_events));
+      pf "     \"ledger\": {\"causes\": {%s}, \"wasted_bytes\": %d, \
+          \"peak_bytes\": %d},\n"
+        (String.concat ", "
+           (List.map
+              (fun (c, n) -> Fmt.str "%s: %d" (js c) n)
+              it.it_bytes_by_cause))
+        it.it_wasted_bytes it.it_peak_bytes;
       (match it.it_profile with
       | Some p ->
           pf "     \"profile\": %s}"

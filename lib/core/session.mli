@@ -21,6 +21,12 @@ type iteration = {
       (** applied suggestions (rendered text, certain?) *)
   it_transfers : int;
   it_bytes : int;
+  it_bytes_by_cause : (string * int) list;
+      (** data-movement ledger: bytes by cause, first-use order *)
+  it_wasted_bytes : int;
+      (** bytes the ledger's counterfactual analyzer marks redundant or
+          hoistable this iteration *)
+  it_peak_bytes : int;  (** largest per-device allocation watermark *)
   it_outputs_ok : bool;
   it_wrong_restored : string list;
       (** vars whose earlier removal was exposed as wrong and restored *)
@@ -44,9 +50,13 @@ val log_lines : result -> string list
     ({!Obs.Diff}) — the Figure-2 loop made observable end to end. *)
 val report : name:string -> result -> string
 
+(** Schema version of {!to_json} (v2 added the per-record [ledger]
+    data-movement summary). *)
+val json_version : int
+
 (** Canonical deterministic JSON export of the telemetry
     (schema [openarc.obs.session]): per-iteration records with embedded
-    profiles, plus the consecutive profile diffs. *)
+    profiles and ledger summaries, plus the consecutive profile diffs. *)
 val to_json : name:string -> result -> string
 
 (** Do a candidate run's designated outputs match the sequential reference

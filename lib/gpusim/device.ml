@@ -8,6 +8,26 @@
 
 type stream = { mutable avail : float  (** completion time of queued work *) }
 
+(** One completed DMA transfer, as seen by the data-movement ledger hook:
+    fired with exactly the bytes the metrics accumulator recorded, so a
+    listener conserves bytes by construction. *)
+type xfer_info = {
+  x_name : string;  (** buffer name *)
+  x_h2d : bool;
+  x_bytes : int;
+  x_start : float;
+  x_duration : float;
+}
+
+(** One allocation event: [m_delta] is the signed byte delta (positive
+    alloc, negative free), [m_allocated] the live total after it. *)
+type mem_info = {
+  m_name : string;
+  m_delta : int;
+  m_allocated : int;
+  m_time : float;
+}
+
 type t = {
   id : int;  (** ordinal within a {!Device_set} (0 when standalone) *)
   cm : Costmodel.t;
@@ -19,6 +39,10 @@ type t = {
   plan : Fault_plan.t;  (** armed device faults (empty by default) *)
   mutable allocated_bytes : int;
   mutable peak_bytes : int;
+  mutable on_xfer : (xfer_info -> unit) option;
+      (** observation hook: fired after every completed upload/download *)
+  mutable on_mem : (mem_info -> unit) option;
+      (** observation hook: fired after every alloc/free bookkeeping *)
 }
 
 let create ?(id = 0) ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false)
@@ -30,7 +54,16 @@ let create ?(id = 0) ?(cm = Costmodel.default) ?(seed = 42) ?(trace = false)
     timeline = Timeline.create ~enabled:trace ();
     mem = Hashtbl.create 32;
     streams = Hashtbl.create 4; rng = Rng.create seed; plan;
-    allocated_bytes = 0; peak_bytes = 0 }
+    allocated_bytes = 0; peak_bytes = 0; on_xfer = None; on_mem = None }
+
+let set_on_xfer dev f = dev.on_xfer <- Some f
+let set_on_mem dev f = dev.on_mem <- Some f
+
+let notify_xfer dev info =
+  match dev.on_xfer with None -> () | Some f -> f info
+
+let notify_mem dev info =
+  match dev.on_mem with None -> () | Some f -> f info
 
 (* Deterministic noise in [-1, 1]. *)
 let noise dev = Rng.noise dev.rng
@@ -127,6 +160,9 @@ let alloc dev name ~like =
   Hashtbl.add dev.mem name b;
   dev.allocated_bytes <- dev.allocated_bytes + bytes;
   dev.peak_bytes <- max dev.peak_bytes dev.allocated_bytes;
+  notify_mem dev
+    { m_name = name; m_delta = bytes; m_allocated = dev.allocated_bytes;
+      m_time = dev.metrics.Metrics.host_clock };
   let duration = Costmodel.alloc_time dev.cm ~bytes in
   Timeline.record dev.timeline ~kind:(Timeline.Ev_alloc name)
     ~label:(Fmt.str "cudaMalloc(%s, %dB)" name bytes)
@@ -142,6 +178,10 @@ let free dev name =
       let bytes = Buf.bytes b in
       Hashtbl.remove dev.mem name;
       dev.allocated_bytes <- dev.allocated_bytes - bytes;
+      notify_mem dev
+        { m_name = name; m_delta = -bytes;
+          m_allocated = dev.allocated_bytes;
+          m_time = dev.metrics.Metrics.host_clock };
       if alive dev then begin
         let duration = Costmodel.free_time dev.cm ~bytes in
         Timeline.record dev.timeline ~kind:(Timeline.Ev_free name)
@@ -225,7 +265,10 @@ let upload dev name ~host ?range ?async ?label () =
   Timeline.record dev.timeline ?stream:async
     ~kind:(Timeline.Ev_transfer { var = name; h2d = true; bytes })
     ~label:(Option.value label ~default:(Fmt.str "memcpyin(%s)" name))
-    ~start ~duration ()
+    ~start ~duration ();
+  notify_xfer dev
+    { x_name = name; x_h2d = true; x_bytes = bytes; x_start = start;
+      x_duration = duration }
 
 (** Device-to-host copy of the device buffer [name] into [host]. *)
 let download dev name ~host ?range ?async ?label () =
@@ -244,7 +287,10 @@ let download dev name ~host ?range ?async ?label () =
   Timeline.record dev.timeline ?stream:async
     ~kind:(Timeline.Ev_transfer { var = name; h2d = false; bytes })
     ~label:(Option.value label ~default:(Fmt.str "memcpyout(%s)" name))
-    ~start ~duration ()
+    ~start ~duration ();
+  notify_xfer dev
+    { x_name = name; x_h2d = false; x_bytes = bytes; x_start = start;
+      x_duration = duration }
 
 (** Fault gate called before a kernel's functional execution: launch
     errors, watchdog timeouts, and device loss all surface here, before any

@@ -8,6 +8,26 @@
 
 type stream = { mutable avail : float }
 
+(** One completed DMA transfer, as seen by the data-movement ledger hook:
+    fired with exactly the bytes the metrics accumulator recorded, so a
+    listener conserves bytes by construction. *)
+type xfer_info = {
+  x_name : string;  (** buffer name *)
+  x_h2d : bool;
+  x_bytes : int;
+  x_start : float;
+  x_duration : float;
+}
+
+(** One allocation event: [m_delta] is the signed byte delta (positive
+    alloc, negative free), [m_allocated] the live total after it. *)
+type mem_info = {
+  m_name : string;
+  m_delta : int;
+  m_allocated : int;
+  m_time : float;
+}
+
 type t = {
   id : int;  (** ordinal within a {!Device_set} (0 when standalone) *)
   cm : Costmodel.t;
@@ -19,7 +39,21 @@ type t = {
   plan : Fault_plan.t;  (** armed device faults (empty by default) *)
   mutable allocated_bytes : int;
   mutable peak_bytes : int;
+  mutable on_xfer : (xfer_info -> unit) option;
+      (** observation hook: fired after every completed upload/download *)
+  mutable on_mem : (mem_info -> unit) option;
+      (** observation hook: fired after every alloc/free bookkeeping *)
 }
+
+(** Install the transfer observation hook: called after every completed
+    {!upload}/{!download} with the same byte count the metrics recorded.
+    Injected transfer faults that abort the copy do not fire it. *)
+val set_on_xfer : t -> (xfer_info -> unit) -> unit
+
+(** Install the allocation observation hook: called after every
+    {!alloc}/{!free} bookkeeping update (frees fire even on a lost
+    device — the cleanup path still releases memory). *)
+val set_on_mem : t -> (mem_info -> unit) -> unit
 
 (** Host-side misuse (double alloc, unallocated buffer): a programming
     error, not a recoverable fault. *)

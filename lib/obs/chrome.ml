@@ -24,6 +24,12 @@ let instant ~name ~cat ~ts ~tid =
      \"s\": \"t\", \"pid\": 1, \"tid\": %d}"
     (Trace.json_escape name) (Trace.json_escape cat) (ts *. 1e6) tid
 
+let counter ~name ~ts ~tid ~value =
+  Fmt.str
+    "{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, \"pid\": 1, \"tid\": \
+     %d, \"args\": {\"bytes\": %d}}"
+    (Trace.json_escape name) (ts *. 1e6) tid value
+
 (* Host-lane span kinds: simulated-time work the host clock sees.
    Session/Phase/Region spans are structural (they would span the whole
    lane), Device leafs belong to the device lanes. *)

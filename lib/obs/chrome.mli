@@ -9,6 +9,9 @@ val complete :
 (** A thread-scoped instant ("i") mark on [tid]. *)
 val instant : name:string -> cat:string -> ts:float -> tid:int -> string
 
+(** A counter ("C") sample on [tid]: the live byte count at [ts]. *)
+val counter : name:string -> ts:float -> tid:int -> value:int -> string
+
 (** Pre-rendered host-lane ([tid 0]) event objects: closed host-side
     work spans (kernel, transfer, alloc/free, wait, check, merge) as
     complete events, recovery spans as instant marks.  Device-tagged

@@ -48,8 +48,8 @@ exception Stop
 
 let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     ?(seed = 42) ?(trace = false) ?cm ?plan
-    ?(resilience = Resilience.none) ?(devices = 1) ?schedule ?obs ?audit
-    (tp : Codegen.Tprog.t) =
+    ?(resilience = Resilience.none) ?(devices = 1) ?schedule ?obs ?ledger
+    ?audit (tp : Codegen.Tprog.t) =
   if devices < 1 then invalid_arg "Interp.run: devices must be >= 1";
   (* A one-member run creates the standalone device exactly as it always
      did and merely wraps it, so [devices = 1] takes the identical code
@@ -124,6 +124,68 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
              (Gpusim.Device_set.schedule_name
                 devset.Gpusim.Device_set.schedule))
     else None
+  in
+  (* Data-movement ledger: the cause/site/redundancy of the transfer
+     currently in flight, read by the per-device DMA hooks below.  The
+     hooks fire inside [Gpusim.Device.upload]/[download] with exactly the
+     bytes the metrics accumulator recorded, so the ledger conserves
+     bytes against [bytes_h2d]/[bytes_d2h] by construction; attaching a
+     ledger is pure observation — no RNG draw, charge, or functional
+     effect changes. *)
+  let lcause = ref Obs.Ledger.Copyin in
+  let lsite = ref ("", "") in
+  let lexec = ref 0 in
+  let lredundant : (int -> bool) ref = ref (fun _ -> false) in
+  let lhoist = ref false in
+  (* Hoistability tracking: a transfer-site execution is hoistable when
+     it repeats an earlier movement of the same array and no host access
+     in between required it — no host [Check_write] since the previous
+     upload (H2D), no host [Check_read] since the previous download
+     (D2H).  Driven by the inserted coherence checks, so it is only
+     meaningful on instrumented runs (exactly where [memtrace] runs). *)
+  let host_dirty : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let host_fetched : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let up_seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let down_seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let lspan () =
+    match obs with
+    | Some tr -> Option.value ~default:(-1) (Obs.Trace.current_span_id tr)
+    | None -> -1
+  in
+  (match ledger with
+  | None -> ()
+  | Some lg ->
+      let install dev =
+        let ord = dev.Gpusim.Device.id in
+        Gpusim.Device.set_on_xfer dev (fun x ->
+            let site, loc = !lsite in
+            Obs.Ledger.xfer lg ~array:x.Gpusim.Device.x_name
+              ~dir:
+                (if x.Gpusim.Device.x_h2d then Obs.Ledger.H2d
+                 else Obs.Ledger.D2h)
+              ~cause:!lcause ~bytes:x.Gpusim.Device.x_bytes ~dev:ord ~site
+              ~loc ~exec:!lexec ~span:(lspan ())
+              ~time:x.Gpusim.Device.x_start
+              ~duration:x.Gpusim.Device.x_duration ~counted:true
+              ~redundant:(!lredundant ord) ~hoist:!lhoist);
+        Gpusim.Device.set_on_mem dev (fun m ->
+            Obs.Ledger.mem lg ~array:m.Gpusim.Device.m_name ~dev:ord
+              ~bytes:m.Gpusim.Device.m_delta
+              ~allocated:m.Gpusim.Device.m_allocated
+              ~time:m.Gpusim.Device.m_time)
+      in
+      if multi then Array.iter install devset.Gpusim.Device_set.devices
+      else install device);
+  (* Record a peer/mirror blit the DMA hooks cannot see: modeled
+     overlapped movement, ledgered uncounted so conservation still holds. *)
+  let note_blit ~array ~dir ~cause ~bytes ~dev ~site ~loc =
+    match ledger with
+    | None -> ()
+    | Some lg ->
+        Obs.Ledger.xfer lg ~array ~dir ~cause ~bytes ~dev ~site ~loc
+          ~exec:0 ~span:(lspan ())
+          ~time:metrics.Gpusim.Metrics.host_clock ~duration:0.0
+          ~counted:false ~redundant:false ~hoist:false
   in
   let in_span kind name ?loc ?directive f =
     match obs with
@@ -224,6 +286,9 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     | Some m, Some (Value.Array { buf = Some hb; _ })
       when Gpusim.Buf.length m = Gpusim.Buf.length hb ->
         Gpusim.Buf.blit ~src:m ~dst:hb;
+        note_blit ~array:v ~dir:Obs.Ledger.D2h ~cause:Obs.Ledger.Demotion
+          ~bytes:(Gpusim.Buf.bytes m) ~dev:device.Gpusim.Device.id
+          ~site:"mirror-restore" ~loc:"";
         charge_recovery
           (Gpusim.Costmodel.cpu_time cmodel ~ops:(Gpusim.Buf.length m))
     | _ -> ()
@@ -310,6 +375,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     let var = x.x_var in
     let label = x.x_site.site_label in
     let op = match x.x_dir with H2D -> "upload" | D2H -> "download" in
+    let base_cause = !lcause in
     let dev_op () =
       match x.x_dir with
       | H2D -> Gpusim.Device.upload dev var ~host ?range ?async ~label ()
@@ -334,6 +400,9 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         f_target = var; f_op = op }
     in
     let rec attempt n =
+      (* Re-transfers (transient retry, checksum repair) are their own
+         ledger cause: recovery traffic, not the data clause's. *)
+      lcause := (if n = 0 then base_cause else Obs.Ledger.Retry);
       match dev_op () with
       | () ->
           if not (checksum_ok ()) then
@@ -397,6 +466,10 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
         | Some (Value.Array { buf = Some hb; _ })
           when Gpusim.Buf.length hb = Gpusim.Buf.length b ->
             Gpusim.Buf.blit ~src:b ~dst:hb;
+            note_blit ~array:v ~dir:Obs.Ledger.D2h
+              ~cause:Obs.Ledger.Demotion ~bytes:(Gpusim.Buf.bytes b)
+              ~dev:device.Gpusim.Device.id ~site:(k.k_name ^ ".restore")
+              ~loc:(Minic.Loc.to_string k.k_loc);
             charge_recovery
               (Gpusim.Costmodel.cpu_time cmodel ~ops:(Gpusim.Buf.length b))
         | _ -> ())
@@ -407,7 +480,12 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
       &&
       if multi then Gpusim.Device_set.first_alive devset <> None
       else Gpusim.Device.alive device
-    then
+    then begin
+      lcause := Obs.Ledger.Failover;
+      lsite := (k.k_name ^ ".recover", Minic.Loc.to_string k.k_loc);
+      lexec := 0;
+      lredundant := (fun _ -> false);
+      lhoist := false;
       Analysis.Varset.iter
         (fun v ->
           List.iter
@@ -443,6 +521,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
           if multi && not (Hashtbl.mem host_only v) then
             Hashtbl.replace fresh_on v (Gpusim.Device_set.alive_ids devset))
         (kernel_arrays k)
+    end
   in
   (* Validate a recovery with the §III-A comparator: execute the original
      sequential region in a shadow environment seeded from the checkpoint
@@ -689,6 +768,13 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
             | [] -> ()
             | refreshed ->
                 bump "peer_syncs";
+                List.iter
+                  (fun d ->
+                    note_blit ~array:v ~dir:Obs.Ledger.H2d
+                      ~cause:Obs.Ledger.Rebroadcast
+                      ~bytes:(Gpusim.Buf.bytes src) ~dev:d ~site:"peer-sync"
+                      ~loc:"")
+                  refreshed;
                 Hashtbl.replace fresh_on v
                   (List.sort_uniq compare (fresh @ refreshed));
                 if coherence then
@@ -969,9 +1055,15 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
             List.iter
               (fun d ->
                 let dev = Gpusim.Device_set.device devset d in
-                if Gpusim.Device.is_allocated dev v then
+                if Gpusim.Device.is_allocated dev v then begin
                   Gpusim.Buf.blit ~src:merged
-                    ~dst:(Gpusim.Device.buffer dev v))
+                    ~dst:(Gpusim.Device.buffer dev v);
+                  note_blit ~array:v ~dir:Obs.Ledger.H2d
+                    ~cause:Obs.Ledger.Rebroadcast
+                    ~bytes:(Gpusim.Buf.bytes reference) ~dev:d
+                    ~site:(k.k_name ^ ".merge")
+                    ~loc:(Minic.Loc.to_string k.k_loc)
+                end)
               alive;
             merge_bytes := !merge_bytes + Gpusim.Buf.bytes reference;
             Hashtbl.replace fresh_on v alive;
@@ -1264,6 +1356,52 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
           ~directive:x.x_site.site_label
         @@ fun () ->
         let host = Value.array_buf env x.x_var in
+        (* Ledger attribution for the transfers this site is about to
+           perform.  Redundancy is the pre-transfer coherence state of the
+           destination copy, so it must be read *before* [on_transfer]
+           moves the lattice. *)
+        (match ledger with
+        | None -> ()
+        | Some _ ->
+            lsite :=
+              (x.x_site.site_label, Minic.Loc.to_string x.x_site.site_loc);
+            lexec :=
+              Option.value ~default:0
+                (Hashtbl.find_opt site_execs x.x_site.site_id);
+            lcause :=
+              (match x.x_dir with
+              | H2D -> Obs.Ledger.Copyin
+              | D2H ->
+                  if multi then Obs.Ledger.Gather else Obs.Ledger.Copyout);
+            lredundant :=
+              (if not coherence then fun _ -> false
+               else
+                 match x.x_dir with
+                 | H2D ->
+                     if multi then begin
+                       let fresh =
+                         List.filter
+                           (fun d ->
+                             Coherence.gpu_status coh x.x_var d = Not_stale)
+                           (Gpusim.Device_set.alive_ids devset)
+                       in
+                       fun d -> List.mem d fresh
+                     end
+                     else begin
+                       let r = Coherence.get coh x.x_var Gpu = Not_stale in
+                       fun _ -> r
+                     end
+                 | D2H ->
+                     let r = Coherence.get coh x.x_var Cpu = Not_stale in
+                     fun _ -> r);
+            lhoist :=
+              (match x.x_dir with
+              | H2D ->
+                  Hashtbl.mem up_seen x.x_var
+                  && not (Hashtbl.mem host_dirty x.x_var)
+              | D2H ->
+                  Hashtbl.mem down_seen x.x_var
+                  && not (Hashtbl.mem host_fetched x.x_var)));
         if coherence then begin
           Coherence.register_len coh x.x_var (Gpusim.Buf.length host);
           Coherence.on_transfer ?range coh x.x_var x.x_dir ~site:x.x_site
@@ -1372,6 +1510,15 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
                        end
                  in
                  pull ());
+          (* The transfer satisfied whatever host access preceded it:
+             reset the hoistability trackers for this array. *)
+          (match x.x_dir with
+          | H2D ->
+              Hashtbl.replace up_seen x.x_var ();
+              Hashtbl.remove host_dirty x.x_var
+          | D2H ->
+              Hashtbl.replace down_seen x.x_var ();
+              Hashtbl.remove host_fetched x.x_var);
           (* A completed transfer leaves host and device coherent. *)
           Hashtbl.remove device_fresh x.x_var;
           (* Byte traffic becomes trace counters, so profiles (and their
@@ -1426,9 +1573,13 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
           in
           (match c with
           | Check_read (v, dev) ->
-              Coherence.check_read ~sid:s.tsid coh (resolve v) dev
+              let v = resolve v in
+              if dev = Cpu then Hashtbl.replace host_fetched v ();
+              Coherence.check_read ~sid:s.tsid coh v dev
           | Check_write (v, dev) ->
-              Coherence.check_write ~sid:s.tsid coh (resolve v) dev
+              let v = resolve v in
+              if dev = Cpu then Hashtbl.replace host_dirty v ();
+              Coherence.check_write ~sid:s.tsid coh v dev
           | Reset_status (v, dev, st) -> Coherence.reset_status coh v dev st);
           metrics.Gpusim.Metrics.checks <- metrics.Gpusim.Metrics.checks + 1;
           Gpusim.Metrics.charge metrics Gpusim.Metrics.Check_overhead
@@ -1458,10 +1609,10 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
 (** Convenience: compile and run a source string (uninstrumented unless
     [instrument] is set). *)
 let run_string ?opts ?(instrument = false) ?mode ?engine ?granularity
-    ?coherence ?seed ?cm ?plan ?resilience ?devices ?schedule ?obs ?audit
-    src =
+    ?coherence ?seed ?cm ?plan ?resilience ?devices ?schedule ?obs ?ledger
+    ?audit src =
   let tp = Codegen.Translate.compile_string ?opts src in
   let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
   let coherence = Option.value coherence ~default:instrument in
   run ~coherence ?engine ?granularity ?seed ?cm ?plan ?resilience ?devices
-    ?schedule ?obs ?audit tp
+    ?schedule ?obs ?ledger ?audit tp

@@ -62,8 +62,12 @@ exception Stop
     launch / transfer / alloc / free / wait / check, [Recovery] leaves for
     every resilience action, [Device] leaves for timeline events (with
     [trace]), and one charge event per {!Gpusim.Metrics.charge} (so
-    {!Obs.Profile} totals conserve exactly).  [audit], when given, records
-    every coherence status transition.
+    {!Obs.Profile} totals conserve exactly).  [ledger], when given,
+    records every DMA transfer (cause-attributed per {!Obs.Ledger.cause},
+    with per-member redundancy read from the coherence lattice when
+    [coherence] is on) and every device alloc/free — pure observation,
+    byte-conserving against the metrics accumulators.  [audit], when
+    given, records every coherence status transition.
     @raise Resilience.Unrecovered when the policy's budget is exhausted. *)
 val run :
   ?coherence:bool -> ?engine:Engine.t ->
@@ -71,7 +75,7 @@ val run :
   ?trace:bool -> ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
   ?resilience:Resilience.policy -> ?devices:int ->
   ?schedule:Gpusim.Device_set.schedule -> ?obs:Obs.Trace.t ->
-  ?audit:Obs.Audit.t -> Codegen.Tprog.t -> outcome
+  ?ledger:Obs.Ledger.t -> ?audit:Obs.Audit.t -> Codegen.Tprog.t -> outcome
 
 (** Compile and run a source string (instrumented when [instrument]). *)
 val run_string :
@@ -81,4 +85,4 @@ val run_string :
   ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
   ?resilience:Resilience.policy -> ?devices:int ->
   ?schedule:Gpusim.Device_set.schedule -> ?obs:Obs.Trace.t ->
-  ?audit:Obs.Audit.t -> string -> outcome
+  ?ledger:Obs.Ledger.t -> ?audit:Obs.Audit.t -> string -> outcome

@@ -166,7 +166,55 @@ let diff_devices1 (b : Suite.Bench_def.t) =
           Alcotest.(check string)
             (what ^ ": chrome trace byte-identical")
             (chrome o0) (chrome o1))
-        [ Gpusim.Device_set.Block; Gpusim.Device_set.Cyclic ])
+        [ Gpusim.Device_set.Block; Gpusim.Device_set.Cyclic ];
+      (* The data-movement ledger is a pure observer: attaching one to
+         the same --devices 1 run must leave every observable unchanged
+         (outputs, ops, counters, clock, profile, Chrome trace) while
+         its counted totals conserve the DMA accumulators exactly. *)
+      let lg = Obs.Ledger.create ~devices:1 ~schedule:"block" in
+      let trl = Obs.Trace.create () in
+      let ol =
+        Accrt.Interp.run ~coherence:false ~engine ~seed:42 ~trace:true
+          ~devices:1 ~schedule:Gpusim.Device_set.Block ~ledger:lg ~obs:trl
+          tp
+      in
+      let what =
+        Fmt.str "%s/%s --devices 1 +ledger" b.name
+          (Accrt.Engine.to_string engine)
+      in
+      check_outputs what o0.Accrt.Interp.ctx.Accrt.Eval.env
+        ol.Accrt.Interp.ctx.Accrt.Eval.env b.outputs;
+      Alcotest.(check int)
+        (what ^ ": ops identical")
+        o0.Accrt.Interp.ctx.Accrt.Eval.ops
+        ol.Accrt.Interp.ctx.Accrt.Eval.ops;
+      Alcotest.(check bool)
+        (what ^ ": trace counters identical")
+        true
+        (counters tr0 = counters trl);
+      Alcotest.(check bool)
+        (what ^ ": simulated clock identical")
+        true
+        (Int64.bits_of_float
+           (Gpusim.Metrics.total_time (Accrt.Interp.metrics o0))
+        = Int64.bits_of_float
+            (Gpusim.Metrics.total_time (Accrt.Interp.metrics ol)));
+      Alcotest.(check string)
+        (what ^ ": profile document byte-identical")
+        (profile_json tr0) (profile_json trl);
+      Alcotest.(check string)
+        (what ^ ": chrome trace byte-identical")
+        (chrome o0) (chrome ol);
+      let mh, md =
+        Array.fold_left
+          (fun (h, d) dev ->
+            let m = dev.Gpusim.Device.metrics in
+            (h + m.Gpusim.Metrics.bytes_h2d, d + m.Gpusim.Metrics.bytes_d2h))
+          (0, 0) ol.Accrt.Interp.devset.Gpusim.Device_set.devices
+      in
+      Alcotest.(check (pair int int))
+        (what ^ ": ledger conserves the DMA accumulators")
+        (mh, md) (Obs.Ledger.totals lg))
     [ tree; compiled ]
 
 let devices1_case (b : Suite.Bench_def.t) =

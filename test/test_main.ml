@@ -28,6 +28,7 @@ let () =
       ("lint", Test_lint.tests);
       ("symeq", Test_symeq.tests);
       ("obs", Test_obs.tests);
+      ("ledger", Test_ledger.tests);
       ("diff", Test_diff.tests);
       ("cli", Test_cli.tests);
       ("bench_cli", Test_bench_cli.tests);

@@ -380,6 +380,69 @@ let test_trace_lanes () =
        (fun e -> Json_check.member "tid" e = Some (Json_check.Num 0.))
        instants)
 
+(* ------------------------- memory lanes ----------------------------- *)
+
+(* The ledger's live allocated-bytes samples surface as Chrome counter
+   ("C") events on each member's device lane: name "allocated", tid =
+   ordinal + 1, args.bytes the live total after the event. *)
+let test_memory_counter_lanes () =
+  let tp = tprog_of "BFS" in
+  let devices = 3 in
+  let tr = Obs.Trace.create () in
+  let lg = Obs.Ledger.create ~devices ~schedule:"block" in
+  let o =
+    Accrt.Interp.run ~coherence:false ~seed:42 ~trace:true ~devices
+      ~ledger:lg ~obs:tr tp
+  in
+  let v =
+    Json_check.parse
+      (Gpusim.Timeline.to_chrome_json_devices
+         ~host:
+           (Obs.Chrome.host_lane_events tr
+           @ Obs.Ledger.chrome_counter_events lg)
+         (Array.map
+            (fun d -> d.Gpusim.Device.timeline)
+            o.Accrt.Interp.devset.Gpusim.Device_set.devices))
+  in
+  let counters =
+    List.filter
+      (fun e -> Json_check.member "ph" e = Some (Json_check.Str "C"))
+      (Json_check.arr_exn v)
+  in
+  Alcotest.(check bool) "counter events present" true (counters <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "counter name" (Some "allocated")
+        (Option.map Json_check.str_exn (Json_check.member "name" e));
+      let tid =
+        int_of_float
+          (Json_check.num_exn (Option.get (Json_check.member "tid" e)))
+      in
+      Alcotest.(check bool) "tid is a device lane" true
+        (tid >= 1 && tid <= devices);
+      Alcotest.(check bool) "args carry live bytes" true
+        (match Json_check.member "args" e with
+        | Some args -> (
+            match Json_check.member "bytes" args with
+            | Some (Json_check.Num b) -> b >= 0.0
+            | _ -> false)
+        | None -> false))
+    counters;
+  let lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+           Option.map
+             (fun t -> int_of_float (Json_check.num_exn t))
+             (Json_check.member "tid" e))
+         counters)
+  in
+  Alcotest.(check (list int))
+    "every member gets a memory lane"
+    (List.init devices (fun i -> i + 1))
+    lanes
+
 (* ---------------------------- imbalance ----------------------------- *)
 
 (* Triangular weights under 4 parts: block splitting piles the heavy
@@ -464,4 +527,6 @@ let tests =
     Alcotest.test_case "stats percentile edges" `Quick
       test_stats_percentiles;
     Alcotest.test_case "chrome device lanes" `Quick test_trace_lanes;
+    Alcotest.test_case "chrome memory counter lanes" `Quick
+      test_memory_counter_lanes;
     Alcotest.test_case "imbalance re-costing" `Quick test_imbalance_recost ]

@@ -219,11 +219,35 @@ let test_session_to_json () =
   let v = Json_check.parse (Openarc_core.Session.to_json ~name:"jacobi" r) in
   Alcotest.(check (option string)) "schema" (Some "openarc.obs.session")
     (Option.map Json_check.str_exn (Json_check.member "schema" v));
+  Alcotest.(check (option (float 0.)))
+    "schema version"
+    (Some (float_of_int Openarc_core.Session.json_version))
+    (Option.map Json_check.num_exn (Json_check.member "version" v));
   let records =
     Json_check.arr_exn (Option.get (Json_check.member "records" v))
   in
   Alcotest.(check int) "records match iterations"
     r.Openarc_core.Session.iterations (List.length records);
+  (* v2: every record embeds the iteration's data-movement ledger
+     summary, and profiling the naive program (iteration 1) must
+     surface nonzero waste. *)
+  List.iter
+    (fun rv ->
+      Alcotest.(check bool) "record embeds a ledger summary" true
+        (match Json_check.member "ledger" rv with
+        | Some l ->
+            Json_check.member "causes" l <> None
+            && Json_check.member "wasted_bytes" l <> None
+            && Json_check.member "peak_bytes" l <> None
+        | None -> false))
+    records;
+  (match records with
+  | first :: _ ->
+      let l = Option.get (Json_check.member "ledger" first) in
+      Alcotest.(check bool) "naive run shows wasted bytes" true
+        (Json_check.num_exn (Option.get (Json_check.member "wasted_bytes" l))
+        > 0.0)
+  | [] -> Alcotest.fail "no records");
   List.iter
     (fun rv ->
       Alcotest.(check bool) "record embeds a profile doc" true
