@@ -2,7 +2,7 @@ DUNE ?= dune
 
 BENCHES = jacobi spmul ep cg backprop bfs cfd srad hotspot kmeans lud nw
 
-.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke memtrace-smoke check bench clean
+.PHONY: all build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke memtrace-smoke saturate-smoke check bench clean
 
 all: build
 
@@ -84,7 +84,16 @@ imbalance-smoke: build
 memtrace-smoke: build
 	$(DUNE) exec --no-build bench/main.exe memtrace-smoke
 
-check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke memtrace-smoke
+# Saturate-search byte-stability: re-run the automatic directive
+# optimizer on a fixed 2-benchmark subset (full 1/2/4-device validation
+# ladder), require each entry to match the committed BENCH_saturate.json
+# verbatim, and require BACKPROP's search to accept its hoist — the
+# canonical rewrite of the paper's motivating example (the full sweep is
+# `bench/main.exe saturate`).
+saturate-smoke: build
+	$(DUNE) exec --no-build bench/main.exe saturate-smoke
+
+check: build test lint fault-matrix profile-smoke symeq-smoke regress-smoke wall-smoke scale-smoke imbalance-smoke memtrace-smoke saturate-smoke
 
 bench: build
 	$(DUNE) exec bench/main.exe

@@ -677,20 +677,22 @@ let current_profile ?devices ?schedule b =
         e
 
 let trend_line ~label ?(devices = 1) ?(schedule = "block")
-    ?(bytes_total = 0) ?(bytes_wasted = 0) name (p : Obs.Profile.t) =
+    ?(bytes_total = 0) ?(bytes_wasted = 0) ?(saturate_saved_s = 0.0) name
+    (p : Obs.Profile.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Fmt.str
        "{\"schema\": %s, \"version\": %d, \"name\": %s, \"seed\": 42, \
         \"devices\": %d, \"schedule\": %s, \"label\": %s, \"total\": \
-        %.9f, \"bytes_total\": %d, \"bytes_wasted\": %d, \"totals\": {"
+        %.9f, \"bytes_total\": %d, \"bytes_wasted\": %d, \
+        \"saturate_saved_s\": %.9f, \"totals\": {"
        (Obs.Trace.json_str (Obs.Trace.schema ^ ".bench-trend"))
        Obs.Trace.version
        (Obs.Trace.json_str name)
        devices
        (Obs.Trace.json_str schedule)
        (Obs.Trace.json_str label)
-       p.Obs.Profile.p_total bytes_total bytes_wasted);
+       p.Obs.Profile.p_total bytes_total bytes_wasted saturate_saved_s);
   List.iteri
     (fun i (c, v) ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -722,13 +724,27 @@ let run_trend ?(out = trend_path) ?names ?(label = "") ?(devices = 1)
         (* A second, instrumented run feeds the data-movement columns:
            total counted bytes and the ledger's wasted-byte verdict. *)
         let la, _ = ledger_run ~devices ~schedule ~name (parse b) in
-        Fmt.pf ppf "  %-12s %12.9f s  %d byte(s), %d wasted@." name total
+        (* A saturate search (validated at the row's device count only —
+           the full 1/2/4 ladder is the saturate tier's job) feeds the
+           optimizer column: measured accepted saving, so a rewrite the
+           search stops finding shows up as a drop in the series. *)
+        let sat =
+          Saturate.run
+            ~config:
+              { Saturate.default_config with
+                Saturate.check_devices = [ devices ] }
+            ~name ~outputs:b.Bench_def.outputs (parse b)
+        in
+        Fmt.pf ppf
+          "  %-12s %12.9f s  %d byte(s), %d wasted  saturate %12.9f s@."
+          name total
           (la.Obs.Ledger.a_h2d_bytes + la.Obs.Ledger.a_d2h_bytes)
-          la.Obs.Ledger.a_wasted_bytes;
+          la.Obs.Ledger.a_wasted_bytes sat.Saturate.r_measured_s;
         trend_line ~label ~devices ~schedule:sched
           ~bytes_total:
             (la.Obs.Ledger.a_h2d_bytes + la.Obs.Ledger.a_d2h_bytes)
-          ~bytes_wasted:la.Obs.Ledger.a_wasted_bytes name p)
+          ~bytes_wasted:la.Obs.Ledger.a_wasted_bytes
+          ~saturate_saved_s:sat.Saturate.r_measured_s name p)
       bs
   in
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 out in
@@ -751,6 +767,19 @@ let tolerances = [ ("EP", 0.03); ("HOTSPOT", 0.03) ]
 
 let tolerance name =
   Option.value ~default:default_tolerance (List.assoc_opt name tolerances)
+
+(* Saturate savings are small absolute quantities assembled from a handful
+   of accepted rewrites, so the optimizer side of the sentinel gets a
+   wider relative band; benchmarks whose searches hinge on one marginal
+   candidate (EP's single in-band hoist, KMEANS's rejected one) wider
+   still. *)
+let saturate_default_tolerance = 0.10
+
+let saturate_tolerances = [ ("EP", 0.25); ("KMEANS", 0.25) ]
+
+let saturate_tolerance name =
+  Option.value ~default:saturate_default_tolerance
+    (List.assoc_opt name saturate_tolerances)
 
 type regress_row = {
   rg_name : string;
@@ -876,7 +905,45 @@ let regress_json ~baseline_path rows =
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
-let run_regress ?(baseline = profile_path) ?names ?json ppf =
+(* Optimizer side of the sentinel: the committed BENCH_saturate.json's
+   per-benchmark measured accepted saving, keyed by name. *)
+let saturate_baseline path =
+  let doc =
+    match open_in_bin path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith
+          "missing saturate baseline %s (run 'bench/main.exe saturate' and \
+           commit the result)"
+          path
+  in
+  match Obs.Pjson.parse_result doc with
+  | Error e -> Fmt.failwith "malformed saturate baseline %s: %s" path e
+  | Ok v -> (
+      match Obs.Pjson.member "benchmarks" v with
+      | Some (Obs.Pjson.Arr entries) ->
+          List.map
+            (fun ev ->
+              match
+                ( Option.bind (Obs.Pjson.member "name" ev) Obs.Pjson.str,
+                  Option.bind (Obs.Pjson.member "result" ev) (fun r ->
+                      Option.bind
+                        (Obs.Pjson.member "measured_saved_s" r)
+                        Obs.Pjson.num) )
+              with
+              | Some name, Some saved -> (name, saved)
+              | _ ->
+                  Fmt.failwith "malformed saturate baseline entry in %s"
+                    path)
+            entries
+      | _ ->
+          Fmt.failwith "saturate baseline %s has no benchmarks array" path)
+
+let run_regress ?(baseline = profile_path) ?names ?json ?saturate ppf =
   let bs = select names in
   let base = baseline_profiles baseline in
   Fmt.pf ppf "Regression sentinel: current sweep vs %s (seed 42)@." baseline;
@@ -906,6 +973,46 @@ let run_regress ?(baseline = profile_path) ?names ?json ppf =
             | None -> ""))
         r.rg_culprits)
     rows;
+  (* With --saturate, re-run the optimizer search per benchmark and hold
+     its measured accepted saving to the committed baseline under the
+     (wider) saturate tolerance — a search that stops finding or stops
+     confirming a rewrite is a regression even when the profile totals of
+     the unedited program are unchanged. *)
+  let sat_bad =
+    match saturate with
+    | None -> []
+    | Some path ->
+        hr ppf;
+        let sat_base = saturate_baseline path in
+        List.filter_map
+          (fun (b : Bench_def.t) ->
+            let name = b.Bench_def.name in
+            let tol = saturate_tolerance name in
+            match List.assoc_opt name sat_base with
+            | None ->
+                Fmt.pf ppf
+                  "  %-12s saturate: missing from %s (regenerate with \
+                   'bench/main.exe saturate')@."
+                  name path;
+                Some name
+            | Some before ->
+                let r =
+                  Saturate.run ~name ~outputs:b.Bench_def.outputs (parse b)
+                in
+                let now = r.Saturate.r_measured_s in
+                let budget = tol *. Float.max before 1e-12 in
+                let status =
+                  if before -. now > budget then "regression"
+                  else if now -. before > budget then "improved"
+                  else "ok"
+                in
+                Fmt.pf ppf
+                  "  %-12s saturate base %12.9f s  now %12.9f s  delta \
+                   %+.9f s  %s (tol %.1f%%)@."
+                  name before now (now -. before) status (100. *. tol);
+                if status = "regression" then Some name else None)
+          bs
+  in
   hr ppf;
   (match json with
   | Some path ->
@@ -921,9 +1028,16 @@ let run_regress ?(baseline = profile_path) ?names ?json ppf =
       rows
   in
   let improved = List.filter (fun r -> r.rg_status = "improved") rows in
-  if bad <> [] then begin
-    Fmt.pf ppf "REGRESSION: %d/%d benchmark(s) over tolerance@."
-      (List.length bad) (List.length rows);
+  if bad <> [] || sat_bad <> [] then begin
+    if bad <> [] then
+      Fmt.pf ppf "REGRESSION: %d/%d benchmark(s) over tolerance@."
+        (List.length bad) (List.length rows);
+    if sat_bad <> [] then
+      Fmt.pf ppf
+        "SATURATE REGRESSION: %d benchmark(s) lost accepted savings \
+         (%s)@."
+        (List.length sat_bad)
+        (String.concat ", " sat_bad);
     1
   end
   else begin
@@ -1689,6 +1803,216 @@ let run_memtrace_smoke ppf =
       memtrace_confirm_name;
   Fmt.pf ppf
     "memtrace smoke: %d/%d byte-stable, counterfactual confirmed@."
+    (List.length names) (List.length names)
+
+(* ------------------------------------------------------------------ *)
+(* Saturate tier: search-based automatic directive optimization        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every naive benchmark goes through the full saturate search — greedy
+   over the ledger's hoist/present/merge verdicts plus structural fusion,
+   each accepted rewrite validated by kernel verification (symbolic tier
+   first), bit-identical outputs under both engines across 1/2/4-device
+   sets, and a measured diff-profile confirmation within 0.25-4x of the
+   ledger's prediction.  Everything is deterministic for the fixed seed,
+   so the committed BENCH_saturate.json is a byte-for-byte baseline; the
+   headline is the suite-wide simulated-time reduction of the patched
+   programs over the naive ones. *)
+
+let saturate_path = "BENCH_saturate.json"
+
+let saturate_entry (b : Bench_def.t) =
+  let r =
+    Saturate.run ~name:b.Bench_def.name ~outputs:b.Bench_def.outputs
+      (parse b)
+  in
+  (b.Bench_def.name, r)
+
+(* One benchmark's document entry: the search report plus the before/after
+   diff-profile table (the same machinery the CLI's [diff-profile]
+   exposes, naive vs saturated). *)
+let saturate_entry_json (name, (r : Saturate.t)) =
+  let d =
+    Obs.Diff.diff ~before_name:name ~after_name:(name ^ "-saturated")
+      ~before:r.Saturate.r_before ~after:r.Saturate.r_after ()
+  in
+  Fmt.str "{\"name\": %s,\n\"result\": %s,\n\"diff\": %s}"
+    (Obs.Trace.json_str name)
+    (String.trim (Saturate.to_json r))
+    (String.trim (Obs.Diff.to_json d))
+
+let saturate_reduction (r : Saturate.t) =
+  if r.Saturate.r_total_before <= 0.0 then 0.0
+  else
+    (r.Saturate.r_total_before -. r.Saturate.r_total_after)
+    /. r.Saturate.r_total_before
+
+(* Every accepted step must carry an in-band confirmation — the search
+   enforces this before accepting, so a violation here is a harness bug,
+   but the tier re-checks it as its 0.25-4x gate (same band as the
+   memtrace tier's counterfactual). *)
+let saturate_confirmed (r : Saturate.t) =
+  List.for_all
+    (fun s ->
+      (not s.Saturate.st_accepted)
+      || (s.Saturate.st_predicted_s > 0.0
+         && s.Saturate.st_measured_s >= 0.25 *. s.Saturate.st_predicted_s
+         && s.Saturate.st_measured_s <= 4.0 *. s.Saturate.st_predicted_s))
+    r.Saturate.r_steps
+
+let saturate_doc entries =
+  let buf = Buffer.create 131072 in
+  Buffer.add_string buf
+    "{\n\"schema\": \"openarc.obs.bench-saturate\",\n\"version\": 1,\n\
+     \"seed\": 42,\n\"check_devices\": [1, 2, 4],\n\"benchmarks\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (saturate_entry_json e))
+    entries;
+  let total f = List.fold_left (fun acc (_, r) -> acc +. f r) 0.0 entries in
+  let tb = total (fun r -> r.Saturate.r_total_before) in
+  let ta = total (fun r -> r.Saturate.r_total_after) in
+  let accepted_benchmarks =
+    List.length
+      (List.filter (fun (_, r) -> r.Saturate.r_accepted >= 1) entries)
+  in
+  let accepted_rewrites =
+    List.fold_left (fun acc (_, r) -> acc + r.Saturate.r_accepted) 0 entries
+  in
+  Buffer.add_string buf
+    (Fmt.str
+       "\n],\n\"accepted_benchmarks\": %d,\n\"accepted_rewrites\": %d,\n\
+        \"total_before_s\": %.9f,\n\"total_after_s\": %.9f,\n\
+        \"suite_reduction\": %.9f,\n\"median_reduction\": %.9f\n}\n"
+       accepted_benchmarks accepted_rewrites tb ta
+       (if tb <= 0.0 then 0.0 else (tb -. ta) /. tb)
+       (median_float (List.map (fun (_, r) -> saturate_reduction r) entries)));
+  Buffer.contents buf
+
+let run_saturate ?(json = saturate_path) ppf =
+  Fmt.pf ppf
+    "Saturate sweep (seed 42, greedy search, 1/2/4-device validation, \
+     both engines)@.";
+  hr ppf;
+  let entries = List.map saturate_entry benchmarks in
+  List.iter
+    (fun (name, r) ->
+      Fmt.pf ppf
+        "  %-12s %2d step(s) %2d accepted  %12.9f s -> %12.9f s  \
+         (%5.1f%%)  %d store hit(s)@."
+        name
+        (List.length r.Saturate.r_steps)
+        r.Saturate.r_accepted r.Saturate.r_total_before
+        r.Saturate.r_total_after
+        (100.0 *. saturate_reduction r)
+        r.Saturate.r_compile_hits)
+    entries;
+  let oc = open_out json in
+  output_string oc (saturate_doc entries);
+  close_out oc;
+  hr ppf;
+  let tb =
+    List.fold_left (fun a (_, r) -> a +. r.Saturate.r_total_before) 0.0
+      entries
+  in
+  let ta =
+    List.fold_left (fun a (_, r) -> a +. r.Saturate.r_total_after) 0.0
+      entries
+  in
+  let accepted_benchmarks =
+    List.length
+      (List.filter (fun (_, r) -> r.Saturate.r_accepted >= 1) entries)
+  in
+  Fmt.pf ppf "saturate baseline written to %s@." json;
+  Fmt.pf ppf
+    "suite-wide simulated time: %.9f s -> %.9f s (%.1f%% reduction); \
+     median per-benchmark reduction %.1f%%@."
+    tb ta
+    (if tb <= 0.0 then 0.0 else 100.0 *. (tb -. ta) /. tb)
+    (100.0
+    *. median_float (List.map (fun (_, r) -> saturate_reduction r) entries));
+  let unconfirmed =
+    List.filter (fun (_, r) -> not (saturate_confirmed r)) entries
+  in
+  if unconfirmed <> [] then begin
+    Fmt.pf ppf
+      "SATURATE REGRESSION: accepted rewrite(s) outside the 0.25-4x \
+       confirmation band on %s@."
+      (String.concat ", " (List.map fst unconfirmed));
+    1
+  end
+  else if accepted_benchmarks < 6 then begin
+    Fmt.pf ppf
+      "SATURATE REGRESSION: only %d/%d benchmark(s) accepted a material \
+       rewrite (need >= 6)@."
+      accepted_benchmarks (List.length entries);
+    1
+  end
+  else begin
+    Fmt.pf ppf
+      "saturate: %d/%d benchmark(s) accepted material rewrites, every \
+       prediction confirmed by measurement@."
+      accepted_benchmarks (List.length entries);
+    0
+  end
+
+(* Saturate smoke for CI: regenerate a fixed 2-benchmark subset, require
+   each entry verbatim in the committed baseline, and require BACKPROP's
+   search to accept its hoist — the canonical rewrite of the paper's
+   motivating example. *)
+let run_saturate_smoke ppf =
+  let committed =
+    match open_in_bin saturate_path with
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | exception Sys_error _ ->
+        Fmt.failwith
+          "missing %s (run 'bench/main.exe saturate' and commit the \
+           result)"
+          saturate_path
+  in
+  let names = [ "BACKPROP"; "SPMUL" ] in
+  let entries =
+    List.map
+      (fun n ->
+        saturate_entry
+          (List.find (fun b -> b.Bench_def.name = n) benchmarks))
+      names
+  in
+  let ok =
+    List.for_all
+      (fun ((name, r) as e) ->
+        if contains ~needle:(saturate_entry_json e) committed then begin
+          Fmt.pf ppf "  %-12s %d accepted rewrite(s)  matches baseline@."
+            name r.Saturate.r_accepted;
+          true
+        end
+        else begin
+          Fmt.pf ppf "  %-12s MISMATCH against %s@." name saturate_path;
+          false
+        end)
+      entries
+  in
+  if not ok then
+    Fmt.failwith
+      "saturate smoke failed: regenerate with 'bench/main.exe saturate' \
+       and inspect the diff";
+  let backprop = List.assoc "BACKPROP" entries in
+  let hoisted =
+    List.exists
+      (fun s -> s.Saturate.st_accepted && s.Saturate.st_kind = Saturate.Hoist)
+      backprop.Saturate.r_steps
+  in
+  if not hoisted then
+    Fmt.failwith
+      "saturate smoke failed: BACKPROP's search no longer accepts its \
+       hoist";
+  Fmt.pf ppf
+    "saturate smoke: %d/%d byte-stable, BACKPROP hoist accepted@."
     (List.length names) (List.length names)
 
 (* ------------------------------------------------------------------ *)

@@ -76,11 +76,12 @@ let usage =
   "usage: main.exe \
    [table1|fig1|table2|fig3|table3|fig4|ablation|granularity|sweep|faults|symeq|symeq-smoke|\
    profile|profile-smoke|scale|scale-smoke|imbalance|imbalance-smoke|\
-   memtrace|memtrace-smoke|trend|regress|wall|micro|all] \
+   memtrace|memtrace-smoke|saturate|saturate-smoke|trend|regress|wall|micro|all] \
    [options]\n\
   \  trend options:   --out FILE  --benches A,B,..  --label TEXT\n\
   \                   --devices N  --schedule block|cyclic\n\
   \  regress options: --baseline FILE  --benches A,B,..  --json FILE\n\
+  \                   --saturate FILE\n\
   \  wall options:    --benches A,B,..  --repeats N  --json FILE\n\
   \                   --engine tree|compiled|both  --min-speedup X"
 
@@ -163,6 +164,14 @@ let () =
       with Failure msg ->
         Fmt.epr "%s@." msg;
         exit 1)
+  | "saturate" ->
+      let code = Experiments.run_saturate ppf in
+      if code <> 0 then exit code
+  | "saturate-smoke" -> (
+      try Experiments.run_saturate_smoke ppf
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
   | "trend" ->
       let out = ref Experiments.trend_path in
       let benches = ref None in
@@ -198,15 +207,17 @@ let () =
       let baseline = ref Experiments.profile_path in
       let benches = ref None in
       let json = ref None in
+      let saturate = ref None in
       parse_flags
         [ ("--baseline", fun v -> baseline := v);
           ("--benches", fun v -> benches := split_benches v);
-          ("--json", fun v -> json := Some v) ]
+          ("--json", fun v -> json := Some v);
+          ("--saturate", fun v -> saturate := Some v) ]
         rest;
       let code =
         try
           Experiments.run_regress ~baseline:!baseline ?names:!benches
-            ?json:!json ppf
+            ?json:!json ?saturate:!saturate ppf
         with Failure msg ->
           Fmt.epr "%s@." msg;
           exit 2

@@ -11,6 +11,10 @@
                    recorded iteration weights
     - [verify]   : kernel verification against the sequential reference
                    (§III-A), with OpenARC-style [verificationOptions]
+    - [saturate] : search-based automatic directive optimization — apply
+                   the ledger's hoist/present/merge verdicts (plus
+                   structural kernel fusion) greedily with rollback,
+                   validating every rewrite before it sticks
     - [optimize] : the interactive optimization loop of Figure 2, driven by
                    a scripted programmer
     - [session]  : the same loop with structured per-iteration telemetry
@@ -656,6 +660,123 @@ let memtrace_cmd =
     Term.(const run $ file_arg $ fault_arg $ seed_arg $ engine_arg
           $ devices_arg $ schedule_arg $ json $ out)
 
+(* ----------------------------- saturate ---------------------------- *)
+
+let saturate_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the search report as canonical JSON (schema \
+                   openarc.obs.saturate, version 1) instead of the text \
+                   report")
+  in
+  let apply =
+    Arg.(value & flag
+         & info [ "apply" ]
+             ~doc:"Emit the patched program (accepted rewrites applied): \
+                   to --out FILE when given, else to stdout (the report \
+                   then goes to stderr)")
+  in
+  let out =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"With --apply, write the patched program to FILE \
+                   instead of stdout")
+  in
+  let max_steps =
+    Arg.(value & opt int 16
+         & info [ "max-steps" ] ~docv:"N"
+             ~doc:"Candidate-attempt budget of the greedy search \
+                   (accepted or rejected; default 16)")
+  in
+  let run file fault seed devices json apply out max_steps =
+    handle_code (fun () ->
+        check_devices ~devices None;
+        if max_steps < 1 then
+          Fmt.failwith "invalid --max-steps: %d (must be >= 1)" max_steps;
+        (* Both the JSON report and the patched source default to stdout;
+           writing both there would interleave two documents. *)
+        if json && apply && out = None then
+          Fmt.failwith
+            "--json and --apply both print to stdout; pass --out FILE for \
+             the patched program";
+        let src = load_source file in
+        let prog = Minic.Parser.parse_string ~file:"<input>" src in
+        let prog =
+          if fault then Openarc_core.Faults.strip_parallelism_clauses prog
+          else prog
+        in
+        (* Designated outputs: the benchmark's declared ones, else every
+           array a kernel writes (the host-visible footprint). *)
+        let outputs =
+          let from_bench =
+            if String.length file > 6 && String.sub file 0 6 = "bench:" then
+              let rest = String.sub file 6 (String.length file - 6) in
+              let name =
+                match String.index_opt rest ':' with
+                | Some i -> String.sub rest 0 i
+                | None -> rest
+              in
+              Option.map
+                (fun b -> b.Suite.Bench_def.outputs)
+                (Suite.Registry.find name)
+            else None
+          in
+          match from_bench with
+          | Some outs -> outs
+          | None ->
+              let env = Minic.Typecheck.check prog in
+              let tp = Codegen.Translate.translate env prog in
+              Array.fold_left
+                (fun acc k ->
+                  Analysis.Varset.union acc
+                    k.Codegen.Tprog.k_arrays_written)
+                Analysis.Varset.empty tp.Codegen.Tprog.kernels
+              |> Analysis.Varset.elements
+        in
+        (* [--devices N] caps the validated device-set sizes (always
+           including N itself, so a 8-device user validates at 8). *)
+        let check_devices_list =
+          List.sort_uniq compare
+            (devices :: List.filter (fun d -> d < devices) [ 1; 2; 4 ])
+        in
+        let config =
+          { Saturate.default_config with
+            Saturate.seed;
+            max_steps;
+            check_devices = check_devices_list }
+        in
+        let r = Saturate.run ~config ~name:file ~outputs prog in
+        let report ppf =
+          if json then Fmt.pf ppf "%s" (Saturate.to_json r)
+          else Fmt.pf ppf "%a" Saturate.pp r
+        in
+        (match (apply, out) with
+        | false, _ -> report Fmt.stdout
+        | true, Some path ->
+            report Fmt.stdout;
+            write_file path (Minic.Pretty.program_to_string r.Saturate.r_program);
+            if not json then Fmt.pr "patched program written to %s@." path
+        | true, None ->
+            (* Patched source is the stdout payload; report to stderr. *)
+            report Fmt.stderr;
+            print_string
+              (Minic.Pretty.program_to_string r.Saturate.r_program));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "saturate"
+       ~doc:"Search-based automatic directive optimization: rank the \
+             data-movement ledger's hoist/present/merge verdicts (plus \
+             structural kernel fusion), greedily apply the top rewrite, \
+             validate it via the symbolic tier, kernel verification, \
+             bit-identical outputs under both engines and 1/2/4-device \
+             sets, and a measured diff-profile confirmation, then repeat \
+             until no material candidate remains")
+    Term.(const run $ file_arg $ fault_arg $ seed_arg $ devices_arg $ json
+          $ apply $ out $ max_steps)
+
 (* ------------------------------ verify ----------------------------- *)
 
 let verify_cmd =
@@ -1152,5 +1273,5 @@ let () =
     (Cmd.eval' ~term_err:2
        (Cmd.group info
           [ compile_cmd; run_cmd; profile_cmd; analyze_cmd; memtrace_cmd;
-            verify_cmd; optimize_cmd; session_cmd; diff_profile_cmd;
-            lint_cmd; fault_matrix_cmd; benchmarks_cmd ]))
+            saturate_cmd; verify_cmd; optimize_cmd; session_cmd;
+            diff_profile_cmd; lint_cmd; fault_matrix_cmd; benchmarks_cmd ]))

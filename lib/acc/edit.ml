@@ -259,6 +259,16 @@ let wrap_span prog ~first_sid ~last_sid ~directive =
   in
   { globals }
 
+(** Wrap the single statement [sid] — at any nesting depth — in a directive
+    (typically [data]).  The wrapped statement keeps its sid; the new
+    carrying [Sacc] statement gets a fresh one. *)
+let wrap_stmt prog ~sid ~directive =
+  expand_program
+    (fun s ->
+      if s.sid = sid then [ mk_stmt ~loc:s.sloc (Sacc (directive, Some s)) ]
+      else [ s ])
+    prog
+
 (** Build a [data] directive from (var, kind) clauses. *)
 let mk_data_directive ?(loc = Minic.Loc.dummy) vars =
   let clauses =

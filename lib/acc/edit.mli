@@ -76,6 +76,10 @@ val sids_of_stmt : stmt -> int list
 val wrap_span :
   program -> first_sid:int -> last_sid:int -> directive:directive -> program
 
+(** Wrap the single statement [sid] — at any nesting depth — in a
+    directive (typically [data]); the new carrier gets a fresh sid. *)
+val wrap_stmt : program -> sid:int -> directive:directive -> program
+
 (** A [data] directive from (var, kind) clauses. *)
 val mk_data_directive :
   ?loc:Minic.Loc.t -> (string * data_kind) list -> directive

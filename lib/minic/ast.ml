@@ -131,6 +131,20 @@ let mk_stmt ?(loc = Loc.dummy) skind =
   incr stmt_counter;
   { sid = !stmt_counter; sloc = loc; skind }
 
+(** Run [f] with the statement-id allocator rebased to zero, so programs
+    built inside [f] carry process-history-independent sids (the saturate
+    search depends on this: sids leak into directive-site labels, and its
+    canonical reports must not vary with whatever was parsed earlier in
+    the process).  The allocator is restored on exit to whichever of the
+    outer and inner high-water marks is larger, so sids stay unique
+    across the boundary. *)
+let with_sid_base f =
+  let saved = !stmt_counter in
+  stmt_counter := 0;
+  Fun.protect
+    ~finally:(fun () -> stmt_counter := max saved !stmt_counter)
+    f
+
 let functions prog =
   List.filter_map (function Gfunc f -> Some f | Gvar _ -> None) prog.globals
 

@@ -777,24 +777,89 @@ let compile_kernel u (k : kernel) : ckernel =
     ck_nregs = max 1 (Resolve.frame_size res);
     ck_body = body }
 
-(** Per-program compile cache: kernels compile once, keyed by kernel id,
-    and repeated launches reuse the closure.  Host statement leaves
-    compile once in mirror mode (keyed by translated-statement id), so
+(** Content-keyed kernel store.  The key renders everything
+    {!compile_kernel} reads — the kernel-entry name order, scalar classes,
+    induction set, loop header and body — plus every non-[main] global
+    (compiled bodies resolve user-function calls through their unit), all
+    sid- and location-free.  Two kernels with equal keys therefore compile
+    to interchangeable closures, so a store shared across translations of
+    *edited* variants of one program (the saturate search loop) turns
+    recompiles of untouched kernels into cache hits. *)
+type store = (string, ckernel) Hashtbl.t
+
+let create_store () : store = Hashtbl.create 64
+let store_size (s : store) = Hashtbl.length s
+
+let kernel_key prog (k : kernel) =
+  let b = Buffer.create 1024 in
+  let add s = Buffer.add_string b s; Buffer.add_char b '\x00' in
+  let shared =
+    { Minic.Ast.globals =
+        List.filter
+          (function
+            | Minic.Ast.Gfunc f -> f.Minic.Ast.f_name <> "main"
+            | Minic.Ast.Gvar _ -> true)
+          prog.Minic.Ast.globals }
+  in
+  add (Minic.Pretty.program_to_string shared);
+  List.iter add (Kernel_exec.kernel_names k);
+  List.iter
+    (fun (v, cls) ->
+      add v;
+      add
+        (match cls with
+        | Sc_private -> "private"
+        | Sc_firstprivate -> "firstprivate"
+        | Sc_reduction op -> "red:" ^ Minic.Pretty.redop_str op
+        | Sc_raced Race_active -> "raced:active"
+        | Sc_raced Race_latent -> "raced:latent"))
+    k.k_scalars;
+  List.iter add (Analysis.Varset.elements k.k_induction);
+  add (if k.k_seq then "seq" else "par");
+  (match k.k_loop with
+  | None -> add "noloop"
+  | Some l ->
+      add l.kl_var;
+      add (Minic.Pretty.expr_to_string l.kl_init);
+      add (Minic.Pretty.expr_to_string l.kl_cond);
+      (match l.kl_step with
+      | None -> add "nostep"
+      | Some s -> add (Minic.Pretty.stmt_to_string s));
+      List.iter (fun s -> add (Minic.Pretty.stmt_to_string s)) l.kl_body);
+  List.iter (fun s -> add (Minic.Pretty.stmt_to_string s)) k.k_body;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(** Per-program compile cache: kernels compile once into the (optionally
+    shared) content-keyed {!store}, and repeated launches reuse the
+    closure.  [ckeys] memoizes each kernel's content key per kernel id so
+    the per-launch lookup stays O(1).  Host statement leaves compile once
+    in mirror mode (keyed by translated-statement id, which is only
+    meaningful within one translation — so [chost] is never shared), so
     names they declare stay visible — with the same cells — to the
     interpreter's environment and to every other compiled or tree-walked
     fragment. *)
 type cache = {
   cunit : cu;  (** register mode, for kernel bodies *)
-  ckernels : (int, ckernel) Hashtbl.t;
+  ckernels : store;  (** content-keyed; may be shared across programs *)
+  ckeys : (int, string) Hashtbl.t;  (** k_id -> content key memo *)
   cmunit : cu;  (** mirror mode, for host statements *)
   chost : (int, int * cstm) Hashtbl.t;  (** tid -> (nregs, closure) *)
 }
 
-let create_cache prog =
+let create_cache ?store prog =
   { cunit = unit_of ~mirror:false prog;
-    ckernels = Hashtbl.create 8;
+    ckernels = (match store with Some s -> s | None -> create_store ());
+    ckeys = Hashtbl.create 8;
     cmunit = unit_of ~mirror:true prog;
     chost = Hashtbl.create 32 }
+
+let key_of cache (k : kernel) =
+  match Hashtbl.find_opt cache.ckeys k.k_id with
+  | Some key -> key
+  | None ->
+      let key = kernel_key cache.cunit.uprog k in
+      Hashtbl.replace cache.ckeys k.k_id key;
+      key
 
 (** Execute one host statement leaf through the compiled engine.  Free
     names fall back to environment lookups, so fragments compiled in
@@ -813,11 +878,12 @@ let host_stmt cache (ctx : Eval.ctx) tid s =
   in
   c { ctx; regs = Array.make nregs Unbound }
 
-let cached cache (k : kernel) = Hashtbl.mem cache.ckernels k.k_id
+let cached cache (k : kernel) = Hashtbl.mem cache.ckernels (key_of cache k)
 
 let prepare cache (k : kernel) =
   if not (cached cache k) then
-    Hashtbl.replace cache.ckernels k.k_id (compile_kernel cache.cunit k)
+    Hashtbl.replace cache.ckernels (key_of cache k)
+      (compile_kernel cache.cunit k)
 
 (** Compiled counterpart of {!Kernel_exec.run}: a faithful transcription
     of the tree-walking kernel runner with registers in place of frames.
@@ -826,7 +892,7 @@ let prepare cache (k : kernel) =
 let run_kernel cache (host_ctx : Eval.ctx) device (k : kernel) :
     Kernel_exec.result =
   prepare cache k;
-  let ck = Hashtbl.find cache.ckernels k.k_id in
+  let ck = Hashtbl.find cache.ckernels (key_of cache k) in
   let host_env = host_ctx.env in
   let regs = Array.make ck.ck_nregs Unbound in
   let kenv : Value.t = { Value.globals = Hashtbl.create 1; frames = [] } in

@@ -49,7 +49,7 @@ exception Stop
 let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     ?(seed = 42) ?(trace = false) ?cm ?plan
     ?(resilience = Resilience.none) ?(devices = 1) ?schedule ?obs ?ledger
-    ?audit (tp : Codegen.Tprog.t) =
+    ?audit ?kcache (tp : Codegen.Tprog.t) =
   if devices < 1 then invalid_arg "Interp.run: devices must be >= 1";
   (* A one-member run creates the standalone device exactly as it always
      did and merely wraps it, so [devices = 1] takes the identical code
@@ -211,7 +211,7 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
      recovery paths (CPU fallback, recovery validation) stay on the tree
      walker under either engine: recovery deliberately re-executes
      through the independent engine. *)
-  let ecache = lazy (Compile.create_cache tp.source) in
+  let ecache = lazy (Compile.create_cache ?store:kcache tp.source) in
   let exec_kernel dev k =
     match engine with
     | Engine.Tree -> Kernel_exec.run ctx dev k
@@ -1610,9 +1610,9 @@ let run ?(coherence = true) ?(engine = Engine.Tree) ?granularity
     [instrument] is set). *)
 let run_string ?opts ?(instrument = false) ?mode ?engine ?granularity
     ?coherence ?seed ?cm ?plan ?resilience ?devices ?schedule ?obs ?ledger
-    ?audit src =
+    ?audit ?kcache src =
   let tp = Codegen.Translate.compile_string ?opts src in
   let tp = if instrument then Codegen.Checkgen.instrument ?mode tp else tp in
   let coherence = Option.value coherence ~default:instrument in
   run ~coherence ?engine ?granularity ?seed ?cm ?plan ?resilience ?devices
-    ?schedule ?obs ?ledger ?audit tp
+    ?schedule ?obs ?ledger ?audit ?kcache tp

@@ -68,6 +68,12 @@ exception Stop
     [coherence] is on) and every device alloc/free — pure observation,
     byte-conserving against the metrics accumulators.  [audit], when
     given, records every coherence status transition.
+
+    [kcache], when given, is a shared content-keyed kernel-closure store
+    ({!Compile.store}): compiled-engine runs of *different translations*
+    (e.g. the saturate search loop's edited program variants) reuse each
+    other's compiled kernels whenever the kernel body is unchanged —
+    visible as [engine_compile_hits] in the [obs] counters.
     @raise Resilience.Unrecovered when the policy's budget is exhausted. *)
 val run :
   ?coherence:bool -> ?engine:Engine.t ->
@@ -75,7 +81,8 @@ val run :
   ?trace:bool -> ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
   ?resilience:Resilience.policy -> ?devices:int ->
   ?schedule:Gpusim.Device_set.schedule -> ?obs:Obs.Trace.t ->
-  ?ledger:Obs.Ledger.t -> ?audit:Obs.Audit.t -> Codegen.Tprog.t -> outcome
+  ?ledger:Obs.Ledger.t -> ?audit:Obs.Audit.t -> ?kcache:Compile.store ->
+  Codegen.Tprog.t -> outcome
 
 (** Compile and run a source string (instrumented when [instrument]). *)
 val run_string :
@@ -85,4 +92,5 @@ val run_string :
   ?cm:Gpusim.Costmodel.t -> ?plan:Gpusim.Fault_plan.t ->
   ?resilience:Resilience.policy -> ?devices:int ->
   ?schedule:Gpusim.Device_set.schedule -> ?obs:Obs.Trace.t ->
-  ?ledger:Obs.Ledger.t -> ?audit:Obs.Audit.t -> string -> outcome
+  ?ledger:Obs.Ledger.t -> ?audit:Obs.Audit.t -> ?kcache:Compile.store ->
+  string -> outcome

@@ -131,6 +131,72 @@ let test_optimize () =
   check_cmd "optimize" "optimize bench:jacobi --outputs a,b,resid"
     ~expect:[ "converged"; "transfers:" ]
 
+let test_saturate () =
+  check_cmd "saturate" "saturate bench:jacobi"
+    ~expect:[ "saturate bench:jacobi"; "accepted"; "simulated time" ];
+  check_cmd "saturate --json" "saturate bench:jacobi --json --max-steps 2"
+    ~expect:
+      [ "\"schema\": \"openarc.obs.saturate\""; "\"version\": 1";
+        "\"steps\": ["; "\"engine_compile_hits\"" ];
+  if available then begin
+    (* --apply without --out: the patched source is the stdout payload,
+       the report goes to stderr — so stdout | cc-style tools compose *)
+    let out = Filename.temp_file "openarc_cli" ".out" in
+    let err = Filename.temp_file "openarc_cli" ".err" in
+    let code =
+      Sys.command
+        (Fmt.str "%s saturate bench:jacobi --apply --max-steps 4 > %s 2> %s"
+           exe (Filename.quote out) (Filename.quote err))
+    in
+    let stdout_text = read_file out and stderr_text = read_file err in
+    Sys.remove out;
+    Sys.remove err;
+    Alcotest.(check int) "--apply to stdout: exit 0" 0 code;
+    Alcotest.(check bool) "--apply to stdout: patched program" true
+      (contains ~needle:"#pragma acc" stdout_text
+      && contains ~needle:"int main" stdout_text);
+    Alcotest.(check bool) "--apply to stdout: report on stderr" true
+      (contains ~needle:"saturate bench:jacobi" stderr_text)
+  end
+
+let test_saturate_errors () =
+  if available then begin
+    (* malformed inputs are usage errors: exit 2, usage on stderr *)
+    let code, out = run_cmd "saturate bench:jacobi --devices 0" in
+    Alcotest.(check int) "saturate --devices 0: exit 2" 2 code;
+    Alcotest.(check bool) "saturate --devices 0: message" true
+      (contains ~needle:"invalid --devices" out);
+    let code, out = run_cmd "saturate bench:jacobi --max-steps 0" in
+    Alcotest.(check int) "saturate --max-steps 0: exit 2" 2 code;
+    Alcotest.(check bool) "saturate --max-steps 0: message" true
+      (contains ~needle:"invalid --max-steps" out);
+    (* --json and --apply both want stdout: refusing beats interleaving *)
+    let code, out = run_cmd "saturate bench:jacobi --json --apply" in
+    Alcotest.(check int) "saturate --json --apply: exit 2" 2 code;
+    Alcotest.(check bool) "saturate --json --apply: names the fix" true
+      (contains ~needle:"--out" out);
+    (* unknown flags on both optimizer entry points: usage to stderr,
+       stdout silent, exit 2 *)
+    List.iter
+      (fun sub ->
+        let out = Filename.temp_file "openarc_cli" ".out" in
+        let err = Filename.temp_file "openarc_cli" ".err" in
+        let code =
+          Sys.command
+            (Fmt.str "%s %s bench:jacobi --no-such-flag > %s 2> %s" exe sub
+               (Filename.quote out) (Filename.quote err))
+        in
+        let stdout_text = read_file out and stderr_text = read_file err in
+        Sys.remove out;
+        Sys.remove err;
+        Alcotest.(check int) (sub ^ " unknown flag: exit 2") 2 code;
+        Alcotest.(check bool) (sub ^ " unknown flag: usage on stderr") true
+          (contains ~needle:("Usage: openarc " ^ sub) stderr_text);
+        Alcotest.(check string) (sub ^ " unknown flag: stdout silent") ""
+          stdout_text)
+      [ "saturate"; "optimize" ]
+  end
+
 let test_multi_device () =
   check_cmd "run --devices" "run bench:jacobi --devices 2"
     ~expect:[ "launches"; "Mem Transfer" ];
@@ -542,6 +608,8 @@ let tests =
     Alcotest.test_case "verify symbolic" `Quick test_verify_symbolic;
     Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
     Alcotest.test_case "optimize" `Slow test_optimize;
+    Alcotest.test_case "saturate" `Slow test_saturate;
+    Alcotest.test_case "saturate errors" `Quick test_saturate_errors;
     Alcotest.test_case "multi-device" `Quick test_multi_device;
     Alcotest.test_case "trace" `Quick test_trace;
     Alcotest.test_case "profile" `Quick test_profile;

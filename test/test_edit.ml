@@ -117,6 +117,114 @@ let test_regions_with_var () =
     (List.map (fun (s, _, _) -> s)
        (Acc.Edit.regions_with_var prog ~var:"zz"))
 
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties: every rewrite primitive the saturate search   *)
+(* uses must produce a program whose pretty-printed form reparses to    *)
+(* the same AST (structural equality, sid/loc-free), and a no-op edit   *)
+(* must leave the program structurally unchanged.                       *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrips name prog =
+  let printed = Minic.Pretty.program_to_string prog in
+  let reparsed = Parser.parse_string ~file:"<roundtrip>" printed in
+  Alcotest.(check bool) (name ^ ": print/reparse round trip") true
+    (Ast.equal_program prog reparsed)
+
+let hoist_src =
+  "int main() { float a[8]; float b[8];\n\
+   for (int i = 0; i < 8; i++) { a[i] = i; b[i] = 0.0; }\n\
+   for (int t = 0; t < 4; t++) {\n\
+   #pragma acc kernels loop copyin(a) copy(b)\n\
+   for (int i = 0; i < 8; i++) { b[i] = b[i] + a[i]; }\n\
+   }\nfloat cs = b[0];\nreturn 0; }"
+
+let compute_sids prog =
+  List.filter_map
+    (fun (sid, _, d) ->
+      if Acc.Query.is_compute d.dir then Some sid else None)
+    (Acc.Query.directives_of prog)
+
+let test_roundtrip_hoist () =
+  (* the hoist edit: wrap the enclosing loop in a fresh data region *)
+  let prog = Parser.parse_string hoist_src in
+  let ksid = List.hd (compute_sids prog) in
+  let loop = Option.get (Acc.Edit.enclosing_loop prog ~sid:ksid) in
+  let hoisted =
+    Acc.Edit.wrap_stmt prog ~sid:loop.sid
+      ~directive:
+        (Acc.Edit.mk_data_directive
+           [ ("a", Dk_copyin); ("b", Dk_copy) ])
+  in
+  Alcotest.(check bool) "hoist changed the program" false
+    (Ast.equal_program prog hoisted);
+  Alcotest.(check bool) "data region present" true
+    (Acc.Edit.has_data_region hoisted);
+  roundtrips "hoist" hoisted
+
+let merge_src =
+  "int main() { float y[8];\n\
+   #pragma acc kernels loop copy(y)\n\
+   for (int i = 0; i < 8; i++) { y[i] = i; }\n\
+   #pragma acc kernels loop copy(y)\n\
+   for (int i = 0; i < 8; i++) { y[i] = y[i] * 2.0; }\n\
+   float cs = y[0];\nreturn 0; }"
+
+let test_roundtrip_merge () =
+  (* the merge edit: one data region spanning two adjacent kernels *)
+  let prog = Parser.parse_string merge_src in
+  match compute_sids prog with
+  | [ s1; s2 ] ->
+      let first_sid = min s1 s2 and last_sid = max s1 s2 in
+      let merged =
+        Acc.Edit.wrap_span prog ~first_sid ~last_sid
+          ~directive:(Acc.Edit.mk_data_directive [ ("y", Dk_copy) ])
+      in
+      Alcotest.(check bool) "merge changed the program" false
+        (Ast.equal_program prog merged);
+      roundtrips "merge" merged
+  | _ -> Alcotest.fail "expected exactly two compute regions"
+
+let test_roundtrip_present () =
+  (* the present edit: retarget a data clause's kind in place *)
+  let prog = Parser.parse_string merge_src in
+  let sid = List.hd (compute_sids prog) in
+  let pinned =
+    Acc.Edit.map_directive prog ~sid ~f:(fun d ->
+        { d with clauses = Acc.Edit.set_data_kind d.clauses "y" Dk_present })
+  in
+  Alcotest.(check bool) "present changed the program" false
+    (Ast.equal_program prog pinned);
+  roundtrips "present" pinned;
+  (* and the program itself round-trips before any edit *)
+  roundtrips "unedited" prog
+
+let test_noop_edit_identity () =
+  let prog = Parser.parse_string hoist_src in
+  let ksid = List.hd (compute_sids prog) in
+  (* identity directive rewrite *)
+  let same = Acc.Edit.map_directive prog ~sid:ksid ~f:(fun d -> d) in
+  Alcotest.(check bool) "map_directive id is identity" true
+    (Ast.equal_program prog same);
+  (* removing a variable the clause list does not mention *)
+  let same =
+    Acc.Edit.map_directive prog ~sid:ksid ~f:(fun d ->
+        { d with clauses = Acc.Edit.remove_data_var d.clauses "nosuch" })
+  in
+  Alcotest.(check bool) "remove_data_var of absent var is identity" true
+    (Ast.equal_program prog same);
+  (* rewriting a sid that carries no directive *)
+  let same = Acc.Edit.map_directive prog ~sid:99999 ~f:(fun d -> d) in
+  Alcotest.(check bool) "map_directive of unknown sid is identity" true
+    (Ast.equal_program prog same);
+  (* wrap_span over sids that are not top-level statements of main is a
+     documented no-op (the saturate search rejects it as such) *)
+  let same =
+    Acc.Edit.wrap_span prog ~first_sid:99999 ~last_sid:99999
+      ~directive:(Acc.Edit.mk_data_directive [ ("a", Dk_copy) ])
+  in
+  Alcotest.(check bool) "wrap_span of unknown sids is identity" true
+    (Ast.equal_program prog same)
+
 let tests =
   [ Alcotest.test_case "clause-list edits" `Quick test_clause_list_edits;
     Alcotest.test_case "remove update var" `Quick test_remove_update_var;
@@ -124,4 +232,10 @@ let tests =
       test_insert_and_remove;
     Alcotest.test_case "enclosing loop" `Quick test_enclosing_loop;
     Alcotest.test_case "wrap span with data region" `Quick test_wrap_span;
-    Alcotest.test_case "regions with var" `Quick test_regions_with_var ]
+    Alcotest.test_case "regions with var" `Quick test_regions_with_var;
+    Alcotest.test_case "round trip: hoist edit" `Quick test_roundtrip_hoist;
+    Alcotest.test_case "round trip: merge edit" `Quick test_roundtrip_merge;
+    Alcotest.test_case "round trip: present edit" `Quick
+      test_roundtrip_present;
+    Alcotest.test_case "no-op edits are identity" `Quick
+      test_noop_edit_identity ]
